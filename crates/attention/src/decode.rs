@@ -1,0 +1,252 @@
+//! Paged decode attention kernel (`TQ = 1`, §3.1 and §3.6).
+//!
+//! One query row attends a page table through the [`PagePool`]. Dense heads may be
+//! restricted to a selected subset of physical pages (the dynamic sparsity of
+//! Figure 4(d): "a dense attention kernel with shorter page tables", §3.2);
+//! streaming heads iterate their resident sink+local pages, which *is* their whole
+//! page table ("streaming heads are treated as dynamic sparse heads with index table
+//! only containing the sink and local pages", §3.6).
+
+use lserve_kvcache::{DenseHeadCache, PagePool, StreamingHeadCache};
+use lserve_tensor::OnlineSoftmax;
+
+/// Work counters for one decode-attention call (one head, one step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecodeStats {
+    /// Physical pages the kernel iterated over.
+    pub pages_visited: u64,
+    /// Token rows folded into the softmax.
+    pub tokens_visited: u64,
+    /// Pages a dense kernel over the full history would have iterated.
+    pub pages_total: u64,
+}
+
+impl DecodeStats {
+    /// Accumulates another head's counters (used by the fused layer kernel).
+    pub fn accumulate(&mut self, other: DecodeStats) {
+        self.pages_visited += other.pages_visited;
+        self.tokens_visited += other.tokens_visited;
+        self.pages_total += other.pages_total;
+    }
+}
+
+/// Decode attention for a dense head.
+///
+/// `selected_pages`, when given, lists indices into `cache.page_table()` to visit
+/// (the shorter page table produced by the page selector); `None` means dense
+/// attention over the full history. The visiting order does not affect the output
+/// (online softmax is order-invariant).
+///
+/// # Panics
+///
+/// Panics if `q.len()` differs from the cache's head dimension, or a selected page
+/// index is out of range.
+pub fn decode_dense_head(
+    pool: &PagePool,
+    cache: &DenseHeadCache,
+    q: &[f32],
+    scale: f32,
+    selected_pages: Option<&[usize]>,
+) -> (Vec<f32>, DecodeStats) {
+    let table = cache.page_table();
+    let mut acc = OnlineSoftmax::new(q.len());
+    let mut stats = DecodeStats {
+        pages_total: table.len() as u64,
+        ..DecodeStats::default()
+    };
+    let mut visit = |page_idx: usize| {
+        let page = pool.page(table[page_idx]);
+        assert_eq!(page.head_dim(), q.len(), "query dimension mismatch");
+        stats.pages_visited += 1;
+        for t in 0..page.len() {
+            let mut s = 0.0f32;
+            for (a, b) in q.iter().zip(page.key_row(t)) {
+                s += a * b;
+            }
+            acc.update(s * scale, page.value_row(t));
+            stats.tokens_visited += 1;
+        }
+    };
+    match selected_pages {
+        Some(sel) => {
+            for &p in sel {
+                assert!(p < table.len(), "selected page {p} out of range ({})", table.len());
+                visit(p);
+            }
+        }
+        None => {
+            for p in 0..table.len() {
+                visit(p);
+            }
+        }
+    }
+    (acc.finish(), stats)
+}
+
+/// Decode attention for a streaming head: visits exactly the resident sink and local
+/// pages.
+///
+/// # Panics
+///
+/// Panics if `q.len()` differs from the cache's head dimension.
+pub fn decode_streaming_head(
+    pool: &PagePool,
+    cache: &StreamingHeadCache,
+    q: &[f32],
+    scale: f32,
+) -> (Vec<f32>, DecodeStats) {
+    let table = cache.page_table(pool);
+    let full_pages = pool.config().pages_for(cache.tokens());
+    let mut acc = OnlineSoftmax::new(q.len());
+    let mut stats = DecodeStats {
+        pages_total: full_pages as u64,
+        ..DecodeStats::default()
+    };
+    for (_, id) in table {
+        let page = pool.page(id);
+        assert_eq!(page.head_dim(), q.len(), "query dimension mismatch");
+        stats.pages_visited += 1;
+        for t in 0..page.len() {
+            let mut s = 0.0f32;
+            for (a, b) in q.iter().zip(page.key_row(t)) {
+                s += a * b;
+            }
+            acc.update(s * scale, page.value_row(t));
+            stats.tokens_visited += 1;
+        }
+    }
+    (acc.finish(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::masked_attention_reference;
+    use lserve_kvcache::{PagingConfig, StreamingWindow};
+    use lserve_quant::KvPrecision;
+    use lserve_tensor::{Matrix, SeededGaussian};
+
+    fn fill_dense(
+        pool: &mut PagePool,
+        cache: &mut DenseHeadCache,
+        k: &Matrix,
+        v: &Matrix,
+    ) {
+        for t in 0..k.rows() {
+            assert!(cache.append(pool, k.row(t), v.row(t)));
+        }
+    }
+
+    #[test]
+    fn full_history_decode_matches_reference() {
+        let cfg = PagingConfig::new(4, 4, KvPrecision::Fp16);
+        let mut pool = PagePool::new(cfg, 64, 8);
+        let mut cache = DenseHeadCache::new();
+        let mut g = SeededGaussian::new(21);
+        let k = g.matrix(19, 8, 1.0);
+        let v = g.matrix(19, 8, 1.0);
+        fill_dense(&mut pool, &mut cache, &k, &v);
+        let q = g.matrix(1, 8, 1.0);
+        let scale = 1.0 / (8f32).sqrt();
+        let (got, stats) = decode_dense_head(&pool, &cache, q.row(0), scale, None);
+        let want = masked_attention_reference(&q, &k, &v, scale, |_, _| true);
+        for (a, b) in got.iter().zip(want.row(0)) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        assert_eq!(stats.pages_visited, 5);
+        assert_eq!(stats.tokens_visited, 19);
+    }
+
+    #[test]
+    fn selected_pages_restrict_attention() {
+        let cfg = PagingConfig::new(4, 4, KvPrecision::Fp16);
+        let mut pool = PagePool::new(cfg, 64, 4);
+        let mut cache = DenseHeadCache::new();
+        let mut g = SeededGaussian::new(8);
+        let k = g.matrix(16, 4, 1.0);
+        let v = g.matrix(16, 4, 1.0);
+        fill_dense(&mut pool, &mut cache, &k, &v);
+        let q = g.matrix(1, 4, 1.0);
+        let sel = [0usize, 3];
+        let (got, stats) = decode_dense_head(&pool, &cache, q.row(0), 0.5, Some(&sel));
+        let want = masked_attention_reference(&q, &k, &v, 0.5, |_, j| j / 4 == 0 || j / 4 == 3);
+        for (a, b) in got.iter().zip(want.row(0)) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        assert_eq!(stats.pages_visited, 2);
+        assert_eq!(stats.pages_total, 4);
+    }
+
+    #[test]
+    fn selection_order_does_not_matter() {
+        let cfg = PagingConfig::new(4, 4, KvPrecision::Fp16);
+        let mut pool = PagePool::new(cfg, 64, 4);
+        let mut cache = DenseHeadCache::new();
+        let mut g = SeededGaussian::new(13);
+        let k = g.matrix(20, 4, 1.0);
+        let v = g.matrix(20, 4, 1.0);
+        fill_dense(&mut pool, &mut cache, &k, &v);
+        let q: Vec<f32> = g.matrix(1, 4, 1.0).into_vec();
+        let (a, _) = decode_dense_head(&pool, &cache, &q, 0.5, Some(&[0, 2, 4]));
+        let (b, _) = decode_dense_head(&pool, &cache, &q, 0.5, Some(&[4, 0, 2]));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn streaming_decode_matches_lambda_mask() {
+        let cfg = PagingConfig::new(4, 4, KvPrecision::Fp16);
+        let mut pool = PagePool::new(cfg, 64, 4);
+        let mut cache = StreamingHeadCache::new(StreamingWindow::new(1, 2));
+        let mut g = SeededGaussian::new(31);
+        let n = 30;
+        let k = g.matrix(n, 4, 1.0);
+        let v = g.matrix(n, 4, 1.0);
+        for t in 0..n {
+            assert!(cache.append(&mut pool, k.row(t), v.row(t)));
+        }
+        let q = g.matrix(1, 4, 1.0);
+        let (got, stats) = decode_streaming_head(&pool, &cache, q.row(0), 0.5);
+        // Resident tokens: sink page [0,4) + the local pages the cache retained.
+        let resident: Vec<usize> = cache
+            .page_table(&pool)
+            .iter()
+            .flat_map(|&(start, id)| (start..start + pool.page(id).len()).collect::<Vec<_>>())
+            .collect();
+        let want = masked_attention_reference(&q, &k, &v, 0.5, |_, j| resident.contains(&j));
+        for (a, b) in got.iter().zip(want.row(0)) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        assert!(stats.pages_visited <= 3);
+        assert_eq!(stats.pages_total, pool.config().pages_for(n) as u64);
+    }
+
+    #[test]
+    fn quantized_pages_close_to_fp_reference() {
+        let cfg = PagingConfig::new(4, 4, KvPrecision::Int8);
+        let mut pool = PagePool::new(cfg, 64, 8);
+        let mut cache = DenseHeadCache::new();
+        let mut g = SeededGaussian::new(77);
+        let k = g.matrix(24, 8, 1.0);
+        let v = g.matrix(24, 8, 1.0);
+        fill_dense(&mut pool, &mut cache, &k, &v);
+        let q = g.matrix(1, 8, 1.0);
+        let scale = 1.0 / (8f32).sqrt();
+        let (got, _) = decode_dense_head(&pool, &cache, q.row(0), scale, None);
+        let want = masked_attention_reference(&q, &k, &v, scale, |_, _| true);
+        for (a, b) in got.iter().zip(want.row(0)) {
+            assert!((a - b).abs() < 0.05, "int8 decode drifted: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_selection_panics() {
+        let cfg = PagingConfig::new(4, 4, KvPrecision::Fp16);
+        let mut pool = PagePool::new(cfg, 8, 4);
+        let mut cache = DenseHeadCache::new();
+        cache.append(&mut pool, &[0.0; 4], &[0.0; 4]);
+        let _ = decode_dense_head(&pool, &cache, &[0.0; 4], 1.0, Some(&[5]));
+    }
+}

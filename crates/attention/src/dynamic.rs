@@ -1,0 +1,213 @@
+//! Query-aware dynamic block sparsity for prefill (MInference-style).
+//!
+//! The paper integrates MInference's prefill sparsity for very long prompts ("LServe
+//! is also compatible with the prefilling dynamic sparsity in MInference, which we
+//! activated after 128K", §4.3). This module builds the per-head block mask: every
+//! query tile keeps its causal diagonal, the sink blocks, and the top-`k` past KV
+//! blocks ranked by a Quest-style min/max affinity bound between the tile's pooled
+//! query and each block's key statistics — the same Eq. 2 machinery the decode
+//! selector uses, lifted to tiles.
+
+use lserve_kvcache::LogicalPageStats;
+use lserve_tensor::Matrix;
+
+use crate::pattern::MaskPattern;
+
+/// Builds a query-aware prefill block mask for one head.
+///
+/// `q`, `k` are the head's `(N x D)` activations; `tile` is the square block size;
+/// `keep_per_tile` is the number of *extra* past blocks each query tile retains
+/// beyond the always-kept diagonal and `sink_blocks`; the resulting density per row
+/// is roughly `(keep_per_tile + sink_blocks + 1) / row_blocks`.
+///
+/// The scoring is an upper bound (channelwise min/max of keys against the tile-mean
+/// query), so blocks containing any key strongly aligned with the tile's queries
+/// rank high — the property that makes the mask safe for retrieval-style prompts.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or `tile == 0`.
+///
+/// # Example
+///
+/// ```
+/// use lserve_attention::dynamic::build_dynamic_prefill_mask;
+/// use lserve_tensor::SeededGaussian;
+///
+/// let mut g = SeededGaussian::new(1);
+/// let q = g.matrix(64, 8, 1.0);
+/// let k = g.matrix(64, 8, 1.0);
+/// let mask = build_dynamic_prefill_mask(&q, &k, 16, 1, 1);
+/// // Diagonal always kept.
+/// assert!(mask.get(3, 3));
+/// ```
+pub fn build_dynamic_prefill_mask(
+    q: &Matrix,
+    k: &Matrix,
+    tile: usize,
+    keep_per_tile: usize,
+    sink_blocks: usize,
+) -> MaskPattern {
+    assert!(tile > 0, "tile must be positive");
+    assert_eq!(q.rows(), k.rows(), "Q/K rows mismatch");
+    assert_eq!(q.cols(), k.cols(), "Q/K dim mismatch");
+    let n = q.rows();
+    let d = q.cols();
+    let nb = n.div_ceil(tile);
+
+    // Per-KV-block key statistics (kmin/kmax per channel).
+    let block_stats: Vec<LogicalPageStats> = (0..nb)
+        .map(|b| {
+            let mut s = LogicalPageStats::new(d);
+            for t in b * tile..((b + 1) * tile).min(n) {
+                s.update(k.row(t));
+            }
+            s
+        })
+        .collect();
+
+    let mut mask = MaskPattern::new(nb, nb);
+    let mut scores: Vec<(usize, f32)> = Vec::with_capacity(nb);
+    for qt in 0..nb {
+        // Pooled query for the tile: the mean row. Mean pooling is what MInference's
+        // offline pattern search approximates online; the min/max bound on the key
+        // side compensates for within-tile query variance.
+        let mut q_mean = vec![0.0f32; d];
+        let rows = (qt * tile..((qt + 1) * tile).min(n)).collect::<Vec<_>>();
+        for &r in &rows {
+            for (acc, &x) in q_mean.iter_mut().zip(q.row(r)) {
+                *acc += x;
+            }
+        }
+        let inv = 1.0 / rows.len() as f32;
+        for x in &mut q_mean {
+            *x *= inv;
+        }
+
+        // Always keep the diagonal and the sinks.
+        mask.set(qt, qt.min(nb - 1));
+        for s in 0..sink_blocks.min(nb) {
+            if s <= qt {
+                mask.set(qt, s);
+            }
+        }
+        // Rank strictly-past, non-sink blocks.
+        scores.clear();
+        for kb in sink_blocks..qt {
+            scores.push((kb, block_stats[kb].importance(&q_mean)));
+        }
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        for &(kb, _) in scores.iter().take(keep_per_tile) {
+            mask.set(qt, kb);
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{BlockDecision, BlockPattern};
+    use crate::prefill::prefill_attention;
+    use crate::reference::causal_attention_reference;
+    use lserve_tensor::SeededGaussian;
+
+    #[test]
+    fn diagonal_and_sinks_always_kept() {
+        let mut g = SeededGaussian::new(2);
+        let q = g.matrix(96, 8, 1.0);
+        let k = g.matrix(96, 8, 1.0);
+        let mask = build_dynamic_prefill_mask(&q, &k, 16, 0, 1);
+        for qt in 0..6 {
+            assert!(mask.get(qt, qt), "diagonal tile {qt}");
+            assert!(mask.get(qt, 0), "sink from tile {qt}");
+        }
+    }
+
+    #[test]
+    fn density_matches_keep_budget() {
+        let mut g = SeededGaussian::new(3);
+        let q = g.matrix(128, 8, 1.0);
+        let k = g.matrix(128, 8, 1.0);
+        let keep = 2;
+        let mask = build_dynamic_prefill_mask(&q, &k, 16, keep, 1);
+        for qt in 0..8 {
+            let visited = mask.blocks_for_tile(qt, 16, 16, 128).len();
+            // diagonal + sink + up to `keep` extras, capped by causality.
+            assert!(visited <= 2 + keep, "tile {qt}: {visited}");
+        }
+    }
+
+    #[test]
+    fn high_affinity_block_is_retained() {
+        // Plant a "needle" block whose keys align with the last tile's queries.
+        let mut g = SeededGaussian::new(4);
+        let n = 160;
+        let d = 8;
+        let tile = 16;
+        let mut q = g.matrix(n, d, 0.3);
+        let mut k = g.matrix(n, d, 0.3);
+        let needle_block = 3usize;
+        for t in needle_block * tile..(needle_block + 1) * tile {
+            k.row_mut(t)[0] = 5.0;
+        }
+        let last_tile = n / tile - 1;
+        for t in last_tile * tile..n {
+            q.row_mut(t)[0] = 5.0;
+        }
+        let mask = build_dynamic_prefill_mask(&q, &k, tile, 1, 0);
+        assert!(
+            mask.get(last_tile, needle_block),
+            "needle block must win the single keep slot"
+        );
+    }
+
+    #[test]
+    fn masked_prefill_tracks_reference_on_retrieval_structure() {
+        // When attention mass concentrates in a few blocks, the dynamic mask's
+        // output stays close to dense attention while visiting far fewer tiles.
+        let mut g = SeededGaussian::new(5);
+        let n = 128;
+        let d = 8;
+        let tile = 16;
+        let mut q = g.matrix(n, d, 0.2);
+        let mut k = g.matrix(n, d, 0.2);
+        let v = g.matrix(n, d, 1.0);
+        // Every query strongly attends block 1.
+        for t in tile..2 * tile {
+            k.row_mut(t)[2] = 4.0;
+        }
+        for t in 0..n {
+            q.row_mut(t)[2] = 4.0;
+        }
+        let scale = 1.0 / (d as f32).sqrt();
+        let mask = build_dynamic_prefill_mask(&q, &k, tile, 1, 1);
+        let (sparse, stats) = prefill_attention(&q, &k, &v, scale, tile, tile, &mask);
+        let dense = causal_attention_reference(&q, &k, &v, scale);
+        assert!(stats.sparsity() > 0.3, "mask must skip tiles: {}", stats.sparsity());
+        // Compare on the late rows (early rows have few causal blocks anyway).
+        let mut worst = 0.0f32;
+        for r in n / 2..n {
+            for c in 0..d {
+                worst = worst.max((sparse[(r, c)] - dense[(r, c)]).abs());
+            }
+        }
+        assert!(worst < 0.15, "sparse drifted from dense: {worst}");
+    }
+
+    #[test]
+    fn mask_is_causally_sound() {
+        let mut g = SeededGaussian::new(6);
+        let q = g.matrix(80, 8, 1.0);
+        let k = g.matrix(80, 8, 1.0);
+        let mask = build_dynamic_prefill_mask(&q, &k, 16, 3, 1);
+        for qt in 0..5 {
+            for (kb, decision) in mask.blocks_for_tile(qt, 16, 16, 80) {
+                assert!(kb <= qt);
+                if kb == qt {
+                    assert_eq!(decision, BlockDecision::Causal);
+                }
+            }
+        }
+    }
+}

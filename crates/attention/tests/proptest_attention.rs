@@ -1,0 +1,134 @@
+//! Property tests for the block-sparse attention kernels and patterns.
+
+use lserve_attention::{
+    causal_attention_reference, masked_attention_reference, prefill_attention, BlockDecision,
+    BlockPattern, DensePattern, MaskPattern, StreamingPattern,
+};
+use lserve_tensor::{Matrix, SeededGaussian};
+use proptest::prelude::*;
+
+fn qkv(n: usize, d: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+    let mut g = SeededGaussian::new(seed);
+    (g.matrix(n, d, 1.0), g.matrix(n, d, 1.0), g.matrix(n, d, 1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tiled kernel with the dense pattern equals naive causal attention for
+    /// arbitrary sequence lengths and (possibly ragged, rectangular) tile sizes.
+    #[test]
+    fn dense_tiled_equals_reference(
+        n in 1usize..48,
+        tq in 1usize..17,
+        tk in 1usize..17,
+        seed in 0u64..1000,
+    ) {
+        let d = 4;
+        let (q, k, v) = qkv(n, d, seed);
+        let scale = 1.0 / (d as f32).sqrt();
+        let want = causal_attention_reference(&q, &k, &v, scale);
+        let (got, stats) = prefill_attention(&q, &k, &v, scale, tq, tk, &DensePattern);
+        prop_assert!(got.max_abs_diff(&want) < 1e-3, "diff {}", got.max_abs_diff(&want));
+        prop_assert_eq!(stats.sparsity(), 0.0);
+    }
+
+    /// Any causal block pattern, expanded to a token-level mask, must agree with the
+    /// kernel exactly (streaming variant).
+    #[test]
+    fn streaming_kernel_equals_expanded_mask(
+        blocks in 2usize..10,
+        b in 2usize..9,
+        sink in 0usize..3,
+        local in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let n = blocks * b;
+        let (q, k, v) = qkv(n, 4, seed);
+        let scale = 0.5;
+        let p = StreamingPattern::new(sink, local);
+        let (got, _) = prefill_attention(&q, &k, &v, scale, b, b, &p);
+        let want = masked_attention_reference(&q, &k, &v, scale, |i, j| {
+            if j > i {
+                return false;
+            }
+            let qt = i / b;
+            let kb = j / b;
+            kb < sink || kb + local > qt
+        });
+        prop_assert!(got.max_abs_diff(&want) < 1e-3);
+    }
+
+    /// Iterator coverage is exact: `blocks_for_tile` yields each causally visible,
+    /// pattern-selected block exactly once, in order, with the right decision.
+    #[test]
+    fn iterator_coverage_exact(
+        blocks in 1usize..12,
+        b in 1usize..8,
+        sink in 0usize..3,
+        local in 1usize..4,
+    ) {
+        let n = blocks * b;
+        let p = StreamingPattern::new(sink, local);
+        for qt in 0..blocks {
+            let visited = p.blocks_for_tile(qt, b, b, n);
+            let mut prev: Option<usize> = None;
+            for &(kb, decision) in &visited {
+                prop_assert!(kb <= qt, "future block");
+                prop_assert_eq!(decision, p.decide(qt, kb, b, b, n));
+                prop_assert_ne!(decision, BlockDecision::Skip);
+                if let Some(pr) = prev {
+                    prop_assert!(kb > pr, "unordered or duplicate block");
+                }
+                prev = Some(kb);
+            }
+            // Everything not yielded must be Skip.
+            let yielded: Vec<usize> = visited.iter().map(|&(kb, _)| kb).collect();
+            for kb in 0..blocks {
+                if !yielded.contains(&kb) {
+                    prop_assert_eq!(p.decide(qt, kb, b, b, n), BlockDecision::Skip);
+                }
+            }
+        }
+    }
+
+    /// Tile counts are consistent: visited <= total, and the dense pattern's visited
+    /// equals its total.
+    #[test]
+    fn tile_count_consistency(
+        n in 1usize..200,
+        b in 1usize..16,
+        keep in 0usize..4,
+        seed in 0u64..100,
+    ) {
+        let nb = n.div_ceil(b);
+        let m = MaskPattern::random_causal(nb, nb, keep, seed);
+        let (v, t) = m.tile_counts(b, b, n);
+        prop_assert!(v <= t);
+        let (dv, dt) = DensePattern.tile_counts(b, b, n);
+        prop_assert_eq!(dv, dt);
+        prop_assert_eq!(t, dt);
+    }
+
+    /// Subset monotonicity: adding blocks to a mask moves the output toward the
+    /// dense reference (never away in the limit), and the full mask reproduces it.
+    #[test]
+    fn full_mask_equals_dense(
+        blocks in 1usize..8,
+        b in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let n = blocks * b;
+        let (q, k, v) = qkv(n, 4, seed);
+        let mut m = MaskPattern::new(blocks, blocks);
+        for qt in 0..blocks {
+            for kb in 0..=qt {
+                m.set(qt, kb);
+            }
+        }
+        let (got, stats) = prefill_attention(&q, &k, &v, 0.5, b, b, &m);
+        let want = causal_attention_reference(&q, &k, &v, 0.5);
+        prop_assert!(got.max_abs_diff(&want) < 1e-3);
+        prop_assert_eq!(stats.sparsity(), 0.0);
+    }
+}

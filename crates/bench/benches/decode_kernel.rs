@@ -1,0 +1,48 @@
+//! Criterion: paged decode attention — dense full-history vs budgeted page
+//! selection vs streaming heads (CPU analogue of Figure 15).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lserve_attention::{decode_dense_head, decode_streaming_head};
+use lserve_kvcache::{
+    DenseHeadCache, PagePool, PagingConfig, StreamingHeadCache, StreamingWindow,
+};
+use lserve_quant::KvPrecision;
+use lserve_tensor::SeededGaussian;
+use std::hint::black_box;
+
+fn bench_decode(c: &mut Criterion) {
+    let d = 64usize;
+    let seq = 8192usize;
+    let paging = PagingConfig::new(64, 16, KvPrecision::Fp16);
+    let mut pool = PagePool::new(paging, paging.pages_for(seq) * 2 + 8, d);
+    let mut g = SeededGaussian::new(2);
+
+    let mut dense = DenseHeadCache::new();
+    let mut streaming = StreamingHeadCache::new(StreamingWindow::new(1, 2));
+    for _ in 0..seq {
+        let key: Vec<f32> = (0..d).map(|_| g.sample()).collect();
+        let val: Vec<f32> = (0..d).map(|_| g.sample()).collect();
+        assert!(dense.append(&mut pool, &key, &val));
+        assert!(streaming.append(&mut pool, &key, &val));
+    }
+    let q: Vec<f32> = (0..d).map(|_| g.sample()).collect();
+    let scale = 1.0 / (d as f32).sqrt();
+    // A 1024-token budget = 16 pages of 64.
+    let selected: Vec<usize> = (0..16).map(|i| i * (dense.num_pages() / 16)).collect();
+
+    let mut group = c.benchmark_group("decode_kernel");
+    group.sample_size(30);
+    group.bench_function(BenchmarkId::new("dense_full", seq), |b| {
+        b.iter(|| black_box(decode_dense_head(&pool, &dense, &q, scale, None)))
+    });
+    group.bench_function(BenchmarkId::new("dynamic_1k_budget", seq), |b| {
+        b.iter(|| black_box(decode_dense_head(&pool, &dense, &q, scale, Some(&selected))))
+    });
+    group.bench_function(BenchmarkId::new("streaming_head", seq), |b| {
+        b.iter(|| black_box(decode_streaming_head(&pool, &streaming, &q, scale)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion: full engine decode steps — dense vs DuoAttention-like vs LServe
+//! (CPU analogue of Figure 16's end-to-end ablation).
+//!
+//! Each measured iteration decodes one token against a fixed 320-token context
+//! (engine + pool cloned per iteration so the context never grows unboundedly).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use lserve_core::{Engine, EngineConfig};
+use lserve_model::{ModelConfig, ModelWeights};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let model = ModelConfig::tiny();
+    let weights = Arc::new(ModelWeights::random(&model, 6));
+    let prompt: Vec<u32> = (0..64).map(|i| (i % 90) as u32).collect();
+
+    let mut group = c.benchmark_group("engine_decode_step");
+    group.sample_size(20);
+    for (name, cfg) in [
+        ("dense", EngineConfig::dense()),
+        ("duo_static", EngineConfig::duo_like()),
+        ("lserve", EngineConfig::lserve()),
+    ] {
+        let mut pool = cfg.make_pool_for(&model, 1024);
+        let mut engine = Engine::new(Arc::clone(&weights), cfg);
+        engine.prefill(&mut pool, &prompt).unwrap();
+        // Grow some decode history so sparsity has something to skip.
+        for _ in 0..256 {
+            engine.decode_step(&mut pool, 7).unwrap();
+        }
+        group.bench_function(BenchmarkId::new(name, "320ctx"), |b| {
+            b.iter_batched(
+                || (engine.clone(), pool.clone()),
+                |(mut e, mut p)| black_box(e.decode_step(&mut p, 7).unwrap()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion: tiled prefill attention kernel under each block pattern
+//! (CPU analogue of Figure 12 — sparsity must convert into wall-clock speedup).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lserve_attention::{prefill_attention, DensePattern, MaskPattern, StreamingPattern};
+use lserve_tensor::SeededGaussian;
+use std::hint::black_box;
+
+fn bench_prefill(c: &mut Criterion) {
+    let n = 512usize;
+    let d = 64usize;
+    let tile = 64usize;
+    let mut g = SeededGaussian::new(1);
+    let q = g.matrix(n, d, 1.0);
+    let k = g.matrix(n, d, 1.0);
+    let v = g.matrix(n, d, 1.0);
+    let scale = 1.0 / (d as f32).sqrt();
+
+    let mut group = c.benchmark_group("prefill_kernel");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("dense", n), |b| {
+        b.iter(|| black_box(prefill_attention(&q, &k, &v, scale, tile, tile, &DensePattern)))
+    });
+    let streaming = StreamingPattern::new(1, 2);
+    group.bench_function(BenchmarkId::new("streaming_1sink_2local", n), |b| {
+        b.iter(|| black_box(prefill_attention(&q, &k, &v, scale, tile, tile, &streaming)))
+    });
+    let mask = MaskPattern::random_causal(n / tile, n / tile, 2, 9);
+    group.bench_function(BenchmarkId::new("mask_sparse", n), |b| {
+        b.iter(|| black_box(prefill_attention(&q, &k, &v, scale, tile, tile, &mask)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefill);
+criterion_main!(benches);

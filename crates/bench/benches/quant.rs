@@ -1,0 +1,38 @@
+//! Criterion: KV quantization throughput — quantize, dequantize, fused dot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lserve_quant::{KvPrecision, QuantizedTensor};
+use lserve_tensor::SeededGaussian;
+use std::hint::black_box;
+
+fn bench_quant(c: &mut Criterion) {
+    let tokens = 64usize;
+    let dim = 128usize;
+    let mut g = SeededGaussian::new(4);
+    let data: Vec<f32> = (0..tokens * dim).map(|_| g.sample()).collect();
+    let query: Vec<f32> = (0..dim).map(|_| g.sample()).collect();
+
+    let mut group = c.benchmark_group("quant");
+    for precision in [KvPrecision::Int8, KvPrecision::Int4] {
+        group.bench_function(BenchmarkId::new("quantize_page", precision.to_string()), |b| {
+            b.iter(|| black_box(QuantizedTensor::quantize(&data, tokens, dim, precision)))
+        });
+        let t = QuantizedTensor::quantize(&data, tokens, dim, precision);
+        group.bench_function(BenchmarkId::new("dequantize_page", precision.to_string()), |b| {
+            b.iter(|| black_box(t.dequantize()))
+        });
+        group.bench_function(BenchmarkId::new("fused_dot_page", precision.to_string()), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for row in 0..tokens {
+                    acc += t.dot_row(row, &query);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quant);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion: page-selector cost — flat vs hierarchical vs reusable
+//! (CPU analogue of Figure 14's selector curves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lserve_kvcache::PagingConfig;
+use lserve_quant::KvPrecision;
+use lserve_selector::{FlatSelector, HierarchicalSelector, PageSelector, ReusableSelector};
+use lserve_workloads::{NiahCase, NiahConfig};
+use std::hint::black_box;
+
+fn bench_selector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selector");
+    group.sample_size(20);
+    for &seq in &[8_192usize, 32_768] {
+        let case = NiahCase::generate(NiahConfig::standard(seq), 0.5, 3);
+        let (pool, cache) = case.build_cache(PagingConfig::new(64, 16, KvPrecision::Fp16));
+        let budget = 1024usize;
+        group.bench_function(BenchmarkId::new("flat", seq), |b| {
+            let mut sel = FlatSelector::new(true);
+            b.iter(|| black_box(sel.select(&pool, &cache, &[case.query()], budget, 0)))
+        });
+        group.bench_function(BenchmarkId::new("hierarchical", seq), |b| {
+            let mut sel = HierarchicalSelector::new(true);
+            b.iter(|| black_box(sel.select(&pool, &cache, &[case.query()], budget, 0)))
+        });
+        group.bench_function(BenchmarkId::new("reusable_c4", seq), |b| {
+            let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), 4);
+            let mut step = 0usize;
+            b.iter(|| {
+                step += 1;
+                black_box(sel.select(&pool, &cache, &[case.query()], budget, step))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selector);
+criterion_main!(benches);

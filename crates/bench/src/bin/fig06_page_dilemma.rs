@@ -1,0 +1,70 @@
+//! Figure 6: the page-size dilemma — NIAH retrieval accuracy of flat (Quest-style)
+//! page selection as the page size grows, with and without proportionally larger
+//! token budgets.
+
+use lserve_bench::{klen, print_table};
+use lserve_kvcache::PagingConfig;
+use lserve_quant::KvPrecision;
+use lserve_selector::{FlatSelector, PageSelector};
+use lserve_workloads::{NiahCase, NiahConfig};
+
+const DEPTHS: usize = 8;
+const SEEDS: u64 = 2;
+
+/// Mean needle recall over the depth x seed grid for one (page, budget, length).
+fn accuracy(seq: usize, page: usize, budget: usize) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0;
+    for di in 0..DEPTHS {
+        let depth = di as f64 / (DEPTHS - 1) as f64;
+        for seed in 0..SEEDS {
+            let case = NiahCase::generate(
+                NiahConfig::standard(seq),
+                depth,
+                0xF16_0600 + seed * 131 + di as u64,
+            );
+            let (pool, cache) = case.build_cache(PagingConfig::flat(page, KvPrecision::Fp16));
+            let mut sel = FlatSelector::new(true);
+            let s = sel.select(&pool, &cache, &[case.query()], budget, 0);
+            total += case.recall(&s.pages, page);
+            n += 1;
+        }
+    }
+    total / n as f64
+}
+
+fn main() {
+    let lengths = [8_192usize, 16_384, 32_768, 65_536, 131_072];
+    let configs: [(&str, usize, usize); 6] = [
+        ("(a) dense", 0, 0),
+        ("(b) page 16, budget 4096", 16, 4096),
+        ("(c) page 32, budget 4096", 32, 4096),
+        ("(d) page 64, budget 4096", 64, 4096),
+        ("(e) page 32, budget 8192", 32, 8192),
+        ("(f) page 64, budget 16384", 64, 16384),
+    ];
+    let mut rows = Vec::new();
+    for (name, page, budget) in configs {
+        let mut row = vec![name.to_string()];
+        for &seq in &lengths {
+            let acc = if page == 0 {
+                1.0 // dense attention trivially retains the needle
+            } else {
+                accuracy(seq, page, budget)
+            };
+            row.push(format!("{acc:.2}"));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["Flat (Quest) config".to_string()];
+    headers.extend(lengths.iter().map(|&s| klen(s)));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(
+        "Figure 6: NIAH accuracy of flat page selection (mean needle recall)",
+        &headers_ref,
+        &rows,
+    );
+    println!("\nPaper shape: page 16 retains accuracy; pages 32/64 degrade sharply at long");
+    println!("contexts even when the budget is scaled up proportionally (e,f), because");
+    println!("per-page min/max statistics homogenize as pages grow.");
+}

@@ -1,0 +1,42 @@
+//! Figure 9: Needle-in-a-Haystack — dense attention vs LServe's full retrieval
+//! policy (hierarchical 64/16 paging, 4096-token budget, reuse interval 4),
+//! accuracy over the document-length x needle-depth grid.
+
+use lserve_bench::print_table;
+use lserve_kvcache::PagingConfig;
+use lserve_quant::KvPrecision;
+use lserve_selector::{HierarchicalSelector, PageSelector, ReusableSelector};
+use lserve_workloads::{NiahCase, NiahConfig};
+
+fn main() {
+    let lengths = [8_192usize, 16_384, 32_768, 65_536, 131_072];
+    let depths = [0.0f64, 0.11, 0.22, 0.33, 0.44, 0.56, 0.67, 0.78, 0.89, 1.0];
+
+    let mut rows = Vec::new();
+    for &depth in &depths {
+        let mut row = vec![format!("{:.0}%", depth * 100.0)];
+        for &seq in &lengths {
+            let case = NiahCase::generate(
+                NiahConfig::standard(seq),
+                depth,
+                0xF19_0900 ^ (seq as u64) ^ ((depth * 100.0) as u64),
+            );
+            let (pool, cache) =
+                case.build_cache(PagingConfig::new(64, 16, KvPrecision::Int4));
+            let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), 4);
+            let s = sel.select(&pool, &cache, &[case.query()], 4096, 0);
+            row.push(format!("{:.2}", case.recall(&s.pages, 64)));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["Depth".to_string()];
+    headers.extend(lengths.iter().map(|&s| lserve_bench::klen(s)));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(
+        "Figure 9(b): LServe NIAH needle recall (INT4 KV, NP=64/NL=16, budget 4096)",
+        &headers_ref,
+        &rows,
+    );
+    println!("\nFigure 9(a), dense attention, is 1.00 at every cell by construction.");
+    println!("Paper shape: LServe matches the dense baseline across the whole grid.");
+}

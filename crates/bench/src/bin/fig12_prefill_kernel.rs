@@ -1,0 +1,92 @@
+//! Figure 12: prefill block-sparse attention kernel latency vs sparsity level,
+//! LServe's kernel vs MInference's vs the oracle `dense x (1 - sparsity)`.
+//!
+//! Two views: (1) the calibrated A100 cost model reproducing the paper's
+//! milliseconds, and (2) wall-clock of this repo's actual CPU kernel, showing that
+//! the iterator-based design converts block sparsity into real time at the oracle
+//! rate.
+
+use std::time::Instant;
+
+use lserve_attention::{prefill_attention, BlockPattern, DensePattern, MaskPattern};
+use lserve_bench::print_table;
+use lserve_costmodel::{prefill_attention_time, GpuSpec};
+use lserve_tensor::SeededGaussian;
+
+/// Builds a mask with approximately the requested causal-tile sparsity.
+fn mask_with_sparsity(num_tiles: usize, sparsity: f64, seed: u64) -> MaskPattern {
+    let mut m = MaskPattern::new(num_tiles, num_tiles);
+    let mut g = SeededGaussian::new(seed);
+    for qt in 0..num_tiles {
+        m.set(qt, qt); // diagonal mandatory
+        for kb in 0..qt {
+            if g.uniform() as f64 >= sparsity {
+                m.set(qt, kb);
+            }
+        }
+    }
+    m
+}
+
+fn main() {
+    let gpu = GpuSpec::a100_80g();
+    // Paper setting: one Llama-3-8B layer at 64K. Dense tiles per layer:
+    let seq = 65_536.0f64;
+    let tile = 128usize;
+    let nb = seq / tile as f64;
+    let dense_tiles = nb * (nb + 1.0) / 2.0 * 32.0; // 32 query heads
+    let dense_ms = prefill_attention_time(&gpu, dense_tiles, tile, 128, 1.0) * 1e3;
+
+    let mut rows = Vec::new();
+    for sp in [0.4f64, 0.5, 0.6, 0.7, 0.8, 0.9] {
+        let visited = dense_tiles * (1.0 - sp);
+        let lserve = prefill_attention_time(&gpu, visited, tile, 128, 1.0) * 1e3;
+        let minference = prefill_attention_time(&gpu, visited, tile, 128, 1.3) * 1e3;
+        rows.push(vec![
+            format!("{:.0}%", sp * 100.0),
+            format!("{minference:.1}"),
+            format!("{lserve:.1}"),
+            format!("{:.1}", dense_ms * (1.0 - sp)), // oracle
+        ]);
+    }
+    print_table(
+        &format!("Figure 12 (cost model, ms): prefill kernel at 64K; dense = {dense_ms:.1} ms"),
+        &["Sparsity", "MInference", "LServe", "Oracle"],
+        &rows,
+    );
+
+    // CPU wall-clock of the real kernel in this repo.
+    let n = 1024usize;
+    let d = 64usize;
+    let b = 64usize;
+    let mut g = SeededGaussian::new(42);
+    let q = g.matrix(n, d, 1.0);
+    let k = g.matrix(n, d, 1.0);
+    let v = g.matrix(n, d, 1.0);
+    let scale = 1.0 / (d as f32).sqrt();
+    let time_of = |pattern: &dyn BlockPattern| -> (f64, f64) {
+        let start = Instant::now();
+        let (_, stats) = prefill_attention(&q, &k, &v, scale, b, b, pattern);
+        (start.elapsed().as_secs_f64() * 1e3, stats.sparsity())
+    };
+    let (dense_cpu, _) = time_of(&DensePattern);
+    let mut rows = Vec::new();
+    for target in [0.4f64, 0.6, 0.8] {
+        let m = mask_with_sparsity(n / b, target, 7 + (target * 10.0) as u64);
+        let (t, actual) = time_of(&m);
+        rows.push(vec![
+            format!("{:.0}%", actual * 100.0),
+            format!("{t:.1}"),
+            format!("{:.1}", dense_cpu * (1.0 - actual)),
+            format!("{:.2}x", dense_cpu / t),
+        ]);
+    }
+    print_table(
+        &format!("Figure 12 (CPU kernel, ms): this repo's kernel; dense = {dense_cpu:.1} ms"),
+        &["Sparsity", "Measured", "Oracle", "Speedup"],
+        &rows,
+    );
+    println!("\nPaper shape: LServe's kernel tracks the oracle; MInference's is ~1.3x");
+    println!("slower at equal sparsity. The CPU kernel should track its own oracle,");
+    println!("demonstrating blockwise skipping converts sparsity to wall-clock time.");
+}

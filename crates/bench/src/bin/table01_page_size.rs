@@ -1,0 +1,61 @@
+//! Table 1: the page-size dilemma — QServe per-step decode latency (ms) vs page size
+//! {16, 32, 64, 128} and sequence length {512..8192}, Llama-3-8B, batch 32, A100.
+
+use lserve_bench::{print_table, ratio};
+use lserve_costmodel::{decode_step, GpuSpec, SystemModel};
+use lserve_model::ModelConfig;
+
+fn main() {
+    let gpu = GpuSpec::a100_80g();
+    let model = ModelConfig::llama3_8b();
+    let pages = [16usize, 32, 64, 128];
+    let seqs = [512usize, 1024, 2048, 4096, 8192];
+    let batch = 32;
+
+    let mut rows = Vec::new();
+    let mut per_page_latency_at = vec![Vec::new(); pages.len()];
+    let mut per_page_attn_at = vec![Vec::new(); pages.len()];
+    for &seq in &seqs {
+        let mut row = vec![seq.to_string()];
+        for (i, &p) in pages.iter().enumerate() {
+            let mut sys = SystemModel::qserve();
+            sys.page_size = p;
+            let b = decode_step(&gpu, &model, &sys, seq, batch);
+            per_page_latency_at[i].push(b.total());
+            per_page_attn_at[i].push(b.attention_s());
+            row.push(format!("{:.1} ms", b.total() * 1e3));
+        }
+        rows.push(row);
+    }
+    // Max slowdown rows relative to page 128 at the same sequence length: end to
+    // end, and for the attention kernel alone (the quantity the paper's Table 1
+    // isolates — in the paper's measurement attention dominates the delta, while
+    // our modeled GEMM + serving intercept damp the end-to-end ratio).
+    let mut slow_row = vec!["Max Slowdown (e2e)".to_string()];
+    let mut attn_row = vec!["Max Slowdown (attn)".to_string()];
+    for i in 0..pages.len() {
+        let last = pages.len() - 1;
+        let max_ratio = per_page_latency_at[i]
+            .iter()
+            .zip(&per_page_latency_at[last])
+            .map(|(a, b)| a / b)
+            .fold(f64::MIN, f64::max);
+        slow_row.push(ratio(max_ratio));
+        let max_attn = per_page_attn_at[i]
+            .iter()
+            .zip(&per_page_attn_at[last])
+            .map(|(a, b)| a / b)
+            .fold(f64::MIN, f64::max);
+        attn_row.push(ratio(max_attn));
+    }
+    rows.push(slow_row);
+    rows.push(attn_row);
+
+    print_table(
+        "Table 1: QServe decode latency vs page size (Llama-3-8B, batch 32, A100)",
+        &["Seq len", "Page 16", "Page 32", "Page 64", "Page 128"],
+        &rows,
+    );
+    println!("\nPaper shape: max slowdown 1.52x / 1.25x / 1.01x / 1.00x — small pages hurt");
+    println!("quantized decoding; the penalty saturates by page 64-128.");
+}

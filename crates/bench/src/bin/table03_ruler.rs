@@ -1,0 +1,59 @@
+//! Table 3: RULER-proxy accuracy of Llama-3-8B across 32K–256K context with
+//! dynamic-sparsity budgets 4096 and 8192.
+
+use lserve_bench::{klen, print_table};
+use lserve_kvcache::PagingConfig;
+use lserve_quant::KvPrecision;
+use lserve_selector::{HierarchicalSelector, PageSelector, ReusableSelector};
+use lserve_workloads::{MultiNeedleCase, NiahConfig};
+
+const NEEDLES: usize = 4; // multi-hop / multi-key flavor
+const TRIALS: u64 = 3;
+// Paper dense RULER scores per length (32K..256K).
+const PAPER_DENSE: [f64; 6] = [90.5, 86.8, 83.8, 79.3, 79.6, 79.4];
+
+fn fidelity(seq: usize, budget: usize) -> f64 {
+    let mut total = 0.0;
+    for seed in 0..TRIALS {
+        // RULER's needles are explicit marker strings — a sharp retrieval signal —
+        // so the proxy uses a stronger spike than the NIAH pressure test.
+        let cfg = NiahConfig {
+            spike: 3.6,
+            ..NiahConfig::standard(seq)
+        };
+        let case = MultiNeedleCase::generate(cfg, NEEDLES, 0x2D7E03 + seed * 7919 + seq as u64);
+        let (pool, cache) = case.build_cache(PagingConfig::new(64, 16, KvPrecision::Int4));
+        let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), 4);
+        let s = sel.select(&pool, &cache, &[case.query()], budget, 0);
+        total += case.accuracy(&s.pages, 64);
+    }
+    total / TRIALS as f64
+}
+
+fn main() {
+    let lengths = [32_768usize, 65_536, 131_072, 163_840, 196_608, 262_144];
+    let mut rows = Vec::new();
+    let mut dense_row = vec!["Dense".to_string()];
+    for (i, _) in lengths.iter().enumerate() {
+        dense_row.push(format!("{:.1}", PAPER_DENSE[i]));
+    }
+    rows.push(dense_row);
+    for budget in [4096usize, 8192] {
+        let mut row = vec![format!("LServe-{budget}")];
+        for (i, &seq) in lengths.iter().enumerate() {
+            let f = fidelity(seq, budget);
+            row.push(format!("{:.1}", PAPER_DENSE[i] * f));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["Llama-3-8B".to_string()];
+    headers.extend(lengths.iter().map(|&s| klen(s)));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(
+        "Table 3: RULER proxy (paper dense score x measured multi-needle fidelity)",
+        &headers_ref,
+        &rows,
+    );
+    println!("\nPaper shape: LServe-4096 within a few points of dense, with a mild gap at");
+    println!("192K+; LServe-8192 closes most of that gap (79.1 vs 79.4 at 256K).");
+}

@@ -1,0 +1,54 @@
+//! Table 6: accuracy vs selector reuse interval {1, 2, 4, 8, 16} at 64K context —
+//! decode queries whose emphasis rotates continuously across needles; a reused
+//! selection under-ranks the rising needle until the next refresh.
+
+use lserve_bench::print_table;
+use lserve_kvcache::PagingConfig;
+use lserve_quant::KvPrecision;
+use lserve_selector::{HierarchicalSelector, PageSelector, ReusableSelector};
+use lserve_workloads::{DriftingQueries, MultiNeedleCase, NiahConfig};
+
+const SEQ: usize = 65_536;
+const NEEDLES: usize = 4;
+const STEPS: usize = 136;
+const PERIOD: usize = 34; // steps per emphasis handover, coprime with the intervals
+const PAPER_DENSE_64K: f64 = 86.8;
+
+fn run(budget: usize, interval: usize, seed: u64) -> f64 {
+    let cfg = NiahConfig {
+        spike: 3.2,
+        ..NiahConfig::standard(SEQ)
+    };
+    let case = MultiNeedleCase::generate(cfg, NEEDLES, seed);
+    let trace = DriftingQueries::generate(&case, STEPS, PERIOD, 1.2, 0.2, seed ^ 0xABCD);
+    let (pool, cache) = case.build_cache(PagingConfig::new(64, 16, KvPrecision::Int4));
+    let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), interval);
+    let mut total = 0.0;
+    for t in 0..STEPS {
+        let s = sel.select(&pool, &cache, &[trace.query(t)], budget, t);
+        total += trace.weighted_recall(&case, t, &s.pages, 64);
+    }
+    total / STEPS as f64
+}
+
+fn main() {
+    let intervals = [1usize, 2, 4, 8, 16];
+    let mut rows = Vec::new();
+    for budget in [4096usize, 8192] {
+        let mut row = vec![format!("LServe-{budget}")];
+        row.push(format!("{PAPER_DENSE_64K:.1}")); // dense reference
+        for &c in &intervals {
+            let f = (run(budget, c, 0x7AB7E06) + run(budget, c, 0x7AB7E07)) / 2.0;
+            row.push(format!("{:.1}", PAPER_DENSE_64K * f));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table 6: RULER proxy at 64K vs selector reuse interval",
+        &["Config", "Dense", "C=1", "C=2", "C=4", "C=8", "C=16"],
+        &rows,
+    );
+    println!("\nPaper shape: accuracy flat through interval 4 (86.8 dense -> 85.6 at C=4),");
+    println!("mild loss at 8, visible loss at 16; LServe defaults to C=4 for the 4x");
+    println!("selector-overhead reduction.");
+}

@@ -1,0 +1,651 @@
+//! The single-sequence inference engine: fused sparse prefill and decode.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use lserve_attention::{
+    fused_decode_layer, fused_prefill_layer, fused_prefill_layer_dynamic, HeadKind,
+    LayerAttnConfig,
+};
+use lserve_kvcache::{HeadCache, LayerKvCache, PagePool};
+use lserve_model::forward::{ffn_block, logits, post_attention, pre_attention};
+use lserve_model::{ModelConfig, ModelWeights};
+use lserve_selector::{
+    FlatSelector, HierarchicalSelector, PageSelector, ReusableSelector,
+};
+use lserve_tensor::rope::RopeTable;
+use lserve_tensor::Matrix;
+use lserve_workloads::duo_gates;
+
+use crate::{streaming_masks_from_gates, EngineConfig, EngineStats, SelectorKind};
+
+/// The KV page pool is exhausted; the sequence cannot grow.
+///
+/// Serving layers use this for admission control and retry; it is not a bug, it is
+/// the backpressure signal of a memory-constrained device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfPagesError;
+
+impl fmt::Display for OutOfPagesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kv page pool exhausted")
+    }
+}
+
+impl Error for OutOfPagesError {}
+
+/// Result of a prefill call.
+#[derive(Debug, Clone)]
+pub struct PrefillOutput {
+    /// Logits of the last prompt token (`vocab` wide) — the distribution of the
+    /// first generated token.
+    pub logits: Vec<f32>,
+}
+
+/// Result of one decode step.
+#[derive(Debug, Clone)]
+pub struct DecodeOutput {
+    /// Next-token logits (`vocab` wide).
+    pub logits: Vec<f32>,
+}
+
+/// A single-sequence LServe inference pipeline over a caller-provided page pool.
+///
+/// The engine owns the per-layer two-way KV caches and selectors but *not* the pool,
+/// so a serving layer can share one pool (one device memory) across many sequences.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use lserve_core::{Engine, EngineConfig};
+/// use lserve_model::{ModelConfig, ModelWeights};
+///
+/// let weights = Arc::new(ModelWeights::random(&ModelConfig::tiny(), 1));
+/// let cfg = EngineConfig::lserve_fp16();
+/// let mut pool = cfg.clone().make_pool_for(&weights.config, 512);
+/// let mut engine = Engine::new(weights, cfg);
+/// let out = engine.prefill(&mut pool, &[1, 2, 3, 4]).unwrap();
+/// assert_eq!(out.logits.len(), 97);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    weights: Arc<ModelWeights>,
+    cfg: EngineConfig,
+    attn_cfg: LayerAttnConfig,
+    rope: RopeTable,
+    layers: Vec<LayerKvCache>,
+    kinds: Vec<Vec<HeadKind>>,
+    selectors: Vec<Vec<Option<SelectorBox>>>,
+    tokens_processed: usize,
+    decode_step_idx: usize,
+    stats: EngineStats,
+}
+
+/// Concrete selector stack chosen by [`SelectorKind`] (kept as an enum rather than a
+/// trait object so the engine stays `Debug` + cheap).
+#[derive(Debug, Clone)]
+enum SelectorBox {
+    Flat(ReusableSelector<FlatSelector>),
+    Hierarchical(ReusableSelector<HierarchicalSelector>),
+}
+
+impl SelectorBox {
+    fn select(
+        &mut self,
+        pool: &PagePool,
+        cache: &lserve_kvcache::DenseHeadCache,
+        queries: &[&[f32]],
+        budget: usize,
+        step: usize,
+    ) -> lserve_selector::Selection {
+        match self {
+            SelectorBox::Flat(s) => s.select(pool, cache, queries, budget, step),
+            SelectorBox::Hierarchical(s) => s.select(pool, cache, queries, budget, step),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Builds a page pool sized so one sequence of up to `max_tokens` fits under
+    /// this configuration (dense heads grow with context; streaming heads are
+    /// bounded by their window).
+    pub fn make_pool_for(&self, model: &ModelConfig, max_tokens: usize) -> PagePool {
+        let pages_dense = self.paging.pages_for(max_tokens) + 1;
+        let pages_stream = self.streaming_window.max_pages() + 2;
+        let streaming_heads =
+            (self.streaming_sparsity * (model.num_layers * model.num_kv_heads) as f64).round()
+                as usize;
+        let dense_heads = model.num_layers * model.num_kv_heads - streaming_heads;
+        let capacity = dense_heads * pages_dense + streaming_heads * pages_stream + 8;
+        PagePool::new(self.paging, capacity, model.head_dim)
+    }
+}
+
+impl Engine {
+    /// Creates an engine for `weights` under `cfg`.
+    ///
+    /// Head classification runs here, offline, from synthetic DuoAttention gates
+    /// seeded by `cfg.gate_seed` (§3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is internally inconsistent (see
+    /// [`EngineConfig::validate`]).
+    pub fn new(weights: Arc<ModelWeights>, cfg: EngineConfig) -> Self {
+        cfg.validate();
+        let model = &weights.config;
+        let gates = duo_gates(model.num_layers, model.num_kv_heads, cfg.gate_seed);
+        let masks = streaming_masks_from_gates(&gates, cfg.streaming_sparsity);
+        let kinds: Vec<Vec<HeadKind>> = masks
+            .iter()
+            .map(|layer| {
+                layer
+                    .iter()
+                    .map(|&s| if s { HeadKind::Streaming } else { HeadKind::Dense })
+                    .collect()
+            })
+            .collect();
+        let layers: Vec<LayerKvCache> = masks
+            .iter()
+            .map(|mask| LayerKvCache::new(mask, cfg.streaming_window))
+            .collect();
+        let selectors = masks
+            .iter()
+            .map(|mask| {
+                mask.iter()
+                    .map(|&streaming| {
+                        if streaming || cfg.dynamic_budget.is_none() {
+                            return None;
+                        }
+                        Some(match cfg.selector {
+                            SelectorKind::Flat => SelectorBox::Flat(ReusableSelector::new(
+                                FlatSelector::new(true),
+                                cfg.reuse_interval,
+                            )),
+                            SelectorKind::Hierarchical => {
+                                SelectorBox::Hierarchical(ReusableSelector::new(
+                                    HierarchicalSelector::new(true),
+                                    cfg.reuse_interval,
+                                ))
+                            }
+                            SelectorKind::None => unreachable!("validated"),
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        let attn_cfg = LayerAttnConfig {
+            num_q_heads: model.num_q_heads,
+            num_kv_heads: model.num_kv_heads,
+            head_dim: model.head_dim,
+            tile: cfg.prefill_tile,
+            sink_blocks: cfg.streaming_window.sink_pages,
+            local_blocks: cfg.streaming_window.local_pages,
+        };
+        let rope = RopeTable::new(model.head_dim, model.rope_base);
+        Self {
+            weights,
+            cfg,
+            attn_cfg,
+            rope,
+            layers,
+            kinds,
+            selectors,
+            tokens_processed: 0,
+            decode_step_idx: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The policy configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The model weights.
+    pub fn weights(&self) -> &ModelWeights {
+        &self.weights
+    }
+
+    /// Tokens absorbed so far (prompt + generated).
+    pub fn context_len(&self) -> usize {
+        self.tokens_processed
+    }
+
+    /// Cumulative work counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Per-layer streaming masks decided at construction.
+    pub fn head_kinds(&self) -> &[Vec<HeadKind>] {
+        &self.kinds
+    }
+
+    /// Processes the whole prompt with the fused block-sparse prefill pipeline and
+    /// writes KV into the two-way paged cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfPagesError`] if the pool cannot hold the prompt's KV; the
+    /// engine should then be [`Engine::release`]d.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or the engine already holds context.
+    pub fn prefill(
+        &mut self,
+        pool: &mut PagePool,
+        tokens: &[u32],
+    ) -> Result<PrefillOutput, OutOfPagesError> {
+        assert!(!tokens.is_empty(), "empty prompt");
+        assert_eq!(self.tokens_processed, 0, "prefill on a non-empty engine");
+        let model = self.weights.config.clone();
+        let weights = Arc::clone(&self.weights);
+        // MInference-style dynamic prefill on retrieval heads, only past the
+        // activation threshold (§4.3: "activated after 128K").
+        let dynamic_keep = self
+            .cfg
+            .dynamic_prefill_keep
+            .filter(|_| tokens.len() > self.cfg.dynamic_prefill_after);
+        let mut x = weights.embed_tokens(tokens);
+        for (l, lw) in weights.layers.iter().enumerate() {
+            let acts = pre_attention(&model, lw, &x, 0, &self.rope);
+            for t in 0..tokens.len() {
+                if !self.layers[l].append_token(pool, acts.k.row(t), acts.v.row(t), model.head_dim)
+                {
+                    return Err(OutOfPagesError);
+                }
+            }
+            let (attn, dense_stats, stream_stats) = match dynamic_keep {
+                Some(keep) => fused_prefill_layer_dynamic(
+                    &acts.q,
+                    &acts.k,
+                    &acts.v,
+                    &self.attn_cfg,
+                    &self.kinds[l],
+                    keep,
+                ),
+                None => fused_prefill_layer(&acts.q, &acts.k, &acts.v, &self.attn_cfg, &self.kinds[l]),
+            };
+            self.stats.add_prefill(dense_stats, stream_stats);
+            x = post_attention(lw, &x, &attn);
+            x = ffn_block(lw, &x);
+        }
+        self.tokens_processed = tokens.len();
+        let last = x.slice_rows(tokens.len() - 1, tokens.len());
+        let out = logits(&weights, &last);
+        Ok(PrefillOutput {
+            logits: out.row(0).to_vec(),
+        })
+    }
+
+    /// Runs one decode step: absorbs `token`, returns next-token logits.
+    ///
+    /// Dense heads go through dynamic page selection (when configured) and the
+    /// fused decode kernel; streaming heads attend their sink+local pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfPagesError`] when the pool cannot hold the new token's KV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Engine::prefill`].
+    pub fn decode_step(
+        &mut self,
+        pool: &mut PagePool,
+        token: u32,
+    ) -> Result<DecodeOutput, OutOfPagesError> {
+        assert!(self.tokens_processed > 0, "decode before prefill");
+        let model = self.weights.config.clone();
+        let weights = Arc::clone(&self.weights);
+        let pos = self.tokens_processed;
+        let d = model.head_dim;
+        let group = model.gqa_group_size();
+        let mut x = weights.embed_tokens(&[token]);
+        for (l, lw) in weights.layers.iter().enumerate() {
+            let acts = pre_attention(&model, lw, &x, pos, &self.rope);
+            if !self.layers[l].append_token(pool, acts.k.row(0), acts.v.row(0), d) {
+                return Err(OutOfPagesError);
+            }
+            let q_row = acts.q.row(0);
+            let mut selections: Vec<Option<Vec<usize>>> = vec![None; model.num_kv_heads];
+            if let Some(budget) = self.cfg.dynamic_budget {
+                for kv in 0..model.num_kv_heads {
+                    let Some(selector) = self.selectors[l][kv].as_mut() else {
+                        continue;
+                    };
+                    let HeadCache::Dense(cache) = self.layers[l].head(kv) else {
+                        continue;
+                    };
+                    // Skip selection entirely while the history fits the budget —
+                    // the offline-profiled "no slowdown at short contexts" rule
+                    // (§5.5).
+                    if cache.tokens() <= budget {
+                        continue;
+                    }
+                    let queries: Vec<&[f32]> = (0..group)
+                        .map(|i| {
+                            let h = kv * group + i;
+                            &q_row[h * d..(h + 1) * d]
+                        })
+                        .collect();
+                    let sel =
+                        selector.select(pool, cache, &queries, budget, self.decode_step_idx);
+                    self.stats.selector_logical_scored += sel.logical_pages_scored;
+                    if sel.reused {
+                        self.stats.selector_reuses += 1;
+                    } else {
+                        self.stats.selector_invocations += 1;
+                    }
+                    selections[kv] = Some(sel.pages);
+                }
+            }
+            let (attn, dense_stats, stream_stats) =
+                fused_decode_layer(pool, &self.layers[l], q_row, &self.attn_cfg, &selections);
+            self.stats.add_decode(dense_stats, stream_stats);
+            let attn_m = Matrix::from_vec(1, attn.len(), attn);
+            x = post_attention(lw, &x, &attn_m);
+            x = ffn_block(lw, &x);
+        }
+        self.tokens_processed += 1;
+        self.decode_step_idx += 1;
+        self.stats.decode_steps += 1;
+        let out = logits(&weights, &x);
+        Ok(DecodeOutput {
+            logits: out.row(0).to_vec(),
+        })
+    }
+
+    /// Greedy generation: prefill `prompt`, then decode `max_new_tokens` tokens
+    /// (argmax sampling). Returns the generated tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfPagesError`] on pool exhaustion; tokens generated before the
+    /// failure are lost (callers needing partial output should drive
+    /// [`Engine::decode_step`] themselves).
+    pub fn generate(
+        &mut self,
+        pool: &mut PagePool,
+        prompt: &[u32],
+        max_new_tokens: usize,
+    ) -> Result<Vec<u32>, OutOfPagesError> {
+        let first = self.prefill(pool, prompt)?;
+        let mut out = Vec::with_capacity(max_new_tokens);
+        let mut next = lserve_model::greedy_next_token(&first.logits);
+        for _ in 0..max_new_tokens {
+            out.push(next);
+            let step = self.decode_step(pool, next)?;
+            next = lserve_model::greedy_next_token(&step.logits);
+        }
+        Ok(out)
+    }
+
+    /// Frees every page this engine holds and resets it for a fresh sequence.
+    pub fn release(&mut self, pool: &mut PagePool) {
+        for layer in &mut self.layers {
+            layer.release(pool);
+        }
+        self.tokens_processed = 0;
+        self.decode_step_idx = 0;
+        for layer in &mut self.selectors {
+            for s in layer.iter_mut().flatten() {
+                match s {
+                    SelectorBox::Flat(x) => x.reset(),
+                    SelectorBox::Hierarchical(x) => x.reset(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lserve_model::{greedy_next_token, reference_forward_full};
+
+    fn tiny_weights() -> Arc<ModelWeights> {
+        Arc::new(ModelWeights::random(&ModelConfig::tiny(), 42))
+    }
+
+    fn run_engine(cfg: EngineConfig, prompt: &[u32], steps: usize) -> (Vec<u32>, EngineStats) {
+        let w = tiny_weights();
+        let mut pool = cfg.make_pool_for(&w.config, prompt.len() + steps + 8);
+        let mut e = Engine::new(w, cfg);
+        let toks = e.generate(&mut pool, prompt, steps).unwrap();
+        (toks, e.stats())
+    }
+
+    #[test]
+    fn dense_engine_matches_reference_forward() {
+        let w = tiny_weights();
+        let cfg = EngineConfig::dense();
+        let mut pool = cfg.make_pool_for(&w.config, 64);
+        let mut e = Engine::new(Arc::clone(&w), cfg);
+        let prompt = [3u32, 14, 15, 92, 65, 35];
+        let out = e.prefill(&mut pool, &prompt).unwrap();
+        let want = reference_forward_full(&w, &prompt);
+        for (a, b) in out.logits.iter().zip(want.row(prompt.len() - 1)) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dense_decode_matches_reference_incrementally() {
+        let w = tiny_weights();
+        let cfg = EngineConfig::dense();
+        let mut pool = cfg.make_pool_for(&w.config, 64);
+        let mut e = Engine::new(Arc::clone(&w), cfg);
+        let prompt = [1u32, 2, 3];
+        let mut seq = prompt.to_vec();
+        let mut logits_row = e.prefill(&mut pool, &prompt).unwrap().logits;
+        for _ in 0..5 {
+            let next = greedy_next_token(&logits_row);
+            seq.push(next);
+            logits_row = e.decode_step(&mut pool, next).unwrap().logits;
+            let want = reference_forward_full(&w, &seq);
+            let want_row = want.row(seq.len() - 1);
+            for (a, b) in logits_row.iter().zip(want_row) {
+                assert!((a - b).abs() < 2e-3, "{a} vs {b} at len {}", seq.len());
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_reference_generate_identically() {
+        let w = tiny_weights();
+        let prompt = [7u32, 8, 9, 10];
+        let (engine_tokens, _) = run_engine(EngineConfig::dense(), &prompt, 8);
+        // Reference greedy decode recomputing the full forward each step.
+        let mut seq = prompt.to_vec();
+        let mut ref_tokens = Vec::new();
+        for _ in 0..8 {
+            let l = reference_forward_full(&w, &seq);
+            let next = greedy_next_token(l.row(seq.len() - 1));
+            ref_tokens.push(next);
+            seq.push(next);
+        }
+        assert_eq!(engine_tokens, ref_tokens);
+    }
+
+    #[test]
+    fn lserve_with_huge_budget_matches_dense_generation() {
+        // Budget >= context and FP16 paging: dynamic sparsity selects everything, so
+        // generation must match the dense engine exactly. (Streaming heads off to
+        // isolate the selector.)
+        let mut cfg = EngineConfig::lserve_fp16();
+        cfg.streaming_sparsity = 0.0;
+        cfg.dynamic_budget = Some(1 << 20);
+        let prompt = [5u32, 6, 7, 8, 9];
+        let (a, _) = run_engine(cfg, &prompt, 10);
+        let (b, _) = run_engine(EngineConfig::dense(), &prompt, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streaming_heads_bound_pool_growth() {
+        let w = tiny_weights();
+        let cfg = EngineConfig::duo_like();
+        let mut pool = cfg.make_pool_for(&w.config, 640);
+        let mut e = Engine::new(w, cfg);
+        let prompt: Vec<u32> = (0..96).map(|i| (i % 90) as u32).collect();
+        e.prefill(&mut pool, &prompt).unwrap();
+        let after_prefill = pool.in_use();
+        for _ in 0..128 {
+            let t = e.decode_step(&mut pool, 1).unwrap();
+            let _ = t;
+        }
+        let after_decode = pool.in_use();
+        // Dense heads grow; streaming heads must not. With 50% streaming the growth
+        // must be well below the all-dense growth of the same span.
+        let dense_cfg = EngineConfig::dense();
+        let mut dense_pool = dense_cfg.make_pool_for(&tiny_weights().config, 640);
+        let mut de = Engine::new(tiny_weights(), dense_cfg);
+        de.prefill(&mut dense_pool, &prompt).unwrap();
+        let d0 = dense_pool.in_use();
+        for _ in 0..128 {
+            de.decode_step(&mut dense_pool, 1).unwrap();
+        }
+        let d1 = dense_pool.in_use();
+        assert!(
+            after_decode - after_prefill < (d1 - d0),
+            "streaming growth {} must be below dense growth {}",
+            after_decode - after_prefill,
+            d1 - d0
+        );
+    }
+
+    #[test]
+    fn prefill_sparsity_reported_for_streaming_heads() {
+        let prompt: Vec<u32> = (0..96).map(|i| (i % 90) as u32).collect();
+        // Small tiles so the 96-token prompt spans many blocks and the Λ pattern
+        // actually skips some.
+        let mut duo = EngineConfig::duo_like();
+        duo.prefill_tile = 8;
+        let (_, stats) = run_engine(duo, &prompt, 1);
+        assert!(stats.prefill_sparsity() > 0.0, "streaming must skip tiles");
+        let (_, dense_stats) = run_engine(EngineConfig::dense(), &prompt, 1);
+        assert_eq!(dense_stats.prefill_sparsity(), 0.0);
+    }
+
+    #[test]
+    fn dynamic_budget_caps_decode_pages() {
+        // Tiny model, tiny pages: budget of 8 tokens over ~96-token history.
+        let mut cfg = EngineConfig::lserve_fp16();
+        cfg.streaming_sparsity = 0.0;
+        cfg.paging = lserve_kvcache::PagingConfig::new(4, 2, lserve_quant::KvPrecision::Fp16);
+        cfg.dynamic_budget = Some(8);
+        cfg.prefill_tile = 4;
+        let prompt: Vec<u32> = (0..64).map(|i| (i % 90) as u32).collect();
+        let (_, stats) = run_engine(cfg, &prompt, 16);
+        assert!(
+            stats.decode_sparsity() > 0.5,
+            "selector must skip most pages: {}",
+            stats.decode_sparsity()
+        );
+    }
+
+    #[test]
+    fn reuse_interval_cuts_selector_invocations() {
+        let mut cfg = EngineConfig::lserve_fp16();
+        cfg.streaming_sparsity = 0.0;
+        cfg.paging = lserve_kvcache::PagingConfig::new(4, 2, lserve_quant::KvPrecision::Fp16);
+        cfg.dynamic_budget = Some(8);
+        cfg.prefill_tile = 4;
+        cfg.reuse_interval = 4;
+        let prompt: Vec<u32> = (0..64).map(|i| (i % 90) as u32).collect();
+        let (_, s4) = run_engine(cfg.clone(), &prompt, 16);
+        cfg.reuse_interval = 1;
+        let (_, s1) = run_engine(cfg, &prompt, 16);
+        assert!(s4.selector_reuses > 0);
+        assert_eq!(s1.selector_reuses, 0);
+        assert!(
+            s4.selector_invocations * 3 < s1.selector_invocations,
+            "reuse must cut invocations: {} vs {}",
+            s4.selector_invocations,
+            s1.selector_invocations
+        );
+    }
+
+    #[test]
+    fn quantized_engine_generates_plausibly() {
+        // INT4 KV shifts logits slightly; generation still completes and matches the
+        // dense output on a decent prefix.
+        let prompt = [11u32, 22, 33, 44];
+        let (q, _) = run_engine(EngineConfig::lserve(), &prompt, 12);
+        let (d, _) = run_engine(EngineConfig::dense(), &prompt, 12);
+        assert_eq!(q.len(), 12);
+        let matches = q.iter().zip(&d).filter(|(a, b)| a == b).count();
+        assert!(matches >= 6, "int4+sparse should track dense: {matches}/12");
+    }
+
+    #[test]
+    fn dynamic_prefill_activates_past_threshold() {
+        let w = tiny_weights();
+        let prompt: Vec<u32> = (0..96).map(|i| (i % 90) as u32).collect();
+        // Below threshold: dense prefill on retrieval heads.
+        let mut cfg = EngineConfig::dense();
+        cfg.prefill_tile = 8;
+        cfg.dynamic_prefill_keep = Some(1);
+        cfg.dynamic_prefill_after = 1000;
+        let mut pool = cfg.make_pool_for(&w.config, 128);
+        let mut e = Engine::new(Arc::clone(&w), cfg.clone());
+        e.prefill(&mut pool, &prompt).unwrap();
+        assert_eq!(e.stats().prefill_sparsity(), 0.0);
+        // Above threshold: tiles skipped.
+        cfg.dynamic_prefill_after = 32;
+        let mut pool2 = cfg.make_pool_for(&w.config, 128);
+        let mut e2 = Engine::new(Arc::clone(&w), cfg);
+        e2.prefill(&mut pool2, &prompt).unwrap();
+        assert!(e2.stats().prefill_sparsity() > 0.3, "{}", e2.stats().prefill_sparsity());
+    }
+
+    #[test]
+    fn dynamic_prefill_with_huge_keep_matches_dense_logits() {
+        let w = tiny_weights();
+        let prompt: Vec<u32> = (0..40).map(|i| (i % 90) as u32).collect();
+        let dense = {
+            let cfg = EngineConfig::dense();
+            let mut pool = cfg.make_pool_for(&w.config, 64);
+            Engine::new(Arc::clone(&w), cfg).prefill(&mut pool, &prompt).unwrap()
+        };
+        let mut cfg = EngineConfig::dense();
+        cfg.prefill_tile = 8;
+        cfg.dynamic_prefill_keep = Some(1000);
+        cfg.dynamic_prefill_after = 8;
+        let mut pool = cfg.make_pool_for(&w.config, 64);
+        let out = Engine::new(Arc::clone(&w), cfg).prefill(&mut pool, &prompt).unwrap();
+        for (a, b) in out.logits.iter().zip(&dense.logits) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let w = tiny_weights();
+        let cfg = EngineConfig::dense();
+        let mut pool = PagePool::new(cfg.paging, 4, w.config.head_dim);
+        let mut e = Engine::new(w, cfg);
+        let prompt: Vec<u32> = (0..90).map(|i| i as u32).collect();
+        assert!(matches!(e.prefill(&mut pool, &prompt), Err(OutOfPagesError)));
+    }
+
+    #[test]
+    fn release_recycles_all_pages() {
+        let w = tiny_weights();
+        let cfg = EngineConfig::lserve_fp16();
+        let mut pool = cfg.make_pool_for(&w.config, 128);
+        let mut e = Engine::new(w, cfg);
+        e.generate(&mut pool, &[1, 2, 3, 4, 5, 6, 7, 8], 8).unwrap();
+        assert!(pool.in_use() > 0);
+        e.release(&mut pool);
+        assert_eq!(pool.in_use(), 0);
+        // Engine is reusable after release.
+        let out = e.prefill(&mut pool, &[9, 10, 11]).unwrap();
+        assert_eq!(out.logits.len(), 97);
+    }
+}

@@ -1,0 +1,32 @@
+//! The LServe engine: long-sequence LLM serving with unified sparse attention.
+//!
+//! This crate composes every substrate of the reproduction into the system of
+//! Figure 5:
+//!
+//! * [`heads`] — the §3.3 static sparsity determination: DuoAttention gate values
+//!   are thresholded at a sparsity quantile, classifying each KV head as a
+//!   **retrieval (dense)** or **streaming** head, fixed offline for both stages.
+//! * [`config`] — [`EngineConfig`] presets for LServe and the baselines it is
+//!   compared against (dense, Quest-like flat selection, DuoAttention-like static
+//!   only, QServe-like quantized dense), expressed over one shared engine so
+//!   accuracy comparisons isolate the *policy*, exactly like the paper's setup.
+//! * [`engine`] — [`Engine`], a single-sequence inference pipeline: block-sparse
+//!   fused prefill (§3.4), two-way paged KV writeback, and decode with hierarchical
+//!   + reusable page selection feeding the fused decode kernel (§3.5–3.6).
+//! * [`serving`] — a miniature serving layer with a shared page pool, FCFS
+//!   admission, and continuous batching across sequences, standing in for the
+//!   vLLM-style serving loop the paper builds on.
+//! * [`stats`] — work counters every stage reports (tiles, pages, selector calls),
+//!   the quantities the cost model turns into GPU time.
+
+pub mod config;
+pub mod engine;
+pub mod heads;
+pub mod serving;
+pub mod stats;
+
+pub use config::{EngineConfig, SelectorKind};
+pub use engine::{DecodeOutput, Engine, PrefillOutput};
+pub use heads::{classify_heads, streaming_masks_from_gates};
+pub use serving::{Request, RequestStatus, ServingEngine, ServingReport};
+pub use stats::EngineStats;

@@ -1,0 +1,118 @@
+//! Aggregate work counters reported by the engine.
+
+use lserve_attention::{DecodeStats, PrefillStats};
+
+/// Cumulative work counters across an engine's lifetime.
+///
+/// These are the units the analytical cost model prices: visited prefill tiles,
+/// visited decode pages, selector scoring work. Accuracy experiments read recall off
+/// the workloads; efficiency experiments read these counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Prefill tiles computed on dense (retrieval) heads.
+    pub prefill_dense_tiles: u64,
+    /// Prefill tiles computed on streaming heads.
+    pub prefill_streaming_tiles: u64,
+    /// Prefill tiles a fully dense model would have computed.
+    pub prefill_total_causal_tiles: u64,
+    /// Decode pages visited on dense heads.
+    pub decode_dense_pages: u64,
+    /// Decode pages visited on streaming heads.
+    pub decode_streaming_pages: u64,
+    /// Decode pages a dense engine would have visited.
+    pub decode_total_pages: u64,
+    /// Decode KV token rows actually folded into attention.
+    pub decode_tokens_visited: u64,
+    /// Logical pages scored by selectors.
+    pub selector_logical_scored: u64,
+    /// Selector invocations that actually scored (not reused).
+    pub selector_invocations: u64,
+    /// Selector calls answered from the reuse cache.
+    pub selector_reuses: u64,
+    /// Decode steps executed.
+    pub decode_steps: u64,
+}
+
+impl EngineStats {
+    /// Folds one layer's prefill counters in.
+    pub fn add_prefill(&mut self, dense: PrefillStats, streaming: PrefillStats) {
+        self.prefill_dense_tiles += dense.tiles_visited;
+        self.prefill_streaming_tiles += streaming.tiles_visited;
+        self.prefill_total_causal_tiles += dense.tiles_total_causal + streaming.tiles_total_causal;
+    }
+
+    /// Folds one layer's decode counters in.
+    pub fn add_decode(&mut self, dense: DecodeStats, streaming: DecodeStats) {
+        self.decode_dense_pages += dense.pages_visited;
+        self.decode_streaming_pages += streaming.pages_visited;
+        self.decode_total_pages += dense.pages_total + streaming.pages_total;
+        self.decode_tokens_visited += dense.tokens_visited + streaming.tokens_visited;
+    }
+
+    /// Overall prefill block sparsity `r` (fraction of causal tiles skipped).
+    pub fn prefill_sparsity(&self) -> f64 {
+        if self.prefill_total_causal_tiles == 0 {
+            return 0.0;
+        }
+        1.0 - (self.prefill_dense_tiles + self.prefill_streaming_tiles) as f64
+            / self.prefill_total_causal_tiles as f64
+    }
+
+    /// Overall decode page sparsity (fraction of pages skipped).
+    pub fn decode_sparsity(&self) -> f64 {
+        if self.decode_total_pages == 0 {
+            return 0.0;
+        }
+        1.0 - (self.decode_dense_pages + self.decode_streaming_pages) as f64
+            / self.decode_total_pages as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparsity_zero_when_empty() {
+        let s = EngineStats::default();
+        assert_eq!(s.prefill_sparsity(), 0.0);
+        assert_eq!(s.decode_sparsity(), 0.0);
+    }
+
+    #[test]
+    fn add_prefill_accumulates() {
+        let mut s = EngineStats::default();
+        s.add_prefill(
+            PrefillStats {
+                tiles_visited: 10,
+                tiles_total_causal: 20,
+            },
+            PrefillStats {
+                tiles_visited: 5,
+                tiles_total_causal: 20,
+            },
+        );
+        assert_eq!(s.prefill_dense_tiles, 10);
+        assert_eq!(s.prefill_streaming_tiles, 5);
+        assert!((s.prefill_sparsity() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_decode_accumulates() {
+        let mut s = EngineStats::default();
+        s.add_decode(
+            DecodeStats {
+                pages_visited: 4,
+                tokens_visited: 64,
+                pages_total: 10,
+            },
+            DecodeStats {
+                pages_visited: 2,
+                tokens_visited: 32,
+                pages_total: 10,
+            },
+        );
+        assert_eq!(s.decode_tokens_visited, 96);
+        assert!((s.decode_sparsity() - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,68 @@
+//! GPU hardware parameters for the two devices the paper evaluates on.
+
+/// Hardware parameters of one GPU.
+///
+/// # Example
+///
+/// ```
+/// use lserve_costmodel::GpuSpec;
+///
+/// let a100 = GpuSpec::a100_80g();
+/// assert!(a100.hbm_bytes_per_s > 1e12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Device name used in benchmark output.
+    pub name: &'static str,
+    /// HBM bandwidth in bytes/second.
+    pub hbm_bytes_per_s: f64,
+    /// Dense FP16 tensor-core throughput, FLOPs/second.
+    pub fp16_flops: f64,
+    /// Dense INT8 tensor-core throughput, ops/second.
+    pub int8_ops: f64,
+    /// Per-kernel launch overhead, seconds.
+    pub kernel_launch_s: f64,
+    /// Usable device memory for KV cache, bytes (total minus weights headroom is
+    /// applied per system).
+    pub memory_bytes: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA A100 80GB SXM (the paper's primary testbed, §4.1).
+    pub fn a100_80g() -> Self {
+        Self {
+            name: "A100-80G",
+            hbm_bytes_per_s: 2.039e12,
+            fp16_flops: 312e12,
+            int8_ops: 624e12,
+            kernel_launch_s: 5e-6,
+            memory_bytes: 80e9,
+        }
+    }
+
+    /// NVIDIA L40S 48GB (Ada Lovelace; the paper's secondary device).
+    pub fn l40s() -> Self {
+        Self {
+            name: "L40S-48G",
+            hbm_bytes_per_s: 0.864e12,
+            fp16_flops: 181e12,
+            int8_ops: 362e12,
+            kernel_launch_s: 5e-6,
+            memory_bytes: 48e9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_outclasses_l40s() {
+        let a = GpuSpec::a100_80g();
+        let l = GpuSpec::l40s();
+        assert!(a.hbm_bytes_per_s > 2.0 * l.hbm_bytes_per_s);
+        assert!(a.fp16_flops > l.fp16_flops);
+        assert!(a.memory_bytes > l.memory_bytes);
+    }
+}

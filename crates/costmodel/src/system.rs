@@ -1,0 +1,314 @@
+//! Serving-system configurations: LServe, its ablations, and the paper's baselines.
+
+use lserve_quant::KvPrecision;
+
+/// Prefill attention sparsity regime of a system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrefillSparsity {
+    /// Full causal attention on every head.
+    Dense,
+    /// A fraction of heads follow the Λ streaming pattern (DuoAttention / LServe
+    /// static sparsity); each streaming head visits ~`span_blocks` tiles per query
+    /// tile instead of the causal triangle.
+    StreamingHeads {
+        /// Fraction of heads converted to streaming heads.
+        streaming_fraction: f64,
+        /// Sink + local blocks a streaming query tile visits.
+        span_blocks: f64,
+    },
+    /// Query-aware dynamic block sparsity on all heads (MInference): each query
+    /// attends ~`base_tokens + frac · seq` tokens, with a kernel-inefficiency
+    /// `penalty` relative to LServe's kernel (Figure 12 measures ≈1.3).
+    DynamicBlock {
+        /// Constant attended-token floor.
+        base_tokens: f64,
+        /// Linear attended-token growth with context.
+        frac: f64,
+        /// Kernel slowdown factor vs. LServe's block-sparse kernel.
+        penalty: f64,
+    },
+    /// LServe's hybrid: streaming heads always, plus MInference-style dynamic
+    /// sparsity on the retrieval heads once the context exceeds
+    /// `dynamic_after_tokens` (§4.3: "activated after 128K").
+    Hybrid {
+        /// Fraction of heads converted to streaming heads.
+        streaming_fraction: f64,
+        /// Sink + local blocks per streaming query tile.
+        span_blocks: f64,
+        /// Context length beyond which retrieval heads also run dynamic sparsity.
+        dynamic_after_tokens: usize,
+        /// Constant attended-token floor for the dynamic part.
+        base_tokens: f64,
+        /// Linear attended-token growth for the dynamic part.
+        frac: f64,
+    },
+}
+
+/// Full description of one serving system for the cost model.
+///
+/// Presets encode the paper's five systems plus LServe's ablations; all fields are
+/// public so benches can build sweeps (e.g. Table 1 varies `page_size`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemModel {
+    /// Display name.
+    pub name: &'static str,
+    /// KV cache precision.
+    pub kv_precision: KvPrecision,
+    /// Physical page size in tokens.
+    pub page_size: usize,
+    /// Logical page size for selector statistics.
+    pub logical_page: usize,
+    /// Packed bytes per weight parameter (2.0 = FP16, 0.5 = W4).
+    pub weight_bytes_per_param: f64,
+    /// Bandwidth penalty for on-the-fly weight dequantization (≥ 1).
+    pub weight_dequant_penalty: f64,
+    /// Prefill GEMM throughput selector: `true` → INT8 tensor cores (W8A8/W4A8),
+    /// `false` → FP16.
+    pub int8_gemm: bool,
+    /// Fraction of KV heads that are streaming heads during decode.
+    pub streaming_fraction: f64,
+    /// Tokens a streaming head attends (sink + local window).
+    pub streaming_span_tokens: usize,
+    /// Dynamic page-selection token budget; `None` disables dynamic sparsity.
+    pub dynamic_budget: Option<usize>,
+    /// Page-selector reuse interval `C` (1 = vanilla selection every step).
+    pub reuse_interval: usize,
+    /// Per-decode-step serving-stack overhead in seconds (scheduler, launches,
+    /// framework) — the intercept calibrated to artifact Table 7.
+    pub step_overhead_s: f64,
+    /// Prefill sparsity regime.
+    pub prefill: PrefillSparsity,
+}
+
+impl SystemModel {
+    /// vLLM v0.6.3: FP16 weights and KV, PagedAttention with 16-token pages, dense
+    /// attention in both stages. Intercept calibrated so Table 7's 64K point
+    /// (12.51 ms/step on Llama-3-8B) is reproduced.
+    pub fn vllm() -> Self {
+        Self {
+            name: "vLLM",
+            kv_precision: KvPrecision::Fp16,
+            page_size: 16,
+            logical_page: 16,
+            weight_bytes_per_param: 2.0,
+            weight_dequant_penalty: 1.0,
+            // The paper activates W8A8 for baselines where available (§4.1).
+            int8_gemm: true,
+            streaming_fraction: 0.0,
+            streaming_span_tokens: 0,
+            dynamic_budget: None,
+            reuse_interval: 1,
+            step_overhead_s: 0.5e-3,
+            prefill: PrefillSparsity::Dense,
+        }
+    }
+
+    /// QServe: W4A8KV4 quantization, 128-token pages, dense attention. Shares the
+    /// PyTorch serving stack (and its per-step overhead) with LServe, which is built
+    /// on it.
+    pub fn qserve() -> Self {
+        Self {
+            name: "QServe",
+            kv_precision: KvPrecision::Int4,
+            page_size: 128,
+            logical_page: 128,
+            weight_bytes_per_param: 0.5,
+            weight_dequant_penalty: 1.3,
+            int8_gemm: true,
+            streaming_fraction: 0.0,
+            streaming_span_tokens: 0,
+            dynamic_budget: None,
+            reuse_interval: 1,
+            step_overhead_s: 7.9e-3,
+            prefill: PrefillSparsity::Dense,
+        }
+    }
+
+    /// DuoAttention: FP16, static sparsity only — half the heads streaming in both
+    /// stages.
+    pub fn duo_attention() -> Self {
+        Self {
+            name: "DuoAttention",
+            kv_precision: KvPrecision::Fp16,
+            page_size: 16,
+            logical_page: 16,
+            weight_bytes_per_param: 2.0,
+            weight_dequant_penalty: 1.0,
+            int8_gemm: false,
+            streaming_fraction: 0.5,
+            streaming_span_tokens: 1152,
+            dynamic_budget: None,
+            reuse_interval: 1,
+            step_overhead_s: 1.0e-3,
+            prefill: PrefillSparsity::StreamingHeads {
+                streaming_fraction: 0.5,
+                span_blocks: 3.0,
+            },
+        }
+    }
+
+    /// MInference: dynamic sparse *prefill* (1.3× kernel penalty vs LServe's,
+    /// Figure 12) but an unoptimized dense FP16 decode path — the paper notes its
+    /// decode throughput is far below vLLM's unless integrated into it.
+    pub fn minference() -> Self {
+        Self {
+            name: "MInference",
+            kv_precision: KvPrecision::Fp16,
+            page_size: 16,
+            logical_page: 16,
+            weight_bytes_per_param: 2.0,
+            weight_dequant_penalty: 1.0,
+            int8_gemm: false,
+            streaming_fraction: 0.0,
+            streaming_span_tokens: 0,
+            dynamic_budget: None,
+            reuse_interval: 1,
+            step_overhead_s: 90.0e-3,
+            prefill: PrefillSparsity::DynamicBlock {
+                base_tokens: 4096.0,
+                frac: 0.15,
+                penalty: 1.3,
+            },
+        }
+    }
+
+    /// Quest: FP16, 16-token pages, query-aware page selection every step
+    /// (no hierarchical paging, no reuse), dense prefill. Overhead calibrated to
+    /// Table 5's Llama-2-7B decode latencies.
+    pub fn quest() -> Self {
+        Self {
+            name: "Quest",
+            kv_precision: KvPrecision::Fp16,
+            page_size: 16,
+            logical_page: 16,
+            weight_bytes_per_param: 2.0,
+            weight_dequant_penalty: 1.0,
+            int8_gemm: false,
+            streaming_fraction: 0.0,
+            streaming_span_tokens: 0,
+            dynamic_budget: Some(4096),
+            reuse_interval: 1,
+            step_overhead_s: 4.0e-3,
+            prefill: PrefillSparsity::Dense,
+        }
+    }
+
+    /// LServe: W4A8KV4, 64-token physical / 16-token logical pages, half the heads
+    /// streaming, 4096-token dynamic budget with reuse interval 4, hybrid prefill
+    /// (dynamic part activated beyond 128K, §4.3).
+    pub fn lserve() -> Self {
+        Self {
+            name: "LServe",
+            kv_precision: KvPrecision::Int4,
+            page_size: 64,
+            logical_page: 16,
+            weight_bytes_per_param: 0.5,
+            weight_dequant_penalty: 1.3,
+            int8_gemm: true,
+            streaming_fraction: 0.5,
+            streaming_span_tokens: 1152,
+            dynamic_budget: Some(4096),
+            reuse_interval: 4,
+            step_overhead_s: 7.9e-3,
+            prefill: PrefillSparsity::Hybrid {
+                streaming_fraction: 0.5,
+                span_blocks: 3.0,
+                dynamic_after_tokens: 131_072,
+                base_tokens: 4096.0,
+                // Retrieval heads keep a larger attended fraction than MInference's
+                // aggressive setting; tuned so the peak prefill speedup over vLLM
+                // stays at the paper's ~2.9x.
+                frac: 0.28,
+            },
+        }
+    }
+
+    /// LServe ablation: static sparsity only (Figure 15/16, "+50% Streaming Heads").
+    pub fn lserve_static_only() -> Self {
+        Self {
+            name: "LServe-static",
+            dynamic_budget: None,
+            reuse_interval: 1,
+            ..Self::lserve()
+        }
+    }
+
+    /// LServe ablation: dynamic sparsity only (Figure 15/16, "+Dynamic Sparsity").
+    pub fn lserve_dynamic_only() -> Self {
+        Self {
+            name: "LServe-dynamic",
+            streaming_fraction: 0.0,
+            streaming_span_tokens: 0,
+            prefill: PrefillSparsity::Dense,
+            ..Self::lserve()
+        }
+    }
+
+    /// The quantized dense baseline used by the ablation figures ("Baseline
+    /// Attention" / "Dense Attention"): LServe's stack with all sparsity off.
+    pub fn lserve_dense_baseline() -> Self {
+        Self {
+            name: "Dense",
+            streaming_fraction: 0.0,
+            streaming_span_tokens: 0,
+            dynamic_budget: None,
+            reuse_interval: 1,
+            prefill: PrefillSparsity::Dense,
+            ..Self::lserve()
+        }
+    }
+
+    /// Bytes of KV cache one token costs per layer across all KV heads at this
+    /// system's precision, counting streaming-head eviction (streaming heads hold a
+    /// constant window, so only the dense fraction grows with context).
+    pub fn kv_bytes_per_token_per_layer(&self, kv_heads: usize, head_dim: usize) -> f64 {
+        let per_head = 2.0
+            * (self.kv_precision.bytes_for(head_dim)
+                + self.kv_precision.metadata_bytes_for(head_dim, head_dim));
+        kv_heads as f64 * (1.0 - self.streaming_fraction) * per_head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct() {
+        let names: Vec<&str> = [
+            SystemModel::vllm(),
+            SystemModel::qserve(),
+            SystemModel::duo_attention(),
+            SystemModel::minference(),
+            SystemModel::quest(),
+            SystemModel::lserve(),
+        ]
+        .iter()
+        .map(|s| s.name)
+        .collect();
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn lserve_kv_per_token_far_below_vllm() {
+        let l = SystemModel::lserve().kv_bytes_per_token_per_layer(8, 128);
+        let v = SystemModel::vllm().kv_bytes_per_token_per_layer(8, 128);
+        // INT4 (4x) and half the heads streaming (2x) → ~7x less KV growth.
+        assert!(l < v / 5.0, "lserve {l} vs vllm {v}");
+    }
+
+    #[test]
+    fn ablations_inherit_stack() {
+        let l = SystemModel::lserve();
+        let s = SystemModel::lserve_static_only();
+        assert_eq!(s.step_overhead_s, l.step_overhead_s);
+        assert_eq!(s.kv_precision, l.kv_precision);
+        assert!(s.dynamic_budget.is_none());
+        let d = SystemModel::lserve_dynamic_only();
+        assert_eq!(d.streaming_fraction, 0.0);
+        assert!(d.dynamic_budget.is_some());
+    }
+}

@@ -1,0 +1,196 @@
+//! Cost-model sanity sweeps: monotonicity, ordering stability, and breakdown
+//! accounting across the whole (system x model x GPU x length) grid.
+
+use lserve_costmodel::{decode_step, decode_throughput, max_batch, prefill, GpuSpec, SystemModel};
+use lserve_model::ModelConfig;
+
+fn systems() -> Vec<SystemModel> {
+    vec![
+        SystemModel::vllm(),
+        SystemModel::qserve(),
+        SystemModel::duo_attention(),
+        SystemModel::minference(),
+        SystemModel::quest(),
+        SystemModel::lserve(),
+        SystemModel::lserve_static_only(),
+        SystemModel::lserve_dynamic_only(),
+        SystemModel::lserve_dense_baseline(),
+    ]
+}
+
+fn models() -> Vec<ModelConfig> {
+    vec![
+        ModelConfig::llama3_8b(),
+        ModelConfig::llama2_7b(),
+        ModelConfig::minitron_4b(),
+    ]
+}
+
+const LENGTHS: [usize; 5] = [8_192, 32_768, 65_536, 131_072, 262_144];
+
+#[test]
+fn decode_latency_monotone_in_context() {
+    for gpu in [GpuSpec::a100_80g(), GpuSpec::l40s()] {
+        for model in models() {
+            for sys in systems() {
+                let mut prev = 0.0;
+                for &seq in &LENGTHS {
+                    let t = decode_step(&gpu, &model, &sys, seq, 1).total();
+                    assert!(
+                        t >= prev,
+                        "{} on {} ({}): {t} < {prev} at {seq}",
+                        sys.name,
+                        model.name,
+                        gpu.name
+                    );
+                    prev = t;
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn prefill_latency_superlinear_for_dense_systems() {
+    let gpu = GpuSpec::a100_80g();
+    let model = ModelConfig::llama3_8b();
+    for sys in [SystemModel::vllm(), SystemModel::qserve()] {
+        let t64 = prefill(&gpu, &model, &sys, 65_536).total();
+        let t256 = prefill(&gpu, &model, &sys, 262_144).total();
+        // Quadratic attention: 4x tokens must cost more than 4x time.
+        assert!(t256 > 4.0 * t64, "{}: {t256} vs {t64}", sys.name);
+    }
+}
+
+#[test]
+fn batch_scales_attention_not_gemm() {
+    let gpu = GpuSpec::a100_80g();
+    let model = ModelConfig::llama3_8b();
+    let sys = SystemModel::vllm();
+    let b1 = decode_step(&gpu, &model, &sys, 65_536, 1);
+    let b4 = decode_step(&gpu, &model, &sys, 65_536, 4);
+    assert_eq!(b1.gemm_s, b4.gemm_s, "decode GEMM is weight-bound");
+    assert!((b4.attention_dense_s / b1.attention_dense_s - 4.0).abs() < 1e-9);
+}
+
+#[test]
+fn lserve_wins_decode_latency_past_128k() {
+    // Batch-1 latency: lighter stacks (DuoAttention) can tie or edge out LServe's
+    // serving intercept at short contexts and on the small Minitron model — the
+    // paper's own Figure 10 shows the gap closing in those regimes; its Minitron
+    // win is a throughput result (covered by the next test). On the 7B/8B models
+    // past 128K LServe must win outright.
+    let gpu = GpuSpec::a100_80g();
+    for model in [ModelConfig::llama3_8b(), ModelConfig::llama2_7b()] {
+        for sys in [
+            SystemModel::vllm(),
+            SystemModel::qserve(),
+            SystemModel::duo_attention(),
+            SystemModel::minference(),
+            SystemModel::quest(),
+        ] {
+            for &seq in &[131_072usize, 262_144] {
+                let ours = decode_step(&gpu, &model, &SystemModel::lserve(), seq, 1).total();
+                let theirs = decode_step(&gpu, &model, &sys, seq, 1).total();
+                assert!(
+                    ours <= theirs * 1.001,
+                    "LServe lost to {} on {} at {seq}: {ours} vs {theirs}",
+                    sys.name,
+                    model.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lserve_wins_decode_throughput_from_64k() {
+    // Throughput (batching included): LServe's smaller KV footprint admits more
+    // sequences, so it wins from 64K on every model, as in Figure 10.
+    let gpu = GpuSpec::a100_80g();
+    for model in models() {
+        for sys in [
+            SystemModel::vllm(),
+            SystemModel::qserve(),
+            SystemModel::duo_attention(),
+            SystemModel::minference(),
+            SystemModel::quest(),
+        ] {
+            for &seq in &[65_536usize, 131_072, 262_144] {
+                let ours = decode_throughput(&gpu, &model, &SystemModel::lserve(), seq)
+                    .expect("LServe never OOMs here");
+                if let Some(theirs) = decode_throughput(&gpu, &model, &sys, seq) {
+                    assert!(
+                        ours >= theirs * 0.999,
+                        "LServe throughput lost to {} on {} at {seq}",
+                        sys.name,
+                        model.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn breakdown_components_are_nonnegative_and_sum() {
+    let gpu = GpuSpec::a100_80g();
+    let model = ModelConfig::llama2_7b();
+    for sys in systems() {
+        for &seq in &LENGTHS {
+            let b = decode_step(&gpu, &model, &sys, seq, 2);
+            for part in [
+                b.gemm_s,
+                b.attention_dense_s,
+                b.attention_streaming_s,
+                b.selector_s,
+                b.overhead_s,
+            ] {
+                assert!(part >= 0.0 && part.is_finite());
+            }
+            let sum = b.gemm_s + b.attention_dense_s + b.attention_streaming_s + b.selector_s + b.overhead_s;
+            assert!((sum - b.total()).abs() < 1e-12);
+            let p = prefill(&gpu, &model, &sys, seq);
+            assert!(p.gemm_s > 0.0 && p.attention_s > 0.0 && p.other_s > 0.0);
+        }
+    }
+}
+
+#[test]
+fn max_batch_monotone_decreasing_in_context() {
+    let gpu = GpuSpec::a100_80g();
+    let model = ModelConfig::llama3_8b();
+    for sys in systems() {
+        let mut prev = usize::MAX;
+        for &seq in &LENGTHS {
+            let b = max_batch(&gpu, &model, &sys, seq);
+            assert!(b <= prev, "{} batch grew with context", sys.name);
+            prev = b;
+        }
+    }
+}
+
+#[test]
+fn throughput_none_iff_batch_zero() {
+    let gpu = GpuSpec::a100_80g();
+    let model = ModelConfig::llama2_7b();
+    for sys in systems() {
+        for &seq in &[65_536usize, 524_288] {
+            let b = max_batch(&gpu, &model, &sys, seq);
+            let t = decode_throughput(&gpu, &model, &sys, seq);
+            assert_eq!(b == 0, t.is_none(), "{} at {seq}", sys.name);
+        }
+    }
+}
+
+#[test]
+fn quantized_streaming_systems_admit_more_sequences() {
+    let gpu = GpuSpec::a100_80g();
+    for model in models() {
+        let seq = 131_072;
+        let v = max_batch(&gpu, &model, &SystemModel::vllm(), seq);
+        let q = max_batch(&gpu, &model, &SystemModel::qserve(), seq);
+        let l = max_batch(&gpu, &model, &SystemModel::lserve(), seq);
+        assert!(v <= q && q <= l, "{}: {v} {q} {l}", model.name);
+    }
+}

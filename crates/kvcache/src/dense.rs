@@ -1,0 +1,205 @@
+//! Page table of a dense (retrieval) head: full KV history with `K_stats`.
+
+use crate::{PageId, PagePool};
+
+/// The KV history of one dense head: a page table over the full context, every page
+/// carrying key statistics for dynamic page selection (Figure 5, "Dense Head Pages").
+///
+/// Pages are owned through the pool: the cache allocates on demand as tokens are
+/// appended and frees all pages on [`DenseHeadCache::release`].
+#[derive(Debug, Clone, Default)]
+pub struct DenseHeadCache {
+    pages: Vec<PageId>,
+    tokens: usize,
+}
+
+impl DenseHeadCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total tokens stored.
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// The page table (ordered physical pages covering tokens `0..tokens`).
+    pub fn page_table(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// Number of physical pages in the table.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Appends one `(key, value)` row, allocating a new page when the last one is
+    /// full.
+    ///
+    /// Returns `false` (leaving the cache unchanged) if the pool is exhausted.
+    pub fn append(&mut self, pool: &mut PagePool, key: &[f32], value: &[f32]) -> bool {
+        let need_new = match self.pages.last() {
+            Some(&id) => pool.page(id).is_full(),
+            None => true,
+        };
+        if need_new {
+            match pool.allocate() {
+                Some(id) => self.pages.push(id),
+                None => return false,
+            }
+        }
+        let id = *self.pages.last().expect("page just ensured");
+        pool.page_mut(id).append(key, value);
+        self.tokens += 1;
+        true
+    }
+
+    /// Appends a whole block of rows (used by prefill). Returns the number of rows
+    /// actually appended (fewer than requested only if the pool is exhausted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() != values.len()` or rows are not a multiple of
+    /// `head_dim`.
+    pub fn append_block(&mut self, pool: &mut PagePool, keys: &[f32], values: &[f32], head_dim: usize) -> usize {
+        assert_eq!(keys.len(), values.len(), "key/value block size mismatch");
+        assert_eq!(keys.len() % head_dim, 0, "block not a whole number of rows");
+        let rows = keys.len() / head_dim;
+        for r in 0..rows {
+            let k = &keys[r * head_dim..(r + 1) * head_dim];
+            let v = &values[r * head_dim..(r + 1) * head_dim];
+            if !self.append(pool, k, v) {
+                return r;
+            }
+        }
+        rows
+    }
+
+    /// The global token index range `[start, end)` covered by physical page `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= num_pages()`.
+    pub fn page_token_range(&self, pool: &PagePool, p: usize) -> (usize, usize) {
+        assert!(p < self.pages.len(), "page index out of bounds");
+        let np = pool.config().physical_page_size();
+        let start = p * np;
+        let end = start + pool.page(self.pages[p]).len();
+        (start, end)
+    }
+
+    /// Reads the (dequantized) key row of global token `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= tokens()`.
+    pub fn key(&self, pool: &PagePool, t: usize) -> Vec<f32> {
+        let np = pool.config().physical_page_size();
+        pool.page(self.pages[t / np]).key_row(t % np).to_vec()
+    }
+
+    /// Reads the (dequantized) value row of global token `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= tokens()`.
+    pub fn value(&self, pool: &PagePool, t: usize) -> Vec<f32> {
+        let np = pool.config().physical_page_size();
+        pool.page(self.pages[t / np]).value_row(t % np).to_vec()
+    }
+
+    /// Frees every page back to the pool and clears the table.
+    pub fn release(&mut self, pool: &mut PagePool) {
+        for id in self.pages.drain(..) {
+            pool.free(id);
+        }
+        self.tokens = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PagingConfig;
+    use lserve_quant::KvPrecision;
+
+    fn setup() -> (PagePool, DenseHeadCache) {
+        let cfg = PagingConfig::new(4, 2, KvPrecision::Fp16);
+        (PagePool::new(cfg, 16, 2), DenseHeadCache::new())
+    }
+
+    #[test]
+    fn append_allocates_pages_on_demand() {
+        let (mut pool, mut c) = setup();
+        for i in 0..9 {
+            assert!(c.append(&mut pool, &[i as f32, 0.0], &[0.0, i as f32]));
+        }
+        assert_eq!(c.tokens(), 9);
+        assert_eq!(c.num_pages(), 3); // ceil(9/4)
+        assert_eq!(pool.in_use(), 3);
+    }
+
+    #[test]
+    fn key_value_round_trip_across_pages() {
+        let (mut pool, mut c) = setup();
+        for i in 0..10 {
+            c.append(&mut pool, &[i as f32, -(i as f32)], &[2.0 * i as f32, 0.5]);
+        }
+        for i in 0..10 {
+            assert_eq!(c.key(&pool, i), vec![i as f32, -(i as f32)]);
+            assert_eq!(c.value(&pool, i), vec![2.0 * i as f32, 0.5]);
+        }
+    }
+
+    #[test]
+    fn page_token_range_covers_everything_once() {
+        let (mut pool, mut c) = setup();
+        for i in 0..7 {
+            c.append(&mut pool, &[i as f32, 0.0], &[0.0, 0.0]);
+        }
+        let mut covered = vec![false; 7];
+        for p in 0..c.num_pages() {
+            let (s, e) = c.page_token_range(&pool, p);
+            for t in s..e {
+                assert!(!covered[t], "token {t} covered twice");
+                covered[t] = true;
+            }
+        }
+        assert!(covered.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn release_returns_capacity() {
+        let (mut pool, mut c) = setup();
+        for _ in 0..8 {
+            c.append(&mut pool, &[0.0, 0.0], &[0.0, 0.0]);
+        }
+        assert_eq!(pool.in_use(), 2);
+        c.release(&mut pool);
+        assert_eq!(pool.in_use(), 0);
+        assert_eq!(c.tokens(), 0);
+    }
+
+    #[test]
+    fn append_fails_cleanly_when_pool_exhausted() {
+        let cfg = PagingConfig::new(2, 2, KvPrecision::Fp16);
+        let mut pool = PagePool::new(cfg, 1, 2);
+        let mut c = DenseHeadCache::new();
+        assert!(c.append(&mut pool, &[0.0, 0.0], &[0.0, 0.0]));
+        assert!(c.append(&mut pool, &[0.0, 0.0], &[0.0, 0.0]));
+        assert!(!c.append(&mut pool, &[0.0, 0.0], &[0.0, 0.0]));
+        assert_eq!(c.tokens(), 2);
+    }
+
+    #[test]
+    fn append_block_partial_on_exhaustion() {
+        let cfg = PagingConfig::new(2, 2, KvPrecision::Fp16);
+        let mut pool = PagePool::new(cfg, 1, 2);
+        let mut c = DenseHeadCache::new();
+        let keys = vec![0.0f32; 6 * 2];
+        let values = vec![0.0f32; 6 * 2];
+        let n = c.append_block(&mut pool, &keys, &values, 2);
+        assert_eq!(n, 2);
+    }
+}

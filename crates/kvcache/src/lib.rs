@@ -1,0 +1,41 @@
+//! Two-way paged KV cache with hierarchical page statistics.
+//!
+//! This crate is the serving-memory substrate of the LServe reproduction (paper §2.1
+//! "Paged Attention" and §3.2 "LServe System Overview"):
+//!
+//! * [`PagePool`] — a fixed-capacity pool of physical KV pages with a free list and
+//!   reference counts, playing the role of GPU device memory. Sequences hold *page
+//!   tables* (vectors of [`PageId`]) and kernels access pages through the pool,
+//!   mirroring PagedAttention's indirect addressing.
+//! * [`KvPage`] — one physical page of up to `N_P` tokens for a single KV head,
+//!   stored at a configurable precision (FP16/INT8/INT4, scales and zeros carried per
+//!   token row exactly like QServe's layout) plus the per-*logical*-page channelwise
+//!   key min/max statistics (`K_stats` in Figure 5) that the dynamic page selector
+//!   consumes.
+//! * [`DenseHeadCache`] — the page table of a dense (retrieval) head: full history,
+//!   every page carrying `K_stats`.
+//! * [`StreamingHeadCache`] — the page table of a streaming head: only sink pages and
+//!   a ring of local pages are retained ("Only Sink & Local Pages" in Figure 5);
+//!   evicted pages return to the pool, which is where LServe's memory saving on
+//!   streaming heads comes from.
+//! * [`LayerKvCache`] — the per-layer two-way composition of the above, one entry per
+//!   KV head, split by the static head classification.
+//!
+//! Hierarchical paging (paper §3.5.2) lives here as data: each physical page of
+//! `N_P` tokens records min/max key statistics per logical page of `N_L` tokens
+//! (`N_P = g · N_L`), so the selector can score at fine granularity while memory
+//! stays coarse-grained.
+
+pub mod config;
+pub mod dense;
+pub mod layer;
+pub mod pool;
+pub mod stats;
+pub mod streaming;
+
+pub use config::PagingConfig;
+pub use dense::DenseHeadCache;
+pub use layer::{HeadCache, LayerKvCache};
+pub use pool::{KvPage, PageId, PagePool};
+pub use stats::LogicalPageStats;
+pub use streaming::{StreamingHeadCache, StreamingWindow};

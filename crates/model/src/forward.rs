@@ -1,0 +1,232 @@
+//! Layer building blocks and a cache-free reference forward pass.
+//!
+//! Serving engines (in `lserve-core`) compose these blocks with their own attention
+//! kernels and paged KV caches; the [`reference_forward_full`] path recomputes
+//! attention naively over the whole sequence and is the ground truth that engine
+//! tests compare against.
+
+use lserve_tensor::rope::RopeTable;
+use lserve_tensor::{argmax, rms_norm, silu, softmax_in_place, Matrix};
+
+use crate::{LayerWeights, ModelConfig, ModelWeights};
+
+/// Post-RoPE query/key/value activations of one layer for a token block.
+#[derive(Debug, Clone)]
+pub struct LayerActivations {
+    /// Queries, `(N x H·D)`.
+    pub q: Matrix,
+    /// Keys, `(N x Ĥ·D)`.
+    pub k: Matrix,
+    /// Values, `(N x Ĥ·D)`.
+    pub v: Matrix,
+}
+
+const RMS_EPS: f32 = 1e-5;
+
+/// Applies RoPE to every head slice of a `(N x heads·D)` activation block, where row
+/// `t` is at absolute position `start_pos + t`.
+fn rope_heads(m: &mut Matrix, heads: usize, head_dim: usize, rope: &RopeTable, start_pos: usize) {
+    for r in 0..m.rows() {
+        let pos = start_pos + r;
+        let row = m.row_mut(r);
+        for h in 0..heads {
+            rope.apply(&mut row[h * head_dim..(h + 1) * head_dim], pos);
+        }
+    }
+}
+
+/// Pre-attention block: RMSNorm then QKV projections with RoPE applied.
+///
+/// `x` is the residual-stream input `(N x hidden)`; rows are tokens at absolute
+/// positions `start_pos..start_pos+N`.
+pub fn pre_attention(
+    cfg: &ModelConfig,
+    lw: &LayerWeights,
+    x: &Matrix,
+    start_pos: usize,
+    rope: &RopeTable,
+) -> LayerActivations {
+    let mut normed = x.clone();
+    rms_norm(&mut normed, &lw.attn_norm, RMS_EPS);
+    let mut q = normed.matmul(&lw.wq);
+    let mut k = normed.matmul(&lw.wk);
+    let v = normed.matmul(&lw.wv);
+    rope_heads(&mut q, cfg.num_q_heads, cfg.head_dim, rope, start_pos);
+    rope_heads(&mut k, cfg.num_kv_heads, cfg.head_dim, rope, start_pos);
+    LayerActivations { q, k, v }
+}
+
+/// Post-attention block: output projection plus residual connection.
+///
+/// Returns `x + attn_out · W_o`.
+pub fn post_attention(lw: &LayerWeights, x: &Matrix, attn_out: &Matrix) -> Matrix {
+    let mut out = attn_out.matmul(&lw.wo);
+    out.add_assign(x);
+    out
+}
+
+/// SwiGLU FFN block with pre-norm and residual: `x + W_down(SiLU(xW_gate) ⊙ xW_up)`.
+pub fn ffn_block(lw: &LayerWeights, x: &Matrix) -> Matrix {
+    let mut normed = x.clone();
+    rms_norm(&mut normed, &lw.ffn_norm, RMS_EPS);
+    let mut gate = normed.matmul(&lw.w_gate);
+    let up = normed.matmul(&lw.w_up);
+    silu(gate.as_mut_slice());
+    for (g, u) in gate.as_mut_slice().iter_mut().zip(up.as_slice()) {
+        *g *= u;
+    }
+    let mut out = gate.matmul(&lw.w_down);
+    out.add_assign(x);
+    out
+}
+
+/// Final norm + LM head over the given hidden rows, returning `(N x vocab)` logits.
+pub fn logits(weights: &ModelWeights, x: &Matrix) -> Matrix {
+    let mut normed = x.clone();
+    rms_norm(&mut normed, &weights.final_norm, RMS_EPS);
+    normed.matmul(&weights.lm_head)
+}
+
+/// Greedy (argmax) sampling from one logits row.
+///
+/// # Panics
+///
+/// Panics if `row` is empty.
+pub fn greedy_next_token(row: &[f32]) -> u32 {
+    argmax(row) as u32
+}
+
+/// Naive per-head causal attention (quadratic, no cache) — internal to the reference
+/// path; engines use the block-sparse kernels instead.
+fn naive_layer_attention(cfg: &ModelConfig, acts: &LayerActivations) -> Matrix {
+    let n = acts.q.rows();
+    let d = cfg.head_dim;
+    let scale = 1.0 / (d as f32).sqrt();
+    let group = cfg.gqa_group_size();
+    let mut out = Matrix::zeros(n, cfg.q_width());
+    for h in 0..cfg.num_q_heads {
+        let kv = h / group;
+        let mut scores = Matrix::zeros(n, n);
+        for i in 0..n {
+            let qi = &acts.q.row(i)[h * d..(h + 1) * d];
+            for j in 0..=i {
+                let kj = &acts.k.row(j)[kv * d..(kv + 1) * d];
+                let mut s = 0.0f32;
+                for (a, b) in qi.iter().zip(kj) {
+                    s += a * b;
+                }
+                scores[(i, j)] = s * scale;
+            }
+            for j in (i + 1)..n {
+                scores[(i, j)] = f32::NEG_INFINITY;
+            }
+        }
+        softmax_in_place(&mut scores);
+        for i in 0..n {
+            let orow = &mut out.row_mut(i)[h * d..(h + 1) * d];
+            for j in 0..=i {
+                let w = scores[(i, j)];
+                if w == 0.0 {
+                    continue;
+                }
+                let vj = &acts.v.row(j)[kv * d..(kv + 1) * d];
+                for (o, x) in orow.iter_mut().zip(vj) {
+                    *o += w * x;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Cache-free full forward pass: embeds `tokens`, runs every layer with naive dense
+/// causal attention, and returns the `(N x vocab)` logits.
+///
+/// Ground truth for engine tests: a serving engine with sparsity disabled must
+/// reproduce these logits to float tolerance.
+///
+/// # Panics
+///
+/// Panics if `tokens` is empty or contains out-of-vocabulary ids.
+pub fn reference_forward_full(weights: &ModelWeights, tokens: &[u32]) -> Matrix {
+    assert!(!tokens.is_empty(), "empty token sequence");
+    let cfg = &weights.config;
+    let rope = RopeTable::new(cfg.head_dim, cfg.rope_base);
+    let mut x = weights.embed_tokens(tokens);
+    for lw in &weights.layers {
+        let acts = pre_attention(cfg, lw, &x, 0, &rope);
+        let attn = naive_layer_attention(cfg, &acts);
+        x = post_attention(lw, &x, &attn);
+        x = ffn_block(lw, &x);
+    }
+    logits(weights, &x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ModelWeights {
+        ModelWeights::random(&ModelConfig::tiny(), 42)
+    }
+
+    #[test]
+    fn reference_forward_shapes() {
+        let w = tiny();
+        let out = reference_forward_full(&w, &[1, 2, 3, 4]);
+        assert_eq!(out.shape(), (4, w.config.vocab));
+    }
+
+    #[test]
+    fn causality_prefix_logits_are_stable() {
+        // Extending the sequence must not change logits of earlier positions.
+        let w = tiny();
+        let a = reference_forward_full(&w, &[5, 6, 7]);
+        let b = reference_forward_full(&w, &[5, 6, 7, 8, 9]);
+        for r in 0..3 {
+            for c in 0..w.config.vocab {
+                assert!((a[(r, c)] - b[(r, c)]).abs() < 1e-4, "pos {r} changed");
+            }
+        }
+    }
+
+    #[test]
+    fn activations_stay_bounded() {
+        let w = tiny();
+        let out = reference_forward_full(&w, &[0; 16]);
+        let max = out.as_slice().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        assert!(max.is_finite() && max < 1e3, "activations exploded: {max}");
+    }
+
+    #[test]
+    fn greedy_decoding_is_deterministic() {
+        let w = tiny();
+        let l1 = reference_forward_full(&w, &[1, 2, 3]);
+        let l2 = reference_forward_full(&w, &[1, 2, 3]);
+        assert_eq!(
+            greedy_next_token(l1.row(2)),
+            greedy_next_token(l2.row(2))
+        );
+    }
+
+    #[test]
+    fn different_prompts_give_different_logits() {
+        let w = tiny();
+        let a = reference_forward_full(&w, &[1, 2, 3]);
+        let b = reference_forward_full(&w, &[4, 5, 6]);
+        assert!(a.max_abs_diff(&b) > 1e-3);
+    }
+
+    #[test]
+    fn pre_attention_applies_rope_positions() {
+        // Same token at different start positions must produce different keys.
+        let w = tiny();
+        let cfg = &w.config;
+        let rope = RopeTable::new(cfg.head_dim, cfg.rope_base);
+        let x = w.embed_tokens(&[7]);
+        let a = pre_attention(cfg, &w.layers[0], &x, 0, &rope);
+        let b = pre_attention(cfg, &w.layers[0], &x, 5, &rope);
+        assert!(a.k.max_abs_diff(&b.k) > 1e-5);
+        assert!(a.v.max_abs_diff(&b.v) < 1e-9, "values are position-independent");
+    }
+}

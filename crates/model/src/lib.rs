@@ -1,0 +1,22 @@
+//! Toy transformer models with the paper's evaluation architectures.
+//!
+//! The paper benchmarks Llama-3-8B (GQA), Llama-2-7B (MHA) and Minitron-4B. Efficiency
+//! results depend only on the architectural *shapes* (layer count, head counts, head
+//! dimension, FFN width), not the trained weights, so this crate provides:
+//!
+//! * [`ModelConfig`] — exact shape presets for the three evaluation models plus
+//!   scaled-down variants that keep the head geometry (the quantity that drives
+//!   attention cost) while shrinking layer count and FFN so CPU runs finish;
+//! * [`ModelWeights`] — seeded random weights (deterministic per seed);
+//! * [`forward`] — the layer building blocks (QKV projection with RoPE, output
+//!   projection, SwiGLU FFN, RMSNorm, logits) that serving engines compose with their
+//!   own attention kernels and KV caches, plus a cache-free reference forward pass
+//!   used as ground truth in engine tests.
+
+pub mod config;
+pub mod forward;
+pub mod weights;
+
+pub use config::ModelConfig;
+pub use forward::{greedy_next_token, reference_forward_full, LayerActivations};
+pub use weights::{LayerWeights, ModelWeights};

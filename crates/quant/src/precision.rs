@@ -1,0 +1,108 @@
+//! KV-cache storage precisions and their byte costs.
+
+/// Storage precision for cached keys/values.
+///
+/// The reproduction simulates numerics in `f32`, but each precision declares the bit
+/// width it would occupy on device; the cost model derives memory traffic from it and
+/// the quantized kernels reproduce its rounding error faithfully.
+///
+/// # Example
+///
+/// ```
+/// use lserve_quant::KvPrecision;
+///
+/// assert_eq!(KvPrecision::Int4.bits(), 4);
+/// assert_eq!(KvPrecision::Fp16.bytes_for(128), 256.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KvPrecision {
+    /// 16-bit floating point (vLLM baseline; stored losslessly here).
+    #[default]
+    Fp16,
+    /// 8-bit asymmetric integer quantization.
+    Int8,
+    /// 4-bit asymmetric integer quantization (QServe's KV4).
+    Int4,
+}
+
+impl KvPrecision {
+    /// Bits per stored element.
+    pub const fn bits(self) -> u32 {
+        match self {
+            KvPrecision::Fp16 => 16,
+            KvPrecision::Int8 => 8,
+            KvPrecision::Int4 => 4,
+        }
+    }
+
+    /// Number of representable levels for the integer precisions
+    /// (255 for INT8, 15 for INT4); `None` for FP16.
+    pub const fn levels(self) -> Option<u32> {
+        match self {
+            KvPrecision::Fp16 => None,
+            KvPrecision::Int8 => Some(255),
+            KvPrecision::Int4 => Some(15),
+        }
+    }
+
+    /// True for the integer (lossy) precisions.
+    pub const fn is_quantized(self) -> bool {
+        !matches!(self, KvPrecision::Fp16)
+    }
+
+    /// Bytes occupied by `n` elements at this precision (excluding scales/zeros).
+    pub fn bytes_for(self, n: usize) -> f64 {
+        n as f64 * self.bits() as f64 / 8.0
+    }
+
+    /// Bytes of quantization metadata (one f16 scale + one f16 zero per group) for
+    /// `n` elements at the given group size. Zero for FP16.
+    pub fn metadata_bytes_for(self, n: usize, group_size: usize) -> f64 {
+        if !self.is_quantized() {
+            return 0.0;
+        }
+        let groups = n.div_ceil(group_size);
+        groups as f64 * 4.0
+    }
+}
+
+impl std::fmt::Display for KvPrecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvPrecision::Fp16 => write!(f, "fp16"),
+            KvPrecision::Int8 => write!(f, "int8"),
+            KvPrecision::Int4 => write!(f, "int4"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_and_levels() {
+        assert_eq!(KvPrecision::Fp16.bits(), 16);
+        assert_eq!(KvPrecision::Int8.levels(), Some(255));
+        assert_eq!(KvPrecision::Int4.levels(), Some(15));
+        assert_eq!(KvPrecision::Fp16.levels(), None);
+    }
+
+    #[test]
+    fn bytes_scale_with_precision() {
+        assert_eq!(KvPrecision::Fp16.bytes_for(8), 16.0);
+        assert_eq!(KvPrecision::Int8.bytes_for(8), 8.0);
+        assert_eq!(KvPrecision::Int4.bytes_for(8), 4.0);
+    }
+
+    #[test]
+    fn metadata_only_for_quantized() {
+        assert_eq!(KvPrecision::Fp16.metadata_bytes_for(128, 64), 0.0);
+        assert_eq!(KvPrecision::Int4.metadata_bytes_for(128, 64), 8.0);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(KvPrecision::Int4.to_string(), "int4");
+    }
+}

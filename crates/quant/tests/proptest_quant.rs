@@ -1,0 +1,81 @@
+//! Property tests for the quantization substrate.
+
+use lserve_quant::{dequantize_group, quantize_group, KvPrecision, QuantizedTensor};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    (-1000.0f32..1000.0).prop_map(|x| x)
+}
+
+proptest! {
+    /// Round-trip error is bounded by half a quantization step for every element.
+    #[test]
+    fn int8_error_bound(xs in prop::collection::vec(finite_f32(), 1..256)) {
+        let (codes, p) = quantize_group(&xs, KvPrecision::Int8);
+        let back = dequantize_group(&codes, p);
+        for (x, y) in xs.iter().zip(&back) {
+            prop_assert!((x - y).abs() <= p.scale / 2.0 + p.scale * 1e-3 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn int4_error_bound(xs in prop::collection::vec(finite_f32(), 1..64)) {
+        let (codes, p) = quantize_group(&xs, KvPrecision::Int4);
+        let back = dequantize_group(&codes, p);
+        for (x, y) in xs.iter().zip(&back) {
+            prop_assert!((x - y).abs() <= p.scale / 2.0 + p.scale * 1e-3 + 1e-6);
+        }
+    }
+
+    /// Codes always fit the precision's level count.
+    #[test]
+    fn codes_within_levels(xs in prop::collection::vec(finite_f32(), 1..128)) {
+        let (c8, _) = quantize_group(&xs, KvPrecision::Int8);
+        prop_assert_eq!(c8.len(), xs.len()); // u8 codes cover the INT8 range by type
+
+        let (c4, _) = quantize_group(&xs, KvPrecision::Int4);
+        prop_assert!(c4.iter().all(|&c| c <= 15));
+    }
+
+    /// Quantization preserves per-group min and max (they map to exact codes).
+    #[test]
+    fn min_max_preserved(xs in prop::collection::vec(finite_f32(), 2..128)) {
+        let (codes, p) = quantize_group(&xs, KvPrecision::Int8);
+        let back = dequantize_group(&codes, p);
+        let min_in = xs.iter().copied().fold(f32::INFINITY, f32::min);
+        let max_in = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let min_out = back.iter().copied().fold(f32::INFINITY, f32::min);
+        let max_out = back.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let tol = p.scale * 0.51 + (max_in.abs() + min_in.abs()) * 1e-5 + 1e-5;
+        prop_assert!((min_in - min_out).abs() <= tol);
+        prop_assert!((max_in - max_out).abs() <= tol);
+    }
+
+    /// The fused quantized dot equals the dot against the dequantized row.
+    #[test]
+    fn fused_dot_consistent(
+        data in prop::collection::vec(-10.0f32..10.0, 16),
+        query in prop::collection::vec(-2.0f32..2.0, 8),
+    ) {
+        let t = QuantizedTensor::quantize(&data, 2, 8, KvPrecision::Int4);
+        for row in 0..2 {
+            let deq = t.dequantize_row(row);
+            let want: f32 = deq.iter().zip(&query).map(|(a, b)| a * b).sum();
+            let got = t.dot_row(row, &query);
+            prop_assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+        }
+    }
+
+    /// Quantization is idempotent: re-quantizing dequantized data is exact.
+    #[test]
+    fn idempotent(xs in prop::collection::vec(finite_f32(), 1..64)) {
+        let (codes, p) = quantize_group(&xs, KvPrecision::Int8);
+        let once = dequantize_group(&codes, p);
+        let (codes2, p2) = quantize_group(&once, KvPrecision::Int8);
+        let twice = dequantize_group(&codes2, p2);
+        for (a, b) in once.iter().zip(&twice) {
+            let tol = (a.abs() + 1.0) * 1e-4;
+            prop_assert!((a - b).abs() <= tol, "{a} vs {b}");
+        }
+    }
+}

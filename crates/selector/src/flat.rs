@@ -1,0 +1,140 @@
+//! The flat (Quest-style) page selector: physical-page-granularity statistics.
+
+use lserve_kvcache::{DenseHeadCache, PagePool};
+
+use crate::{finalize_selection, physical_scores_flat, PageSelector, Selection};
+
+/// Quest's query-aware selection at physical-page granularity (Tang et al., 2024).
+///
+/// One min/max representative summarizes each physical page; the top
+/// `budget_tokens / N_P` pages win. Accurate for small pages (≤16 tokens), but the
+/// representative homogenizes as `N_P` grows — the failure mode LServe's hierarchical
+/// paging fixes (Figure 6 vs. Figure 13).
+///
+/// # Example
+///
+/// ```
+/// use lserve_kvcache::{DenseHeadCache, PagePool, PagingConfig};
+/// use lserve_quant::KvPrecision;
+/// use lserve_selector::{FlatSelector, PageSelector};
+///
+/// let cfg = PagingConfig::flat(2, KvPrecision::Fp16);
+/// let mut pool = PagePool::new(cfg, 16, 2);
+/// let mut cache = DenseHeadCache::new();
+/// for i in 0..8 {
+///     cache.append(&mut pool, &[i as f32, 0.0], &[0.0, 0.0]);
+/// }
+/// let mut sel = FlatSelector::new(true);
+/// let q = [1.0f32, 0.0];
+/// let s = sel.select(&pool, &cache, &[&q], 4, 0);
+/// assert!(s.pages.contains(&3)); // most recent page always present
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlatSelector {
+    include_first: bool,
+}
+
+impl FlatSelector {
+    /// Creates the selector; `include_first` forces the first (sink) page into every
+    /// selection, matching Quest's handling of initial tokens.
+    pub fn new(include_first: bool) -> Self {
+        Self { include_first }
+    }
+}
+
+impl Default for FlatSelector {
+    fn default() -> Self {
+        Self::new(true)
+    }
+}
+
+impl PageSelector for FlatSelector {
+    fn select(
+        &mut self,
+        pool: &PagePool,
+        cache: &DenseHeadCache,
+        queries: &[&[f32]],
+        budget_tokens: usize,
+        _step: usize,
+    ) -> Selection {
+        let np = pool.config().physical_page_size();
+        let scores = physical_scores_flat(pool, cache, queries);
+        let budget_pages = (budget_tokens / np).max(1);
+        let pages = finalize_selection(&scores, cache.num_pages(), budget_pages, self.include_first);
+        Selection {
+            pages,
+            // Flat scoring touches one representative per physical page.
+            logical_pages_scored: cache.num_pages() as u64,
+            reused: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lserve_kvcache::PagingConfig;
+    use lserve_quant::KvPrecision;
+
+    fn build(keys: &[[f32; 2]], np: usize) -> (PagePool, DenseHeadCache) {
+        let cfg = PagingConfig::flat(np, KvPrecision::Fp16);
+        let mut pool = PagePool::new(cfg, 128, 2);
+        let mut cache = DenseHeadCache::new();
+        for k in keys {
+            assert!(cache.append(&mut pool, k, &[0.0, 0.0]));
+        }
+        (pool, cache)
+    }
+
+    #[test]
+    fn selects_highest_scoring_page() {
+        // Page 2 (tokens 4-5) holds the "needle" key aligned with the query.
+        let keys = [
+            [0.1, 0.0],
+            [0.1, 0.0],
+            [0.0, 0.1],
+            [0.0, 0.1],
+            [9.0, 0.0],
+            [0.1, 0.0],
+            [0.0, 0.2],
+            [0.1, 0.1],
+        ];
+        let (pool, cache) = build(&keys, 2);
+        let q = [1.0f32, 0.0];
+        let mut sel = FlatSelector::new(false);
+        let s = sel.select(&pool, &cache, &[&q], 4, 0);
+        assert!(s.pages.contains(&2), "needle page must be selected: {:?}", s.pages);
+        assert!(s.pages.contains(&3), "last page forced");
+        assert!(!s.reused);
+    }
+
+    #[test]
+    fn budget_caps_page_count() {
+        let keys: Vec<[f32; 2]> = (0..32).map(|i| [i as f32 * 0.01, 0.0]).collect();
+        let (pool, cache) = build(&keys, 2);
+        let q = [1.0f32, 0.0];
+        let mut sel = FlatSelector::new(true);
+        let s = sel.select(&pool, &cache, &[&q], 8, 0); // 4 pages of 2 tokens
+        assert!(s.pages.len() <= 4, "{:?}", s.pages);
+    }
+
+    #[test]
+    fn budget_above_history_selects_everything() {
+        let keys: Vec<[f32; 2]> = (0..8).map(|i| [i as f32, 0.0]).collect();
+        let (pool, cache) = build(&keys, 2);
+        let q = [1.0f32, 0.0];
+        let mut sel = FlatSelector::new(true);
+        let s = sel.select(&pool, &cache, &[&q], 1_000_000, 0);
+        assert_eq!(s.pages, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scoring_cost_is_one_per_physical_page() {
+        let keys: Vec<[f32; 2]> = (0..20).map(|_| [0.0, 0.0]).collect();
+        let (pool, cache) = build(&keys, 2);
+        let q = [1.0f32, 0.0];
+        let mut sel = FlatSelector::new(true);
+        let s = sel.select(&pool, &cache, &[&q], 4, 0);
+        assert_eq!(s.logical_pages_scored, 10);
+    }
+}

@@ -1,0 +1,224 @@
+//! Reusable page selection (§3.5.3): amortize the selector across decode steps.
+
+use lserve_kvcache::{DenseHeadCache, PagePool};
+
+use crate::{PageSelector, Selection};
+
+/// Wraps an inner selector and re-runs it only at the start of every
+/// `reuse_interval`-step chunk; the steps in between replay the cached selection
+/// (Figure 8). Temporal locality of decode queries makes this nearly lossless up to
+/// an interval of ~8 (Table 6); the paper defaults to 4.
+///
+/// The most recent page index is refreshed on every step even when reusing, so the
+/// newly written tokens stay attendable as the history crosses page boundaries.
+///
+/// # Example
+///
+/// ```
+/// use lserve_kvcache::{DenseHeadCache, PagePool, PagingConfig};
+/// use lserve_quant::KvPrecision;
+/// use lserve_selector::{HierarchicalSelector, PageSelector, ReusableSelector};
+///
+/// let cfg = PagingConfig::new(4, 2, KvPrecision::Fp16);
+/// let mut pool = PagePool::new(cfg, 64, 2);
+/// let mut cache = DenseHeadCache::new();
+/// for i in 0..16 {
+///     cache.append(&mut pool, &[i as f32, 0.0], &[0.0, 0.0]);
+/// }
+/// let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), 4);
+/// let q = [1.0f32, 0.0];
+/// let fresh = sel.select(&pool, &cache, &[&q], 8, 0);
+/// let reused = sel.select(&pool, &cache, &[&q], 8, 1);
+/// assert!(!fresh.reused && reused.reused);
+/// assert_eq!(reused.logical_pages_scored, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReusableSelector<S> {
+    inner: S,
+    reuse_interval: usize,
+    cached: Option<Selection>,
+    last_scored_step: Option<usize>,
+    invocations: u64,
+    reuses: u64,
+}
+
+impl<S: PageSelector> ReusableSelector<S> {
+    /// Wraps `inner` with the given reuse interval `C >= 1` (interval 1 disables
+    /// reuse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reuse_interval == 0`.
+    pub fn new(inner: S, reuse_interval: usize) -> Self {
+        assert!(reuse_interval >= 1, "reuse interval must be >= 1");
+        Self {
+            inner,
+            reuse_interval,
+            cached: None,
+            last_scored_step: None,
+            invocations: 0,
+            reuses: 0,
+        }
+    }
+
+    /// The configured reuse interval `C`.
+    pub fn reuse_interval(&self) -> usize {
+        self.reuse_interval
+    }
+
+    /// Times the inner selector actually scored pages.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Times a cached selection was replayed.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// The wrapped selector.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: PageSelector> PageSelector for ReusableSelector<S> {
+    fn select(
+        &mut self,
+        pool: &PagePool,
+        cache: &DenseHeadCache,
+        queries: &[&[f32]],
+        budget_tokens: usize,
+        step: usize,
+    ) -> Selection {
+        let due = match (self.last_scored_step, &self.cached) {
+            (Some(last), Some(_)) => step < last || step - last >= self.reuse_interval,
+            _ => true,
+        };
+        if due {
+            let sel = self.inner.select(pool, cache, queries, budget_tokens, step);
+            self.last_scored_step = Some(step);
+            self.invocations += 1;
+            self.cached = Some(sel.clone());
+            sel
+        } else {
+            self.reuses += 1;
+            let mut sel = self.cached.clone().expect("cached selection checked above");
+            // Keep the newest page attendable as history grows across page
+            // boundaries between selector runs.
+            let last_page = cache.num_pages().saturating_sub(1);
+            if cache.num_pages() > 0 && !sel.pages.contains(&last_page) {
+                sel.pages.push(last_page);
+                sel.pages.sort_unstable();
+            }
+            sel.logical_pages_scored = 0;
+            sel.reused = true;
+            sel
+        }
+    }
+
+    fn reset(&mut self) {
+        self.cached = None;
+        self.last_scored_step = None;
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HierarchicalSelector;
+    use lserve_kvcache::PagingConfig;
+    use lserve_quant::KvPrecision;
+
+    fn build(n: usize) -> (PagePool, DenseHeadCache) {
+        let cfg = PagingConfig::new(4, 2, KvPrecision::Fp16);
+        let mut pool = PagePool::new(cfg, 256, 2);
+        let mut cache = DenseHeadCache::new();
+        for i in 0..n {
+            assert!(cache.append(&mut pool, &[(i % 7) as f32, 1.0], &[0.0, 0.0]));
+        }
+        (pool, cache)
+    }
+
+    #[test]
+    fn interval_one_never_reuses() {
+        let (pool, cache) = build(32);
+        let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), 1);
+        let q = [1.0f32, 0.0];
+        for step in 0..8 {
+            let s = sel.select(&pool, &cache, &[&q], 8, step);
+            assert!(!s.reused, "step {step}");
+        }
+        assert_eq!(sel.invocations(), 8);
+        assert_eq!(sel.reuses(), 0);
+    }
+
+    #[test]
+    fn interval_four_scores_every_fourth_step() {
+        let (pool, cache) = build(32);
+        let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), 4);
+        let q = [1.0f32, 0.0];
+        let mut fresh_steps = Vec::new();
+        for step in 0..12 {
+            let s = sel.select(&pool, &cache, &[&q], 8, step);
+            if !s.reused {
+                fresh_steps.push(step);
+            }
+        }
+        assert_eq!(fresh_steps, vec![0, 4, 8]);
+        assert_eq!(sel.invocations(), 3);
+        assert_eq!(sel.reuses(), 9);
+    }
+
+    #[test]
+    fn reuse_matches_fresh_selection_within_chunk() {
+        let (pool, cache) = build(40);
+        let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), 4);
+        let q = [1.0f32, 0.5];
+        let fresh = sel.select(&pool, &cache, &[&q], 12, 0);
+        let reused = sel.select(&pool, &cache, &[&q], 12, 1);
+        assert_eq!(fresh.pages, reused.pages);
+    }
+
+    #[test]
+    fn reused_selection_tracks_new_last_page() {
+        let cfg = PagingConfig::new(4, 2, KvPrecision::Fp16);
+        let mut pool = PagePool::new(cfg, 256, 2);
+        let mut cache = DenseHeadCache::new();
+        for i in 0..8 {
+            cache.append(&mut pool, &[i as f32, 0.0], &[0.0, 0.0]);
+        }
+        let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), 8);
+        let q = [1.0f32, 0.0];
+        let _ = sel.select(&pool, &cache, &[&q], 8, 0);
+        // History grows into a new page between steps.
+        for i in 8..13 {
+            cache.append(&mut pool, &[i as f32, 0.0], &[0.0, 0.0]);
+        }
+        let s = sel.select(&pool, &cache, &[&q], 8, 1);
+        assert!(s.reused);
+        assert!(s.pages.contains(&(cache.num_pages() - 1)));
+    }
+
+    #[test]
+    fn reset_forces_rescore() {
+        let (pool, cache) = build(16);
+        let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), 4);
+        let q = [1.0f32, 0.0];
+        let _ = sel.select(&pool, &cache, &[&q], 8, 0);
+        sel.reset();
+        let s = sel.select(&pool, &cache, &[&q], 8, 1);
+        assert!(!s.reused);
+    }
+
+    #[test]
+    fn step_regression_triggers_rescore() {
+        let (pool, cache) = build(16);
+        let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), 4);
+        let q = [1.0f32, 0.0];
+        let _ = sel.select(&pool, &cache, &[&q], 8, 10);
+        let s = sel.select(&pool, &cache, &[&q], 8, 2); // new sequence semantics
+        assert!(!s.reused);
+    }
+}

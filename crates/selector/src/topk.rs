@@ -1,0 +1,63 @@
+//! Deterministic top-k index selection.
+
+/// Indices of the `k` largest scores, in descending score order; ties break toward
+/// the lower index. `k` larger than the input yields all indices.
+///
+/// # Example
+///
+/// ```
+/// use lserve_selector::top_k_indices;
+///
+/// assert_eq!(top_k_indices(&[0.1, 0.9, 0.5], 2), vec![1, 2]);
+/// ```
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_largest() {
+        assert_eq!(top_k_indices(&[3.0, 1.0, 2.0], 2), vec![0, 2]);
+    }
+
+    #[test]
+    fn ties_break_low_index_first() {
+        assert_eq!(top_k_indices(&[1.0, 1.0, 1.0], 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn k_exceeding_len_returns_all() {
+        assert_eq!(top_k_indices(&[1.0, 2.0], 10), vec![1, 0]);
+    }
+
+    #[test]
+    fn handles_neg_infinity() {
+        let scores = [f32::NEG_INFINITY, 0.0, f32::NEG_INFINITY];
+        assert_eq!(top_k_indices(&scores, 1), vec![1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(top_k_indices(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_sort() {
+        let scores: Vec<f32> = (0..50).map(|i| ((i * 37 % 19) as f32).sin()).collect();
+        let got = top_k_indices(&scores, 50);
+        for w in got.windows(2) {
+            assert!(scores[w[0]] >= scores[w[1]]);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for page scoring and selection policies.
+
+use lserve_kvcache::{DenseHeadCache, LogicalPageStats, PagePool, PagingConfig};
+use lserve_quant::KvPrecision;
+use lserve_selector::{
+    logical_scores, physical_scores_flat, physical_scores_hierarchical, top_k_indices,
+    FlatSelector, HierarchicalSelector, PageSelector,
+};
+use proptest::prelude::*;
+
+fn build(keys: &[Vec<f32>], np: usize, nl: usize) -> (PagePool, DenseHeadCache) {
+    let cfg = PagingConfig::new(np, nl, KvPrecision::Fp16);
+    let mut pool = PagePool::new(cfg, cfg.pages_for(keys.len()) + 1, 4);
+    let mut cache = DenseHeadCache::new();
+    for k in keys {
+        assert!(cache.append(&mut pool, k, k));
+    }
+    (pool, cache)
+}
+
+fn key_strategy(len: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-4.0f32..4.0, 4), len..len + 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Hierarchical physical scores equal the brute-force max over per-logical-page
+    /// Eq. 2 scores computed from scratch.
+    #[test]
+    fn hierarchical_equals_bruteforce(
+        keys in (8usize..60).prop_flat_map(key_strategy),
+        query in prop::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        let (pool, cache) = build(&keys, 8, 2);
+        let got = physical_scores_hierarchical(&pool, &cache, &[&query]);
+        for (p, &score) in got.iter().enumerate() {
+            let mut want = f32::NEG_INFINITY;
+            for l in 0..4 {
+                let start = p * 8 + l * 2;
+                if start >= keys.len() {
+                    continue;
+                }
+                let end = (start + 2).min(keys.len());
+                let mut s = LogicalPageStats::new(4);
+                for k in &keys[start..end] {
+                    s.update(k);
+                }
+                want = want.max(s.importance(&query));
+            }
+            prop_assert_eq!(score, want, "page {}", p);
+        }
+    }
+
+    /// The hierarchical physical score is never above the flat score (merging
+    /// min/max first can only loosen the bound).
+    #[test]
+    fn hierarchical_never_exceeds_flat(
+        keys in (8usize..60).prop_flat_map(key_strategy),
+        query in prop::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        let (pool, cache) = build(&keys, 8, 2);
+        let hier = physical_scores_hierarchical(&pool, &cache, &[&query]);
+        let flat = physical_scores_flat(&pool, &cache, &[&query]);
+        for (h, f) in hier.iter().zip(&flat) {
+            prop_assert!(h <= &(f + 1e-4), "hier {h} > flat {f}");
+        }
+    }
+
+    /// Logical scores flatten consistently: `max` over each physical page's logical
+    /// slice equals the hierarchical physical score.
+    #[test]
+    fn logical_flattening_consistent(
+        keys in (4usize..50).prop_flat_map(key_strategy),
+        query in prop::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        let (pool, cache) = build(&keys, 8, 4);
+        let logical = logical_scores(&pool, &cache, &[&query]);
+        let phys = physical_scores_hierarchical(&pool, &cache, &[&query]);
+        let g = 2; // 8/4
+        prop_assert_eq!(logical.len(), cache.num_pages() * g);
+        for (p, &score) in phys.iter().enumerate() {
+            let m = logical[p * g..(p + 1) * g]
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max);
+            prop_assert_eq!(score, m);
+        }
+    }
+
+    /// top_k_indices returns a prefix of the full argsort.
+    #[test]
+    fn topk_is_argsort_prefix(
+        scores in prop::collection::vec(-100.0f32..100.0, 1..64),
+        k in 0usize..70,
+    ) {
+        let full = top_k_indices(&scores, scores.len());
+        let got = top_k_indices(&scores, k);
+        prop_assert_eq!(&got[..], &full[..k.min(scores.len())]);
+    }
+
+    /// Both selectors always produce in-range, deduplicated, budget-respecting
+    /// selections containing the needle page when its signal dominates.
+    #[test]
+    fn selectors_find_dominant_needle(
+        n_pages in 4usize..24,
+        needle_page in 0usize..24,
+        // Budget must exceed the two forced pages (first + most recent) so a slot
+        // remains for the needle.
+        budget_pages in 3usize..8,
+    ) {
+        let needle_page = needle_page % n_pages;
+        let np = 8;
+        let mut keys: Vec<Vec<f32>> = (0..n_pages * np)
+            .map(|i| vec![((i * 13 % 7) as f32 - 3.0) * 0.1; 4])
+            .collect();
+        for t in needle_page * np..(needle_page + 1) * np {
+            keys[t] = vec![9.0, 9.0, 9.0, 9.0];
+        }
+        let (pool, cache) = build(&keys, np, 2);
+        let query = vec![1.0f32, 1.0, 1.0, 1.0];
+        for flat in [true, false] {
+            let sel = if flat {
+                FlatSelector::new(true).select(&pool, &cache, &[&query], budget_pages * np, 0)
+            } else {
+                HierarchicalSelector::new(true).select(&pool, &cache, &[&query], budget_pages * np, 0)
+            };
+            prop_assert!(sel.pages.contains(&needle_page), "flat={flat}: {:?}", sel.pages);
+            prop_assert!(sel.pages.iter().all(|&p| p < n_pages));
+        }
+    }
+}

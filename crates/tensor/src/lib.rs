@@ -1,0 +1,31 @@
+//! Minimal f32 tensor kernels for the LServe reproduction.
+//!
+//! This crate provides the dense linear-algebra substrate every other crate in the
+//! workspace builds on: a row-major [`Matrix`] type with blocked matrix multiplication,
+//! numerically safe softmax (including the *online* streaming form used by block-wise
+//! attention kernels), RMSNorm, SiLU, rotary position embeddings ([`rope`]), and seeded
+//! random initialization ([`rng`]).
+//!
+//! The kernels are deliberately simple and deterministic — the LServe paper's speedup
+//! mechanism is *which blocks get computed*, not how fast each block is, so clarity and
+//! testability win over micro-optimization here.
+//!
+//! # Example
+//!
+//! ```
+//! use lserve_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! ```
+
+pub mod matrix;
+pub mod ops;
+pub mod rng;
+pub mod rope;
+
+pub use matrix::Matrix;
+pub use ops::{argmax, dot, online_softmax::OnlineSoftmax, rms_norm, silu, softmax_in_place};
+pub use rng::SeededGaussian;

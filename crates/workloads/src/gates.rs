@@ -1,0 +1,89 @@
+//! DuoAttention-style head profiles and gate values.
+
+use lserve_tensor::SeededGaussian;
+
+/// The synthetic behaviour of one attention head, used to derive its gate value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeadProfile {
+    /// Fraction of this head's attention mass that falls inside the local window
+    /// (0 = pure retrieval head, 1 = pure streaming head).
+    pub locality: f32,
+    /// DuoAttention gate value `α ∈ [0, 1]`; close to 1 for retrieval heads, close
+    /// to 0 for streaming heads (§3.3).
+    pub alpha: f32,
+}
+
+/// Generates per-(layer, KV head) gate values the way DuoAttention's optimization
+/// would: each head has an intrinsic locality; retrieval-ish heads (low locality)
+/// get `α` near 1, streaming-ish heads near 0, with observation noise.
+///
+/// The marginal distribution is deliberately bimodal — the paper reports that a 50%
+/// quantile threshold cleanly separates the two populations.
+///
+/// # Example
+///
+/// ```
+/// use lserve_workloads::duo_gates;
+///
+/// let gates = duo_gates(4, 8, 7);
+/// assert_eq!(gates.len(), 4);
+/// assert_eq!(gates[0].len(), 8);
+/// assert!(gates.iter().flatten().all(|p| (0.0..=1.0).contains(&p.alpha)));
+/// ```
+pub fn duo_gates(num_layers: usize, num_kv_heads: usize, seed: u64) -> Vec<Vec<HeadProfile>> {
+    let mut g = SeededGaussian::new(seed);
+    (0..num_layers)
+        .map(|_| {
+            (0..num_kv_heads)
+                .map(|_| {
+                    // Bimodal locality: ~half the heads are strongly local.
+                    let local_head = g.uniform() < 0.5;
+                    let locality = if local_head {
+                        (0.85 + 0.1 * g.sample()).clamp(0.0, 1.0)
+                    } else {
+                        (0.15 + 0.1 * g.sample()).clamp(0.0, 1.0)
+                    };
+                    let alpha = (1.0 - locality + 0.05 * g.sample()).clamp(0.0, 1.0);
+                    HeadProfile { locality, alpha }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gates_deterministic() {
+        let a = duo_gates(2, 4, 3);
+        let b = duo_gates(2, 4, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gates_bimodal() {
+        let gates = duo_gates(32, 8, 11);
+        let all: Vec<f32> = gates.iter().flatten().map(|p| p.alpha).collect();
+        let low = all.iter().filter(|&&a| a < 0.4).count();
+        let high = all.iter().filter(|&&a| a > 0.6).count();
+        let mid = all.len() - low - high;
+        assert!(low > all.len() / 4, "low gates {low}");
+        assert!(high > all.len() / 4, "high gates {high}");
+        assert!(mid < all.len() / 5, "mid gates should be rare: {mid}");
+    }
+
+    #[test]
+    fn alpha_anticorrelates_with_locality() {
+        let gates = duo_gates(8, 8, 5);
+        for p in gates.iter().flatten() {
+            if p.locality > 0.7 {
+                assert!(p.alpha < 0.5, "local head must gate low: {p:?}");
+            }
+            if p.locality < 0.3 {
+                assert!(p.alpha > 0.5, "retrieval head must gate high: {p:?}");
+            }
+        }
+    }
+}

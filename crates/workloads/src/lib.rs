@@ -1,0 +1,31 @@
+//! Synthetic long-context workloads for the LServe reproduction.
+//!
+//! The paper's accuracy experiments (NIAH Figures 6/9/13, LongBench Table 2, RULER
+//! Tables 3/6) all probe one mechanism: *does sparse attention retain the tokens the
+//! query actually needs?* Without trained checkpoints we measure that mechanism
+//! directly at the attention layer:
+//!
+//! * [`niah`] — Needle-in-a-Haystack at the KV level: a haystack of Gaussian keys
+//!   with a planted needle whose key aligns with the query; the metric is **needle
+//!   recall** — the fraction of needle tokens inside the selector's chosen pages.
+//!   Dense attention scores 1.0 by construction; a selector that drops the needle's
+//!   page scores 0, exactly the red cells of Figure 6.
+//! * [`ruler`] — RULER-style multi-needle and drifting-query variants (multi-hop
+//!   tracing needs *several* pages retained; Table 6's reuse-interval ablation needs
+//!   queries that drift across decode steps with realistic temporal locality).
+//! * [`longbench`] — a panel of task profiles (haystack size, needle count, signal
+//!   sharpness) standing in for the LongBench suites, reporting retrieval fidelity
+//!   in `[0, 1]` that multiplies the paper's dense scores for presentation.
+//! * [`gates`] — a generator of DuoAttention-style per-head gate values `α`: heads
+//!   with genuinely local synthetic attention mass get low α, retrieval-ish heads
+//!   get high α, so the §3.3 quantile classification has realistic inputs.
+
+pub mod gates;
+pub mod longbench;
+pub mod niah;
+pub mod ruler;
+
+pub use gates::{duo_gates, HeadProfile};
+pub use longbench::{longbench_tasks, LongBenchTask};
+pub use niah::{NiahCase, NiahConfig};
+pub use ruler::{DriftingQueries, MultiNeedleCase};

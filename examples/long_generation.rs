@@ -1,0 +1,81 @@
+//! Long-generation (reasoning-style) workload: the paper's motivating scenario where
+//! *decoding*, not prefilling, dominates (§1: 116 s prefill vs 540 s decode for a
+//! 256K+20K o1-style trace).
+//!
+//! A multi-turn session drives one engine through several prompt+generate rounds on
+//! the same growing context — the KV cache persists across turns — and reports how
+//! the work per decode step stays bounded under LServe's sparsity while the dense
+//! engine's grows with the context.
+//!
+//! ```text
+//! cargo run --release --example long_generation
+//! ```
+
+use std::sync::Arc;
+
+use lserve::core::{Engine, EngineConfig};
+use lserve::model::{greedy_next_token, ModelConfig, ModelWeights};
+
+const TURNS: usize = 4;
+const PROMPT_PER_TURN: usize = 48;
+const GEN_PER_TURN: usize = 96;
+
+fn run(name: &str, mut cfg: EngineConfig) {
+    // Scale geometry to the tiny model so sparsity engages within a few hundred
+    // tokens: 8-token pages, 96-token budget.
+    cfg.paging = lserve::kvcache::PagingConfig::new(8, 4, lserve::quant::KvPrecision::Fp16);
+    cfg.prefill_tile = 8;
+    if cfg.dynamic_budget.is_some() {
+        cfg.dynamic_budget = Some(96);
+    }
+    let weights = Arc::new(ModelWeights::random(&ModelConfig::tiny(), 77));
+    let total = TURNS * (PROMPT_PER_TURN + GEN_PER_TURN) + 8;
+    let mut pool = cfg.make_pool_for(&weights.config, total);
+    let mut engine = Engine::new(weights, cfg);
+
+    println!("{name}:");
+    for turn in 0..TURNS {
+        // Turn 1 prefills; later turns continue decoding over the same cache, with
+        // the new user prompt absorbed token by token (the serving-system view of a
+        // chat turn: no re-prefill of history).
+        let prompt: Vec<u32> = (0..PROMPT_PER_TURN)
+            .map(|i| ((turn * 31 + i * 7) % 90) as u32)
+            .collect();
+        let mut logits = if turn == 0 {
+            engine.prefill(&mut pool, &prompt).expect("pool sized").logits
+        } else {
+            let mut last = Vec::new();
+            for &t in &prompt {
+                last = engine.decode_step(&mut pool, t).expect("pool sized").logits;
+            }
+            last
+        };
+        let before = engine.stats().decode_tokens_visited;
+        for _ in 0..GEN_PER_TURN {
+            let next = greedy_next_token(&logits);
+            logits = engine.decode_step(&mut pool, next).expect("pool sized").logits;
+        }
+        let visited = engine.stats().decode_tokens_visited - before;
+        println!(
+            "  turn {} | context {:>4} tokens | KV rows visited/gen-step: {:>5.0} | pool pages {}",
+            turn + 1,
+            engine.context_len(),
+            visited as f64 / GEN_PER_TURN as f64,
+            pool.in_use(),
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!(
+        "{TURNS} turns x ({PROMPT_PER_TURN} prompt + {GEN_PER_TURN} generated) tokens, one persistent KV cache\n"
+    );
+    run("dense engine (work grows with context)", EngineConfig::dense());
+    run(
+        "lserve engine (work bounded by budget + streaming window)",
+        EngineConfig::lserve_fp16(),
+    );
+    println!("The dense engine's per-step KV reads grow every turn; LServe's stay flat —");
+    println!("the mechanism behind Figure 15's constant-latency decode at any context.");
+}

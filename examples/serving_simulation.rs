@@ -1,0 +1,48 @@
+//! Multi-request serving: a shared page pool under memory pressure, FCFS admission,
+//! continuous batching, and the memory asymmetry between dense and streaming heads.
+//!
+//! ```text
+//! cargo run --release --example serving_simulation
+//! ```
+
+use std::sync::Arc;
+
+use lserve::core::{EngineConfig, Request, ServingEngine};
+use lserve::model::{ModelConfig, ModelWeights};
+
+fn run(name: &str, mut cfg: EngineConfig, pool_pages: usize) {
+    // Small pages so page accounting is visible at toy scale.
+    cfg.paging = lserve::kvcache::PagingConfig::new(8, 4, lserve::quant::KvPrecision::Fp16);
+    cfg.prefill_tile = 8;
+    let weights = Arc::new(ModelWeights::random(&ModelConfig::tiny(), 11));
+    let mut srv = ServingEngine::new(weights, cfg, pool_pages);
+    for id in 0..8 {
+        srv.submit(Request {
+            id,
+            prompt: (0..48 + 4 * id as usize).map(|i| (i % 90) as u32).collect(),
+            max_new_tokens: 48,
+        });
+    }
+    let report = srv.run_to_completion(100_000);
+    println!(
+        "{name:>22}: completed {}, rejected {}, scheduler iterations {}, peak pages {}",
+        report.completed.len(),
+        report.rejected.len(),
+        report.scheduler_steps,
+        report.peak_pages,
+    );
+}
+
+fn main() {
+    println!("8 requests, 48-76 token prompts, 48 generated tokens each\n");
+    // Generous memory: everything runs concurrently.
+    run("dense, large pool", EngineConfig::dense(), 4096);
+    // Tight memory: dense KV forces serialized admission (more scheduler steps).
+    run("dense, tight pool", EngineConfig::dense(), 132);
+    // Same tight pool with LServe: streaming heads free half the KV growth and more
+    // requests fit together.
+    run("lserve, tight pool", EngineConfig::lserve_fp16(), 132);
+    println!("\nStreaming heads retain only sink+local pages (Figure 5's two-way cache),");
+    println!("so the same device memory admits more concurrent sequences — the paper's");
+    println!("memory-saving axis in Figure 1.");
+}
