@@ -70,7 +70,11 @@ pub fn decode_dense_head(
     match selected_pages {
         Some(sel) => {
             for &p in sel {
-                assert!(p < table.len(), "selected page {p} out of range ({})", table.len());
+                assert!(
+                    p < table.len(),
+                    "selected page {p} out of range ({})",
+                    table.len()
+                );
                 visit(p);
             }
         }
@@ -126,12 +130,7 @@ mod tests {
     use lserve_quant::KvPrecision;
     use lserve_tensor::{Matrix, SeededGaussian};
 
-    fn fill_dense(
-        pool: &mut PagePool,
-        cache: &mut DenseHeadCache,
-        k: &Matrix,
-        v: &Matrix,
-    ) {
+    fn fill_dense(pool: &mut PagePool, cache: &mut DenseHeadCache, k: &Matrix, v: &Matrix) {
         for t in 0..k.rows() {
             assert!(cache.append(pool, k.row(t), v.row(t)));
         }

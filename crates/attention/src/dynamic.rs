@@ -93,8 +93,8 @@ pub fn build_dynamic_prefill_mask(
         }
         // Rank strictly-past, non-sink blocks.
         scores.clear();
-        for kb in sink_blocks..qt {
-            scores.push((kb, block_stats[kb].importance(&q_mean)));
+        for (kb, stats) in block_stats.iter().enumerate().take(qt).skip(sink_blocks) {
+            scores.push((kb, stats.importance(&q_mean)));
         }
         scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         for &(kb, _) in scores.iter().take(keep_per_tile) {
@@ -184,7 +184,11 @@ mod tests {
         let mask = build_dynamic_prefill_mask(&q, &k, tile, 1, 1);
         let (sparse, stats) = prefill_attention(&q, &k, &v, scale, tile, tile, &mask);
         let dense = causal_attention_reference(&q, &k, &v, scale);
-        assert!(stats.sparsity() > 0.3, "mask must skip tiles: {}", stats.sparsity());
+        assert!(
+            stats.sparsity() > 0.3,
+            "mask must skip tiles: {}",
+            stats.sparsity()
+        );
         // Compare on the late rows (early rows have few causal blocks anyway).
         let mut worst = 0.0f32;
         for r in n / 2..n {

@@ -71,7 +71,8 @@ impl LayerAttnConfig {
 fn head_slice(m: &Matrix, h: usize, d: usize) -> Matrix {
     let mut out = Matrix::zeros(m.rows(), d);
     for r in 0..m.rows() {
-        out.row_mut(r).copy_from_slice(&m.row(r)[h * d..(h + 1) * d]);
+        out.row_mut(r)
+            .copy_from_slice(&m.row(r)[h * d..(h + 1) * d]);
     }
     out
 }
@@ -113,13 +114,22 @@ pub fn fused_prefill_layer(
         let vh = head_slice(v, kv, d);
         let (oh, stats) = match kinds[kv] {
             HeadKind::Dense => {
-                let r = prefill_attention(&qh, &kh, &vh, cfg.scale(), cfg.tile, cfg.tile, &DensePattern);
+                let r = prefill_attention(
+                    &qh,
+                    &kh,
+                    &vh,
+                    cfg.scale(),
+                    cfg.tile,
+                    cfg.tile,
+                    &DensePattern,
+                );
                 dense_stats.tiles_visited += r.1.tiles_visited;
                 dense_stats.tiles_total_causal += r.1.tiles_total_causal;
                 r
             }
             HeadKind::Streaming => {
-                let r = prefill_attention(&qh, &kh, &vh, cfg.scale(), cfg.tile, cfg.tile, &streaming);
+                let r =
+                    prefill_attention(&qh, &kh, &vh, cfg.scale(), cfg.tile, cfg.tile, &streaming);
                 stream_stats.tiles_visited += r.1.tiles_visited;
                 stream_stats.tiles_total_causal += r.1.tiles_total_causal;
                 r
@@ -156,8 +166,16 @@ pub fn fused_decode_layer(
 ) -> (Vec<f32>, DecodeStats, DecodeStats) {
     let d = cfg.head_dim;
     assert_eq!(q.len(), cfg.num_q_heads * d, "query width mismatch");
-    assert_eq!(cache.num_heads(), cfg.num_kv_heads, "cache head count mismatch");
-    assert_eq!(selections.len(), cfg.num_kv_heads, "selections length mismatch");
+    assert_eq!(
+        cache.num_heads(),
+        cfg.num_kv_heads,
+        "cache head count mismatch"
+    );
+    assert_eq!(
+        selections.len(),
+        cfg.num_kv_heads,
+        "selections length mismatch"
+    );
 
     let mut out = vec![0.0f32; cfg.num_q_heads * d];
     let mut dense_stats = DecodeStats::default();
@@ -228,7 +246,8 @@ pub fn fused_prefill_layer_dynamic(
                 r
             }
             HeadKind::Streaming => {
-                let r = prefill_attention(&qh, &kh, &vh, cfg.scale(), cfg.tile, cfg.tile, &streaming);
+                let r =
+                    prefill_attention(&qh, &kh, &vh, cfg.scale(), cfg.tile, cfg.tile, &streaming);
                 stream_stats.tiles_visited += r.1.tiles_visited;
                 stream_stats.tiles_total_causal += r.1.tiles_total_causal;
                 r
@@ -318,24 +337,25 @@ mod tests {
         let mut g = SeededGaussian::new(55);
         let n = 25;
         for _ in 0..n {
-            let keys: Vec<f32> = (0..c.num_kv_heads * c.head_dim).map(|_| g.sample()).collect();
-            let vals: Vec<f32> = (0..c.num_kv_heads * c.head_dim).map(|_| g.sample()).collect();
+            let keys: Vec<f32> = (0..c.num_kv_heads * c.head_dim)
+                .map(|_| g.sample())
+                .collect();
+            let vals: Vec<f32> = (0..c.num_kv_heads * c.head_dim)
+                .map(|_| g.sample())
+                .collect();
             assert!(cache.append_token(&mut pool, &keys, &vals, c.head_dim));
         }
-        let q: Vec<f32> = (0..c.num_q_heads * c.head_dim).map(|_| g.sample()).collect();
+        let q: Vec<f32> = (0..c.num_q_heads * c.head_dim)
+            .map(|_| g.sample())
+            .collect();
         let selections = vec![None, None];
         let (out, dstats, sstats) = fused_decode_layer(&pool, &cache, &q, &c, &selections);
         assert!(dstats.tokens_visited > 0 && sstats.tokens_visited > 0);
         // Check head 0 (dense) and head 2 (streaming via kv head 1) against the
         // single-head kernels.
         let d = c.head_dim;
-        let (want0, _) = decode_dense_head(
-            &pool,
-            cache.head(0).as_dense(),
-            &q[0..d],
-            c.scale(),
-            None,
-        );
+        let (want0, _) =
+            decode_dense_head(&pool, cache.head(0).as_dense(), &q[0..d], c.scale(), None);
         for (a, b) in out[0..d].iter().zip(&want0) {
             assert!((a - b).abs() < 1e-6);
         }
@@ -377,11 +397,17 @@ mod tests {
         let mut cache = LayerKvCache::new(&[false, true], StreamingWindow::new(1, 2));
         let mut g = SeededGaussian::new(9);
         for _ in 0..100 {
-            let keys: Vec<f32> = (0..c.num_kv_heads * c.head_dim).map(|_| g.sample()).collect();
-            let vals: Vec<f32> = (0..c.num_kv_heads * c.head_dim).map(|_| g.sample()).collect();
+            let keys: Vec<f32> = (0..c.num_kv_heads * c.head_dim)
+                .map(|_| g.sample())
+                .collect();
+            let vals: Vec<f32> = (0..c.num_kv_heads * c.head_dim)
+                .map(|_| g.sample())
+                .collect();
             assert!(cache.append_token(&mut pool, &keys, &vals, c.head_dim));
         }
-        let q: Vec<f32> = (0..c.num_q_heads * c.head_dim).map(|_| g.sample()).collect();
+        let q: Vec<f32> = (0..c.num_q_heads * c.head_dim)
+            .map(|_| g.sample())
+            .collect();
         let (_, dstats, sstats) = fused_decode_layer(&pool, &cache, &q, &c, &[None, None]);
         // Dense kv head serves 2 query heads over 25 pages each; streaming <= 3 pages.
         assert_eq!(dstats.pages_visited, 50);

@@ -31,7 +31,9 @@ pub mod reference;
 
 pub use decode::{decode_dense_head, decode_streaming_head, DecodeStats};
 pub use dynamic::build_dynamic_prefill_mask;
-pub use fused::{fused_decode_layer, fused_prefill_layer, fused_prefill_layer_dynamic, HeadKind, LayerAttnConfig};
+pub use fused::{
+    fused_decode_layer, fused_prefill_layer, fused_prefill_layer_dynamic, HeadKind, LayerAttnConfig,
+};
 pub use pattern::{BlockDecision, BlockPattern, DensePattern, MaskPattern, StreamingPattern};
 pub use prefill::{prefill_attention, PrefillStats};
 pub use reference::{causal_attention_reference, masked_attention_reference};

@@ -188,7 +188,10 @@ impl MaskPattern {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, qt: usize, kb: usize) {
-        assert!(qt < self.num_q_tiles && kb < self.num_k_blocks, "mask index out of bounds");
+        assert!(
+            qt < self.num_q_tiles && kb < self.num_k_blocks,
+            "mask index out of bounds"
+        );
         self.mask[qt * self.num_k_blocks + kb] = true;
     }
 
@@ -210,9 +213,13 @@ impl MaskPattern {
         seed: u64,
     ) -> Self {
         // Simple deterministic LCG so this crate needs no rand dependency.
-        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let mut next = move |bound: usize| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as usize) % bound.max(1)
         };
         let mut m = Self::new(num_q_tiles, num_k_blocks);

@@ -131,12 +131,21 @@ mod tests {
 
     fn rand_qkv(n: usize, d: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
         let mut g = SeededGaussian::new(seed);
-        (g.matrix(n, d, 1.0), g.matrix(n, d, 1.0), g.matrix(n, d, 1.0))
+        (
+            g.matrix(n, d, 1.0),
+            g.matrix(n, d, 1.0),
+            g.matrix(n, d, 1.0),
+        )
     }
 
     #[test]
     fn dense_pattern_matches_reference() {
-        for &(n, tq, tk) in &[(16usize, 4usize, 4usize), (17, 4, 4), (32, 8, 4), (9, 16, 16)] {
+        for &(n, tq, tk) in &[
+            (16usize, 4usize, 4usize),
+            (17, 4, 4),
+            (32, 8, 4),
+            (9, 16, 16),
+        ] {
             let (q, k, v) = rand_qkv(n, 8, 77 + n as u64);
             let scale = 1.0 / (8f32).sqrt();
             let want = causal_attention_reference(&q, &k, &v, scale);
@@ -167,7 +176,11 @@ mod tests {
             let kb = j / b;
             kb < 1 || kb + 2 > qt
         });
-        assert!(got.max_abs_diff(&want) < 1e-4, "diff {}", got.max_abs_diff(&want));
+        assert!(
+            got.max_abs_diff(&want) < 1e-4,
+            "diff {}",
+            got.max_abs_diff(&want)
+        );
         assert!(stats.sparsity() > 0.0);
     }
 
@@ -179,9 +192,8 @@ mod tests {
         let scale = 0.5;
         let m = MaskPattern::random_causal(n.div_ceil(b), n.div_ceil(b), 1, 123);
         let (got, _) = prefill_attention(&q, &k, &v, scale, b, b, &m);
-        let want = masked_attention_reference(&q, &k, &v, scale, |i, j| {
-            j <= i && m.get(i / b, j / b)
-        });
+        let want =
+            masked_attention_reference(&q, &k, &v, scale, |i, j| j <= i && m.get(i / b, j / b));
         assert!(got.max_abs_diff(&want) < 1e-4);
     }
 
@@ -210,6 +222,9 @@ mod tests {
     fn single_token_prompt() {
         let (q, k, v) = rand_qkv(1, 4, 3);
         let (got, _) = prefill_attention(&q, &k, &v, 0.5, 16, 16, &DensePattern);
-        assert!(got.max_abs_diff(&v) < 1e-5, "single token must return its value");
+        assert!(
+            got.max_abs_diff(&v) < 1e-5,
+            "single token must return its value"
+        );
     }
 }

@@ -9,7 +9,11 @@ use proptest::prelude::*;
 
 fn qkv(n: usize, d: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
     let mut g = SeededGaussian::new(seed);
-    (g.matrix(n, d, 1.0), g.matrix(n, d, 1.0), g.matrix(n, d, 1.0))
+    (
+        g.matrix(n, d, 1.0),
+        g.matrix(n, d, 1.0),
+        g.matrix(n, d, 1.0),
+    )
 }
 
 proptest! {

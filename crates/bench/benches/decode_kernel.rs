@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lserve_attention::{decode_dense_head, decode_streaming_head};
-use lserve_kvcache::{
-    DenseHeadCache, PagePool, PagingConfig, StreamingHeadCache, StreamingWindow,
-};
+use lserve_kvcache::{DenseHeadCache, PagePool, PagingConfig, StreamingHeadCache, StreamingWindow};
 use lserve_quant::KvPrecision;
 use lserve_tensor::SeededGaussian;
 use std::hint::black_box;

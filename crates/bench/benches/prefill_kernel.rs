@@ -19,7 +19,17 @@ fn bench_prefill(c: &mut Criterion) {
     let mut group = c.benchmark_group("prefill_kernel");
     group.sample_size(20);
     group.bench_function(BenchmarkId::new("dense", n), |b| {
-        b.iter(|| black_box(prefill_attention(&q, &k, &v, scale, tile, tile, &DensePattern)))
+        b.iter(|| {
+            black_box(prefill_attention(
+                &q,
+                &k,
+                &v,
+                scale,
+                tile,
+                tile,
+                &DensePattern,
+            ))
+        })
     });
     let streaming = StreamingPattern::new(1, 2);
     group.bench_function(BenchmarkId::new("streaming_1sink_2local", n), |b| {

@@ -14,22 +14,27 @@ fn bench_quant(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("quant");
     for precision in [KvPrecision::Int8, KvPrecision::Int4] {
-        group.bench_function(BenchmarkId::new("quantize_page", precision.to_string()), |b| {
-            b.iter(|| black_box(QuantizedTensor::quantize(&data, tokens, dim, precision)))
-        });
+        group.bench_function(
+            BenchmarkId::new("quantize_page", precision.to_string()),
+            |b| b.iter(|| black_box(QuantizedTensor::quantize(&data, tokens, dim, precision))),
+        );
         let t = QuantizedTensor::quantize(&data, tokens, dim, precision);
-        group.bench_function(BenchmarkId::new("dequantize_page", precision.to_string()), |b| {
-            b.iter(|| black_box(t.dequantize()))
-        });
-        group.bench_function(BenchmarkId::new("fused_dot_page", precision.to_string()), |b| {
-            b.iter(|| {
-                let mut acc = 0.0f32;
-                for row in 0..tokens {
-                    acc += t.dot_row(row, &query);
-                }
-                black_box(acc)
-            })
-        });
+        group.bench_function(
+            BenchmarkId::new("dequantize_page", precision.to_string()),
+            |b| b.iter(|| black_box(t.dequantize())),
+        );
+        group.bench_function(
+            BenchmarkId::new("fused_dot_page", precision.to_string()),
+            |b| {
+                b.iter(|| {
+                    let mut acc = 0.0f32;
+                    for row in 0..tokens {
+                        acc += t.dot_row(row, &query);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -56,7 +56,14 @@ fn main() {
     }
     print_table(
         "Ablation: page geometry vs accuracy, bandwidth efficiency, selector cost",
-        &["NP", "NL", "Budget", "Recall", "BW eff", "Selector ms/layer"],
+        &[
+            "NP",
+            "NL",
+            "Budget",
+            "Recall",
+            "BW eff",
+            "Selector ms/layer",
+        ],
         &rows,
     );
     println!("\nReading: NP=16 has the best recall-per-budget but only ~61% bandwidth");

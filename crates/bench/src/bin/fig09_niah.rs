@@ -21,8 +21,7 @@ fn main() {
                 depth,
                 0xF19_0900 ^ (seq as u64) ^ ((depth * 100.0) as u64),
             );
-            let (pool, cache) =
-                case.build_cache(PagingConfig::new(64, 16, KvPrecision::Int4));
+            let (pool, cache) = case.build_cache(PagingConfig::new(64, 16, KvPrecision::Int4));
             let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), 4);
             let s = sel.select(&pool, &cache, &[case.query()], 4096, 0);
             row.push(format!("{:.2}", case.recall(&s.pages, 64)));

@@ -47,7 +47,10 @@ fn run(gpu: &GpuSpec, model: &ModelConfig, lengths: &[usize]) {
     headers.push("Geomean".to_string());
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
     print_table(
-        &format!("Figure 10: decode throughput relative to LServe ({}, {})", model.name, gpu.name),
+        &format!(
+            "Figure 10: decode throughput relative to LServe ({}, {})",
+            model.name, gpu.name
+        ),
         &headers_ref,
         &rows,
     );
@@ -55,21 +58,31 @@ fn run(gpu: &GpuSpec, model: &ModelConfig, lengths: &[usize]) {
 
 fn main() {
     let a100 = GpuSpec::a100_80g();
-    run(&a100, &ModelConfig::llama3_8b(), &lserve_bench::decode_lengths());
+    run(
+        &a100,
+        &ModelConfig::llama3_8b(),
+        &lserve_bench::decode_lengths(),
+    );
     run(
         &a100,
         &ModelConfig::llama2_7b(),
-        &[16_384, 32_768, 65_536, 98_304, 131_072, 163_840, 196_608, 229_376],
+        &[
+            16_384, 32_768, 65_536, 98_304, 131_072, 163_840, 196_608, 229_376,
+        ],
     );
     run(
         &a100,
         &ModelConfig::minitron_4b(),
-        &[65_536, 98_304, 131_072, 163_840, 196_608, 229_376, 262_144, 524_288],
+        &[
+            65_536, 98_304, 131_072, 163_840, 196_608, 229_376, 262_144, 524_288,
+        ],
     );
     run(
         &GpuSpec::l40s(),
         &ModelConfig::llama3_8b(),
-        &[32_768, 65_536, 98_304, 131_072, 163_840, 196_608, 229_376, 262_144],
+        &[
+            32_768, 65_536, 98_304, 131_072, 163_840, 196_608, 229_376, 262_144,
+        ],
     );
     println!("\nPaper shape: LServe fastest everywhere (1.00); vLLM ~0.5 on Llama-3-8B;");
     println!("~2x+ gap on MHA Llama-2-7B; MInference lowest (unoptimized decode);");

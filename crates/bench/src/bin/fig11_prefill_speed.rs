@@ -36,7 +36,10 @@ fn run(model: &ModelConfig, lengths: &[usize]) {
     headers.push("Geomean".to_string());
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
     print_table(
-        &format!("Figure 11: prefill throughput relative to LServe ({}, A100)", model.name),
+        &format!(
+            "Figure 11: prefill throughput relative to LServe ({}, A100)",
+            model.name
+        ),
         &headers_ref,
         &rows,
     );

@@ -65,7 +65,11 @@ fn main() {
     let mut headers = vec!["Config (budget 3072)".to_string()];
     headers.extend(lengths.iter().map(|&s| klen(s)));
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
-    print_table("Figure 13: hierarchical paging NIAH recall", &headers_ref, &rows);
+    print_table(
+        "Figure 13: hierarchical paging NIAH recall",
+        &headers_ref,
+        &rows,
+    );
     println!("\nPaper shape: hierarchical NP=32/64 with NL=16 matches NP=16 accuracy at the");
     println!("same budget, while flat selection at NP=32/64 collapses (Figure 6).");
 }

@@ -33,7 +33,12 @@ fn main() {
     }
     print_table(
         "Figure 14 (cost model, ms/layer): selector vs sparse attention",
-        &["Seq", "Vanilla selector", "Reusable (C=4)", "Sparse attention"],
+        &[
+            "Seq",
+            "Vanilla selector",
+            "Reusable (C=4)",
+            "Sparse attention",
+        ],
         &rows,
     );
 
@@ -60,8 +65,13 @@ fn main() {
         }
         let reusable_ms = t0.elapsed().as_secs_f64() * 1e3 / steps as f64;
 
-        let sel = ReusableSelector::new(HierarchicalSelector::new(true), 1)
-            .select(&pool, &cache, &[case.query()], budget, 0);
+        let sel = ReusableSelector::new(HierarchicalSelector::new(true), 1).select(
+            &pool,
+            &cache,
+            &[case.query()],
+            budget,
+            0,
+        );
         let t0 = Instant::now();
         for _ in 0..steps {
             let _ = decode_dense_head(&pool, &cache, case.query(), scale, Some(&sel.pages));
@@ -77,7 +87,12 @@ fn main() {
     }
     print_table(
         "Figure 14 (CPU, ms/step, one head): selector vs budgeted sparse attention",
-        &["Seq", "Vanilla selector", "Reusable (C=4)", "Sparse attention"],
+        &[
+            "Seq",
+            "Vanilla selector",
+            "Reusable (C=4)",
+            "Sparse attention",
+        ],
         &rows,
     );
     println!("\nPaper shape: the vanilla selector overtakes sparse attention past ~64K");

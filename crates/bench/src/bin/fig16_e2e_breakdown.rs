@@ -18,9 +18,18 @@ fn chain() -> Vec<(&'static str, SystemModel)> {
         s
     };
     vec![
-        ("Dense Attention", fp16(SystemModel::lserve_dense_baseline())),
-        ("+50% Streaming Heads", fp16(SystemModel::lserve_static_only())),
-        ("+Dynamic (4K budget)", fp16(SystemModel::lserve_dynamic_only())),
+        (
+            "Dense Attention",
+            fp16(SystemModel::lserve_dense_baseline()),
+        ),
+        (
+            "+50% Streaming Heads",
+            fp16(SystemModel::lserve_static_only()),
+        ),
+        (
+            "+Dynamic (4K budget)",
+            fp16(SystemModel::lserve_dynamic_only()),
+        ),
         ("LServe", SystemModel::lserve()),
     ]
 }

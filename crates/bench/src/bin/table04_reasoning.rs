@@ -53,7 +53,10 @@ fn forced_agreement(
             agree += 1;
         }
         if i + 1 < trajectory.len() {
-            logits = engine.decode_step(&mut pool, tok).expect("pool sized").logits;
+            logits = engine
+                .decode_step(&mut pool, tok)
+                .expect("pool sized")
+                .logits;
         }
     }
     agree as f64 / trajectory.len() as f64
@@ -97,9 +100,7 @@ fn main() {
         ],
     ];
     print_table(
-        &format!(
-            "Table 4: reasoning proxy — teacher-forced agreement over {GEN_TOKENS} steps"
-        ),
+        &format!("Table 4: reasoning proxy — teacher-forced agreement over {GEN_TOKENS} steps"),
         &["Benchmark", "Dense", "LServe(fp16 KV)", "LServe(int4 KV)"],
         &rows,
     );

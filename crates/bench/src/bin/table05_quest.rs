@@ -48,7 +48,10 @@ fn main() {
             if max_batch(&gpu, &model, sys, seq) == 0 {
                 row.push("OOM".into());
             } else {
-                row.push(format!("{:.2}", decode_step(&gpu, &model, sys, seq, 1).total() * 1e3));
+                row.push(format!(
+                    "{:.2}",
+                    decode_step(&gpu, &model, sys, seq, 1).total() * 1e3
+                ));
             }
         }
         rows.push(row);

@@ -43,7 +43,13 @@ fn main() {
     print_table(
         "Table 7: generation latency (ms/step), measured model vs paper reference",
         &[
-            "Seq", "vLLM", "LServe", "Speedup", "vLLM(paper)", "LServe(paper)", "Speedup(paper)",
+            "Seq",
+            "vLLM",
+            "LServe",
+            "Speedup",
+            "vLLM(paper)",
+            "LServe(paper)",
+            "Speedup(paper)",
         ],
         &rows,
     );

@@ -2,7 +2,7 @@
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the paper (see
 //! `DESIGN.md`'s per-experiment index) and prints it in the same row/series layout
-//! the paper uses, so `EXPERIMENTS.md` can record paper-vs-measured side by side.
+//! the paper uses, so each binary can print paper-vs-measured side by side.
 //! Run them in release mode:
 //!
 //! ```text
@@ -59,7 +59,7 @@ pub fn pct(x: f64) -> String {
 
 /// Human-readable context length (`65536` → `"64K"`).
 pub fn klen(tokens: usize) -> String {
-    if tokens % 1024 == 0 {
+    if tokens.is_multiple_of(1024) {
         format!("{}K", tokens / 1024)
     } else {
         tokens.to_string()
@@ -68,7 +68,9 @@ pub fn klen(tokens: usize) -> String {
 
 /// The context-length sweep used by most decode figures.
 pub fn decode_lengths() -> Vec<usize> {
-    vec![65_536, 98_304, 131_072, 163_840, 196_608, 229_376, 262_144, 327_680]
+    vec![
+        65_536, 98_304, 131_072, 163_840, 196_608, 229_376, 262_144, 327_680,
+    ]
 }
 
 /// Geometric mean of positive values.

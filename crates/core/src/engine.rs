@@ -1,59 +1,37 @@
-//! The single-sequence inference engine: fused sparse prefill and decode.
+//! Single-sequence convenience wrapper over the executor/state split.
+//!
+//! [`Engine`] bundles one shared [`ModelExecutor`] with one private
+//! [`SequenceState`] behind the original single-sequence API. New code — and any
+//! serving loop — should hold a `ModelExecutor` and per-request `SequenceState`s
+//! directly (see [`crate::serving::Scheduler`]); this wrapper exists so
+//! single-sequence callers (tests, examples, accuracy sweeps) stay simple.
 
-use std::error::Error;
-use std::fmt;
 use std::sync::Arc;
 
-use lserve_attention::{
-    fused_decode_layer, fused_prefill_layer, fused_prefill_layer_dynamic, HeadKind,
-    LayerAttnConfig,
-};
-use lserve_kvcache::{HeadCache, LayerKvCache, PagePool};
-use lserve_model::forward::{ffn_block, logits, post_attention, pre_attention};
+use lserve_attention::HeadKind;
+use lserve_kvcache::PagePool;
 use lserve_model::{ModelConfig, ModelWeights};
-use lserve_selector::{
-    FlatSelector, HierarchicalSelector, PageSelector, ReusableSelector,
-};
-use lserve_tensor::rope::RopeTable;
-use lserve_tensor::Matrix;
-use lserve_workloads::duo_gates;
 
-use crate::{streaming_masks_from_gates, EngineConfig, EngineStats, SelectorKind};
+pub use crate::executor::{DecodeOutput, OutOfPagesError, PrefillOutput};
+use crate::executor::{ModelExecutor, SequenceState};
+use crate::{EngineConfig, EngineStats};
 
-/// The KV page pool is exhausted; the sequence cannot grow.
-///
-/// Serving layers use this for admission control and retry; it is not a bug, it is
-/// the backpressure signal of a memory-constrained device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct OutOfPagesError;
-
-impl fmt::Display for OutOfPagesError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "kv page pool exhausted")
+impl EngineConfig {
+    /// Builds a page pool sized so one sequence of up to `max_tokens` fits under
+    /// this configuration (dense heads grow with context; streaming heads are
+    /// bounded by their window).
+    pub fn make_pool_for(&self, model: &ModelConfig, max_tokens: usize) -> PagePool {
+        let capacity = crate::serving::sequence_pages_estimate(self, model, max_tokens) + 8;
+        PagePool::new(self.paging, capacity, model.head_dim)
     }
-}
-
-impl Error for OutOfPagesError {}
-
-/// Result of a prefill call.
-#[derive(Debug, Clone)]
-pub struct PrefillOutput {
-    /// Logits of the last prompt token (`vocab` wide) — the distribution of the
-    /// first generated token.
-    pub logits: Vec<f32>,
-}
-
-/// Result of one decode step.
-#[derive(Debug, Clone)]
-pub struct DecodeOutput {
-    /// Next-token logits (`vocab` wide).
-    pub logits: Vec<f32>,
 }
 
 /// A single-sequence LServe inference pipeline over a caller-provided page pool.
 ///
-/// The engine owns the per-layer two-way KV caches and selectors but *not* the pool,
-/// so a serving layer can share one pool (one device memory) across many sequences.
+/// The engine owns per-sequence state (two-way KV caches, selectors) but *not* the
+/// pool, so a serving layer can share one pool (one device memory) across many
+/// sequences. Internally it is an `Arc<ModelExecutor>` plus a [`SequenceState`];
+/// cloning an engine shares the executor and deep-copies the sequence state.
 ///
 /// # Example
 ///
@@ -71,157 +49,57 @@ pub struct DecodeOutput {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Engine {
-    weights: Arc<ModelWeights>,
-    cfg: EngineConfig,
-    attn_cfg: LayerAttnConfig,
-    rope: RopeTable,
-    layers: Vec<LayerKvCache>,
-    kinds: Vec<Vec<HeadKind>>,
-    selectors: Vec<Vec<Option<SelectorBox>>>,
-    tokens_processed: usize,
-    decode_step_idx: usize,
-    stats: EngineStats,
-}
-
-/// Concrete selector stack chosen by [`SelectorKind`] (kept as an enum rather than a
-/// trait object so the engine stays `Debug` + cheap).
-#[derive(Debug, Clone)]
-enum SelectorBox {
-    Flat(ReusableSelector<FlatSelector>),
-    Hierarchical(ReusableSelector<HierarchicalSelector>),
-}
-
-impl SelectorBox {
-    fn select(
-        &mut self,
-        pool: &PagePool,
-        cache: &lserve_kvcache::DenseHeadCache,
-        queries: &[&[f32]],
-        budget: usize,
-        step: usize,
-    ) -> lserve_selector::Selection {
-        match self {
-            SelectorBox::Flat(s) => s.select(pool, cache, queries, budget, step),
-            SelectorBox::Hierarchical(s) => s.select(pool, cache, queries, budget, step),
-        }
-    }
-}
-
-impl EngineConfig {
-    /// Builds a page pool sized so one sequence of up to `max_tokens` fits under
-    /// this configuration (dense heads grow with context; streaming heads are
-    /// bounded by their window).
-    pub fn make_pool_for(&self, model: &ModelConfig, max_tokens: usize) -> PagePool {
-        let pages_dense = self.paging.pages_for(max_tokens) + 1;
-        let pages_stream = self.streaming_window.max_pages() + 2;
-        let streaming_heads =
-            (self.streaming_sparsity * (model.num_layers * model.num_kv_heads) as f64).round()
-                as usize;
-        let dense_heads = model.num_layers * model.num_kv_heads - streaming_heads;
-        let capacity = dense_heads * pages_dense + streaming_heads * pages_stream + 8;
-        PagePool::new(self.paging, capacity, model.head_dim)
-    }
+    exec: Arc<ModelExecutor>,
+    state: SequenceState,
 }
 
 impl Engine {
     /// Creates an engine for `weights` under `cfg`.
-    ///
-    /// Head classification runs here, offline, from synthetic DuoAttention gates
-    /// seeded by `cfg.gate_seed` (§3.3).
     ///
     /// # Panics
     ///
     /// Panics if `cfg` is internally inconsistent (see
     /// [`EngineConfig::validate`]).
     pub fn new(weights: Arc<ModelWeights>, cfg: EngineConfig) -> Self {
-        cfg.validate();
-        let model = &weights.config;
-        let gates = duo_gates(model.num_layers, model.num_kv_heads, cfg.gate_seed);
-        let masks = streaming_masks_from_gates(&gates, cfg.streaming_sparsity);
-        let kinds: Vec<Vec<HeadKind>> = masks
-            .iter()
-            .map(|layer| {
-                layer
-                    .iter()
-                    .map(|&s| if s { HeadKind::Streaming } else { HeadKind::Dense })
-                    .collect()
-            })
-            .collect();
-        let layers: Vec<LayerKvCache> = masks
-            .iter()
-            .map(|mask| LayerKvCache::new(mask, cfg.streaming_window))
-            .collect();
-        let selectors = masks
-            .iter()
-            .map(|mask| {
-                mask.iter()
-                    .map(|&streaming| {
-                        if streaming || cfg.dynamic_budget.is_none() {
-                            return None;
-                        }
-                        Some(match cfg.selector {
-                            SelectorKind::Flat => SelectorBox::Flat(ReusableSelector::new(
-                                FlatSelector::new(true),
-                                cfg.reuse_interval,
-                            )),
-                            SelectorKind::Hierarchical => {
-                                SelectorBox::Hierarchical(ReusableSelector::new(
-                                    HierarchicalSelector::new(true),
-                                    cfg.reuse_interval,
-                                ))
-                            }
-                            SelectorKind::None => unreachable!("validated"),
-                        })
-                    })
-                    .collect()
-            })
-            .collect();
-        let attn_cfg = LayerAttnConfig {
-            num_q_heads: model.num_q_heads,
-            num_kv_heads: model.num_kv_heads,
-            head_dim: model.head_dim,
-            tile: cfg.prefill_tile,
-            sink_blocks: cfg.streaming_window.sink_pages,
-            local_blocks: cfg.streaming_window.local_pages,
-        };
-        let rope = RopeTable::new(model.head_dim, model.rope_base);
-        Self {
-            weights,
-            cfg,
-            attn_cfg,
-            rope,
-            layers,
-            kinds,
-            selectors,
-            tokens_processed: 0,
-            decode_step_idx: 0,
-            stats: EngineStats::default(),
-        }
+        let exec = Arc::new(ModelExecutor::new(weights, cfg));
+        let state = exec.new_sequence();
+        Self { exec, state }
+    }
+
+    /// Wraps an existing shared executor with a fresh sequence.
+    pub fn from_executor(exec: Arc<ModelExecutor>) -> Self {
+        let state = exec.new_sequence();
+        Self { exec, state }
+    }
+
+    /// The shared executor half.
+    pub fn executor(&self) -> &Arc<ModelExecutor> {
+        &self.exec
     }
 
     /// The policy configuration.
     pub fn config(&self) -> &EngineConfig {
-        &self.cfg
+        self.exec.config()
     }
 
     /// The model weights.
     pub fn weights(&self) -> &ModelWeights {
-        &self.weights
+        self.exec.weights()
     }
 
     /// Tokens absorbed so far (prompt + generated).
     pub fn context_len(&self) -> usize {
-        self.tokens_processed
+        self.state.context_len()
     }
 
     /// Cumulative work counters.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        self.state.stats()
     }
 
     /// Per-layer streaming masks decided at construction.
     pub fn head_kinds(&self) -> &[Vec<HeadKind>] {
-        &self.kinds
+        self.exec.head_kinds()
     }
 
     /// Processes the whole prompt with the fused block-sparse prefill pipeline and
@@ -240,52 +118,10 @@ impl Engine {
         pool: &mut PagePool,
         tokens: &[u32],
     ) -> Result<PrefillOutput, OutOfPagesError> {
-        assert!(!tokens.is_empty(), "empty prompt");
-        assert_eq!(self.tokens_processed, 0, "prefill on a non-empty engine");
-        let model = self.weights.config.clone();
-        let weights = Arc::clone(&self.weights);
-        // MInference-style dynamic prefill on retrieval heads, only past the
-        // activation threshold (§4.3: "activated after 128K").
-        let dynamic_keep = self
-            .cfg
-            .dynamic_prefill_keep
-            .filter(|_| tokens.len() > self.cfg.dynamic_prefill_after);
-        let mut x = weights.embed_tokens(tokens);
-        for (l, lw) in weights.layers.iter().enumerate() {
-            let acts = pre_attention(&model, lw, &x, 0, &self.rope);
-            for t in 0..tokens.len() {
-                if !self.layers[l].append_token(pool, acts.k.row(t), acts.v.row(t), model.head_dim)
-                {
-                    return Err(OutOfPagesError);
-                }
-            }
-            let (attn, dense_stats, stream_stats) = match dynamic_keep {
-                Some(keep) => fused_prefill_layer_dynamic(
-                    &acts.q,
-                    &acts.k,
-                    &acts.v,
-                    &self.attn_cfg,
-                    &self.kinds[l],
-                    keep,
-                ),
-                None => fused_prefill_layer(&acts.q, &acts.k, &acts.v, &self.attn_cfg, &self.kinds[l]),
-            };
-            self.stats.add_prefill(dense_stats, stream_stats);
-            x = post_attention(lw, &x, &attn);
-            x = ffn_block(lw, &x);
-        }
-        self.tokens_processed = tokens.len();
-        let last = x.slice_rows(tokens.len() - 1, tokens.len());
-        let out = logits(&weights, &last);
-        Ok(PrefillOutput {
-            logits: out.row(0).to_vec(),
-        })
+        self.exec.prefill(&mut self.state, pool, tokens)
     }
 
     /// Runs one decode step: absorbs `token`, returns next-token logits.
-    ///
-    /// Dense heads go through dynamic page selection (when configured) and the
-    /// fused decode kernel; streaming heads attend their sink+local pages.
     ///
     /// # Errors
     ///
@@ -299,65 +135,7 @@ impl Engine {
         pool: &mut PagePool,
         token: u32,
     ) -> Result<DecodeOutput, OutOfPagesError> {
-        assert!(self.tokens_processed > 0, "decode before prefill");
-        let model = self.weights.config.clone();
-        let weights = Arc::clone(&self.weights);
-        let pos = self.tokens_processed;
-        let d = model.head_dim;
-        let group = model.gqa_group_size();
-        let mut x = weights.embed_tokens(&[token]);
-        for (l, lw) in weights.layers.iter().enumerate() {
-            let acts = pre_attention(&model, lw, &x, pos, &self.rope);
-            if !self.layers[l].append_token(pool, acts.k.row(0), acts.v.row(0), d) {
-                return Err(OutOfPagesError);
-            }
-            let q_row = acts.q.row(0);
-            let mut selections: Vec<Option<Vec<usize>>> = vec![None; model.num_kv_heads];
-            if let Some(budget) = self.cfg.dynamic_budget {
-                for kv in 0..model.num_kv_heads {
-                    let Some(selector) = self.selectors[l][kv].as_mut() else {
-                        continue;
-                    };
-                    let HeadCache::Dense(cache) = self.layers[l].head(kv) else {
-                        continue;
-                    };
-                    // Skip selection entirely while the history fits the budget —
-                    // the offline-profiled "no slowdown at short contexts" rule
-                    // (§5.5).
-                    if cache.tokens() <= budget {
-                        continue;
-                    }
-                    let queries: Vec<&[f32]> = (0..group)
-                        .map(|i| {
-                            let h = kv * group + i;
-                            &q_row[h * d..(h + 1) * d]
-                        })
-                        .collect();
-                    let sel =
-                        selector.select(pool, cache, &queries, budget, self.decode_step_idx);
-                    self.stats.selector_logical_scored += sel.logical_pages_scored;
-                    if sel.reused {
-                        self.stats.selector_reuses += 1;
-                    } else {
-                        self.stats.selector_invocations += 1;
-                    }
-                    selections[kv] = Some(sel.pages);
-                }
-            }
-            let (attn, dense_stats, stream_stats) =
-                fused_decode_layer(pool, &self.layers[l], q_row, &self.attn_cfg, &selections);
-            self.stats.add_decode(dense_stats, stream_stats);
-            let attn_m = Matrix::from_vec(1, attn.len(), attn);
-            x = post_attention(lw, &x, &attn_m);
-            x = ffn_block(lw, &x);
-        }
-        self.tokens_processed += 1;
-        self.decode_step_idx += 1;
-        self.stats.decode_steps += 1;
-        let out = logits(&weights, &x);
-        Ok(DecodeOutput {
-            logits: out.row(0).to_vec(),
-        })
+        self.exec.decode_step(&mut self.state, pool, token)
     }
 
     /// Greedy generation: prefill `prompt`, then decode `max_new_tokens` tokens
@@ -387,26 +165,15 @@ impl Engine {
 
     /// Frees every page this engine holds and resets it for a fresh sequence.
     pub fn release(&mut self, pool: &mut PagePool) {
-        for layer in &mut self.layers {
-            layer.release(pool);
-        }
-        self.tokens_processed = 0;
-        self.decode_step_idx = 0;
-        for layer in &mut self.selectors {
-            for s in layer.iter_mut().flatten() {
-                match s {
-                    SelectorBox::Flat(x) => x.reset(),
-                    SelectorBox::Hierarchical(x) => x.reset(),
-                }
-            }
-        }
+        self.state.release(pool);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lserve_model::{greedy_next_token, reference_forward_full};
+    use crate::EngineConfig;
+    use lserve_model::{greedy_next_token, reference_forward_full, ModelConfig};
 
     fn tiny_weights() -> Arc<ModelWeights> {
         Arc::new(ModelWeights::random(&ModelConfig::tiny(), 42))
@@ -601,7 +368,11 @@ mod tests {
         let mut pool2 = cfg.make_pool_for(&w.config, 128);
         let mut e2 = Engine::new(Arc::clone(&w), cfg);
         e2.prefill(&mut pool2, &prompt).unwrap();
-        assert!(e2.stats().prefill_sparsity() > 0.3, "{}", e2.stats().prefill_sparsity());
+        assert!(
+            e2.stats().prefill_sparsity() > 0.3,
+            "{}",
+            e2.stats().prefill_sparsity()
+        );
     }
 
     #[test]
@@ -611,14 +382,18 @@ mod tests {
         let dense = {
             let cfg = EngineConfig::dense();
             let mut pool = cfg.make_pool_for(&w.config, 64);
-            Engine::new(Arc::clone(&w), cfg).prefill(&mut pool, &prompt).unwrap()
+            Engine::new(Arc::clone(&w), cfg)
+                .prefill(&mut pool, &prompt)
+                .unwrap()
         };
         let mut cfg = EngineConfig::dense();
         cfg.prefill_tile = 8;
         cfg.dynamic_prefill_keep = Some(1000);
         cfg.dynamic_prefill_after = 8;
         let mut pool = cfg.make_pool_for(&w.config, 64);
-        let out = Engine::new(Arc::clone(&w), cfg).prefill(&mut pool, &prompt).unwrap();
+        let out = Engine::new(Arc::clone(&w), cfg)
+            .prefill(&mut pool, &prompt)
+            .unwrap();
         for (a, b) in out.logits.iter().zip(&dense.logits) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }
@@ -631,7 +406,10 @@ mod tests {
         let mut pool = PagePool::new(cfg.paging, 4, w.config.head_dim);
         let mut e = Engine::new(w, cfg);
         let prompt: Vec<u32> = (0..90).map(|i| i as u32).collect();
-        assert!(matches!(e.prefill(&mut pool, &prompt), Err(OutOfPagesError)));
+        assert!(matches!(
+            e.prefill(&mut pool, &prompt),
+            Err(OutOfPagesError)
+        ));
     }
 
     #[test]

@@ -1,0 +1,623 @@
+//! The shared/immutable vs per-sequence split of the inference engine.
+//!
+//! [`ModelExecutor`] owns everything that is identical for every request served by
+//! one model deployment: the weights handle, the policy configuration, the RoPE
+//! table, the attention-kernel configuration, and the offline §3.3 head
+//! classification. It is cheap to share (`Arc`) and never mutated after
+//! construction.
+//!
+//! [`SequenceState`] owns everything that belongs to one request: the per-layer
+//! two-way KV caches, the per-head reusable-selector state, the position counters,
+//! and the work stats. It is created by [`ModelExecutor::new_sequence`], costs no
+//! pool pages until tokens are appended, and releases all its pages with
+//! [`SequenceState::release`].
+//!
+//! This split is what makes a real serving loop possible: a scheduler holds one
+//! executor and N sequence states, batches decode across states
+//! ([`ModelExecutor::decode_batch`], layers in the outer loop so weight/config
+//! traversal is amortized), and can drop or rebuild any state independently
+//! (preemption and resume).
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use lserve_attention::{
+    fused_decode_layer, fused_prefill_layer, fused_prefill_layer_dynamic, HeadKind, LayerAttnConfig,
+};
+use lserve_kvcache::{HeadCache, LayerKvCache, PagePool};
+use lserve_model::forward::{ffn_block, logits, post_attention, pre_attention};
+use lserve_model::{LayerWeights, ModelWeights};
+use lserve_selector::{FlatSelector, HierarchicalSelector, PageSelector, ReusableSelector};
+use lserve_tensor::rope::RopeTable;
+use lserve_tensor::Matrix;
+use lserve_workloads::duo_gates;
+
+use crate::{streaming_masks_from_gates, EngineConfig, EngineStats, SelectorKind};
+
+/// The KV page pool is exhausted; the sequence cannot grow.
+///
+/// Serving layers use this for admission control, preemption, and retry; it is not
+/// a bug, it is the backpressure signal of a memory-constrained device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfPagesError;
+
+impl fmt::Display for OutOfPagesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kv page pool exhausted")
+    }
+}
+
+impl Error for OutOfPagesError {}
+
+/// Result of a prefill call.
+#[derive(Debug, Clone)]
+pub struct PrefillOutput {
+    /// Logits of the last prompt token (`vocab` wide) — the distribution of the
+    /// first generated token.
+    pub logits: Vec<f32>,
+}
+
+/// Result of one decode step.
+#[derive(Debug, Clone)]
+pub struct DecodeOutput {
+    /// Next-token logits (`vocab` wide).
+    pub logits: Vec<f32>,
+}
+
+/// Concrete selector stack chosen by [`SelectorKind`] (kept as an enum rather than a
+/// trait object so sequence state stays `Debug` + `Clone` + cheap).
+#[derive(Debug, Clone)]
+enum SelectorBox {
+    Flat(ReusableSelector<FlatSelector>),
+    Hierarchical(ReusableSelector<HierarchicalSelector>),
+}
+
+impl SelectorBox {
+    fn select(
+        &mut self,
+        pool: &PagePool,
+        cache: &lserve_kvcache::DenseHeadCache,
+        queries: &[&[f32]],
+        budget: usize,
+        step: usize,
+    ) -> lserve_selector::Selection {
+        match self {
+            SelectorBox::Flat(s) => s.select(pool, cache, queries, budget, step),
+            SelectorBox::Hierarchical(s) => s.select(pool, cache, queries, budget, step),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            SelectorBox::Flat(s) => s.reset(),
+            SelectorBox::Hierarchical(s) => s.reset(),
+        }
+    }
+}
+
+/// Per-request mutable state: KV caches, selector state, position, stats.
+///
+/// Created by [`ModelExecutor::new_sequence`]; every compute method on the executor
+/// takes the state it operates on explicitly. Dropping a state without calling
+/// [`SequenceState::release`] leaks its pool pages, so serving layers must release
+/// on every exit path (completion, rejection, preemption).
+#[derive(Debug, Clone)]
+pub struct SequenceState {
+    layers: Vec<LayerKvCache>,
+    selectors: Vec<Vec<Option<SelectorBox>>>,
+    tokens_processed: usize,
+    decode_step_idx: usize,
+    stats: EngineStats,
+}
+
+impl SequenceState {
+    /// Tokens absorbed so far (prompt + generated).
+    pub fn context_len(&self) -> usize {
+        self.tokens_processed
+    }
+
+    /// Cumulative work counters for this sequence.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Exact number of fresh pool pages one more token will allocate across all
+    /// layers and heads (the reservation a scheduler must check before a decode
+    /// step to guarantee the step cannot fail mid-layer).
+    pub fn pages_needed_for_next_token(&self, pool: &PagePool) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.pages_needed_for_next_token(pool))
+            .sum()
+    }
+
+    /// Frees every page this sequence holds and resets it for reuse (fresh prefill).
+    pub fn release(&mut self, pool: &mut PagePool) {
+        for layer in &mut self.layers {
+            layer.release(pool);
+        }
+        self.tokens_processed = 0;
+        self.decode_step_idx = 0;
+        for layer in &mut self.selectors {
+            for s in layer.iter_mut().flatten() {
+                s.reset();
+            }
+        }
+    }
+}
+
+/// The immutable, shareable half of the engine: weights, policy, RoPE table, and
+/// the offline head classification. One executor serves any number of concurrent
+/// [`SequenceState`]s.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use lserve_core::{EngineConfig, ModelExecutor};
+/// use lserve_model::{ModelConfig, ModelWeights};
+///
+/// let weights = Arc::new(ModelWeights::random(&ModelConfig::tiny(), 1));
+/// let cfg = EngineConfig::lserve_fp16();
+/// let mut pool = cfg.clone().make_pool_for(&weights.config, 512);
+/// let exec = ModelExecutor::new(weights, cfg);
+/// let mut seq = exec.new_sequence();
+/// let out = exec.prefill(&mut seq, &mut pool, &[1, 2, 3, 4]).unwrap();
+/// assert_eq!(out.logits.len(), 97);
+/// seq.release(&mut pool);
+/// ```
+#[derive(Debug)]
+pub struct ModelExecutor {
+    weights: Arc<ModelWeights>,
+    cfg: EngineConfig,
+    attn_cfg: LayerAttnConfig,
+    rope: RopeTable,
+    masks: Vec<Vec<bool>>,
+    kinds: Vec<Vec<HeadKind>>,
+}
+
+impl ModelExecutor {
+    /// Creates an executor for `weights` under `cfg`.
+    ///
+    /// Head classification runs here, offline, from synthetic DuoAttention gates
+    /// seeded by `cfg.gate_seed` (§3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is internally inconsistent (see
+    /// [`EngineConfig::validate`]).
+    pub fn new(weights: Arc<ModelWeights>, cfg: EngineConfig) -> Self {
+        cfg.validate();
+        let model = &weights.config;
+        let gates = duo_gates(model.num_layers, model.num_kv_heads, cfg.gate_seed);
+        let masks = streaming_masks_from_gates(&gates, cfg.streaming_sparsity);
+        let kinds: Vec<Vec<HeadKind>> = masks
+            .iter()
+            .map(|layer| {
+                layer
+                    .iter()
+                    .map(|&s| {
+                        if s {
+                            HeadKind::Streaming
+                        } else {
+                            HeadKind::Dense
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let attn_cfg = LayerAttnConfig {
+            num_q_heads: model.num_q_heads,
+            num_kv_heads: model.num_kv_heads,
+            head_dim: model.head_dim,
+            tile: cfg.prefill_tile,
+            sink_blocks: cfg.streaming_window.sink_pages,
+            local_blocks: cfg.streaming_window.local_pages,
+        };
+        let rope = RopeTable::new(model.head_dim, model.rope_base);
+        Self {
+            weights,
+            cfg,
+            attn_cfg,
+            rope,
+            masks,
+            kinds,
+        }
+    }
+
+    /// The policy configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The model weights.
+    pub fn weights(&self) -> &ModelWeights {
+        &self.weights
+    }
+
+    /// Per-layer streaming masks decided at construction.
+    pub fn head_kinds(&self) -> &[Vec<HeadKind>] {
+        &self.kinds
+    }
+
+    /// Creates an empty per-request state (the selector factory): per-layer two-way
+    /// KV caches plus one reusable selector per dense head when dynamic sparsity is
+    /// configured. Holds no pool pages until tokens are appended.
+    pub fn new_sequence(&self) -> SequenceState {
+        let layers: Vec<LayerKvCache> = self
+            .masks
+            .iter()
+            .map(|mask| LayerKvCache::new(mask, self.cfg.streaming_window))
+            .collect();
+        let selectors = self
+            .masks
+            .iter()
+            .map(|mask| {
+                mask.iter()
+                    .map(|&streaming| {
+                        if streaming || self.cfg.dynamic_budget.is_none() {
+                            return None;
+                        }
+                        Some(match self.cfg.selector {
+                            SelectorKind::Flat => SelectorBox::Flat(ReusableSelector::new(
+                                FlatSelector::new(true),
+                                self.cfg.reuse_interval,
+                            )),
+                            SelectorKind::Hierarchical => {
+                                SelectorBox::Hierarchical(ReusableSelector::new(
+                                    HierarchicalSelector::new(true),
+                                    self.cfg.reuse_interval,
+                                ))
+                            }
+                            SelectorKind::None => unreachable!("validated"),
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        SequenceState {
+            layers,
+            selectors,
+            tokens_processed: 0,
+            decode_step_idx: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Processes a whole prompt (or the first chunk of one) with the fused
+    /// block-sparse prefill pipeline and writes KV into the two-way paged cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfPagesError`] if the pool cannot hold the prompt's KV; the
+    /// state holds a partial cache and should then be [`SequenceState::release`]d.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or the state already holds context.
+    pub fn prefill(
+        &self,
+        state: &mut SequenceState,
+        pool: &mut PagePool,
+        tokens: &[u32],
+    ) -> Result<PrefillOutput, OutOfPagesError> {
+        assert!(!tokens.is_empty(), "empty prompt");
+        assert_eq!(state.tokens_processed, 0, "prefill on a non-empty sequence");
+        let model = &self.weights.config;
+        // MInference-style dynamic prefill on retrieval heads, only past the
+        // activation threshold (§4.3: "activated after 128K").
+        let dynamic_keep = self
+            .cfg
+            .dynamic_prefill_keep
+            .filter(|_| tokens.len() > self.cfg.dynamic_prefill_after);
+        let mut x = self.weights.embed_tokens(tokens);
+        for (l, lw) in self.weights.layers.iter().enumerate() {
+            let acts = pre_attention(model, lw, &x, 0, &self.rope);
+            for t in 0..tokens.len() {
+                if !state.layers[l].append_token(pool, acts.k.row(t), acts.v.row(t), model.head_dim)
+                {
+                    return Err(OutOfPagesError);
+                }
+            }
+            let (attn, dense_stats, stream_stats) = match dynamic_keep {
+                Some(keep) => fused_prefill_layer_dynamic(
+                    &acts.q,
+                    &acts.k,
+                    &acts.v,
+                    &self.attn_cfg,
+                    &self.kinds[l],
+                    keep,
+                ),
+                None => {
+                    fused_prefill_layer(&acts.q, &acts.k, &acts.v, &self.attn_cfg, &self.kinds[l])
+                }
+            };
+            state.stats.add_prefill(dense_stats, stream_stats);
+            x = post_attention(lw, &x, &attn);
+            x = ffn_block(lw, &x);
+        }
+        state.tokens_processed = tokens.len();
+        let last = x.slice_rows(tokens.len() - 1, tokens.len());
+        let out = logits(&self.weights, &last);
+        Ok(PrefillOutput {
+            logits: out.row(0).to_vec(),
+        })
+    }
+
+    /// One transformer layer of the decode path for one sequence: QKV + RoPE, KV
+    /// writeback, dynamic page selection, fused two-way attention, output
+    /// projection, FFN.
+    fn decode_layer(
+        &self,
+        state: &mut SequenceState,
+        pool: &mut PagePool,
+        l: usize,
+        lw: &LayerWeights,
+        x: &Matrix,
+        pos: usize,
+    ) -> Result<Matrix, OutOfPagesError> {
+        let model = &self.weights.config;
+        let d = model.head_dim;
+        let group = model.gqa_group_size();
+        let acts = pre_attention(model, lw, x, pos, &self.rope);
+        if !state.layers[l].append_token(pool, acts.k.row(0), acts.v.row(0), d) {
+            return Err(OutOfPagesError);
+        }
+        let q_row = acts.q.row(0);
+        let mut selections: Vec<Option<Vec<usize>>> = vec![None; model.num_kv_heads];
+        if let Some(budget) = self.cfg.dynamic_budget {
+            for (kv, selection) in selections.iter_mut().enumerate() {
+                let Some(selector) = state.selectors[l][kv].as_mut() else {
+                    continue;
+                };
+                let HeadCache::Dense(cache) = state.layers[l].head(kv) else {
+                    continue;
+                };
+                // Skip selection entirely while the history fits the budget —
+                // the offline-profiled "no slowdown at short contexts" rule
+                // (§5.5).
+                if cache.tokens() <= budget {
+                    continue;
+                }
+                let queries: Vec<&[f32]> = (0..group)
+                    .map(|i| {
+                        let h = kv * group + i;
+                        &q_row[h * d..(h + 1) * d]
+                    })
+                    .collect();
+                let sel = selector.select(pool, cache, &queries, budget, state.decode_step_idx);
+                state.stats.selector_logical_scored += sel.logical_pages_scored;
+                if sel.reused {
+                    state.stats.selector_reuses += 1;
+                } else {
+                    state.stats.selector_invocations += 1;
+                }
+                *selection = Some(sel.pages);
+            }
+        }
+        let (attn, dense_stats, stream_stats) =
+            fused_decode_layer(pool, &state.layers[l], q_row, &self.attn_cfg, &selections);
+        state.stats.add_decode(dense_stats, stream_stats);
+        let attn_m = Matrix::from_vec(1, attn.len(), attn);
+        let x = post_attention(lw, x, &attn_m);
+        Ok(ffn_block(lw, &x))
+    }
+
+    /// Runs one decode step for one sequence: absorbs `token`, returns next-token
+    /// logits.
+    ///
+    /// Dense heads go through dynamic page selection (when configured) and the
+    /// fused decode kernel; streaming heads attend their sink+local pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfPagesError`] when the pool cannot hold the new token's KV;
+    /// the sequence's cache is then partially written and the state must be
+    /// released (and, in a serving loop, replayed) rather than advanced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`ModelExecutor::prefill`].
+    pub fn decode_step(
+        &self,
+        state: &mut SequenceState,
+        pool: &mut PagePool,
+        token: u32,
+    ) -> Result<DecodeOutput, OutOfPagesError> {
+        let mut out = self.decode_batch(pool, &mut [(state, token)]);
+        out.pop().expect("one result per input sequence")
+    }
+
+    /// Batched decode: one token for every sequence in `batch`, walking **layers in
+    /// the outer loop and sequences in the inner loop** so the weight and config
+    /// traversal of each layer is amortized across the whole batch (iteration-level
+    /// batching, the memory-access pattern real batched decode kernels use).
+    ///
+    /// Each sequence's computation is independent, so outputs are bit-identical to
+    /// calling [`ModelExecutor::decode_step`] per sequence in any order — the
+    /// property the scheduler's determinism guarantee rests on.
+    ///
+    /// Returns one result per sequence, in input order. A sequence that runs out of
+    /// pages mid-step gets `Err(OutOfPagesError)` and is left partially written
+    /// (release/replay it); the other sequences are unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sequence has no context yet (prefill first).
+    pub fn decode_batch(
+        &self,
+        pool: &mut PagePool,
+        batch: &mut [(&mut SequenceState, u32)],
+    ) -> Vec<Result<DecodeOutput, OutOfPagesError>> {
+        for (state, _) in batch.iter() {
+            assert!(state.tokens_processed > 0, "decode before prefill");
+        }
+        let positions: Vec<usize> = batch.iter().map(|(s, _)| s.tokens_processed).collect();
+        let mut xs: Vec<Option<Matrix>> = batch
+            .iter()
+            .map(|(_, token)| Some(self.weights.embed_tokens(&[*token])))
+            .collect();
+        for (l, lw) in self.weights.layers.iter().enumerate() {
+            for (i, (state, _)) in batch.iter_mut().enumerate() {
+                let Some(x) = xs[i].take() else { continue };
+                match self.decode_layer(state, pool, l, lw, &x, positions[i]) {
+                    Ok(next_x) => xs[i] = Some(next_x),
+                    Err(OutOfPagesError) => xs[i] = None,
+                }
+            }
+        }
+        xs.into_iter()
+            .zip(batch.iter_mut())
+            .map(|(x, (state, _))| match x {
+                Some(x) => {
+                    state.tokens_processed += 1;
+                    state.decode_step_idx += 1;
+                    state.stats.decode_steps += 1;
+                    let out = logits(&self.weights, &x);
+                    Ok(DecodeOutput {
+                        logits: out.row(0).to_vec(),
+                    })
+                }
+                None => Err(OutOfPagesError),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lserve_model::{greedy_next_token, ModelConfig};
+
+    fn tiny_weights() -> Arc<ModelWeights> {
+        Arc::new(ModelWeights::random(&ModelConfig::tiny(), 42))
+    }
+
+    #[test]
+    fn sequences_share_one_executor() {
+        let cfg = EngineConfig::lserve_fp16();
+        let w = tiny_weights();
+        let mut pool = cfg.make_pool_for(&w.config, 512);
+        let exec = ModelExecutor::new(w, cfg);
+        let mut a = exec.new_sequence();
+        let mut b = exec.new_sequence();
+        exec.prefill(&mut a, &mut pool, &[1, 2, 3]).unwrap();
+        exec.prefill(&mut b, &mut pool, &[4, 5, 6, 7]).unwrap();
+        assert_eq!(a.context_len(), 3);
+        assert_eq!(b.context_len(), 4);
+        a.release(&mut pool);
+        b.release(&mut pool);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn batched_decode_matches_sequential_decode() {
+        let cfg = EngineConfig::lserve_fp16();
+        let w = tiny_weights();
+        let exec = ModelExecutor::new(Arc::clone(&w), cfg.clone());
+        let prompts: [&[u32]; 3] = [&[1, 2, 3, 4], &[9, 8, 7], &[20, 30, 40, 50, 60]];
+
+        // Sequential: each sequence decoded alone (still sharing the pool).
+        let mut pool_seq = cfg.make_pool_for(&w.config, 1024);
+        let mut seq_states: Vec<SequenceState> =
+            prompts.iter().map(|_| exec.new_sequence()).collect();
+        let mut seq_tokens: Vec<Vec<u32>> = Vec::new();
+        for (state, prompt) in seq_states.iter_mut().zip(prompts) {
+            let first = exec.prefill(state, &mut pool_seq, prompt).unwrap();
+            let mut next = greedy_next_token(&first.logits);
+            let mut toks = vec![next];
+            for _ in 0..6 {
+                let out = exec.decode_step(state, &mut pool_seq, next).unwrap();
+                next = greedy_next_token(&out.logits);
+                toks.push(next);
+            }
+            seq_tokens.push(toks);
+        }
+
+        // Batched: all three advanced one token per decode_batch call.
+        let mut pool_b = cfg.make_pool_for(&w.config, 1024);
+        let mut b_states: Vec<SequenceState> =
+            prompts.iter().map(|_| exec.new_sequence()).collect();
+        let mut pending: Vec<u32> = b_states
+            .iter_mut()
+            .zip(prompts)
+            .map(|(state, prompt)| {
+                greedy_next_token(&exec.prefill(state, &mut pool_b, prompt).unwrap().logits)
+            })
+            .collect();
+        let mut b_tokens: Vec<Vec<u32>> = pending.iter().map(|&t| vec![t]).collect();
+        for _ in 0..6 {
+            let mut batch: Vec<(&mut SequenceState, u32)> = b_states
+                .iter_mut()
+                .zip(pending.iter())
+                .map(|(s, &t)| (s, t))
+                .collect();
+            let outs = exec.decode_batch(&mut pool_b, &mut batch);
+            for (i, out) in outs.into_iter().enumerate() {
+                let next = greedy_next_token(&out.unwrap().logits);
+                pending[i] = next;
+                b_tokens[i].push(next);
+            }
+        }
+        assert_eq!(seq_tokens, b_tokens);
+    }
+
+    #[test]
+    fn page_demand_reservation_is_exact() {
+        let cfg = EngineConfig::lserve_fp16();
+        let w = tiny_weights();
+        let mut pool = cfg.make_pool_for(&w.config, 512);
+        let exec = ModelExecutor::new(w, cfg);
+        let mut s = exec.new_sequence();
+        exec.prefill(&mut s, &mut pool, &[1, 2, 3, 4, 5]).unwrap();
+        let mut next = 7u32;
+        for _ in 0..80 {
+            let need = s.pages_needed_for_next_token(&pool);
+            let before = pool.in_use();
+            let out = exec.decode_step(&mut s, &mut pool, next).unwrap();
+            // Streaming heads may free a page after allocating, so actual growth is
+            // at most the predicted transient demand.
+            assert!(
+                pool.in_use() <= before + need,
+                "grew {} but predicted {}",
+                pool.in_use() - before,
+                need
+            );
+            next = greedy_next_token(&out.logits);
+        }
+    }
+
+    #[test]
+    fn batch_failure_isolated_to_one_sequence() {
+        let cfg = EngineConfig::dense();
+        let w = tiny_weights();
+        let exec = ModelExecutor::new(Arc::clone(&w), cfg.clone());
+        // Both sequences start on one page per head (2 * lh pages). At the first
+        // 64-token page boundary each wants `lh` more; capacity 3*lh + 2 lets the
+        // first sequence allocate all of its pages and strands the second partway.
+        let m = &w.config;
+        let lh = m.num_layers * m.num_kv_heads;
+        let mut pool = lserve_kvcache::PagePool::new(cfg.paging, 3 * lh + 2, m.head_dim);
+        let mut a = exec.new_sequence();
+        let mut b = exec.new_sequence();
+        exec.prefill(&mut a, &mut pool, &[1, 2, 3, 4]).unwrap();
+        exec.prefill(&mut b, &mut pool, &[5, 6, 7, 8]).unwrap();
+        let mut results = Vec::new();
+        for step in 0..200 {
+            let mut batch: Vec<(&mut SequenceState, u32)> =
+                vec![(&mut a, step as u32 % 90), (&mut b, (step + 1) as u32 % 90)];
+            let out = exec.decode_batch(&mut pool, &mut batch);
+            if out.iter().any(|r| r.is_err()) {
+                results = out;
+                break;
+            }
+        }
+        assert!(!results.is_empty(), "pool should exhaust");
+        // Exactly the failing sequence errored; at least one other succeeded.
+        assert!(results.iter().any(|r| r.is_ok()));
+        a.release(&mut pool);
+        b.release(&mut pool);
+        assert_eq!(pool.in_use(), 0);
+    }
+}

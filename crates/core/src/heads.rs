@@ -36,8 +36,8 @@ pub fn classify_heads(alphas: &[f32], target_sparsity: f64) -> Vec<bool> {
         return vec![true; alphas.len()];
     }
     let tau = sorted[cutoff_count]; // α < τ → streaming
-    // Guard against ties at τ pushing the count over target: mark the lowest
-    // `cutoff_count` heads streaming, breaking ties by index.
+                                    // Guard against ties at τ pushing the count over target: mark the lowest
+                                    // `cutoff_count` heads streaming, breaking ties by index.
     let mut idx: Vec<usize> = (0..alphas.len()).collect();
     idx.sort_by(|&a, &b| {
         alphas[a]

@@ -10,23 +10,35 @@
 //!   compared against (dense, Quest-like flat selection, DuoAttention-like static
 //!   only, QServe-like quantized dense), expressed over one shared engine so
 //!   accuracy comparisons isolate the *policy*, exactly like the paper's setup.
-//! * [`engine`] — [`Engine`], a single-sequence inference pipeline: block-sparse
-//!   fused prefill (§3.4), two-way paged KV writeback, and decode with hierarchical
-//!   + reusable page selection feeding the fused decode kernel (§3.5–3.6).
-//! * [`serving`] — a miniature serving layer with a shared page pool, FCFS
-//!   admission, and continuous batching across sequences, standing in for the
-//!   vLLM-style serving loop the paper builds on.
+//! * [`executor`] — the engine split into its shared and per-request halves:
+//!   [`ModelExecutor`] (weights, policy, RoPE, head classification; immutable and
+//!   `Arc`-shared) and [`SequenceState`] (per-layer two-way KV caches, selector
+//!   state, position, stats). The executor runs block-sparse fused prefill (§3.4),
+//!   two-way paged KV writeback, and decode with hierarchical + reusable page
+//!   selection feeding the fused decode kernel (§3.5–3.6) — including
+//!   [`ModelExecutor::decode_batch`], the layer-outer batched decode step.
+//! * [`engine`] — [`Engine`], the single-sequence convenience wrapper over one
+//!   executor + one sequence state.
+//! * [`serving`] — the continuous-batching [`Scheduler`] (chunked prefill,
+//!   exact page-demand reservation, preemption/resume) plus the [`ServingEngine`]
+//!   compatibility facade, standing in for the vLLM-style serving loop the paper
+//!   builds on.
 //! * [`stats`] — work counters every stage reports (tiles, pages, selector calls),
 //!   the quantities the cost model turns into GPU time.
 
 pub mod config;
 pub mod engine;
+pub mod executor;
 pub mod heads;
 pub mod serving;
 pub mod stats;
 
 pub use config::{EngineConfig, SelectorKind};
 pub use engine::{DecodeOutput, Engine, PrefillOutput};
+pub use executor::{ModelExecutor, OutOfPagesError, SequenceState};
 pub use heads::{classify_heads, streaming_masks_from_gates};
-pub use serving::{Request, RequestStatus, ServingEngine, ServingReport};
+pub use serving::{
+    sequence_pages_estimate, AdmissionPolicy, Request, RequestMetrics, RequestStatus, Scheduler,
+    SchedulerConfig, ServingEngine, ServingReport,
+};
 pub use stats::EngineStats;

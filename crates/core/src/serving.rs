@@ -1,19 +1,55 @@
-//! Miniature serving layer: shared page pool, FCFS admission, continuous batching.
+//! Continuous-batching serving layer: shared page pool, chunked prefill,
+//! preemption, batched decode.
 //!
-//! The paper's efficiency results are measured inside serving systems (vLLM, QServe)
-//! whose scheduler interleaves many sequences over one device memory. This module
-//! reproduces that control plane at small scale: requests queue, are admitted when
-//! the shared [`PagePool`] has headroom, decode in a round-robin batch (iteration-
-//! level scheduling à la Orca), and release their pages on completion — the loop
-//! LServe's kernels live inside.
+//! The paper's efficiency results are measured inside serving systems (vLLM,
+//! QServe) whose scheduler interleaves many sequences over one device memory. This
+//! module reproduces that control plane at small scale around the
+//! executor/state split:
+//!
+//! * **Iteration-level continuous batching** (Orca): every scheduler iteration
+//!   advances all running sequences by one token through
+//!   [`ModelExecutor::decode_batch`], which walks layers in the outer loop so the
+//!   weight/config traversal is amortized across the batch.
+//! * **Chunked prefill**: long prompts are admitted immediately and fed in bounded
+//!   chunks interleaved with decode iterations, so one long prompt no longer
+//!   head-of-line-blocks the whole batch. The first
+//!   `min(chunk_tokens, prompt_len)` tokens go through the fused tile prefill;
+//!   the rest advance token-by-token through the decode path, which makes the
+//!   numerics independent of how the scheduler slices the remainder across
+//!   iterations.
+//! * **Preemption and resume**: page demand is computed *exactly* before every
+//!   decode iteration ([`SequenceState::pages_needed_for_next_token`]); when
+//!   demand exceeds the free pool, the lowest-priority sequence releases all its
+//!   pages and re-queues. On re-admission it re-feeds its prompt *plus* the tokens
+//!   it had already generated through the identical deterministic pipeline, which
+//!   reconstructs a bit-identical cache — so preemption never changes the tokens a
+//!   request produces.
+//!
+//! The determinism guarantee that falls out: for any request set, the batched
+//! scheduler's greedy outputs are token-identical to running each request alone on
+//! a fresh pool under the same [`SchedulerConfig`].
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use lserve_kvcache::PagePool;
-use lserve_model::{greedy_next_token, ModelWeights};
+use lserve_model::{greedy_next_token, ModelConfig, ModelWeights};
 
-use crate::{Engine, EngineConfig};
+use crate::executor::{ModelExecutor, SequenceState};
+use crate::EngineConfig;
+
+/// Pages needed to hold `tokens` tokens of context for one sequence under
+/// `cfg` — dense heads grow with context, streaming heads are bounded by their
+/// window. This is the footprint estimate the scheduler's admission control
+/// uses; tests and benches that want to size a pool relative to "N sequences"
+/// should use it instead of re-deriving the formula.
+pub fn sequence_pages_estimate(cfg: &EngineConfig, model: &ModelConfig, tokens: usize) -> usize {
+    let streaming_heads =
+        (cfg.streaming_sparsity * (model.num_layers * model.num_kv_heads) as f64).round() as usize;
+    let dense_heads = model.num_layers * model.num_kv_heads - streaming_heads;
+    dense_heads * (cfg.paging.pages_for(tokens) + 1)
+        + streaming_heads * (cfg.streaming_window.max_pages() + 2)
+}
 
 /// A generation request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,14 +65,98 @@ pub struct Request {
 /// Lifecycle state of a request inside the serving engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RequestStatus {
-    /// Waiting for admission.
+    /// Waiting for admission (fresh or preempted).
     Queued,
-    /// Currently decoding.
+    /// Currently prefilling or decoding.
     Running,
     /// Completed with the generated tokens.
     Finished(Vec<u32>),
     /// Could never fit in the pool (prompt larger than device memory).
     Rejected,
+}
+
+/// How the scheduler decides a queued request may start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Admit only when the estimated *full* footprint (prompt + all generated
+    /// tokens) fits the free pool. Conservative: preemption is rare, utilization
+    /// lower.
+    FullFootprint,
+    /// Admit as soon as the first prefill chunk fits. Aggressive: memory
+    /// oversubscription is resolved by preemption.
+    FirstChunk,
+}
+
+/// Scheduler policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Physical pages in the shared pool (the device-memory budget).
+    pub pool_pages: usize,
+    /// Per-sequence prompt tokens fed per scheduler iteration, and the size of the
+    /// fused tile-prefill first chunk. Larger values lower prefill cost but stall
+    /// the decode batch longer per iteration.
+    pub chunk_tokens: usize,
+    /// Maximum concurrently running sequences.
+    pub max_batch: usize,
+    /// Admission policy.
+    pub admission: AdmissionPolicy,
+}
+
+impl SchedulerConfig {
+    /// Defaults: 128-token prefill chunks, batch of up to 64, first-chunk
+    /// admission (preemption-backed).
+    pub fn new(pool_pages: usize) -> Self {
+        Self {
+            pool_pages,
+            chunk_tokens: 128,
+            max_batch: 64,
+            admission: AdmissionPolicy::FirstChunk,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_tokens`, `max_batch` or `pool_pages` is zero.
+    pub fn validate(&self) {
+        assert!(self.pool_pages > 0, "pool must hold at least one page");
+        assert!(self.chunk_tokens > 0, "chunk must be at least one token");
+        assert!(self.max_batch > 0, "batch must admit at least one sequence");
+    }
+}
+
+/// Per-request latency/scheduling metrics, in scheduler iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestMetrics {
+    /// Request id.
+    pub id: u64,
+    /// Iterations from submission until the first generated token (time to first
+    /// token). Zero when the request finished without emitting any token.
+    pub ttft_iters: u64,
+    /// Model work (tokens pushed through the forward pass, all sequences counted)
+    /// between submission and the first generated token. Unlike iterations, this
+    /// is a faithful time proxy when per-iteration prefill work is unbounded —
+    /// it is the unit in which chunked prefill's head-of-line win shows up.
+    pub ttft_work_tokens: u64,
+    /// Iterations between the first and the last generated token.
+    pub decode_span_iters: u64,
+    /// Tokens generated.
+    pub tokens: usize,
+    /// Times this request was preempted (pages released, later re-prefilled).
+    pub preemptions: u32,
+}
+
+impl RequestMetrics {
+    /// Mean iterations between consecutive generated tokens (0 for fewer than two
+    /// tokens).
+    pub fn mean_tbt_iters(&self) -> f64 {
+        if self.tokens > 1 {
+            self.decode_span_iters as f64 / (self.tokens - 1) as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Summary of a serving run.
@@ -48,26 +168,523 @@ pub struct ServingReport {
     pub rejected: Vec<u64>,
     /// Scheduler iterations executed.
     pub scheduler_steps: u64,
-    /// Total decode steps across all sequences.
+    /// Total decode steps across all sequences (prompt-continuation feeding
+    /// excluded).
     pub decode_steps: u64,
     /// High-water mark of pool pages in use.
     pub peak_pages: usize,
+    /// Total preemption events across the run.
+    pub preemptions: u64,
+    /// Per-request latency metrics, sorted by request id on completion.
+    pub request_metrics: Vec<RequestMetrics>,
 }
 
-struct RunningSeq {
+/// Metrics bookkeeping that survives a request's whole lifetime, moved as one
+/// unit between the queued and running representations (including across
+/// preemption cycles).
+#[derive(Debug, Clone, Copy)]
+struct RequestProgress {
+    submit_iter: u64,
+    submit_work: u64,
+    first_token_iter: Option<u64>,
+    first_token_work: Option<u64>,
+    last_token_iter: u64,
+    preemptions: u32,
+}
+
+/// A request waiting for (re-)admission; carries generation progress across
+/// preemptions.
+#[derive(Debug, Clone)]
+struct QueuedSeq {
     req: Request,
-    engine: Engine,
+    priority: u64,
+    /// Tokens already generated (and emitted) before a preemption.
     generated: Vec<u32>,
-    next_token: u32,
+    progress: RequestProgress,
 }
 
-impl std::fmt::Debug for RunningSeq {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "RunningSeq(id={}, generated={})", self.req.id, self.generated.len())
+/// A running sequence: executor state plus feed/generation progress.
+#[derive(Debug)]
+struct SchedSeq {
+    req: Request,
+    priority: u64,
+    state: SequenceState,
+    /// Tokens generated before the last preemption; re-fed after the prompt on
+    /// resume so the cache is reconstructed exactly.
+    resume_feed: Vec<u32>,
+    /// Feed tokens (prompt + resume_feed) consumed so far.
+    fed: usize,
+    /// All tokens emitted for this request (including pre-preemption ones).
+    generated: Vec<u32>,
+    /// Most recently emitted token, not yet consumed by a decode step.
+    last_token: Option<u32>,
+    progress: RequestProgress,
+}
+
+impl SchedSeq {
+    fn feed_len(&self) -> usize {
+        self.req.prompt.len() + self.resume_feed.len()
+    }
+
+    fn feed_token(&self, i: usize) -> u32 {
+        if i < self.req.prompt.len() {
+            self.req.prompt[i]
+        } else {
+            self.resume_feed[i - self.req.prompt.len()]
+        }
+    }
+
+    /// Feed prefix that goes through the fused tile prefill. A function of the
+    /// prompt length and the chunk size only — *not* of resume state — so a resumed
+    /// sequence replays the exact computation of its first run.
+    fn tile_boundary(&self, chunk_tokens: usize) -> usize {
+        chunk_tokens.min(self.req.prompt.len())
+    }
+}
+
+/// Continuous-batching scheduler over one shared page pool.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use lserve_core::{EngineConfig, ModelExecutor, Request, Scheduler, SchedulerConfig};
+/// use lserve_model::{ModelConfig, ModelWeights};
+///
+/// let weights = Arc::new(ModelWeights::random(&ModelConfig::tiny(), 3));
+/// let exec = Arc::new(ModelExecutor::new(weights, EngineConfig::lserve_fp16()));
+/// let mut scfg = SchedulerConfig::new(2048);
+/// scfg.chunk_tokens = 4; // prompts longer than 4 tokens prefill across iterations
+/// let mut sched = Scheduler::new(exec, scfg);
+/// sched.submit(Request { id: 1, prompt: (0..16).collect(), max_new_tokens: 4 });
+/// let report = sched.run_to_completion(10_000);
+/// assert_eq!(report.completed.len(), 1);
+/// assert_eq!(report.request_metrics.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler {
+    exec: Arc<ModelExecutor>,
+    scfg: SchedulerConfig,
+    pool: PagePool,
+    queue: VecDeque<QueuedSeq>,
+    running: Vec<SchedSeq>,
+    report: ServingReport,
+    next_priority: u64,
+    /// Monotone clock: tokens pushed through the forward pass across all
+    /// sequences (tile prefill, prompt-continuation feed, and decode).
+    work_tokens: u64,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over `exec` with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scfg` is inconsistent (see [`SchedulerConfig::validate`]).
+    pub fn new(exec: Arc<ModelExecutor>, scfg: SchedulerConfig) -> Self {
+        scfg.validate();
+        let pool = PagePool::new(
+            exec.config().paging,
+            scfg.pool_pages,
+            exec.weights().config.head_dim,
+        );
+        Self {
+            exec,
+            scfg,
+            pool,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            report: ServingReport::default(),
+            next_priority: 0,
+            work_tokens: 0,
+        }
+    }
+
+    /// The shared executor.
+    pub fn executor(&self) -> &Arc<ModelExecutor> {
+        &self.exec
+    }
+
+    /// The scheduling policy.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.scfg
+    }
+
+    /// Enqueues a request. Earlier submissions have higher priority (FCFS).
+    pub fn submit(&mut self, req: Request) {
+        let priority = self.next_priority;
+        self.next_priority += 1;
+        self.queue.push_back(QueuedSeq {
+            req,
+            priority,
+            generated: Vec::new(),
+            progress: RequestProgress {
+                submit_iter: self.report.scheduler_steps,
+                submit_work: self.work_tokens,
+                first_token_iter: None,
+                first_token_work: None,
+                last_token_iter: 0,
+                preemptions: 0,
+            },
+        });
+    }
+
+    /// Requests waiting for admission (fresh or preempted).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Sequences currently prefilling or decoding.
+    pub fn running(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Pages currently in use in the shared pool.
+    pub fn pool_in_use(&self) -> usize {
+        self.pool.in_use()
+    }
+
+    /// The live (unsorted) report accumulated so far.
+    pub fn report_snapshot(&self) -> &ServingReport {
+        &self.report
+    }
+
+    /// Lifecycle state of request `id`, or `None` for an unknown id. A preempted
+    /// request reports [`RequestStatus::Queued`] until it is re-admitted. With
+    /// duplicate ids the live states (queued/running) win over finished ones.
+    pub fn status(&self, id: u64) -> Option<RequestStatus> {
+        if self.queue.iter().any(|q| q.req.id == id) {
+            return Some(RequestStatus::Queued);
+        }
+        if self.running.iter().any(|s| s.req.id == id) {
+            return Some(RequestStatus::Running);
+        }
+        if let Some((_, tokens)) = self.report.completed.iter().find(|(cid, _)| *cid == id) {
+            return Some(RequestStatus::Finished(tokens.clone()));
+        }
+        if self.report.rejected.contains(&id) {
+            return Some(RequestStatus::Rejected);
+        }
+        None
+    }
+
+    /// Pages needed to hold `tokens` tokens of context for one sequence under the
+    /// current policy (see [`sequence_pages_estimate`]).
+    fn pages_estimate(&self, tokens: usize) -> usize {
+        sequence_pages_estimate(self.exec.config(), &self.exec.weights().config, tokens)
+    }
+
+    /// One scheduler iteration: admit, feed prompt chunks, reserve decode pages
+    /// (preempting on pressure), then advance every ready sequence by one decode
+    /// step (continuous batching).
+    pub fn step(&mut self) {
+        self.report.scheduler_steps += 1;
+        let now = self.report.scheduler_steps;
+        self.admit();
+        self.prefill_phase(now);
+        self.decode_phase(now);
+        self.report.peak_pages = self.report.peak_pages.max(self.pool.peak_in_use());
+    }
+
+    /// Runs until every request completes or `max_steps` scheduler iterations
+    /// pass. Returns the report (sorted by request id).
+    pub fn run_to_completion(&mut self, max_steps: u64) -> ServingReport {
+        let mut steps = 0;
+        while (!self.queue.is_empty() || !self.running.is_empty()) && steps < max_steps {
+            self.step();
+            steps += 1;
+        }
+        let mut report = self.report.clone();
+        report.completed.sort_by_key(|(id, _)| *id);
+        report.rejected.sort_unstable();
+        report.request_metrics.sort_by_key(|m| m.id);
+        report
+    }
+
+    /// FCFS admission from the queue head.
+    fn admit(&mut self) {
+        while self.running.len() < self.scfg.max_batch {
+            let Some(front) = self.queue.front() else {
+                break;
+            };
+            let full_tokens = front.req.prompt.len() + front.req.max_new_tokens;
+            // A generation needs at least one prompt token (the first logits come
+            // from prefill); an empty prompt can never become decode-ready.
+            if front.req.prompt.is_empty()
+                || self.pages_estimate(full_tokens) > self.pool.capacity()
+            {
+                let q = self.queue.pop_front().expect("front checked");
+                self.report.rejected.push(q.req.id);
+                continue;
+            }
+            let feed_len = front.req.prompt.len() + front.generated.len();
+            let admit_tokens = match self.scfg.admission {
+                AdmissionPolicy::FullFootprint => full_tokens,
+                AdmissionPolicy::FirstChunk => self.scfg.chunk_tokens.min(feed_len),
+            };
+            if self.pages_estimate(admit_tokens) > self.pool.free_pages() {
+                break; // wait for running sequences to finish or be preempted
+            }
+            let q = self.queue.pop_front().expect("front checked");
+            let state = self.exec.new_sequence();
+            self.running.push(SchedSeq {
+                generated: q.generated.clone(),
+                resume_feed: q.generated,
+                req: q.req,
+                priority: q.priority,
+                state,
+                fed: 0,
+                last_token: None,
+                progress: q.progress,
+            });
+        }
+        // Resumed sequences have old (small) priorities; keep the running list in
+        // priority order so phases and victim selection stay O(1) to reason about.
+        self.running.sort_by_key(|s| s.priority);
+    }
+
+    /// Feeds prompt (and resume) tokens, up to `chunk_tokens` per sequence per
+    /// iteration, in priority order.
+    fn prefill_phase(&mut self, now: u64) {
+        let exec = Arc::clone(&self.exec);
+        let order: Vec<u64> = self.running.iter().map(|s| s.priority).collect();
+        for pr in order {
+            // Re-locate: earlier work in this phase may have preempted sequences.
+            let Some(i) = self.running.iter().position(|s| s.priority == pr) else {
+                continue;
+            };
+            if self.running[i].fed >= self.running[i].feed_len() {
+                continue;
+            }
+            let mut budget = self.scfg.chunk_tokens;
+            // First chunk: fused tile prefill over a boundary that depends only on
+            // (prompt, chunk_tokens), so replays after preemption are identical.
+            if self.running[i].fed == 0 {
+                let boundary = self.running[i].tile_boundary(self.scfg.chunk_tokens);
+                loop {
+                    if self.pages_estimate(boundary) <= self.pool.free_pages() {
+                        break;
+                    }
+                    if !self.make_room_below(pr) {
+                        break;
+                    }
+                }
+                let tokens: Vec<u32> = (0..boundary)
+                    .map(|t| self.running[i].feed_token(t))
+                    .collect();
+                match exec.prefill(&mut self.running[i].state, &mut self.pool, &tokens) {
+                    Ok(out) => {
+                        self.running[i].fed = boundary;
+                        self.work_tokens += boundary as u64;
+                        budget = budget.saturating_sub(boundary);
+                        if self.running[i].fed == self.running[i].feed_len() {
+                            self.finish_feed(i, &out.logits, now);
+                            continue;
+                        }
+                    }
+                    Err(_) => {
+                        // The estimate was optimistic and no lower-priority victim
+                        // is left. Give the partial pages back and retry on a later
+                        // iteration — unless this sequence is alone, in which case
+                        // it can never fit and must fail.
+                        self.running[i].state.release(&mut self.pool);
+                        self.running[i].fed = 0;
+                        if self.running.len() == 1 && self.queue.is_empty() {
+                            let seq = self.running.remove(i);
+                            self.report.rejected.push(seq.req.id);
+                        }
+                        continue;
+                    }
+                }
+            }
+            // Continuation: token-by-token through the decode path. Numerically
+            // independent of how many tokens any iteration feeds.
+            while budget > 0 && self.running[i].fed < self.running[i].feed_len() {
+                let need = self.running[i]
+                    .state
+                    .pages_needed_for_next_token(&self.pool);
+                if need > self.pool.free_pages() {
+                    if self.make_room_below(pr) {
+                        continue;
+                    }
+                    break; // wait for a later iteration
+                }
+                let t = self.running[i].feed_token(self.running[i].fed);
+                match exec.decode_step(&mut self.running[i].state, &mut self.pool, t) {
+                    Ok(out) => {
+                        self.running[i].fed += 1;
+                        self.work_tokens += 1;
+                        budget -= 1;
+                        if self.running[i].fed == self.running[i].feed_len() {
+                            self.finish_feed(i, &out.logits, now);
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        // Exact reservation should prevent this; self-preempt to
+                        // discard the partially-written token and replay later.
+                        self.preempt_index(i);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reserve pages for one decode token per ready sequence, preempting from the
+    /// lowest priority until demand fits, then run the batched decode step.
+    fn decode_phase(&mut self, now: u64) {
+        loop {
+            let demand: usize = self
+                .running
+                .iter()
+                .filter(|s| s.last_token.is_some())
+                .map(|s| s.state.pages_needed_for_next_token(&self.pool))
+                .sum();
+            if demand <= self.pool.free_pages() {
+                break;
+            }
+            if self.running.len() <= 1 {
+                // Nothing to preempt in favor of: the lone sequence cannot grow any
+                // further. Finish it with what it has (bounded-memory truncation).
+                if let Some(seq) = self.running.pop() {
+                    self.complete(seq);
+                }
+                return;
+            }
+            // Victim: lowest priority = last in the sorted running list.
+            let victim = self.running.len() - 1;
+            self.preempt_index(victim);
+        }
+        // Batched decode: one token for every sequence whose feed is complete.
+        let exec = Arc::clone(&self.exec);
+        let mut batch_idx: Vec<usize> = Vec::new();
+        let mut batch: Vec<(&mut SequenceState, u32)> = Vec::new();
+        for (i, seq) in self.running.iter_mut().enumerate() {
+            if let Some(t) = seq.last_token {
+                batch_idx.push(i);
+                batch.push((&mut seq.state, t));
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        let results = exec.decode_batch(&mut self.pool, &mut batch);
+        drop(batch);
+        // Walk results in reverse index order so removals (completion, fallback
+        // preemption) do not shift the indices still to be visited.
+        for (&i, result) in batch_idx.iter().zip(results.iter()).rev() {
+            match result {
+                Ok(out) => {
+                    self.report.decode_steps += 1;
+                    self.work_tokens += 1;
+                    let next = greedy_next_token(&out.logits);
+                    self.emit_token(i, next, now);
+                }
+                Err(_) => {
+                    // Reservation makes this unreachable in practice; keep the
+                    // conservative fallback anyway.
+                    self.preempt_index(i);
+                }
+            }
+        }
+    }
+
+    /// The feed (prompt + resume) is fully consumed: the last logits determine the
+    /// next token to emit.
+    fn finish_feed(&mut self, i: usize, last_logits: &[f32], now: u64) {
+        let next = greedy_next_token(last_logits);
+        if self.running[i].req.max_new_tokens == 0 {
+            let seq = self.running.remove(i);
+            self.complete(seq);
+            return;
+        }
+        self.emit_token(i, next, now);
+    }
+
+    /// Records a newly generated token for running sequence `i`, completing the
+    /// request when it reaches its token budget.
+    fn emit_token(&mut self, i: usize, token: u32, now: u64) {
+        let work_now = self.work_tokens;
+        let seq = &mut self.running[i];
+        debug_assert!(seq.generated.len() < seq.req.max_new_tokens);
+        seq.generated.push(token);
+        seq.last_token = Some(token);
+        if seq.progress.first_token_iter.is_none() {
+            seq.progress.first_token_iter = Some(now);
+        }
+        if seq.progress.first_token_work.is_none() {
+            seq.progress.first_token_work = Some(work_now);
+        }
+        seq.progress.last_token_iter = now;
+        if seq.generated.len() >= seq.req.max_new_tokens {
+            let seq = self.running.remove(i);
+            self.complete(seq);
+        }
+    }
+
+    /// Releases a finished sequence and records its report entries.
+    fn complete(&mut self, mut seq: SchedSeq) {
+        seq.state.release(&mut self.pool);
+        let p = seq.progress;
+        self.report.request_metrics.push(RequestMetrics {
+            id: seq.req.id,
+            ttft_iters: p.first_token_iter.map_or(0, |first| first - p.submit_iter),
+            ttft_work_tokens: p.first_token_work.map_or(0, |first| first - p.submit_work),
+            decode_span_iters: p
+                .first_token_iter
+                .map_or(0, |first| p.last_token_iter - first),
+            tokens: seq.generated.len(),
+            preemptions: p.preemptions,
+        });
+        self.report.completed.push((seq.req.id, seq.generated));
+    }
+
+    /// Preempts the lowest-priority running sequence whose priority is *lower*
+    /// than `than` (i.e. a strictly later arrival). Returns `false` when no such
+    /// victim exists.
+    fn make_room_below(&mut self, than: u64) -> bool {
+        match self.running.last() {
+            Some(seq) if seq.priority > than => {
+                let victim = self.running.len() - 1;
+                self.preempt_index(victim);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Preempts running sequence `i`: releases every page it holds and re-queues
+    /// it (by priority) with its generation progress, to be re-fed later.
+    fn preempt_index(&mut self, i: usize) {
+        let mut seq = self.running.remove(i);
+        seq.state.release(&mut self.pool);
+        self.report.preemptions += 1;
+        let q = QueuedSeq {
+            req: seq.req,
+            priority: seq.priority,
+            generated: seq.generated,
+            progress: RequestProgress {
+                preemptions: seq.progress.preemptions + 1,
+                ..seq.progress
+            },
+        };
+        // Keep the queue sorted by priority so FCFS order survives preemption.
+        let pos = self
+            .queue
+            .iter()
+            .position(|other| other.priority > q.priority)
+            .unwrap_or(self.queue.len());
+        self.queue.insert(pos, q);
     }
 }
 
 /// Multi-sequence serving engine over one shared page pool.
+///
+/// Compatibility facade over [`Scheduler`]: monolithic prefill (unbounded chunk)
+/// and conservative full-footprint admission, which is the original FCFS
+/// continuous-batching behaviour. New code that wants chunked prefill or
+/// preemption should construct a [`Scheduler`] directly.
 ///
 /// # Example
 ///
@@ -84,145 +701,67 @@ impl std::fmt::Debug for RunningSeq {
 /// ```
 #[derive(Debug)]
 pub struct ServingEngine {
-    weights: Arc<ModelWeights>,
-    cfg: EngineConfig,
-    pool: PagePool,
-    queue: VecDeque<Request>,
-    running: Vec<RunningSeq>,
-    report: ServingReport,
+    inner: Scheduler,
 }
 
 impl ServingEngine {
     /// Creates a serving engine whose shared pool holds `pool_pages` physical pages
     /// (the device-memory budget).
     pub fn new(weights: Arc<ModelWeights>, cfg: EngineConfig, pool_pages: usize) -> Self {
-        cfg.validate();
-        let pool = PagePool::new(cfg.paging, pool_pages, weights.config.head_dim);
+        let exec = Arc::new(ModelExecutor::new(weights, cfg));
+        let scfg = SchedulerConfig {
+            pool_pages,
+            chunk_tokens: usize::MAX,
+            max_batch: usize::MAX,
+            admission: AdmissionPolicy::FullFootprint,
+        };
         Self {
-            weights,
-            cfg,
-            pool,
-            queue: VecDeque::new(),
-            running: Vec::new(),
-            report: ServingReport::default(),
+            inner: Scheduler::new(exec, scfg),
         }
     }
 
     /// Enqueues a request.
     pub fn submit(&mut self, req: Request) {
-        self.queue.push_back(req);
+        self.inner.submit(req);
     }
 
     /// Requests waiting for admission.
     pub fn queued(&self) -> usize {
-        self.queue.len()
+        self.inner.queued()
     }
 
     /// Sequences currently decoding.
     pub fn running(&self) -> usize {
-        self.running.len()
-    }
-
-    /// Pages needed to hold `tokens` tokens of context for one sequence under the
-    /// current policy (dense heads grow, streaming heads are bounded).
-    fn pages_estimate(&self, tokens: usize) -> usize {
-        let m = &self.weights.config;
-        let streaming_heads = (self.cfg.streaming_sparsity
-            * (m.num_layers * m.num_kv_heads) as f64)
-            .round() as usize;
-        let dense_heads = m.num_layers * m.num_kv_heads - streaming_heads;
-        dense_heads * (self.cfg.paging.pages_for(tokens) + 1)
-            + streaming_heads * (self.cfg.streaming_window.max_pages() + 2)
+        self.inner.running()
     }
 
     /// One scheduler iteration: admit what fits, then advance every running
     /// sequence by one decode step (continuous batching).
     pub fn step(&mut self) {
-        self.report.scheduler_steps += 1;
-        // Admission: FCFS while the estimated footprint fits current headroom.
-        while let Some(req) = self.queue.front() {
-            let need = self.pages_estimate(req.prompt.len() + req.max_new_tokens);
-            let free = self.pool.capacity() - self.pool.in_use();
-            if need > self.pool.capacity() {
-                let req = self.queue.pop_front().expect("front checked");
-                self.report.rejected.push(req.id);
-                continue;
-            }
-            if need > free {
-                break; // wait for running sequences to finish
-            }
-            let req = self.queue.pop_front().expect("front checked");
-            let mut engine = Engine::new(Arc::clone(&self.weights), self.cfg.clone());
-            match engine.prefill(&mut self.pool, &req.prompt) {
-                Ok(out) => {
-                    let next = greedy_next_token(&out.logits);
-                    self.running.push(RunningSeq {
-                        req,
-                        engine,
-                        generated: Vec::new(),
-                        next_token: next,
-                    });
-                }
-                Err(_) => {
-                    // Estimate was optimistic; give the pages back and retry later.
-                    engine.release(&mut self.pool);
-                    self.queue.push_front(req);
-                    break;
-                }
-            }
-        }
-        // Iteration-level batching: one token for every running sequence.
-        let mut finished = Vec::new();
-        for (i, seq) in self.running.iter_mut().enumerate() {
-            seq.generated.push(seq.next_token);
-            if seq.generated.len() >= seq.req.max_new_tokens {
-                finished.push(i);
-                continue;
-            }
-            match seq.engine.decode_step(&mut self.pool, seq.next_token) {
-                Ok(out) => {
-                    seq.next_token = greedy_next_token(&out.logits);
-                    self.report.decode_steps += 1;
-                }
-                Err(_) => {
-                    // Out of pages mid-flight: finish the sequence with what we have
-                    // (real systems would preempt & swap; truncation keeps the model
-                    // simple and the invariant — no deadlock — intact).
-                    finished.push(i);
-                }
-            }
-        }
-        for &i in finished.iter().rev() {
-            let mut seq = self.running.swap_remove(i);
-            seq.engine.release(&mut self.pool);
-            self.report.completed.push((seq.req.id, seq.generated));
-        }
-        self.report.peak_pages = self.report.peak_pages.max(self.pool.in_use());
+        self.inner.step();
     }
 
-    /// Runs until every request completes or `max_steps` scheduler iterations pass.
-    /// Returns the report (sorted by request id).
+    /// Runs until every request completes or `max_steps` scheduler iterations
+    /// pass. Returns the report (sorted by request id).
     pub fn run_to_completion(&mut self, max_steps: u64) -> ServingReport {
-        let mut steps = 0;
-        while (!self.queue.is_empty() || !self.running.is_empty()) && steps < max_steps {
-            self.step();
-            steps += 1;
-        }
-        let mut report = self.report.clone();
-        report.completed.sort_by_key(|(id, _)| *id);
-        report.rejected.sort_unstable();
-        report
+        self.inner.run_to_completion(max_steps)
     }
 
     /// Pages currently in use in the shared pool.
     pub fn pool_in_use(&self) -> usize {
-        self.pool.in_use()
+        self.inner.pool_in_use()
+    }
+
+    /// Lifecycle state of request `id` (see [`Scheduler::status`]).
+    pub fn status(&self, id: u64) -> Option<RequestStatus> {
+        self.inner.status(id)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Engine;
     use lserve_model::ModelConfig;
 
     fn weights() -> Arc<ModelWeights> {
@@ -235,6 +774,10 @@ mod tests {
             prompt: (0..len).map(|i| (i % 90) as u32).collect(),
             max_new_tokens: gen,
         }
+    }
+
+    fn scheduler(cfg: EngineConfig, scfg: SchedulerConfig) -> Scheduler {
+        Scheduler::new(Arc::new(ModelExecutor::new(weights(), cfg)), scfg)
     }
 
     #[test]
@@ -257,9 +800,7 @@ mod tests {
         let cfg = EngineConfig::dense();
         let mut pool = cfg.make_pool_for(&w.config, 64);
         let mut e = Engine::new(w, cfg);
-        let want = e
-            .generate(&mut pool, &request(1, 6, 6).prompt, 6)
-            .unwrap();
+        let want = e.generate(&mut pool, &request(1, 6, 6).prompt, 6).unwrap();
         assert_eq!(r.completed[0].1, want);
     }
 
@@ -287,6 +828,38 @@ mod tests {
     }
 
     #[test]
+    fn status_tracks_request_lifecycle() {
+        // 24 pages: request 1 (est. 14 pages) fits, request 2 (est. 32) never can.
+        let mut srv = ServingEngine::new(weights(), EngineConfig::lserve_fp16(), 24);
+        assert_eq!(srv.status(1), None);
+        srv.submit(request(1, 4, 20));
+        srv.submit(request(2, 600, 4)); // can never fit: rejected at admission
+        assert_eq!(srv.status(1), Some(RequestStatus::Queued));
+        srv.step();
+        assert_eq!(srv.status(1), Some(RequestStatus::Running));
+        assert_eq!(srv.status(2), Some(RequestStatus::Rejected));
+        let r = srv.run_to_completion(1000);
+        match srv.status(1) {
+            Some(RequestStatus::Finished(tokens)) => {
+                assert_eq!(tokens.len(), 20);
+                assert_eq!(tokens, r.completed[0].1);
+            }
+            other => panic!("expected finished, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_prompt_rejected_not_stuck() {
+        let mut srv = ServingEngine::new(weights(), EngineConfig::lserve_fp16(), 2048);
+        srv.submit(request(1, 0, 3));
+        srv.submit(request(2, 4, 3));
+        let r = srv.run_to_completion(1000);
+        assert_eq!(r.rejected, vec![1]);
+        assert_eq!(r.completed.len(), 1);
+        assert!(r.scheduler_steps < 100, "must not spin to the step cap");
+    }
+
+    #[test]
     fn memory_pressure_serializes_admission() {
         // Pool fits roughly one dense sequence at a time; both must still finish.
         let w = weights();
@@ -310,5 +883,139 @@ mod tests {
         srv.submit(request(2, 4, 10));
         srv.step();
         assert_eq!(srv.running(), 2, "both admitted in one step");
+    }
+
+    #[test]
+    fn chunked_prefill_interleaves_long_prompt_with_decode() {
+        // One long prompt plus one short request: with chunked prefill, the short
+        // request must finish long before the long prompt is even fully fed.
+        let mut scfg = SchedulerConfig::new(8192);
+        scfg.chunk_tokens = 8;
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        sched.submit(request(1, 96, 4)); // 96-token prompt: 12 iterations of feeding
+        sched.submit(request(2, 4, 3));
+        let mut short_done_at = None;
+        for iter in 1..200u64 {
+            sched.step();
+            if short_done_at.is_none()
+                && sched
+                    .report_snapshot()
+                    .completed
+                    .iter()
+                    .any(|(id, _)| *id == 2)
+            {
+                short_done_at = Some(iter);
+            }
+            if sched.queued() == 0 && sched.running() == 0 {
+                break;
+            }
+        }
+        let r = sched.run_to_completion(1);
+        assert_eq!(r.completed.len(), 2);
+        let short_done_at = short_done_at.expect("short request completed");
+        assert!(
+            short_done_at <= 6,
+            "short request head-of-line blocked until iteration {short_done_at}"
+        );
+    }
+
+    #[test]
+    fn chunked_prefill_output_matches_monolithic_prefill() {
+        // With FP16 paging and no sparsity interference, feeding the prompt in
+        // chunks must not change the greedy output of a solo request (chunk
+        // boundaries only move computation between the tile and decode paths of the
+        // same deterministic pipeline; the greedy argmax survives the reordering
+        // at this scale).
+        let w = weights();
+        let cfg = EngineConfig::dense();
+        let mut mono = ServingEngine::new(Arc::clone(&w), cfg.clone(), 4096);
+        mono.submit(request(7, 24, 8));
+        let want = mono.run_to_completion(10_000).completed[0].1.clone();
+
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 7; // does not divide 24: exercises a ragged last chunk
+        let mut sched = scheduler(cfg, scfg);
+        sched.submit(request(7, 24, 8));
+        let r = sched.run_to_completion(10_000);
+        assert_eq!(r.completed[0].1, want);
+    }
+
+    #[test]
+    fn preemption_fires_and_everything_completes() {
+        // First-chunk admission over a pool that cannot hold both sequences'
+        // full footprint: the scheduler must preempt (not deadlock, not reject)
+        // and still complete both requests.
+        let w = weights();
+        let cfg = EngineConfig::dense();
+        let m = &w.config;
+        // Both prompts fit at admission; decoding both to completion overflows.
+        let one_seq_pages = m.num_layers * m.num_kv_heads * (cfg.paging.pages_for(70) + 1);
+        let mut scfg = SchedulerConfig::new(one_seq_pages + 2);
+        scfg.chunk_tokens = 16;
+        scfg.admission = AdmissionPolicy::FirstChunk;
+        let mut sched = Scheduler::new(Arc::new(ModelExecutor::new(w, cfg)), scfg);
+        sched.submit(request(1, 60, 10));
+        sched.submit(request(2, 60, 10));
+        let r = sched.run_to_completion(100_000);
+        assert_eq!(r.completed.len(), 2, "rejected: {:?}", r.rejected);
+        assert!(r.preemptions > 0, "pool pressure must trigger preemption");
+        assert_eq!(sched.pool_in_use(), 0, "all pages returned");
+        assert_eq!(r.completed[0].1.len(), 10);
+        assert_eq!(r.completed[1].1.len(), 10);
+    }
+
+    #[test]
+    fn preemption_does_not_change_tokens() {
+        // The preempted-and-resumed run must emit exactly the tokens of an
+        // unconstrained run.
+        let w = weights();
+        let cfg = EngineConfig::dense();
+        let m = &w.config;
+        let one_seq_pages = m.num_layers * m.num_kv_heads * (cfg.paging.pages_for(70) + 1);
+
+        let mut roomy_cfg = SchedulerConfig::new(8192);
+        roomy_cfg.chunk_tokens = 16;
+        let mut roomy = scheduler(cfg.clone(), roomy_cfg);
+        roomy.submit(request(1, 60, 10));
+        roomy.submit(request(2, 60, 10));
+        let want = roomy.run_to_completion(100_000);
+        assert_eq!(want.preemptions, 0);
+
+        let mut tight_cfg = SchedulerConfig::new(one_seq_pages + 2);
+        tight_cfg.chunk_tokens = 16;
+        tight_cfg.admission = AdmissionPolicy::FirstChunk;
+        let mut tight = scheduler(cfg, tight_cfg);
+        tight.submit(request(1, 60, 10));
+        tight.submit(request(2, 60, 10));
+        let got = tight.run_to_completion(100_000);
+        assert!(got.preemptions > 0);
+        assert_eq!(got.completed, want.completed);
+    }
+
+    #[test]
+    fn report_metrics_track_latency_and_preemptions() {
+        let mut scfg = SchedulerConfig::new(8192);
+        scfg.chunk_tokens = 8;
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        sched.submit(request(1, 32, 6)); // 4 feed iterations before the first token
+        sched.submit(request(2, 4, 6));
+        let r = sched.run_to_completion(10_000);
+        assert_eq!(r.request_metrics.len(), 2);
+        let m1 = r.request_metrics[0];
+        let m2 = r.request_metrics[1];
+        assert_eq!((m1.id, m2.id), (1, 2));
+        assert!(
+            m1.ttft_iters > m2.ttft_iters,
+            "longer prompt must have higher TTFT: {} vs {}",
+            m1.ttft_iters,
+            m2.ttft_iters
+        );
+        assert_eq!(m1.tokens, 6);
+        assert_eq!(m2.tokens, 6);
+        // Decode proceeds one token per iteration once feeding is done (the first
+        // iteration emits two tokens — feed completion plus one decode — so the
+        // mean sits just below 1).
+        assert!(m2.mean_tbt_iters() > 0.0 && m2.mean_tbt_iters() <= 1.0);
+        assert_eq!(m1.preemptions + m2.preemptions, 0);
     }
 }

@@ -135,13 +135,22 @@ fn causal_tiles(nb: f64) -> f64 {
 
 /// Models the prefill (time to first token) of `model` under `sys` for a `seq`-token
 /// prompt.
-pub fn prefill(gpu: &GpuSpec, model: &ModelConfig, sys: &SystemModel, seq: usize) -> PrefillBreakdown {
+pub fn prefill(
+    gpu: &GpuSpec,
+    model: &ModelConfig,
+    sys: &SystemModel,
+    seq: usize,
+) -> PrefillBreakdown {
     let layers = model.num_layers as f64;
     let q_heads = model.num_q_heads as f64;
     const TILE: usize = 128;
     let nb = (seq as f64 / TILE as f64).max(1.0);
 
-    let ops = if sys.int8_gemm { gpu.int8_ops } else { gpu.fp16_flops };
+    let ops = if sys.int8_gemm {
+        gpu.int8_ops
+    } else {
+        gpu.fp16_flops
+    };
     let gemm_s = prefill_gemm_time(model.approx_params(), seq as f64, ops);
 
     let dense_tiles = causal_tiles(nb);
@@ -230,7 +239,7 @@ pub fn max_batch(gpu: &GpuSpec, model: &ModelConfig, sys: &SystemModel, seq: usi
         + sys.streaming_fraction
             * model.num_kv_heads as f64
             * 2.0
-            * sys.kv_precision.bytes_for(model.head_dim) as f64
+            * sys.kv_precision.bytes_for(model.head_dim)
             * model.num_layers as f64
             * sys.streaming_span_tokens as f64;
     (free / kv_per_seq).floor() as usize
@@ -289,7 +298,11 @@ mod tests {
         let l = SystemModel::lserve();
         let t64 = decode_step(&a100(), &m, &l, 65_536, 1).total();
         let t256 = decode_step(&a100(), &m, &l, 262_144, 1).total();
-        assert!(t256 / t64 < 1.5, "LServe decode must be near-constant: {}", t256 / t64);
+        assert!(
+            t256 / t64 < 1.5,
+            "LServe decode must be near-constant: {}",
+            t256 / t64
+        );
     }
 
     #[test]
@@ -299,7 +312,10 @@ mod tests {
         let t64 = decode_step(&a100(), &m, &v, 65_536, 1);
         let t256 = decode_step(&a100(), &m, &v, 262_144, 1);
         let attn_ratio = t256.attention_dense_s / t64.attention_dense_s;
-        assert!((attn_ratio - 4.0).abs() < 0.1, "attention must scale 4x: {attn_ratio}");
+        assert!(
+            (attn_ratio - 4.0).abs() < 0.1,
+            "attention must scale 4x: {attn_ratio}"
+        );
     }
 
     #[test]
@@ -338,7 +354,11 @@ mod tests {
     fn minference_decode_is_slowest() {
         let m = ModelConfig::llama3_8b();
         let mi = decode_step(&a100(), &m, &SystemModel::minference(), 131_072, 1).total();
-        for sys in [SystemModel::vllm(), SystemModel::lserve(), SystemModel::qserve()] {
+        for sys in [
+            SystemModel::vllm(),
+            SystemModel::lserve(),
+            SystemModel::qserve(),
+        ] {
             assert!(mi > decode_step(&a100(), &m, &sys, 131_072, 1).total());
         }
     }

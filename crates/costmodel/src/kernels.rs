@@ -41,7 +41,8 @@ pub fn bandwidth_efficiency(contig_bytes: f64) -> f64 {
 /// Bytes one K *or* V page of `page_size` tokens occupies at `precision`, including
 /// per-token scale/zero metadata for the quantized precisions.
 pub fn page_bytes(page_size: usize, head_dim: usize, precision: KvPrecision) -> f64 {
-    precision.bytes_for(page_size * head_dim) + precision.metadata_bytes_for(page_size * head_dim, head_dim)
+    precision.bytes_for(page_size * head_dim)
+        + precision.metadata_bytes_for(page_size * head_dim, head_dim)
 }
 
 /// Decode attention time for one model step: `tokens_attended` KV tokens across
@@ -49,6 +50,7 @@ pub fn page_bytes(page_size: usize, head_dim: usize, precision: KvPrecision) -> 
 /// `page_size` tokens, for `batch` sequences.
 ///
 /// Memory-bound: bytes moved / (bandwidth × page-granularity efficiency).
+#[allow(clippy::too_many_arguments)]
 pub fn decode_attention_time(
     gpu: &GpuSpec,
     tokens_attended: f64,
@@ -62,7 +64,8 @@ pub fn decode_attention_time(
     if tokens_attended <= 0.0 {
         return 0.0;
     }
-    let per_token = 2.0 * (precision.bytes_for(head_dim) + precision.metadata_bytes_for(head_dim, head_dim));
+    let per_token =
+        2.0 * (precision.bytes_for(head_dim) + precision.metadata_bytes_for(head_dim, head_dim));
     let bytes = tokens_attended * kv_heads * per_token * layers * batch;
     // One iteration streams the K page and the V page together.
     let eff = bandwidth_efficiency(2.0 * page_bytes(page_size, head_dim, precision));

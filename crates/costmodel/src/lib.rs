@@ -31,10 +31,12 @@ pub mod gpu;
 pub mod kernels;
 pub mod system;
 
-pub use e2e::{decode_step, decode_throughput, max_batch, prefill, DecodeBreakdown, PrefillBreakdown};
+pub use e2e::{
+    decode_step, decode_throughput, max_batch, prefill, DecodeBreakdown, PrefillBreakdown,
+};
 pub use gpu::GpuSpec;
 pub use kernels::{
-    bandwidth_efficiency, decode_attention_time, page_bytes, prefill_attention_time,
-    selector_time, ITERATION_OVERHEAD_BYTES, SELECTOR_SECONDS_PER_LOGICAL_PAGE,
+    bandwidth_efficiency, decode_attention_time, page_bytes, prefill_attention_time, selector_time,
+    ITERATION_OVERHEAD_BYTES, SELECTOR_SECONDS_PER_LOGICAL_PAGE,
 };
 pub use system::{PrefillSparsity, SystemModel};

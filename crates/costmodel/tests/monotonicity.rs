@@ -148,7 +148,11 @@ fn breakdown_components_are_nonnegative_and_sum() {
             ] {
                 assert!(part >= 0.0 && part.is_finite());
             }
-            let sum = b.gemm_s + b.attention_dense_s + b.attention_streaming_s + b.selector_s + b.overhead_s;
+            let sum = b.gemm_s
+                + b.attention_dense_s
+                + b.attention_streaming_s
+                + b.selector_s
+                + b.overhead_s;
             assert!((sum - b.total()).abs() < 1e-12);
             let p = prefill(&gpu, &model, &sys, seq);
             assert!(p.gemm_s > 0.0 && p.attention_s > 0.0 && p.other_s > 0.0);

@@ -33,8 +33,15 @@ impl PagingConfig {
     ///
     /// Panics if either size is zero or `physical_page_size` is not a multiple of
     /// `logical_page_size` (the paper requires `N_P = g · N_L`, `g ∈ Z`).
-    pub fn new(physical_page_size: usize, logical_page_size: usize, precision: KvPrecision) -> Self {
-        assert!(physical_page_size > 0, "physical page size must be positive");
+    pub fn new(
+        physical_page_size: usize,
+        logical_page_size: usize,
+        precision: KvPrecision,
+    ) -> Self {
+        assert!(
+            physical_page_size > 0,
+            "physical page size must be positive"
+        );
         assert!(logical_page_size > 0, "logical page size must be positive");
         assert_eq!(
             physical_page_size % logical_page_size,

@@ -34,15 +34,22 @@ impl DenseHeadCache {
         self.pages.len()
     }
 
+    /// True when appending the next token requires allocating a fresh page (the
+    /// last page is full, or no page exists yet). Schedulers use this for exact
+    /// page-demand reservation before a decode step.
+    pub fn needs_page_for_next_append(&self, pool: &PagePool) -> bool {
+        match self.pages.last() {
+            Some(&id) => pool.page(id).is_full(),
+            None => true,
+        }
+    }
+
     /// Appends one `(key, value)` row, allocating a new page when the last one is
     /// full.
     ///
     /// Returns `false` (leaving the cache unchanged) if the pool is exhausted.
     pub fn append(&mut self, pool: &mut PagePool, key: &[f32], value: &[f32]) -> bool {
-        let need_new = match self.pages.last() {
-            Some(&id) => pool.page(id).is_full(),
-            None => true,
-        };
+        let need_new = self.needs_page_for_next_append(pool);
         if need_new {
             match pool.allocate() {
                 Some(id) => self.pages.push(id),
@@ -62,7 +69,13 @@ impl DenseHeadCache {
     ///
     /// Panics if `keys.len() != values.len()` or rows are not a multiple of
     /// `head_dim`.
-    pub fn append_block(&mut self, pool: &mut PagePool, keys: &[f32], values: &[f32], head_dim: usize) -> usize {
+    pub fn append_block(
+        &mut self,
+        pool: &mut PagePool,
+        keys: &[f32],
+        values: &[f32],
+        head_dim: usize,
+    ) -> usize {
         assert_eq!(keys.len(), values.len(), "key/value block size mismatch");
         assert_eq!(keys.len() % head_dim, 0, "block not a whole number of rows");
         let rows = keys.len() / head_dim;
@@ -158,12 +171,12 @@ mod tests {
         for i in 0..7 {
             c.append(&mut pool, &[i as f32, 0.0], &[0.0, 0.0]);
         }
-        let mut covered = vec![false; 7];
+        let mut covered = [false; 7];
         for p in 0..c.num_pages() {
             let (s, e) = c.page_token_range(&pool, p);
-            for t in s..e {
-                assert!(!covered[t], "token {t} covered twice");
-                covered[t] = true;
+            for (t, slot) in covered.iter_mut().enumerate().take(e).skip(s) {
+                assert!(!*slot, "token {t} covered twice");
+                *slot = true;
             }
         }
         assert!(covered.iter().all(|&x| x));

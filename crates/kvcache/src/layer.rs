@@ -37,6 +37,15 @@ impl HeadCache {
         }
     }
 
+    /// True when appending the next token must allocate a fresh pool page
+    /// (transiently, for streaming heads that evict after allocating).
+    pub fn needs_page_for_next_append(&self, pool: &PagePool) -> bool {
+        match self {
+            HeadCache::Dense(c) => c.needs_page_for_next_append(pool),
+            HeadCache::Streaming(c) => c.needs_page_for_next_append(pool),
+        }
+    }
+
     /// Frees all pages.
     pub fn release(&mut self, pool: &mut PagePool) {
         match self {
@@ -148,8 +157,16 @@ impl LayerKvCache {
         values: &[f32],
         head_dim: usize,
     ) -> bool {
-        assert_eq!(keys.len(), self.heads.len() * head_dim, "keys size mismatch");
-        assert_eq!(values.len(), self.heads.len() * head_dim, "values size mismatch");
+        assert_eq!(
+            keys.len(),
+            self.heads.len() * head_dim,
+            "keys size mismatch"
+        );
+        assert_eq!(
+            values.len(),
+            self.heads.len() * head_dim,
+            "values size mismatch"
+        );
         for (h, cache) in self.heads.iter_mut().enumerate() {
             let k = &keys[h * head_dim..(h + 1) * head_dim];
             let v = &values[h * head_dim..(h + 1) * head_dim];
@@ -158,6 +175,18 @@ impl LayerKvCache {
             }
         }
         true
+    }
+
+    /// Exact number of fresh pool pages appending one token to every head will
+    /// allocate (counting streaming heads' transient evict-after-alloc demand).
+    ///
+    /// A scheduler that reserves this many free pages before a decode step is
+    /// guaranteed the step cannot fail mid-layer with an out-of-pages error.
+    pub fn pages_needed_for_next_token(&self, pool: &PagePool) -> usize {
+        self.heads
+            .iter()
+            .filter(|h| h.needs_page_for_next_append(pool))
+            .count()
     }
 
     /// Frees all pages of all heads.

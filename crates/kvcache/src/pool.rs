@@ -54,7 +54,9 @@ impl KvPage {
             values_q: Vec::new(),
             key_params: Vec::new(),
             value_params: Vec::new(),
-            stats: (0..logical).map(|_| LogicalPageStats::new(head_dim)).collect(),
+            stats: (0..logical)
+                .map(|_| LogicalPageStats::new(head_dim))
+                .collect(),
         }
     }
 
@@ -111,7 +113,11 @@ impl KvPage {
     }
 
     fn pack(&mut self, codes: &[u8], is_key: bool) {
-        let dst = if is_key { &mut self.keys_q } else { &mut self.values_q };
+        let dst = if is_key {
+            &mut self.keys_q
+        } else {
+            &mut self.values_q
+        };
         match self.config.precision() {
             KvPrecision::Int8 => dst.extend_from_slice(codes),
             KvPrecision::Int4 => {
@@ -235,6 +241,11 @@ impl PagePool {
         self.pages.len() - self.free.len()
     }
 
+    /// Pages currently available for allocation.
+    pub fn free_pages(&self) -> usize {
+        self.free.len()
+    }
+
     /// High-water mark of allocated pages.
     pub fn peak_in_use(&self) -> usize {
         self.peak_in_use
@@ -255,7 +266,10 @@ impl PagePool {
     ///
     /// Panics if the page is not allocated.
     pub fn retain(&mut self, id: PageId) {
-        assert!(self.pages[id.index()].is_some(), "retain of free page {id:?}");
+        assert!(
+            self.pages[id.index()].is_some(),
+            "retain of free page {id:?}"
+        );
         self.refcounts[id.index()] += 1;
     }
 

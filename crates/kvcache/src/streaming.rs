@@ -24,7 +24,10 @@ impl StreamingWindow {
     ///
     /// Panics if `local_pages == 0` (the newest page must always be attendable).
     pub fn new(sink_pages: usize, local_pages: usize) -> Self {
-        assert!(local_pages > 0, "streaming window needs at least one local page");
+        assert!(
+            local_pages > 0,
+            "streaming window needs at least one local page"
+        );
         Self {
             sink_pages,
             local_pages,
@@ -102,6 +105,27 @@ impl StreamingHeadCache {
             .collect();
         out.extend(self.local.iter().copied());
         out
+    }
+
+    /// True when appending the next token requires allocating a fresh page.
+    ///
+    /// Eviction runs *after* allocation, so even when the append nets zero resident
+    /// growth it transiently needs one free page; this method reports that
+    /// transient demand, which is what a scheduler must reserve.
+    pub fn needs_page_for_next_append(&self, pool: &PagePool) -> bool {
+        let np = pool.config().physical_page_size();
+        let in_sink_region = self.tokens / np < self.window.sink_pages;
+        if in_sink_region {
+            match self.sink.last() {
+                Some(&id) => pool.page(id).is_full(),
+                None => true,
+            }
+        } else {
+            match self.local.back() {
+                Some(&(_, id)) => pool.page(id).is_full(),
+                None => true,
+            }
+        }
     }
 
     /// Appends one `(key, value)` row, allocating/evicting pages as needed.
@@ -222,7 +246,11 @@ mod tests {
         let table = c.page_table(&pool);
         let (last_start, last_id) = *table.last().unwrap();
         let last_len = pool.page(last_id).len();
-        assert_eq!(last_start + last_len, 50, "newest page must end at token 50");
+        assert_eq!(
+            last_start + last_len,
+            50,
+            "newest page must end at token 50"
+        );
     }
 
     #[test]

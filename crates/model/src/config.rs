@@ -1,7 +1,5 @@
 //! Architectural shape presets for the paper's evaluation models.
 
-use serde::{Deserialize, Serialize};
-
 /// Transformer architecture shapes.
 ///
 /// The presets reproduce the published architectures of the three models the paper
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cfg.gqa_group_size(), 4); // 32 query heads over 8 KV heads
 /// assert!(ModelConfig::llama2_7b().is_mha());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelConfig {
     /// Human-readable name used in benchmark output.
     pub name: String,
@@ -130,7 +128,11 @@ impl ModelConfig {
     ///
     /// Panics if `num_q_heads` is not divisible by `num_kv_heads`.
     pub fn gqa_group_size(&self) -> usize {
-        assert_eq!(self.num_q_heads % self.num_kv_heads, 0, "invalid GQA grouping");
+        assert_eq!(
+            self.num_q_heads % self.num_kv_heads,
+            0,
+            "invalid GQA grouping"
+        );
         self.num_q_heads / self.num_kv_heads
     }
 

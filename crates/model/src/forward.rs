@@ -203,10 +203,7 @@ mod tests {
         let w = tiny();
         let l1 = reference_forward_full(&w, &[1, 2, 3]);
         let l2 = reference_forward_full(&w, &[1, 2, 3]);
-        assert_eq!(
-            greedy_next_token(l1.row(2)),
-            greedy_next_token(l2.row(2))
-        );
+        assert_eq!(greedy_next_token(l1.row(2)), greedy_next_token(l2.row(2)));
     }
 
     #[test]
@@ -227,6 +224,9 @@ mod tests {
         let a = pre_attention(cfg, &w.layers[0], &x, 0, &rope);
         let b = pre_attention(cfg, &w.layers[0], &x, 5, &rope);
         assert!(a.k.max_abs_diff(&b.k) > 1e-5);
-        assert!(a.v.max_abs_diff(&b.v) < 1e-9, "values are position-independent");
+        assert!(
+            a.v.max_abs_diff(&b.v) < 1e-9,
+            "values are position-independent"
+        );
     }
 }

@@ -72,7 +72,11 @@ impl ModelWeights {
                 wo: g.matrix(config.q_width(), h, std),
                 w_gate: g.matrix(h, config.ffn_hidden, std),
                 w_up: g.matrix(h, config.ffn_hidden, std),
-                w_down: g.matrix(config.ffn_hidden, h, 1.0 / (config.ffn_hidden as f32).sqrt()),
+                w_down: g.matrix(
+                    config.ffn_hidden,
+                    h,
+                    1.0 / (config.ffn_hidden as f32).sqrt(),
+                ),
                 attn_norm: vec![1.0; h],
                 ffn_norm: vec![1.0; h],
             })

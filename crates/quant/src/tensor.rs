@@ -161,7 +161,7 @@ impl QuantizedTensor {
             KvPrecision::Int4 => {
                 let row_bytes = self.dim.div_ceil(2);
                 let byte = self.packed[t * row_bytes + i / 2];
-                if i % 2 == 0 {
+                if i.is_multiple_of(2) {
                     byte & 0x0F
                 } else {
                     byte >> 4

@@ -60,7 +60,8 @@ impl PageSelector for FlatSelector {
         let np = pool.config().physical_page_size();
         let scores = physical_scores_flat(pool, cache, queries);
         let budget_pages = (budget_tokens / np).max(1);
-        let pages = finalize_selection(&scores, cache.num_pages(), budget_pages, self.include_first);
+        let pages =
+            finalize_selection(&scores, cache.num_pages(), budget_pages, self.include_first);
         Selection {
             pages,
             // Flat scoring touches one representative per physical page.
@@ -103,7 +104,11 @@ mod tests {
         let q = [1.0f32, 0.0];
         let mut sel = FlatSelector::new(false);
         let s = sel.select(&pool, &cache, &[&q], 4, 0);
-        assert!(s.pages.contains(&2), "needle page must be selected: {:?}", s.pages);
+        assert!(
+            s.pages.contains(&2),
+            "needle page must be selected: {:?}",
+            s.pages
+        );
         assert!(s.pages.contains(&3), "last page forced");
         assert!(!s.reused);
     }

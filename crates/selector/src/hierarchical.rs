@@ -45,7 +45,8 @@ impl PageSelector for HierarchicalSelector {
         let g = pool.config().logical_per_physical();
         let scores = physical_scores_hierarchical(pool, cache, queries);
         let budget_pages = (budget_tokens / np).max(1);
-        let pages = finalize_selection(&scores, cache.num_pages(), budget_pages, self.include_first);
+        let pages =
+            finalize_selection(&scores, cache.num_pages(), budget_pages, self.include_first);
         Selection {
             pages,
             logical_pages_scored: (cache.num_pages() * g) as u64,
@@ -124,8 +125,16 @@ mod tests {
         let mut f = FlatSelector::new(false);
         let sh = h.select(&pool, &cache, &[&q], 8, 0);
         let sf = f.select(&pool, &cache, &[&q], 8, 0);
-        assert!(sf.pages.contains(&0), "flat fooled by phantom: {:?}", sf.pages);
-        assert!(!sh.pages.contains(&0), "hierarchical not fooled: {:?}", sh.pages);
+        assert!(
+            sf.pages.contains(&0),
+            "flat fooled by phantom: {:?}",
+            sf.pages
+        );
+        assert!(
+            !sh.pages.contains(&0),
+            "hierarchical not fooled: {:?}",
+            sh.pages
+        );
         assert!(sh.pages.contains(&1));
     }
 

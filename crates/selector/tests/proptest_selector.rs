@@ -114,8 +114,8 @@ proptest! {
         let mut keys: Vec<Vec<f32>> = (0..n_pages * np)
             .map(|i| vec![((i * 13 % 7) as f32 - 3.0) * 0.1; 4])
             .collect();
-        for t in needle_page * np..(needle_page + 1) * np {
-            keys[t] = vec![9.0, 9.0, 9.0, 9.0];
+        for key in keys.iter_mut().skip(needle_page * np).take(np) {
+            *key = vec![9.0, 9.0, 9.0, 9.0];
         }
         let (pool, cache) = build(&keys, np, 2);
         let query = vec![1.0f32, 1.0, 1.0, 1.0];

@@ -164,7 +164,10 @@ impl Matrix {
     ///
     /// Panics if `start > end` or `end > self.rows()`.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows, "bad row range {start}..{end}");
+        assert!(
+            start <= end && end <= self.rows,
+            "bad row range {start}..{end}"
+        );
         Matrix::from_vec(
             end - start,
             self.cols,

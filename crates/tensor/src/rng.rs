@@ -1,12 +1,51 @@
 //! Seeded random initialization for synthetic weights and workloads.
 //!
 //! Every experiment in the reproduction must be deterministic, so all randomness flows
-//! through [`SeededGaussian`], a Box–Muller Gaussian source over `rand::StdRng`.
-
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+//! through [`SeededGaussian`], a Box–Muller Gaussian source over an in-crate SplitMix64
+//! generator (the build environment has no registry access, so no `rand` dependency).
 
 use crate::Matrix;
+
+/// SplitMix64: a tiny, statistically solid 64-bit generator with a 64-bit seed.
+/// Used only for synthetic-data initialization, never for cryptography.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` from the top 53 bits.
+    #[inline]
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` from the top 24 bits.
+    #[inline]
+    fn unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform integer in `[0, bound)` (multiply-shift; bias is < 2^-53 for the
+    /// bounds used here).
+    #[inline]
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
 
 /// Deterministic Gaussian sampler (Box–Muller over a seeded PRNG).
 ///
@@ -21,7 +60,7 @@ use crate::Matrix;
 /// ```
 #[derive(Debug)]
 pub struct SeededGaussian {
-    rng: StdRng,
+    rng: SplitMix64,
     spare: Option<f32>,
 }
 
@@ -29,7 +68,7 @@ impl SeededGaussian {
     /// Creates a sampler from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             spare: None,
         }
     }
@@ -41,12 +80,12 @@ impl SeededGaussian {
         }
         // Box–Muller transform.
         let u1: f64 = loop {
-            let u: f64 = self.rng.random();
+            let u: f64 = self.rng.unit_f64();
             if u > 1e-12 {
                 break u;
             }
         };
-        let u2: f64 = self.rng.random();
+        let u2: f64 = self.rng.unit_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare = Some((r * theta.sin()) as f32);
@@ -79,12 +118,12 @@ impl SeededGaussian {
     /// Panics if `bound == 0`.
     pub fn index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "index bound must be positive");
-        self.rng.random_range(0..bound)
+        self.rng.below(bound as u64) as usize
     }
 
     /// Draws a uniform f32 in `[0, 1)`.
     pub fn uniform(&mut self) -> f32 {
-        self.rng.random::<f32>()
+        self.rng.unit_f32()
     }
 }
 

@@ -30,7 +30,10 @@ impl RopeTable {
     ///
     /// Panics if `head_dim` is odd or zero.
     pub fn new(head_dim: usize, base: f32) -> Self {
-        assert!(head_dim > 0 && head_dim % 2 == 0, "head_dim must be even and positive");
+        assert!(
+            head_dim > 0 && head_dim.is_multiple_of(2),
+            "head_dim must be even and positive"
+        );
         let half = head_dim / 2;
         let inv_freq = (0..half)
             .map(|i| base.powf(-(2.0 * i as f32) / head_dim as f32))
@@ -69,7 +72,11 @@ impl RopeTable {
     ///
     /// Panics if the buffer length is not a multiple of `head_dim`.
     pub fn apply_rows(&self, rows: &mut [f32], start_pos: usize) {
-        assert_eq!(rows.len() % self.head_dim, 0, "buffer not a whole number of rows");
+        assert_eq!(
+            rows.len() % self.head_dim,
+            0,
+            "buffer not a whole number of rows"
+        );
         for (t, row) in rows.chunks_mut(self.head_dim).enumerate() {
             self.apply(row, start_pos + t);
         }
@@ -128,7 +135,10 @@ mod tests {
         rope.apply_rows(&mut rows, 3);
         let mut single = vec![1.0, 0.0, 1.0, 0.0];
         rope.apply(&mut single, 4);
-        assert!(rows[4..8].iter().zip(&single).all(|(a, b)| (a - b).abs() < 1e-6));
+        assert!(rows[4..8]
+            .iter()
+            .zip(&single)
+            .all(|(a, b)| (a - b).abs() < 1e-6));
     }
 
     #[test]

@@ -17,8 +17,10 @@ pub struct HeadProfile {
 /// would: each head has an intrinsic locality; retrieval-ish heads (low locality)
 /// get `α` near 1, streaming-ish heads near 0, with observation noise.
 ///
-/// The marginal distribution is deliberately bimodal — the paper reports that a 50%
-/// quantile threshold cleanly separates the two populations.
+/// The marginal distribution is deliberately bimodal with *exactly* half the heads
+/// in each mode (which heads is a seeded shuffle) — the paper reports that a 50%
+/// quantile threshold cleanly separates the two populations, and an exactly
+/// balanced population makes that separation hold for every seed.
 ///
 /// # Example
 ///
@@ -32,12 +34,19 @@ pub struct HeadProfile {
 /// ```
 pub fn duo_gates(num_layers: usize, num_kv_heads: usize, seed: u64) -> Vec<Vec<HeadProfile>> {
     let mut g = SeededGaussian::new(seed);
+    // Exactly half the heads are strongly local; the assignment is a seeded
+    // Fisher–Yates shuffle over all (layer, head) slots.
+    let total = num_layers * num_kv_heads;
+    let mut local_flags: Vec<bool> = (0..total).map(|i| i < total / 2).collect();
+    for i in (1..total).rev() {
+        local_flags.swap(i, g.index(i + 1));
+    }
+    let mut flags = local_flags.into_iter();
     (0..num_layers)
         .map(|_| {
             (0..num_kv_heads)
                 .map(|_| {
-                    // Bimodal locality: ~half the heads are strongly local.
-                    let local_head = g.uniform() < 0.5;
+                    let local_head = flags.next().expect("one flag per head");
                     let locality = if local_head {
                         (0.85 + 0.1 * g.sample()).clamp(0.0, 1.0)
                     } else {

@@ -145,8 +145,7 @@ mod tests {
             let mut total = 0.0;
             let cases = task.cases(3, 42);
             for case in &cases {
-                let (pool, cache) =
-                    case.build_cache(PagingConfig::new(64, 16, KvPrecision::Fp16));
+                let (pool, cache) = case.build_cache(PagingConfig::new(64, 16, KvPrecision::Fp16));
                 let mut sel = HierarchicalSelector::new(true);
                 let s = sel.select(&pool, &cache, &[case.query()], 4096, 0);
                 total += case.accuracy(&s.pages, 64);

@@ -201,7 +201,10 @@ mod tests {
         let needle_dot: f32 = case.query.iter().zip(case.key(s)).map(|(a, b)| a * b).sum();
         // Average dot against background keys.
         let bg_dot: f32 = case.query.iter().zip(case.key(0)).map(|(a, b)| a * b).sum();
-        assert!(needle_dot > bg_dot + 20.0, "needle {needle_dot} vs bg {bg_dot}");
+        assert!(
+            needle_dot > bg_dot + 20.0,
+            "needle {needle_dot} vs bg {bg_dot}"
+        );
     }
 
     #[test]
@@ -247,8 +250,7 @@ mod tests {
         let mut hier_hits = 0;
         for seed in 0..5 {
             let case = NiahCase::generate(cfg, 0.4, 200 + seed);
-            let (pool, cache) =
-                case.build_cache(PagingConfig::new(64, 16, KvPrecision::Fp16));
+            let (pool, cache) = case.build_cache(PagingConfig::new(64, 16, KvPrecision::Fp16));
             let mut sel = HierarchicalSelector::new(true);
             let s = sel.select(&pool, &cache, &[case.query()], 3072, 0);
             if case.recall(&s.pages, 64) >= 1.0 {

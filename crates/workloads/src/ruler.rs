@@ -102,7 +102,9 @@ impl MultiNeedleCase {
     pub fn accuracy(&self, selected_pages: &[usize], np: usize) -> f64 {
         let mut total = 0.0;
         for &(s, e) in &self.needle_ranges {
-            let covered = (s..e).filter(|t| selected_pages.contains(&(t / np))).count();
+            let covered = (s..e)
+                .filter(|t| selected_pages.contains(&(t / np)))
+                .count();
             total += covered as f64 / (e - s) as f64;
         }
         total / self.needle_ranges.len() as f64
@@ -226,7 +228,9 @@ impl DriftingQueries {
             if w[n] == 0.0 {
                 continue;
             }
-            let covered = (s..e).filter(|tok| selected_pages.contains(&(tok / np))).count();
+            let covered = (s..e)
+                .filter(|tok| selected_pages.contains(&(tok / np)))
+                .count();
             total += w[n] * covered as f64 / (e - s) as f64;
             wsum += w[n];
         }
@@ -274,7 +278,11 @@ mod tests {
         let (pool, cache) = case.build_cache(PagingConfig::new(64, 16, KvPrecision::Fp16));
         let mut sel = HierarchicalSelector::new(true);
         let s = sel.select(&pool, &cache, &[case.query()], 4096, 0);
-        assert!(case.accuracy(&s.pages, 64) >= 0.75, "acc {}", case.accuracy(&s.pages, 64));
+        assert!(
+            case.accuracy(&s.pages, 64) >= 0.75,
+            "acc {}",
+            case.accuracy(&s.pages, 64)
+        );
     }
 
     #[test]
@@ -284,7 +292,11 @@ mod tests {
         assert_eq!(trace.len(), 16);
         // Consecutive queries are closer than distant ones.
         let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt()
         };
         let near = dist(trace.query(3), trace.query(4));
         let far = dist(trace.query(0), trace.query(12));

@@ -40,10 +40,14 @@ fn main() {
             d.gemm_s * 1e3,
             d.selector_s * 1e3,
             p.total(),
-            if b == 0 { "OOM".to_string() } else { b.to_string() },
+            if b == 0 {
+                "OOM".to_string()
+            } else {
+                b.to_string()
+            },
         );
     }
     println!("\nDecode is per step at batch 1; 'batch' is the largest batch whose KV");
     println!("fits next to the weights in 80 GB. Calibration notes live in");
-    println!("crates/costmodel/src/kernels.rs and EXPERIMENTS.md.");
+    println!("crates/costmodel/src/kernels.rs and DESIGN.md.");
 }

@@ -42,7 +42,10 @@ fn run(name: &str, mut cfg: EngineConfig) {
             .map(|i| ((turn * 31 + i * 7) % 90) as u32)
             .collect();
         let mut logits = if turn == 0 {
-            engine.prefill(&mut pool, &prompt).expect("pool sized").logits
+            engine
+                .prefill(&mut pool, &prompt)
+                .expect("pool sized")
+                .logits
         } else {
             let mut last = Vec::new();
             for &t in &prompt {
@@ -53,7 +56,10 @@ fn run(name: &str, mut cfg: EngineConfig) {
         let before = engine.stats().decode_tokens_visited;
         for _ in 0..GEN_PER_TURN {
             let next = greedy_next_token(&logits);
-            logits = engine.decode_step(&mut pool, next).expect("pool sized").logits;
+            logits = engine
+                .decode_step(&mut pool, next)
+                .expect("pool sized")
+                .logits;
         }
         let visited = engine.stats().decode_tokens_visited - before;
         println!(
@@ -71,7 +77,10 @@ fn main() {
     println!(
         "{TURNS} turns x ({PROMPT_PER_TURN} prompt + {GEN_PER_TURN} generated) tokens, one persistent KV cache\n"
     );
-    run("dense engine (work grows with context)", EngineConfig::dense());
+    run(
+        "dense engine (work grows with context)",
+        EngineConfig::dense(),
+    );
     run(
         "lserve engine (work bounded by budget + streaming window)",
         EngineConfig::lserve_fp16(),

@@ -32,7 +32,11 @@ fn main() {
     let generated = engine
         .generate(&mut pool, &prompt, 24)
         .expect("pool sized for this sequence");
-    println!("prompt ({} tokens) -> generated {:?}", prompt.len(), generated);
+    println!(
+        "prompt ({} tokens) -> generated {:?}",
+        prompt.len(),
+        generated
+    );
 
     // Compare against the dense engine: same weights, no sparsity.
     let dense_cfg = EngineConfig::dense();

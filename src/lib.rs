@@ -2,7 +2,7 @@
 //!
 //! A CPU reproduction of the MLSys 2025 paper (Yang, Guo, Tang et al.), built as a
 //! Rust workspace. This facade crate re-exports every subsystem; see `DESIGN.md` for
-//! the system inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+//! the system inventory, the executor/state split, and the scheduler architecture.
 //!
 //! The paper's idea in one paragraph: attention over long contexts is computed
 //! block-by-block along the KV dimension, and a block is either fully computed or

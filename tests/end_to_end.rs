@@ -38,7 +38,11 @@ fn dense_engine_tracks_reference_model_over_long_decode() {
             .zip(row)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f32, f32::max);
-        assert!(max_diff < 5e-3, "divergence {max_diff} at len {}", seq.len());
+        assert!(
+            max_diff < 5e-3,
+            "divergence {max_diff} at len {}",
+            seq.len()
+        );
     }
 }
 
@@ -114,7 +118,10 @@ fn quantized_kv_bounded_logit_drift() {
         .zip(&o.logits)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
-    assert!(prefill_diff < 1e-4, "prefill should be exact: {prefill_diff}");
+    assert!(
+        prefill_diff < 1e-4,
+        "prefill should be exact: {prefill_diff}"
+    );
 
     let dd = dense.decode_step(&mut dense_pool, 7).unwrap();
     let qq = q.decode_step(&mut q_pool, 7).unwrap();

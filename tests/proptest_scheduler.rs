@@ -1,0 +1,212 @@
+//! Scheduler-level properties: page conservation under arbitrary workloads
+//! (including preemption), and determinism of continuous batching — the batched
+//! scheduler must emit token-identical greedy outputs to running each request
+//! alone on a fresh pool, across chunked prefill and preemption/resume cycles.
+
+use std::sync::Arc;
+
+use lserve::core::{
+    sequence_pages_estimate, AdmissionPolicy, EngineConfig, ModelExecutor, Request, Scheduler,
+    SchedulerConfig,
+};
+use lserve::kvcache::PagingConfig;
+use lserve::model::{ModelConfig, ModelWeights};
+use lserve::quant::KvPrecision;
+use proptest::prelude::*;
+
+fn weights(seed: u64) -> Arc<ModelWeights> {
+    Arc::new(ModelWeights::random(&ModelConfig::tiny(), seed))
+}
+
+/// Small-page FP16 LServe policy: page pressure shows up at toy context lengths.
+fn small_page_cfg() -> EngineConfig {
+    let mut cfg = EngineConfig::lserve_fp16();
+    cfg.paging = PagingConfig::new(8, 4, KvPrecision::Fp16);
+    cfg.prefill_tile = 8;
+    cfg
+}
+
+use sequence_pages_estimate as estimate;
+
+fn run_solo(cfg: &EngineConfig, w: &Arc<ModelWeights>, chunk: usize, req: Request) -> Vec<u32> {
+    // Fresh, generously sized pool; same chunk size as the batched run so the
+    // tile-prefill boundary is identical.
+    let pool_pages = estimate(cfg, &w.config, req.prompt.len() + req.max_new_tokens) * 2 + 16;
+    let mut scfg = SchedulerConfig::new(pool_pages);
+    scfg.chunk_tokens = chunk;
+    let mut solo = Scheduler::new(
+        Arc::new(ModelExecutor::new(Arc::clone(w), cfg.clone())),
+        scfg,
+    );
+    let id = req.id;
+    solo.submit(req);
+    let report = solo.run_to_completion(100_000);
+    assert_eq!(solo.pool_in_use(), 0);
+    let (got_id, tokens) = report.completed.into_iter().next().expect("solo completes");
+    assert_eq!(got_id, id);
+    tokens
+}
+
+/// Deterministic anchor for the acceptance criterion: chunk smaller than every
+/// prompt, a pool that forces at least one preemption/resume cycle, and outputs
+/// that still match per-request solo runs exactly.
+#[test]
+fn forced_preemption_and_chunked_prefill_match_solo_runs() {
+    let w = weights(41);
+    let cfg = small_page_cfg();
+    let requests: Vec<Request> = vec![
+        Request {
+            id: 1,
+            prompt: (0..52).map(|i| (i % 90) as u32).collect(),
+            max_new_tokens: 12,
+        },
+        Request {
+            id: 2,
+            prompt: (0..44).map(|i| ((i * 3) % 90) as u32).collect(),
+            max_new_tokens: 12,
+        },
+        Request {
+            id: 3,
+            prompt: (0..36).map(|i| ((i * 7) % 90) as u32).collect(),
+            max_new_tokens: 12,
+        },
+    ];
+    // Pool: any single request fits with room to spare, all three together do not.
+    let single_max = requests
+        .iter()
+        .map(|r| estimate(&cfg, &w.config, r.prompt.len() + r.max_new_tokens))
+        .max()
+        .unwrap();
+    let mut scfg = SchedulerConfig::new(single_max + single_max / 2);
+    scfg.chunk_tokens = 8; // smaller than every prompt
+    scfg.admission = AdmissionPolicy::FirstChunk;
+    let mut sched = Scheduler::new(
+        Arc::new(ModelExecutor::new(Arc::clone(&w), cfg.clone())),
+        scfg,
+    );
+    for r in &requests {
+        sched.submit(r.clone());
+    }
+    let report = sched.run_to_completion(200_000);
+    assert!(
+        report.preemptions > 0,
+        "pool sized for ~1.5 sequences must force preemption"
+    );
+    assert_eq!(report.completed.len(), 3, "rejected: {:?}", report.rejected);
+    assert_eq!(
+        sched.pool_in_use(),
+        0,
+        "page conservation after preemptions"
+    );
+    for req in requests {
+        let want = run_solo(&cfg, &w, 8, req.clone());
+        let got = &report
+            .completed
+            .iter()
+            .find(|(id, _)| *id == req.id)
+            .unwrap()
+            .1;
+        assert_eq!(got, &want, "request {} diverged", req.id);
+    }
+    // Preempted requests must report their preemption count.
+    let preempted: u32 = report.request_metrics.iter().map(|m| m.preemptions).sum();
+    assert!(preempted as u64 >= report.preemptions);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Page conservation: whatever the workload, pool size, chunk size, and
+    /// admission policy — including runs with preemptions and rejections — every
+    /// page returns to the pool by the end of the run.
+    #[test]
+    fn scheduler_conserves_pages(
+        wseed in 0u64..20,
+        nreq in 1usize..5,
+        chunk in 3usize..24,
+        pool_pages in 24usize..160,
+        aggressive in proptest::bool::ANY,
+    ) {
+        let w = weights(wseed);
+        let cfg = small_page_cfg();
+        let mut scfg = SchedulerConfig::new(pool_pages);
+        scfg.chunk_tokens = chunk;
+        scfg.admission = if aggressive {
+            AdmissionPolicy::FirstChunk
+        } else {
+            AdmissionPolicy::FullFootprint
+        };
+        let mut sched = Scheduler::new(
+            Arc::new(ModelExecutor::new(Arc::clone(&w), cfg)),
+            scfg,
+        );
+        for i in 0..nreq {
+            sched.submit(Request {
+                id: i as u64,
+                prompt: (0..8 + 9 * i + wseed as usize % 7)
+                    .map(|t| ((t * (i + 2)) % 90) as u32)
+                    .collect(),
+                max_new_tokens: 4 + i,
+            });
+        }
+        let report = sched.run_to_completion(200_000);
+        prop_assert_eq!(sched.pool_in_use(), 0, "leaked pages");
+        prop_assert_eq!(report.completed.len() + report.rejected.len(), nreq);
+    }
+
+    /// Determinism: the batched scheduler's greedy outputs are token-identical to
+    /// running each request alone on a fresh pool, for arbitrary chunk sizes and
+    /// pool pressure (preemptions included).
+    #[test]
+    fn batched_outputs_match_solo_runs(
+        wseed in 0u64..20,
+        chunk in 3usize..20,
+        slack in 0usize..40,
+        quantized in proptest::bool::ANY,
+    ) {
+        let w = weights(wseed);
+        let mut cfg = small_page_cfg();
+        if quantized {
+            cfg.paging = PagingConfig::new(8, 4, KvPrecision::Int4);
+        }
+        let requests: Vec<Request> = (0..3u64)
+            .map(|i| Request {
+                id: i,
+                prompt: (0..24 + 13 * i as usize)
+                    .map(|t| ((t * 5 + i as usize) % 90) as u32)
+                    .collect(),
+                max_new_tokens: 8,
+            })
+            .collect();
+        // Pool always fits the largest single request, plus variable slack: small
+        // slack forces preemption, large slack lets everything run concurrently.
+        let single_max = requests
+            .iter()
+            .map(|r| estimate(&cfg, &w.config, r.prompt.len() + r.max_new_tokens))
+            .max()
+            .unwrap();
+        let mut scfg = SchedulerConfig::new(single_max + slack);
+        scfg.chunk_tokens = chunk;
+        scfg.admission = AdmissionPolicy::FirstChunk;
+        let mut sched = Scheduler::new(
+            Arc::new(ModelExecutor::new(Arc::clone(&w), cfg.clone())),
+            scfg,
+        );
+        for r in &requests {
+            sched.submit(r.clone());
+        }
+        let report = sched.run_to_completion(200_000);
+        prop_assert_eq!(report.completed.len(), 3);
+        prop_assert_eq!(sched.pool_in_use(), 0);
+        for req in requests {
+            let want = run_solo(&cfg, &w, chunk, req.clone());
+            let got = &report
+                .completed
+                .iter()
+                .find(|(id, _)| *id == req.id)
+                .unwrap()
+                .1;
+            prop_assert_eq!(got, &want, "request {} diverged", req.id);
+        }
+    }
+}
