@@ -145,6 +145,44 @@ impl SequenceState {
             }
         }
     }
+
+    /// Total pool pages this sequence currently references, across all layers and
+    /// heads.
+    pub fn resident_pages(&self) -> usize {
+        self.layers.iter().map(|l| l.resident_pages()).sum()
+    }
+
+    /// Takes one additional reference on every page this sequence holds (prefix
+    /// sharing: the caller co-owns the pages and must `release` its copy of the
+    /// state).
+    pub fn retain_pages(&self, pool: &mut PagePool) {
+        for layer in &self.layers {
+            layer.retain_all(pool);
+        }
+    }
+
+    /// True when this state references at least one page no other owner shares —
+    /// releasing it would return physical pages to the pool.
+    pub fn holds_sole_reference(&self, pool: &PagePool) -> bool {
+        self.layers.iter().any(|l| l.holds_sole_reference(pool))
+    }
+
+    /// Deep-copies this state for prefix caching and seeding: page tables,
+    /// selector state, position, and decode-step counter are cloned (page *ids*
+    /// are copied — callers manage pool refcounts via
+    /// [`SequenceState::retain_pages`]), while work counters restart at zero so a
+    /// seeded consumer reports only its own work.
+    ///
+    /// The clone is positionally exact: a consumer continuing from it takes
+    /// decode steps with the same step index and the same reusable-selector
+    /// history a cold run would have at this context length, which is what makes
+    /// cache-hit outputs bit-identical to cold runs.
+    pub fn clone_shared(&self) -> SequenceState {
+        SequenceState {
+            stats: EngineStats::default(),
+            ..self.clone()
+        }
+    }
 }
 
 /// The immutable, shareable half of the engine: weights, policy, RoPE table, and

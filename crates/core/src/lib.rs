@@ -19,10 +19,13 @@
 //!   [`ModelExecutor::decode_batch`], the layer-outer batched decode step.
 //! * [`engine`] — [`Engine`], the single-sequence convenience wrapper over one
 //!   executor + one sequence state.
-//! * [`serving`] — the continuous-batching [`Scheduler`] (chunked prefill,
-//!   exact page-demand reservation, preemption/resume) plus the [`ServingEngine`]
-//!   compatibility facade, standing in for the vLLM-style serving loop the paper
-//!   builds on.
+//! * [`serving`] — the continuous-batching [`Scheduler`] (chunked prefill over a
+//!   fixed tile grid, exact page-demand reservation, preemption/resume,
+//!   cross-request prefix caching) plus the [`ServingEngine`] compatibility
+//!   facade, standing in for the vLLM-style serving loop the paper builds on.
+//! * [`prefix`] — [`CachedPrefix`], the positionally exact per-sequence KV
+//!   snapshot the scheduler donates into (and seeds from) the
+//!   `lserve-prefixcache` radix tree.
 //! * [`stats`] — work counters every stage reports (tiles, pages, selector calls),
 //!   the quantities the cost model turns into GPU time.
 
@@ -30,6 +33,7 @@ pub mod config;
 pub mod engine;
 pub mod executor;
 pub mod heads;
+pub mod prefix;
 pub mod serving;
 pub mod stats;
 
@@ -37,8 +41,10 @@ pub use config::{EngineConfig, SelectorKind};
 pub use engine::{DecodeOutput, Engine, PrefillOutput};
 pub use executor::{ModelExecutor, OutOfPagesError, SequenceState};
 pub use heads::{classify_heads, streaming_masks_from_gates};
+pub use lserve_prefixcache::PrefixCacheStats;
+pub use prefix::CachedPrefix;
 pub use serving::{
-    sequence_pages_estimate, AdmissionPolicy, Request, RequestMetrics, RequestStatus, Scheduler,
-    SchedulerConfig, ServingEngine, ServingReport,
+    sequence_pages_estimate, tile_grid_boundary, AdmissionPolicy, Request, RequestMetrics,
+    RequestStatus, Scheduler, SchedulerConfig, ServingEngine, ServingReport,
 };
 pub use stats::EngineStats;

@@ -1,0 +1,121 @@
+//! The serving layer's cached-prefix value: a positionally exact KV snapshot.
+//!
+//! A [`CachedPrefix`] is what the scheduler donates into the
+//! [`lserve_prefixcache::PrefixCache`] radix tree and what a cache hit seeds a new
+//! sequence from. It wraps a [`SequenceState`] captured at the exact moment the
+//! donor had absorbed the cached token sequence — per-layer page tables for dense
+//! *and* streaming heads (sink + local ring at this position), reusable-selector
+//! history, context length, and decode-step index. That positional exactness is
+//! what upgrades "some shared pages" into the scheduler's determinism guarantee: a
+//! sequence seeded from the snapshot continues through bit-identical computation
+//! to a cold run that prefilled the same tokens itself.
+//!
+//! Page ownership follows the [`PrefixPages`] contract: the tree retains one
+//! reference per page while the entry lives, every seeded consumer retains its
+//! own, and copy-on-write forking in `lserve_kvcache` keeps the shared pages
+//! immutable for as long as any co-owner remains.
+
+use lserve_kvcache::PagePool;
+use lserve_prefixcache::PrefixPages;
+
+use crate::executor::SequenceState;
+
+/// A cached prompt prefix: per-layer, page-aligned runs of pool pages plus the
+/// positional state (selector history, step counters) needed to continue from
+/// them deterministically.
+#[derive(Debug)]
+pub struct CachedPrefix {
+    state: SequenceState,
+}
+
+impl CachedPrefix {
+    /// Snapshots `state` for donation. The snapshot shares the donor's pages
+    /// (ids are copied; the cache takes its refcounts when the value is
+    /// inserted) and zeroes the work counters.
+    ///
+    /// The caller must capture at a clean position: `state.context_len()` tokens
+    /// absorbed, nothing half-written — the scheduler captures on prefill-chunk
+    /// and completion boundaries.
+    pub fn capture(state: &SequenceState) -> Self {
+        Self {
+            state: state.clone_shared(),
+        }
+    }
+
+    /// Prefix length in tokens.
+    pub fn tokens(&self) -> usize {
+        self.state.context_len()
+    }
+
+    /// Creates a new sequence continuing from this prefix: clones the snapshot
+    /// and retains every page for the consumer (who releases them on completion
+    /// or preemption like any other sequence).
+    pub fn seed(&self, pool: &mut PagePool) -> SequenceState {
+        let state = self.state.clone_shared();
+        state.retain_pages(pool);
+        state
+    }
+}
+
+impl PrefixPages for CachedPrefix {
+    fn retain(&self, pool: &mut PagePool) {
+        self.state.retain_pages(pool);
+    }
+
+    fn release(&mut self, pool: &mut PagePool) {
+        self.state.release(pool);
+    }
+
+    fn page_refs(&self) -> usize {
+        self.state.resident_pages()
+    }
+
+    fn frees_pages(&self, pool: &PagePool) -> bool {
+        self.state.holds_sole_reference(pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use lserve_model::{ModelConfig, ModelWeights};
+    use lserve_prefixcache::PrefixCache;
+
+    use super::*;
+    use crate::{EngineConfig, ModelExecutor};
+
+    #[test]
+    fn capture_seed_release_round_trip() {
+        let cfg = EngineConfig::lserve_fp16();
+        let w = Arc::new(ModelWeights::random(&ModelConfig::tiny(), 3));
+        let mut pool = cfg.make_pool_for(&w.config, 512);
+        let exec = ModelExecutor::new(w, cfg);
+        let mut donor = exec.new_sequence();
+        exec.prefill(&mut donor, &mut pool, &[1, 2, 3, 4, 5, 6])
+            .unwrap();
+        let donor_pages = donor.resident_pages();
+        assert!(donor_pages > 0);
+
+        let mut cache: PrefixCache<CachedPrefix> = PrefixCache::new();
+        assert!(cache.insert(
+            &mut pool,
+            &[1, 2, 3, 4, 5, 6],
+            CachedPrefix::capture(&donor)
+        ));
+        donor.release(&mut pool);
+        assert_eq!(pool.in_use(), donor_pages, "tree keeps the pages alive");
+
+        let (depth, hit) = cache.lookup(&[1, 2, 3, 4, 5, 6, 7], 1, 6).unwrap();
+        assert_eq!(depth, 6);
+        assert_eq!(hit.tokens(), 6);
+        let mut consumer = hit.seed(&mut pool);
+        assert_eq!(consumer.context_len(), 6);
+        assert_eq!(consumer.stats().decode_steps, 0, "work counters reset");
+        // The consumer can continue decoding from the shared pages.
+        exec.decode_step(&mut consumer, &mut pool, 7).unwrap();
+        consumer.release(&mut pool);
+        cache.clear(&mut pool);
+        assert_eq!(pool.in_use(), 0);
+    }
+}

@@ -24,19 +24,50 @@
 //!   it had already generated through the identical deterministic pipeline, which
 //!   reconstructs a bit-identical cache — so preemption never changes the tokens a
 //!   request produces.
+//! * **Cross-request prefix caching** (opt-in via
+//!   [`SchedulerConfig::prefix_cache`]): prompts are matched against a radix tree
+//!   of previously computed prefixes ([`lserve_prefixcache::PrefixCache`]). A hit
+//!   seeds the new sequence with the cached pages (refcount-shared, copy-on-write
+//!   on append) and only the prompt suffix is prefilled. Sequences donate anchors
+//!   into the tree on every prefill-grid boundary and donate their full
+//!   conversation on completion, and the tree's LRU entries are evicted before any
+//!   running sequence is preempted. Prefix stability rests on the *fixed prefill
+//!   tile grid* (see [`tile_grid_boundary`]): every token position at or beyond
+//!   `chunk_tokens` is always computed by the per-token decode path, so the KV for
+//!   a shared prefix is bit-identical no matter which request computed it.
 //!
 //! The determinism guarantee that falls out: for any request set, the batched
 //! scheduler's greedy outputs are token-identical to running each request alone on
-//! a fresh pool under the same [`SchedulerConfig`].
+//! a fresh pool under the same [`SchedulerConfig`] — with or without the prefix
+//! cache, across chunk sizes, pool pressures, and KV precisions.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use lserve_kvcache::PagePool;
 use lserve_model::{greedy_next_token, ModelConfig, ModelWeights};
+use lserve_prefixcache::{PrefixCache, PrefixCacheStats};
 
 use crate::executor::{ModelExecutor, SequenceState};
+use crate::prefix::CachedPrefix;
 use crate::EngineConfig;
+
+/// The prefill tile grid: the fused tile-prefill path covers absolute token
+/// positions `[0, chunk_tokens)` — the first grid cell — and every position at or
+/// beyond the grid boundary is always fed through the per-token decode path, no
+/// matter how the scheduler slices iterations, whether the sequence is resuming
+/// from preemption, or how much of its prompt came from the prefix cache.
+///
+/// Because the boundary is a pure function of absolute token position (not of how
+/// much of this particular prompt remains), the KV written for any prompt prefix
+/// of at least `chunk_tokens` tokens is bit-identical across requests that share
+/// it — the invariant that lets the prefix cache hand one request's pages to
+/// another without changing a single output token. A prompt shorter than the grid
+/// cell lies entirely inside it and prefills in one fused call; such prompts are
+/// below the cache's minimum match and are never shared.
+pub fn tile_grid_boundary(chunk_tokens: usize, prompt_len: usize) -> usize {
+    chunk_tokens.min(prompt_len)
+}
 
 /// Pages needed to hold `tokens` tokens of context for one sequence under
 /// `cfg` — dense heads grow with context, streaming heads are bounded by their
@@ -100,17 +131,24 @@ pub struct SchedulerConfig {
     pub max_batch: usize,
     /// Admission policy.
     pub admission: AdmissionPolicy,
+    /// Enables the cross-request KV prefix cache: admission matches prompts
+    /// against previously computed prefixes, prefill donates anchors on tile-grid
+    /// boundaries, completed sequences donate their conversation, and cached
+    /// entries are LRU-evicted under pool pressure (before any preemption).
+    /// Outputs are token-identical with the cache on or off.
+    pub prefix_cache: bool,
 }
 
 impl SchedulerConfig {
     /// Defaults: 128-token prefill chunks, batch of up to 64, first-chunk
-    /// admission (preemption-backed).
+    /// admission (preemption-backed), prefix cache off.
     pub fn new(pool_pages: usize) -> Self {
         Self {
             pool_pages,
             chunk_tokens: 128,
             max_batch: 64,
             admission: AdmissionPolicy::FirstChunk,
+            prefix_cache: false,
         }
     }
 
@@ -145,6 +183,9 @@ pub struct RequestMetrics {
     pub tokens: usize,
     /// Times this request was preempted (pages released, later re-prefilled).
     pub preemptions: u32,
+    /// Prompt tokens served from the prefix cache at admission (the deepest
+    /// value across admissions, for requests that were preempted and resumed).
+    pub cached_prompt_tokens: usize,
 }
 
 impl RequestMetrics {
@@ -177,6 +218,64 @@ pub struct ServingReport {
     pub preemptions: u64,
     /// Per-request latency metrics, sorted by request id on completion.
     pub request_metrics: Vec<RequestMetrics>,
+    /// Prompt tokens served from the prefix cache, summed over admission events
+    /// (a preempted request that re-admits with a hit counts again, exactly as
+    /// its recomputed tokens would).
+    pub prefix_hit_tokens: u64,
+    /// Prompt tokens actually computed by prefill (tile chunk + per-token feed),
+    /// summed over admission events. Zero when the prefix cache is disabled.
+    pub prefix_recomputed_tokens: u64,
+    /// Prefixes donated into the cache (anchors and completed conversations).
+    pub prefix_insertions: u64,
+    /// Prefix-cache entries evicted under pool pressure.
+    pub prefix_evictions: u64,
+}
+
+impl ServingReport {
+    /// Fraction of prompt-prefill tokens served from the prefix cache, in
+    /// `[0, 1]` (0 when no prompt token was processed).
+    pub fn prefix_hit_rate(&self) -> f64 {
+        let total = self.prefix_hit_tokens + self.prefix_recomputed_tokens;
+        if total == 0 {
+            return 0.0;
+        }
+        self.prefix_hit_tokens as f64 / total as f64
+    }
+
+    /// Nearest-rank percentile (`q` in `(0, 1]`, e.g. 0.5 / 0.95) of per-request
+    /// TTFT in work tokens. Returns 0 when no request completed.
+    pub fn ttft_work_percentile(&self, q: f64) -> u64 {
+        let mut v: Vec<u64> = self
+            .request_metrics
+            .iter()
+            .map(|m| m.ttft_work_tokens)
+            .collect();
+        v.sort_unstable();
+        nearest_rank(&v, q).copied().unwrap_or(0)
+    }
+
+    /// Nearest-rank percentile (`q` in `(0, 1]`) of per-request mean
+    /// time-between-tokens in scheduler iterations. Returns 0 when no request
+    /// completed.
+    pub fn tbt_percentile(&self, q: f64) -> f64 {
+        let mut v: Vec<f64> = self
+            .request_metrics
+            .iter()
+            .map(RequestMetrics::mean_tbt_iters)
+            .collect();
+        v.sort_by(f64::total_cmp);
+        nearest_rank(&v, q).copied().unwrap_or(0.0)
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn nearest_rank<T>(sorted: &[T], q: f64) -> Option<&T> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted.get(rank.max(1) - 1)
 }
 
 /// Metrics bookkeeping that survives a request's whole lifetime, moved as one
@@ -190,6 +289,7 @@ struct RequestProgress {
     first_token_work: Option<u64>,
     last_token_iter: u64,
     preemptions: u32,
+    cached_tokens: usize,
 }
 
 /// A request waiting for (re-)admission; carries generation progress across
@@ -233,13 +333,6 @@ impl SchedSeq {
             self.resume_feed[i - self.req.prompt.len()]
         }
     }
-
-    /// Feed prefix that goes through the fused tile prefill. A function of the
-    /// prompt length and the chunk size only — *not* of resume state — so a resumed
-    /// sequence replays the exact computation of its first run.
-    fn tile_boundary(&self, chunk_tokens: usize) -> usize {
-        chunk_tokens.min(self.req.prompt.len())
-    }
 }
 
 /// Continuous-batching scheduler over one shared page pool.
@@ -273,6 +366,8 @@ pub struct Scheduler {
     /// Monotone clock: tokens pushed through the forward pass across all
     /// sequences (tile prefill, prompt-continuation feed, and decode).
     work_tokens: u64,
+    /// Cross-request KV prefix cache (unused unless `scfg.prefix_cache`).
+    prefix: PrefixCache<CachedPrefix>,
 }
 
 impl Scheduler {
@@ -297,6 +392,7 @@ impl Scheduler {
             report: ServingReport::default(),
             next_priority: 0,
             work_tokens: 0,
+            prefix: PrefixCache::new(),
         }
     }
 
@@ -325,6 +421,7 @@ impl Scheduler {
                 first_token_work: None,
                 last_token_iter: 0,
                 preemptions: 0,
+                cached_tokens: 0,
             },
         });
     }
@@ -347,6 +444,30 @@ impl Scheduler {
     /// The live (unsorted) report accumulated so far.
     pub fn report_snapshot(&self) -> &ServingReport {
         &self.report
+    }
+
+    /// Prefixes currently cached in the radix tree.
+    pub fn prefix_cache_entries(&self) -> usize {
+        self.prefix.entries()
+    }
+
+    /// Page references the prefix cache currently holds (shared pages counted
+    /// once per referencing entry; the physical footprint is bounded by
+    /// `pool_in_use`).
+    pub fn prefix_cached_page_refs(&self) -> usize {
+        self.prefix.page_refs()
+    }
+
+    /// Lifetime hit/miss/eviction counters of the prefix cache.
+    pub fn prefix_cache_stats(&self) -> PrefixCacheStats {
+        self.prefix.stats()
+    }
+
+    /// Evicts every cached prefix, returning its pages to the pool (pages shared
+    /// with running sequences survive until those release them). After a run has
+    /// drained, `pool_in_use` returns to zero once this is called.
+    pub fn flush_prefix_cache(&mut self) {
+        self.prefix.clear(&mut self.pool);
     }
 
     /// Lifecycle state of request `id`, or `None` for an unknown id. A preempted
@@ -384,6 +505,12 @@ impl Scheduler {
         self.prefill_phase(now);
         self.decode_phase(now);
         self.report.peak_pages = self.report.peak_pages.max(self.pool.peak_in_use());
+        // Hit/insert counters come from the cache's own ledger so the report can
+        // never drift from `prefix_cache_stats()` (evictions stay scheduler-side:
+        // the report counts pressure evictions only, not flushes).
+        let stats = self.prefix.stats();
+        self.report.prefix_hit_tokens = stats.hit_tokens;
+        self.report.prefix_insertions = stats.insertions;
     }
 
     /// Runs until every request completes or `max_steps` scheduler iterations
@@ -401,7 +528,8 @@ impl Scheduler {
         report
     }
 
-    /// FCFS admission from the queue head.
+    /// FCFS admission from the queue head, seeding from the prefix cache when a
+    /// prompt matches a cached prefix.
     fn admit(&mut self) {
         while self.running.len() < self.scfg.max_batch {
             let Some(front) = self.queue.front() else {
@@ -418,29 +546,126 @@ impl Scheduler {
                 continue;
             }
             let feed_len = front.req.prompt.len() + front.generated.len();
+            // A cached match makes the request cheaper to admit and must survive
+            // the eviction loop below, so LRU-protect it before evicting and size
+            // the first-chunk estimate by the uncached remainder.
+            let matched = if self.scfg.prefix_cache {
+                let min_match = self.scfg.chunk_tokens;
+                let max_match = front.req.prompt.len().saturating_sub(1);
+                if max_match >= min_match {
+                    self.prefix
+                        .touch(&front.req.prompt, min_match, max_match)
+                        .unwrap_or(0)
+                } else {
+                    0
+                }
+            } else {
+                0
+            };
             let admit_tokens = match self.scfg.admission {
                 AdmissionPolicy::FullFootprint => full_tokens,
-                AdmissionPolicy::FirstChunk => self.scfg.chunk_tokens.min(feed_len),
+                AdmissionPolicy::FirstChunk => self.scfg.chunk_tokens.min(feed_len - matched),
             };
+            while self.pages_estimate(admit_tokens) > self.pool.free_pages() {
+                if !self.evict_prefix_one() {
+                    break;
+                }
+            }
             if self.pages_estimate(admit_tokens) > self.pool.free_pages() {
                 break; // wait for running sequences to finish or be preempted
             }
             let q = self.queue.pop_front().expect("front checked");
-            let state = self.exec.new_sequence();
+            let (cached, state) = self.seeded_state(&q.req.prompt);
             self.running.push(SchedSeq {
                 generated: q.generated.clone(),
                 resume_feed: q.generated,
                 req: q.req,
                 priority: q.priority,
                 state,
-                fed: 0,
+                fed: cached,
                 last_token: None,
-                progress: q.progress,
+                progress: RequestProgress {
+                    cached_tokens: q.progress.cached_tokens.max(cached),
+                    ..q.progress
+                },
             });
         }
         // Resumed sequences have old (small) priorities; keep the running list in
         // priority order so phases and victim selection stay O(1) to reason about.
         self.running.sort_by_key(|s| s.priority);
+    }
+
+    /// Looks `prompt` up in the prefix cache and seeds a sequence from the
+    /// deepest usable match, or creates a fresh sequence on a miss. Matches are
+    /// bounded below by the prefill tile grid (the suffix must run entirely on
+    /// the position-stable decode path) and above by `prompt_len - 1` (at least
+    /// one token must be computed to produce first-token logits).
+    fn seeded_state(&mut self, prompt: &[u32]) -> (usize, SequenceState) {
+        if self.scfg.prefix_cache {
+            let min_match = self.scfg.chunk_tokens;
+            let max_match = prompt.len().saturating_sub(1);
+            if max_match >= min_match {
+                if let Some((depth, hit)) = self.prefix.lookup(prompt, min_match, max_match) {
+                    return (depth, hit.seed(&mut self.pool));
+                }
+            }
+        }
+        (0, self.exec.new_sequence())
+    }
+
+    /// Donates the current prompt prefix of running sequence `i` into the cache
+    /// when its feed position sits on a donation point: a tile-grid boundary
+    /// inside the prompt, or the end of the prompt. Idempotent — a prefix that is
+    /// already cached is refused by the tree (and LRU-touched).
+    fn maybe_donate(&mut self, i: usize) {
+        if !self.scfg.prefix_cache {
+            return;
+        }
+        let seq = &self.running[i];
+        let fed = seq.fed;
+        let plen = seq.req.prompt.len();
+        let chunk = self.scfg.chunk_tokens;
+        let on_grid = fed > 0 && fed.is_multiple_of(chunk);
+        if fed < chunk || fed > plen || !(on_grid || fed == plen) {
+            return;
+        }
+        debug_assert_eq!(
+            seq.state.context_len(),
+            fed,
+            "donation off a clean feed position"
+        );
+        // Skip the state capture entirely when the prefix is already cached (the
+        // common case on warm traffic re-walking a donated prompt).
+        if self.prefix.is_cached(&seq.req.prompt[..fed]) {
+            return;
+        }
+        let value = CachedPrefix::capture(&seq.state);
+        self.prefix
+            .insert(&mut self.pool, &seq.req.prompt[..fed], value);
+    }
+
+    /// One pressure-relief eviction: removes the LRU cache entry whose removal
+    /// actually frees physical pages, skipping (and keeping warm) entries whose
+    /// pages are all co-owned elsewhere — nested grid anchors covered by deeper
+    /// entries, or prefixes pinned by running sequences. Returns `false` when no
+    /// eviction can relieve the pool and the caller needs preemption instead.
+    fn evict_prefix_one(&mut self) -> bool {
+        if self.prefix.evict_lru_freeing(&mut self.pool).is_none() {
+            return false;
+        }
+        self.report.prefix_evictions += 1;
+        true
+    }
+
+    /// Drains the prefix cache entirely — the last resort before truncating a
+    /// lone sequence that cannot grow, where reclaiming every tree-only page
+    /// matters more than cache warmth. Returns `true` if any page was freed.
+    fn evict_prefix_all(&mut self) -> bool {
+        let before = self.pool.free_pages();
+        while self.prefix.evict_lru(&mut self.pool).is_some() {
+            self.report.prefix_evictions += 1;
+        }
+        self.pool.free_pages() > before
     }
 
     /// Feeds prompt (and resume) tokens, up to `chunk_tokens` per sequence per
@@ -457,13 +682,19 @@ impl Scheduler {
                 continue;
             }
             let mut budget = self.scfg.chunk_tokens;
-            // First chunk: fused tile prefill over a boundary that depends only on
-            // (prompt, chunk_tokens), so replays after preemption are identical.
+            // First grid cell: fused tile prefill over the fixed tile grid (a pure
+            // function of absolute token position), so replays after preemption and
+            // prefix-cached peers compute bit-identical KV. Sequences seeded from
+            // the prefix cache start with `fed > 0` and never take this path.
             if self.running[i].fed == 0 {
-                let boundary = self.running[i].tile_boundary(self.scfg.chunk_tokens);
+                let boundary =
+                    tile_grid_boundary(self.scfg.chunk_tokens, self.running[i].req.prompt.len());
                 loop {
                     if self.pages_estimate(boundary) <= self.pool.free_pages() {
                         break;
+                    }
+                    if self.evict_prefix_one() {
+                        continue;
                     }
                     if !self.make_room_below(pr) {
                         break;
@@ -476,7 +707,11 @@ impl Scheduler {
                     Ok(out) => {
                         self.running[i].fed = boundary;
                         self.work_tokens += boundary as u64;
+                        if self.scfg.prefix_cache {
+                            self.report.prefix_recomputed_tokens += boundary as u64;
+                        }
                         budget = budget.saturating_sub(boundary);
+                        self.maybe_donate(i);
                         if self.running[i].fed == self.running[i].feed_len() {
                             self.finish_feed(i, &out.logits, now);
                             continue;
@@ -504,17 +739,25 @@ impl Scheduler {
                     .state
                     .pages_needed_for_next_token(&self.pool);
                 if need > self.pool.free_pages() {
+                    if self.evict_prefix_one() {
+                        continue;
+                    }
                     if self.make_room_below(pr) {
                         continue;
                     }
                     break; // wait for a later iteration
                 }
-                let t = self.running[i].feed_token(self.running[i].fed);
+                let fed_pos = self.running[i].fed;
+                let t = self.running[i].feed_token(fed_pos);
                 match exec.decode_step(&mut self.running[i].state, &mut self.pool, t) {
                     Ok(out) => {
                         self.running[i].fed += 1;
                         self.work_tokens += 1;
+                        if self.scfg.prefix_cache && fed_pos < self.running[i].req.prompt.len() {
+                            self.report.prefix_recomputed_tokens += 1;
+                        }
                         budget -= 1;
+                        self.maybe_donate(i);
                         if self.running[i].fed == self.running[i].feed_len() {
                             self.finish_feed(i, &out.logits, now);
                             break;
@@ -544,7 +787,16 @@ impl Scheduler {
             if demand <= self.pool.free_pages() {
                 break;
             }
+            // Cached-but-idle prefixes go first; preemption is the last resort.
+            if self.evict_prefix_one() {
+                continue;
+            }
             if self.running.len() <= 1 {
+                // Before truncating the lone sequence, reclaim every page the
+                // cache still holds exclusively.
+                if self.evict_prefix_all() {
+                    continue;
+                }
                 // Nothing to preempt in favor of: the lone sequence cannot grow any
                 // further. Finish it with what it has (bounded-memory truncation).
                 if let Some(seq) = self.running.pop() {
@@ -623,8 +875,12 @@ impl Scheduler {
         }
     }
 
-    /// Releases a finished sequence and records its report entries.
+    /// Releases a finished sequence — donating its conversation (prompt plus
+    /// absorbed generated tokens) into the prefix cache first, so follow-up turns
+    /// that extend this conversation start from its pages — and records its
+    /// report entries.
     fn complete(&mut self, mut seq: SchedSeq) {
+        self.donate_completed(&seq);
         seq.state.release(&mut self.pool);
         let p = seq.progress;
         self.report.request_metrics.push(RequestMetrics {
@@ -636,8 +892,38 @@ impl Scheduler {
                 .map_or(0, |first| p.last_token_iter - first),
             tokens: seq.generated.len(),
             preemptions: p.preemptions,
+            cached_prompt_tokens: p.cached_tokens,
         });
         self.report.completed.push((seq.req.id, seq.generated));
+    }
+
+    /// Donates a completed sequence's absorbed token sequence (prompt plus all
+    /// generated tokens except the final, never-absorbed one) into the prefix
+    /// cache. Decode-path KV is cold-prefill-equivalent — the continuation feed
+    /// uses the same per-token pipeline — so a multi-turn follow-up whose prompt
+    /// extends this conversation gets a bit-identical warm start.
+    fn donate_completed(&mut self, seq: &SchedSeq) {
+        // The prompt itself must clear the tile grid: a sub-grid prompt tiled
+        // only `[0, prompt_len)` and based its decode-step indices there, so its
+        // KV is *not* what a cold run of a longer prompt would compute — donating
+        // it would break the fixed-tile-grid provenance invariant, however long
+        // the generated tail grew.
+        if !self.scfg.prefix_cache
+            || seq.fed < seq.feed_len()
+            || seq.req.prompt.len() < self.scfg.chunk_tokens
+        {
+            return;
+        }
+        let absorbed = seq.state.context_len();
+        let mut key = seq.req.prompt.clone();
+        let absorbed_generated = absorbed - seq.req.prompt.len();
+        key.extend(&seq.generated[..absorbed_generated]);
+        debug_assert_eq!(key.len(), absorbed);
+        if self.prefix.is_cached(&key) {
+            return;
+        }
+        let value = CachedPrefix::capture(&seq.state);
+        self.prefix.insert(&mut self.pool, &key, value);
     }
 
     /// Preempts the lowest-priority running sequence whose priority is *lower*
@@ -714,6 +1000,7 @@ impl ServingEngine {
             chunk_tokens: usize::MAX,
             max_batch: usize::MAX,
             admission: AdmissionPolicy::FullFootprint,
+            prefix_cache: false,
         };
         Self {
             inner: Scheduler::new(exec, scfg),
@@ -990,6 +1277,174 @@ mod tests {
         let got = tight.run_to_completion(100_000);
         assert!(got.preemptions > 0);
         assert_eq!(got.completed, want.completed);
+    }
+
+    #[test]
+    fn tile_grid_boundary_is_position_pure() {
+        // The grid cell is [0, chunk): any prompt at least chunk long has the
+        // same boundary, so shared prefixes >= chunk produce identical tile work.
+        assert_eq!(tile_grid_boundary(8, 8), 8);
+        assert_eq!(tile_grid_boundary(8, 100), 8);
+        assert_eq!(tile_grid_boundary(8, 9), 8);
+        // Prompts inside the first cell prefill whole (and are never shared: the
+        // cache's minimum match is the grid boundary).
+        assert_eq!(tile_grid_boundary(8, 5), 5);
+    }
+
+    /// Builds a request whose prompt is `shared ++ suffix`.
+    fn extend(shared: &[u32], suffix: &[u32], id: u64, gen: usize) -> Request {
+        let mut prompt = shared.to_vec();
+        prompt.extend_from_slice(suffix);
+        Request {
+            id,
+            prompt,
+            max_new_tokens: gen,
+        }
+    }
+
+    fn shared_tokens(len: usize) -> Vec<u32> {
+        (0..len).map(|i| ((i * 5 + 3) % 90) as u32).collect()
+    }
+
+    #[test]
+    fn prefix_hit_matches_cold_run_and_skips_prefill() {
+        let cfg = EngineConfig::lserve_fp16();
+        let shared = shared_tokens(40);
+        let donor = extend(&shared, &[1, 2, 3, 4, 5, 6, 7, 8], 1, 6);
+        let consumer = extend(&shared, &[70, 71, 72, 73, 74, 75, 76, 77], 2, 6);
+
+        // Cold reference: same scheduler policy, prefix cache off.
+        let mut cold_cfg = SchedulerConfig::new(4096);
+        cold_cfg.chunk_tokens = 8;
+        let mut cold = scheduler(cfg.clone(), cold_cfg);
+        cold.submit(consumer.clone());
+        let cold_report = cold.run_to_completion(10_000);
+        let cold_tokens = cold_report.completed[0].1.clone();
+        let cold_ttft = cold_report.request_metrics[0].ttft_work_tokens;
+
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 8;
+        scfg.prefix_cache = true;
+        let mut sched = scheduler(cfg, scfg);
+        sched.submit(donor);
+        sched.run_to_completion(10_000);
+        assert!(sched.prefix_cache_entries() > 0, "donor donated anchors");
+        sched.submit(consumer);
+        let report = sched.run_to_completion(10_000);
+        let m2 = report
+            .request_metrics
+            .iter()
+            .find(|m| m.id == 2)
+            .expect("consumer completed");
+        // The 40 shared tokens sit on tile-grid anchors (multiples of 8).
+        assert_eq!(m2.cached_prompt_tokens, 40);
+        assert_eq!(
+            report.completed.iter().find(|(id, _)| *id == 2).unwrap().1,
+            cold_tokens,
+            "warm outputs must be bit-identical to cold"
+        );
+        // Acceptance: warm TTFT (work tokens) at least 3x better than cold.
+        assert!(
+            m2.ttft_work_tokens * 3 <= cold_ttft,
+            "warm ttft {} vs cold {}",
+            m2.ttft_work_tokens,
+            cold_ttft
+        );
+        assert!(report.prefix_hit_tokens >= 40);
+        assert!(report.prefix_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn flush_prefix_cache_returns_all_pages() {
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 8;
+        scfg.prefix_cache = true;
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        sched.submit(request(1, 32, 4));
+        sched.run_to_completion(10_000);
+        assert!(sched.pool_in_use() > 0, "cache retains the donor's pages");
+        assert!(sched.prefix_cache_entries() > 0);
+        assert!(sched.prefix_cached_page_refs() >= sched.pool_in_use());
+        sched.flush_prefix_cache();
+        assert_eq!(sched.pool_in_use(), 0, "flush releases everything");
+        assert_eq!(sched.prefix_cache_entries(), 0);
+    }
+
+    #[test]
+    fn multi_turn_followup_hits_completed_conversation() {
+        let cfg = EngineConfig::lserve_fp16();
+        let mut scfg = SchedulerConfig::new(8192);
+        scfg.chunk_tokens = 8;
+        scfg.prefix_cache = true;
+        let mut sched = scheduler(cfg, scfg);
+        let turn1 = request(1, 32, 8);
+        sched.submit(turn1.clone());
+        let r1 = sched.run_to_completion(10_000);
+        let generated = r1.completed[0].1.clone();
+        assert_eq!(generated.len(), 8);
+        // Turn 2: the whole first exchange plus a new query.
+        let mut prompt2 = turn1.prompt.clone();
+        prompt2.extend_from_slice(&generated);
+        prompt2.extend_from_slice(&[33, 44, 55, 66]);
+        sched.submit(Request {
+            id: 2,
+            prompt: prompt2,
+            max_new_tokens: 4,
+        });
+        let r2 = sched.run_to_completion(10_000);
+        let m2 = r2.request_metrics.iter().find(|m| m.id == 2).unwrap();
+        // The completed-conversation entry covers prompt + generated[..7]: the
+        // deepest match beats every prompt-only anchor.
+        assert_eq!(m2.cached_prompt_tokens, 32 + generated.len() - 1);
+    }
+
+    #[test]
+    fn sub_grid_prompt_never_donates_even_after_long_generation() {
+        // A prompt shorter than the tile grid cell tiles only [0, prompt_len)
+        // and bases its decode-step indices there, so its KV is not what a cold
+        // run of a longer prompt would compute. Even when generation pushes the
+        // absorbed conversation past chunk_tokens, nothing may be donated.
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 16;
+        scfg.prefix_cache = true;
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        sched.submit(request(1, 4, 40)); // absorbed conversation: 43 tokens
+        let r = sched.run_to_completion(10_000);
+        assert_eq!(r.completed[0].1.len(), 40);
+        assert_eq!(
+            sched.prefix_cache_entries(),
+            0,
+            "sub-grid prompt must not donate its conversation"
+        );
+        assert_eq!(sched.pool_in_use(), 0);
+    }
+
+    #[test]
+    fn prefix_cache_evicts_under_pressure_instead_of_blocking() {
+        // Pool sized for roughly one sequence: distinct prompts fill the cache,
+        // and later admissions must evict stale entries rather than wedge.
+        let w = weights();
+        let cfg = EngineConfig::dense();
+        let m = &w.config;
+        let one_seq_pages = m.num_layers * m.num_kv_heads * (cfg.paging.pages_for(48) + 1);
+        let mut scfg = SchedulerConfig::new(one_seq_pages + 4);
+        scfg.chunk_tokens = 8;
+        scfg.prefix_cache = true;
+        let mut sched = Scheduler::new(Arc::new(ModelExecutor::new(w, cfg)), scfg);
+        for id in 0..4u64 {
+            sched.submit(Request {
+                id,
+                prompt: (0..24)
+                    .map(|t| ((t * 7 + id as usize * 13) % 90) as u32)
+                    .collect(),
+                max_new_tokens: 6,
+            });
+        }
+        let r = sched.run_to_completion(100_000);
+        assert_eq!(r.completed.len(), 4, "rejected: {:?}", r.rejected);
+        assert!(r.prefix_evictions > 0, "pressure must evict cache entries");
+        sched.flush_prefix_cache();
+        assert_eq!(sched.pool_in_use(), 0);
     }
 
     #[test]

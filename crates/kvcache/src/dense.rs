@@ -34,22 +34,36 @@ impl DenseHeadCache {
         self.pages.len()
     }
 
-    /// True when appending the next token requires allocating a fresh page (the
-    /// last page is full, or no page exists yet). Schedulers use this for exact
-    /// page-demand reservation before a decode step.
+    /// True when appending the next token requires allocating a fresh page: the
+    /// last page is full, no page exists yet, or the last page is *shared* (a
+    /// prefix-cache entry or another sequence also references it) and must be
+    /// copy-on-write forked before it can be written. Schedulers use this for
+    /// exact page-demand reservation before a decode step.
     pub fn needs_page_for_next_append(&self, pool: &PagePool) -> bool {
         match self.pages.last() {
-            Some(&id) => pool.page(id).is_full(),
+            Some(&id) => pool.page(id).is_full() || pool.is_shared(id),
             None => true,
         }
     }
 
     /// Appends one `(key, value)` row, allocating a new page when the last one is
-    /// full.
+    /// full and copy-on-write forking it first when it is shared with another
+    /// owner (so shared prefix pages are never mutated).
     ///
     /// Returns `false` (leaving the cache unchanged) if the pool is exhausted.
     pub fn append(&mut self, pool: &mut PagePool, key: &[f32], value: &[f32]) -> bool {
-        let need_new = self.needs_page_for_next_append(pool);
+        if let Some(&last) = self.pages.last() {
+            if !pool.page(last).is_full() && pool.is_shared(last) {
+                match pool.fork(last) {
+                    Some(forked) => *self.pages.last_mut().expect("last checked") = forked,
+                    None => return false,
+                }
+            }
+        }
+        let need_new = match self.pages.last() {
+            Some(&id) => pool.page(id).is_full(),
+            None => true,
+        };
         if need_new {
             match pool.allocate() {
                 Some(id) => self.pages.push(id),
@@ -129,6 +143,21 @@ impl DenseHeadCache {
         }
         self.tokens = 0;
     }
+
+    /// Takes one additional reference on every page in the table (prefix sharing:
+    /// the caller becomes a co-owner and must eventually `release` its copy of the
+    /// table).
+    pub fn retain_all(&self, pool: &mut PagePool) {
+        for &id in &self.pages {
+            pool.retain(id);
+        }
+    }
+
+    /// True when at least one page in the table is referenced by this cache
+    /// alone, i.e. releasing the cache would return physical pages to the pool.
+    pub fn holds_sole_reference(&self, pool: &PagePool) -> bool {
+        self.pages.iter().any(|&id| pool.refcount(id) == 1)
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +232,28 @@ mod tests {
         assert!(c.append(&mut pool, &[0.0, 0.0], &[0.0, 0.0]));
         assert!(!c.append(&mut pool, &[0.0, 0.0], &[0.0, 0.0]));
         assert_eq!(c.tokens(), 2);
+    }
+
+    #[test]
+    fn append_into_shared_partial_page_forks_first() {
+        let (mut pool, mut c) = setup();
+        for i in 0..6 {
+            c.append(&mut pool, &[i as f32, 0.0], &[0.0, 0.0]);
+        }
+        // Share the whole table (tree + this sequence), as a prefix-cache entry would.
+        c.retain_all(&mut pool);
+        let shared_last = *c.page_table().last().unwrap();
+        assert!(c.needs_page_for_next_append(&pool), "shared page needs CoW");
+        assert!(c.append(&mut pool, &[99.0, 0.0], &[0.0, 0.0]));
+        let new_last = *c.page_table().last().unwrap();
+        assert_ne!(new_last, shared_last, "partial page forked before append");
+        // The shared copy is frozen at its pre-append contents.
+        assert_eq!(pool.page(shared_last).len(), 2); // tokens 4..6 on page 1 (np=4)
+        assert_eq!(pool.page(new_last).len(), 3);
+        assert_eq!(pool.page(new_last).key_row(2)[0], 99.0);
+        // Full pages stay shared untouched: only the partial page forked.
+        assert_eq!(pool.refcount(c.page_table()[0]), 2);
+        assert_eq!(pool.refcount(shared_last), 1, "tree now sole owner");
     }
 
     #[test]

@@ -54,6 +54,32 @@ impl HeadCache {
         }
     }
 
+    /// Takes one additional reference on every page this head retains (prefix
+    /// sharing).
+    pub fn retain_all(&self, pool: &mut PagePool) {
+        match self {
+            HeadCache::Dense(c) => c.retain_all(pool),
+            HeadCache::Streaming(c) => c.retain_all(pool),
+        }
+    }
+
+    /// Number of pool pages this head currently references.
+    pub fn resident_pages(&self) -> usize {
+        match self {
+            HeadCache::Dense(c) => c.num_pages(),
+            HeadCache::Streaming(c) => c.resident_pages(),
+        }
+    }
+
+    /// True when this head references at least one page that no other owner
+    /// shares (releasing it would free physical pages).
+    pub fn holds_sole_reference(&self, pool: &PagePool) -> bool {
+        match self {
+            HeadCache::Dense(c) => c.holds_sole_reference(pool),
+            HeadCache::Streaming(c) => c.holds_sole_reference(pool),
+        }
+    }
+
     /// Borrow the dense cache.
     ///
     /// # Panics
@@ -194,6 +220,24 @@ impl LayerKvCache {
         for h in &mut self.heads {
             h.release(pool);
         }
+    }
+
+    /// Takes one additional reference on every page of every head (prefix
+    /// sharing: the caller co-owns the layer's pages and must `release` its copy).
+    pub fn retain_all(&self, pool: &mut PagePool) {
+        for h in &self.heads {
+            h.retain_all(pool);
+        }
+    }
+
+    /// Total pool pages this layer currently references, across all heads.
+    pub fn resident_pages(&self) -> usize {
+        self.heads.iter().map(HeadCache::resident_pages).sum()
+    }
+
+    /// True when any head references a page no other owner shares.
+    pub fn holds_sole_reference(&self, pool: &PagePool) -> bool {
+        self.heads.iter().any(|h| h.holds_sole_reference(pool))
     }
 
     /// Tokens stored (identical across heads by construction; reported from head 0).

@@ -211,6 +211,7 @@ pub struct PagePool {
     refcounts: Vec<u32>,
     free: Vec<PageId>,
     peak_in_use: usize,
+    forks: u64,
 }
 
 impl PagePool {
@@ -223,6 +224,7 @@ impl PagePool {
             refcounts: vec![0; capacity],
             free: (0..capacity).rev().map(|i| PageId(i as u32)).collect(),
             peak_in_use: 0,
+            forks: 0,
         }
     }
 
@@ -315,6 +317,50 @@ impl PagePool {
     /// Current reference count of a page (0 if free).
     pub fn refcount(&self, id: PageId) -> u32 {
         self.refcounts[id.index()]
+    }
+
+    /// True when the page is referenced by more than one owner (a sequence must
+    /// not append into it in place; see [`PagePool::fork`]).
+    pub fn is_shared(&self, id: PageId) -> bool {
+        self.refcounts[id.index()] > 1
+    }
+
+    /// Pages currently referenced by more than one owner (prefix-cache sharing).
+    pub fn shared_pages(&self) -> usize {
+        self.refcounts.iter().filter(|&&rc| rc > 1).count()
+    }
+
+    /// Total copy-on-write forks performed over the pool's lifetime.
+    pub fn fork_count(&self) -> u64 {
+        self.forks
+    }
+
+    /// Copy-on-write fork: replaces the caller's reference to `id` with a private
+    /// copy of the page's contents (keys, values, quantization params, stats).
+    ///
+    /// The caller's reference to `id` is dropped (refcount decremented, the page
+    /// recycled if that was the last reference) and a fresh page with refcount 1 is
+    /// returned. Callers invoke this before appending into a page whose refcount is
+    /// above 1, so shared prefix pages are never mutated — the CoW discipline that
+    /// makes cross-request prefix sharing safe.
+    ///
+    /// Returns `None` (caller's reference unchanged) if the pool is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not allocated.
+    pub fn fork(&mut self, id: PageId) -> Option<PageId> {
+        assert!(
+            self.pages[id.index()].is_some(),
+            "fork of unallocated page {id:?}"
+        );
+        let new = self.free.pop()?;
+        self.pages[new.index()] = self.pages[id.index()].clone();
+        self.refcounts[new.index()] = 1;
+        self.peak_in_use = self.peak_in_use.max(self.in_use());
+        self.forks += 1;
+        self.free(id);
+        Some(new)
     }
 }
 
@@ -411,6 +457,46 @@ mod tests {
         for _ in 0..5 {
             p.page_mut(id).append(&[0.0; 4], &[0.0; 4]);
         }
+    }
+
+    #[test]
+    fn fork_copies_contents_and_drops_source_reference() {
+        let mut p = pool(KvPrecision::Fp16);
+        let id = p.allocate().unwrap();
+        p.page_mut(id)
+            .append(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]);
+        p.retain(id); // shared: e.g. a prefix-cache entry plus one sequence
+        assert!(p.is_shared(id));
+        assert_eq!(p.shared_pages(), 1);
+        let forked = p.fork(id).unwrap();
+        assert_ne!(forked, id);
+        assert_eq!(p.refcount(id), 1, "fork drops the caller's reference");
+        assert_eq!(p.refcount(forked), 1);
+        assert!(!p.is_shared(id));
+        assert_eq!(p.fork_count(), 1);
+        // Contents are identical but independent.
+        assert_eq!(p.page(forked).key_row(0), p.page(id).key_row(0));
+        p.page_mut(forked).append(&[9.0; 4], &[9.0; 4]);
+        assert_eq!(p.page(id).len(), 1);
+        assert_eq!(p.page(forked).len(), 2);
+    }
+
+    #[test]
+    fn fork_of_sole_reference_recycles_source() {
+        let mut p = pool(KvPrecision::Fp16);
+        let id = p.allocate().unwrap();
+        let forked = p.fork(id).unwrap();
+        assert_eq!(p.in_use(), 1, "source page recycled");
+        assert_eq!(p.refcount(forked), 1);
+    }
+
+    #[test]
+    fn fork_fails_cleanly_when_pool_exhausted() {
+        let mut p = PagePool::new(PagingConfig::new(4, 2, KvPrecision::Fp16), 1, 4);
+        let id = p.allocate().unwrap();
+        p.retain(id);
+        assert!(p.fork(id).is_none());
+        assert_eq!(p.refcount(id), 2, "failed fork leaves references unchanged");
     }
 
     #[test]

@@ -107,7 +107,9 @@ impl StreamingHeadCache {
         out
     }
 
-    /// True when appending the next token requires allocating a fresh page.
+    /// True when appending the next token requires allocating a fresh page —
+    /// because the target page is full, missing, or *shared* with another owner
+    /// (prefix-cache sharing) and must be copy-on-write forked before writing.
     ///
     /// Eviction runs *after* allocation, so even when the append nets zero resident
     /// growth it transiently needs one free page; this method reports that
@@ -117,12 +119,12 @@ impl StreamingHeadCache {
         let in_sink_region = self.tokens / np < self.window.sink_pages;
         if in_sink_region {
             match self.sink.last() {
-                Some(&id) => pool.page(id).is_full(),
+                Some(&id) => pool.page(id).is_full() || pool.is_shared(id),
                 None => true,
             }
         } else {
             match self.local.back() {
-                Some(&(_, id)) => pool.page(id).is_full(),
+                Some(&(_, id)) => pool.page(id).is_full() || pool.is_shared(id),
                 None => true,
             }
         }
@@ -148,6 +150,15 @@ impl StreamingHeadCache {
                     Some(id) => self.sink.push(id),
                     None => return false,
                 }
+            } else {
+                // Copy-on-write: never append into a page another owner shares.
+                let id = *self.sink.last().expect("sink page ensured");
+                if pool.is_shared(id) {
+                    match pool.fork(id) {
+                        Some(forked) => *self.sink.last_mut().expect("sink page ensured") = forked,
+                        None => return false,
+                    }
+                }
             }
             let id = *self.sink.last().expect("sink page ensured");
             pool.page_mut(id).append(key, value);
@@ -163,6 +174,16 @@ impl StreamingHeadCache {
                         self.local.push_back((start, id));
                     }
                     None => return false,
+                }
+            } else {
+                let (_, id) = *self.local.back().expect("local page ensured");
+                if pool.is_shared(id) {
+                    match pool.fork(id) {
+                        Some(forked) => {
+                            self.local.back_mut().expect("local page ensured").1 = forked;
+                        }
+                        None => return false,
+                    }
                 }
             }
             let (_, id) = *self.local.back().expect("local page ensured");
@@ -186,6 +207,24 @@ impl StreamingHeadCache {
             pool.free(id);
         }
         self.tokens = 0;
+    }
+
+    /// Takes one additional reference on every retained page (prefix sharing: the
+    /// caller becomes a co-owner and must eventually `release` its copy).
+    pub fn retain_all(&self, pool: &mut PagePool) {
+        for &id in &self.sink {
+            pool.retain(id);
+        }
+        for &(_, id) in &self.local {
+            pool.retain(id);
+        }
+    }
+
+    /// True when at least one retained page is referenced by this cache alone,
+    /// i.e. releasing the cache would return physical pages to the pool.
+    pub fn holds_sole_reference(&self, pool: &PagePool) -> bool {
+        self.sink.iter().any(|&id| pool.refcount(id) == 1)
+            || self.local.iter().any(|&(_, id)| pool.refcount(id) == 1)
     }
 }
 
@@ -276,6 +315,23 @@ mod tests {
         assert!(pool.in_use() > 0);
         c.release(&mut pool);
         assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn append_into_shared_pages_forks_not_mutates() {
+        let (mut pool, mut c) = setup();
+        push_n(&mut pool, &mut c, 10); // 1 sink page + local pages, last partial
+        c.retain_all(&mut pool); // a prefix-cache entry now co-owns every page
+        let frozen: Vec<(usize, PageId)> = c.page_table(&pool);
+        let frozen_lens: Vec<usize> = frozen.iter().map(|&(_, id)| pool.page(id).len()).collect();
+        assert!(c.needs_page_for_next_append(&pool));
+        push_n(&mut pool, &mut c, 8);
+        // The co-owned snapshot is bit-for-bit untouched: same lengths, and the
+        // evicted-from-the-window pages are still alive through the extra refs.
+        for (&(_, id), &len) in frozen.iter().zip(&frozen_lens) {
+            assert_eq!(pool.page(id).len(), len, "shared page {id:?} mutated");
+        }
+        assert_eq!(c.tokens(), 18);
     }
 
     #[test]

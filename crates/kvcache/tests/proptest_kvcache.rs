@@ -104,6 +104,101 @@ proptest! {
         }
     }
 
+    /// Refcount invariants under arbitrary allocate/retain/free/fork churn, the
+    /// operation mix the prefix cache generates: reference counts follow a shadow
+    /// model exactly, a page never leaks or double-frees, forked pages carry
+    /// bit-identical contents, and releasing every outstanding reference returns
+    /// `in_use()` to zero.
+    #[test]
+    fn refcounts_survive_retain_free_fork_churn(
+        ops in prop::collection::vec((0u8..4, 0usize..1_000_000), 1..300),
+    ) {
+        let cfg = PagingConfig::new(4, 2, KvPrecision::Fp16);
+        let mut pool = PagePool::new(cfg, 12, 2);
+        // Shadow model: one entry per reference we hold (a page may appear as
+        // many times as its refcount), plus the row count written to each page.
+        let mut refs: Vec<lserve_kvcache::PageId> = Vec::new();
+        let mut stamp = 0f32;
+        for (op, pick) in ops {
+            match op {
+                // Allocate and write a distinguishable row.
+                0 => {
+                    if let Some(id) = pool.allocate() {
+                        prop_assert_eq!(pool.refcount(id), 1);
+                        stamp += 1.0;
+                        pool.page_mut(id).append(&[stamp, -stamp], &[stamp, stamp]);
+                        refs.push(id);
+                    } else {
+                        // Exhaustion must mean every slot is accounted for.
+                        prop_assert_eq!(pool.in_use(), pool.capacity());
+                    }
+                }
+                // Retain a reference we already hold.
+                1 => {
+                    if !refs.is_empty() {
+                        let id = refs[pick % refs.len()];
+                        let before = pool.refcount(id);
+                        pool.retain(id);
+                        prop_assert_eq!(pool.refcount(id), before + 1);
+                        refs.push(id);
+                    }
+                }
+                // Free one of our references.
+                2 => {
+                    if !refs.is_empty() {
+                        let id = refs.swap_remove(pick % refs.len());
+                        let before = pool.refcount(id);
+                        pool.free(id);
+                        let live = refs.iter().filter(|&&r| r == id).count() as u32;
+                        prop_assert_eq!(live, before - 1);
+                        if live > 0 {
+                            prop_assert_eq!(pool.refcount(id), live);
+                        }
+                    }
+                }
+                // Copy-on-write fork of one of our references.
+                _ => {
+                    if !refs.is_empty() {
+                        let i = pick % refs.len();
+                        let id = refs[i];
+                        let want_key = pool.page(id).key_row(0).to_vec();
+                        let shared_before = pool.is_shared(id);
+                        if let Some(forked) = pool.fork(id) {
+                            refs[i] = forked;
+                            prop_assert_eq!(pool.refcount(forked), 1);
+                            prop_assert_eq!(pool.page(forked).key_row(0), &want_key[..]);
+                            if shared_before {
+                                // Other holders keep the original alive.
+                                prop_assert!(pool.refcount(id) >= 1);
+                            }
+                        } else {
+                            // Failed fork must leave the reference untouched.
+                            prop_assert!(pool.refcount(id) >= 1);
+                        }
+                    }
+                }
+            }
+            // Global invariants after every operation.
+            let mut counts = std::collections::HashMap::new();
+            for &id in &refs {
+                *counts.entry(id).or_insert(0u32) += 1;
+            }
+            prop_assert_eq!(pool.in_use(), counts.len(), "live pages == distinct refs");
+            for (&id, &n) in &counts {
+                prop_assert_eq!(pool.refcount(id), n, "shadow refcount diverged");
+            }
+            prop_assert_eq!(
+                pool.shared_pages(),
+                counts.values().filter(|&&n| n > 1).count()
+            );
+        }
+        // Drain every reference: the pool must return to empty.
+        for id in refs.drain(..) {
+            pool.free(id);
+        }
+        prop_assert_eq!(pool.in_use(), 0, "leaked pages after full release");
+    }
+
     /// Per-page logical stats equal brute-force stats over the same token ranges.
     #[test]
     fn page_stats_match_bruteforce(tokens in 1usize..40) {

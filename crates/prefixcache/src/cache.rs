@@ -1,0 +1,387 @@
+//! The managed prefix store: refcounted insertion, LRU eviction, counters.
+
+use lserve_kvcache::{PageId, PagePool};
+
+use crate::tree::RadixTree;
+
+/// Contract for a cached prefix value: it references pool pages and can take or
+/// drop one co-ownership reference on all of them.
+///
+/// The cache calls [`PrefixPages::retain`] exactly once when a value is accepted
+/// into the tree and [`PrefixPages::release`] exactly once when it leaves
+/// (eviction or clear). Serving layers call `retain` again for every sequence they
+/// seed from the value, and pages stay immutable while shared because appends
+/// copy-on-write fork any page whose refcount exceeds 1.
+pub trait PrefixPages {
+    /// Takes one additional reference on every page this value references.
+    fn retain(&self, pool: &mut PagePool);
+    /// Drops the value's reference on every page (recycling pages that reach
+    /// refcount zero).
+    fn release(&mut self, pool: &mut PagePool);
+    /// Number of page references this value holds (shared pages count once per
+    /// referencing value).
+    fn page_refs(&self) -> usize;
+    /// True when releasing this value would return at least one physical page to
+    /// the pool (some referenced page has no other owner). Pressure-driven
+    /// eviction skips values for which this is false — removing them relieves
+    /// nothing and only makes future lookups colder.
+    fn frees_pages(&self, pool: &PagePool) -> bool;
+}
+
+/// The minimal concrete cached value: per-layer, page-aligned runs of page ids
+/// covering `tokens` prefix tokens. The serving layer caches richer per-sequence
+/// state; this type is the crate-local reference implementation and test vehicle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageRunPrefix {
+    /// Prefix length in tokens.
+    pub tokens: usize,
+    /// One ordered run of physical pages per (layer, head) slot.
+    pub runs: Vec<Vec<PageId>>,
+}
+
+impl PrefixPages for PageRunPrefix {
+    fn retain(&self, pool: &mut PagePool) {
+        for run in &self.runs {
+            for &id in run {
+                pool.retain(id);
+            }
+        }
+    }
+
+    fn release(&mut self, pool: &mut PagePool) {
+        for run in &mut self.runs {
+            for id in run.drain(..) {
+                pool.free(id);
+            }
+        }
+    }
+
+    fn page_refs(&self) -> usize {
+        self.runs.iter().map(Vec::len).sum()
+    }
+
+    fn frees_pages(&self, pool: &PagePool) -> bool {
+        self.runs
+            .iter()
+            .any(|run| run.iter().any(|&id| pool.refcount(id) == 1))
+    }
+}
+
+/// Hit/miss/volume counters a serving report can surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefixCacheStats {
+    /// Lookups that matched a cached prefix.
+    pub hits: u64,
+    /// Lookups that matched nothing (within the caller's depth bounds).
+    pub misses: u64,
+    /// Total prompt tokens served from the cache across all hits.
+    pub hit_tokens: u64,
+    /// Values accepted into the tree.
+    pub insertions: u64,
+    /// Values removed (LRU eviction and clears).
+    pub evictions: u64,
+}
+
+/// Refcount-backed radix prefix cache with LRU eviction.
+///
+/// # Example
+///
+/// ```
+/// use lserve_kvcache::{PagePool, PagingConfig};
+/// use lserve_prefixcache::{PageRunPrefix, PrefixCache};
+/// use lserve_quant::KvPrecision;
+///
+/// let mut pool = PagePool::new(PagingConfig::new(4, 2, KvPrecision::Fp16), 8, 2);
+/// let page = pool.allocate().unwrap();
+/// let mut cache: PrefixCache<PageRunPrefix> = PrefixCache::new();
+/// let value = PageRunPrefix { tokens: 4, runs: vec![vec![page]] };
+/// assert!(cache.insert(&mut pool, &[10, 11, 12, 13], value));
+/// assert_eq!(pool.refcount(page), 2); // owner + cache
+/// let (depth, hit) = cache.lookup(&[10, 11, 12, 13, 14], 1, 4).unwrap();
+/// assert_eq!((depth, hit.tokens), (4, 4));
+/// cache.clear(&mut pool);
+/// assert_eq!(pool.refcount(page), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct PrefixCache<V: PrefixPages> {
+    tree: RadixTree<V>,
+    tick: u64,
+    page_refs: usize,
+    stats: PrefixCacheStats,
+}
+
+impl<V: PrefixPages> PrefixCache<V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self {
+            tree: RadixTree::new(),
+            tick: 0,
+            page_refs: 0,
+            stats: PrefixCacheStats::default(),
+        }
+    }
+
+    /// Number of cached prefixes.
+    pub fn entries(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Total page references the cache currently holds (shared pages counted once
+    /// per referencing entry; compare with `PagePool::shared_pages` for physical
+    /// footprint).
+    pub fn page_refs(&self) -> usize {
+        self.page_refs
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> PrefixCacheStats {
+        self.stats
+    }
+
+    /// Finds the deepest cached prefix of `prompt` with length in
+    /// `[min_match.max(1), max_match]`, counting and LRU-touching the hit.
+    ///
+    /// Serving layers pass `min_match = chunk_tokens` (the prefill tile grid cell,
+    /// so the uncached suffix is computed entirely on the position-stable decode
+    /// path) and `max_match = prompt.len() - 1` (at least one suffix token must be
+    /// computed to produce first-token logits).
+    pub fn lookup(
+        &mut self,
+        prompt: &[u32],
+        min_match: usize,
+        max_match: usize,
+    ) -> Option<(usize, &V)> {
+        self.tick += 1;
+        match self.tree.lookup(prompt, min_match, max_match, self.tick) {
+            Some((depth, v)) => {
+                self.stats.hits += 1;
+                self.stats.hit_tokens += depth as u64;
+                Some((depth, v))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// LRU-touches the deepest cached prefix of `prompt` within the bounds
+    /// without counting a hit or miss, returning its depth. Admission control
+    /// uses this to protect a would-be match from pressure-driven eviction
+    /// before the real [`PrefixCache::lookup`] runs.
+    pub fn touch(&mut self, prompt: &[u32], min_match: usize, max_match: usize) -> Option<usize> {
+        self.tick += 1;
+        self.tree
+            .lookup(prompt, min_match, max_match, self.tick)
+            .map(|(depth, _)| depth)
+    }
+
+    /// Donates a value for exactly `prompt`: retains its pages and stores it.
+    ///
+    /// Returns `false` when the prefix is already cached — the duplicate value's
+    /// pages are released again and the existing entry gets an LRU touch, so
+    /// re-donation (e.g. after a preemption replay) is idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty.
+    pub fn insert(&mut self, pool: &mut PagePool, prompt: &[u32], value: V) -> bool {
+        self.tick += 1;
+        value.retain(pool);
+        let refs = value.page_refs();
+        match self.tree.insert(prompt, value, self.tick) {
+            Ok(()) => {
+                self.page_refs += refs;
+                self.stats.insertions += 1;
+                true
+            }
+            Err(mut duplicate) => {
+                duplicate.release(pool);
+                false
+            }
+        }
+    }
+
+    /// True when exactly `prompt` is cached (no LRU touch, no counters) —
+    /// donation paths use this to skip capturing a value the tree would refuse.
+    pub fn is_cached(&self, prompt: &[u32]) -> bool {
+        self.tree.get_exact(prompt).is_some()
+    }
+
+    /// Evicts the least-recently-used prefix, dropping its page references.
+    /// Returns the number of references released, or `None` when the cache is
+    /// empty. Pages still co-owned by running sequences survive the eviction.
+    pub fn evict_lru(&mut self, pool: &mut PagePool) -> Option<usize> {
+        let key = self.tree.lru_key()?;
+        Some(self.evict_key(pool, &key))
+    }
+
+    /// Evicts the least-recently-used prefix *whose removal would free at least
+    /// one physical page*, skipping (and keeping) entries whose pages are all
+    /// co-owned elsewhere — nested anchors covered by deeper entries, prefixes
+    /// still pinned by running sequences. Returns `None` when no eviction can
+    /// relieve the pool, in which case the caller needs a different lever
+    /// (preemption).
+    pub fn evict_lru_freeing(&mut self, pool: &mut PagePool) -> Option<usize> {
+        let key = self.tree.keys_by_lru().into_iter().find(|key| {
+            self.tree
+                .get_exact(key)
+                .is_some_and(|v| v.frees_pages(pool))
+        })?;
+        Some(self.evict_key(pool, &key))
+    }
+
+    fn evict_key(&mut self, pool: &mut PagePool, key: &[u32]) -> usize {
+        let mut value = self.tree.remove(key).expect("key listed by the tree");
+        let refs = value.page_refs();
+        value.release(pool);
+        self.page_refs -= refs;
+        self.stats.evictions += 1;
+        refs
+    }
+
+    /// Evicts everything (counted as evictions), returning all page references.
+    pub fn clear(&mut self, pool: &mut PagePool) {
+        for mut value in self.tree.drain() {
+            self.page_refs -= value.page_refs();
+            self.stats.evictions += 1;
+            value.release(pool);
+        }
+        debug_assert_eq!(self.page_refs, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lserve_kvcache::PagingConfig;
+    use lserve_quant::KvPrecision;
+
+    fn pool() -> PagePool {
+        PagePool::new(PagingConfig::new(4, 2, KvPrecision::Fp16), 32, 2)
+    }
+
+    fn run_of(pool: &mut PagePool, n: usize) -> PageRunPrefix {
+        let runs = vec![(0..n).map(|_| pool.allocate().unwrap()).collect()];
+        PageRunPrefix {
+            tokens: n * 4,
+            runs,
+        }
+    }
+
+    #[test]
+    fn insert_retains_and_evict_releases() {
+        let mut pool = pool();
+        let mut cache: PrefixCache<PageRunPrefix> = PrefixCache::new();
+        let a = run_of(&mut pool, 2);
+        let first_page = a.runs[0][0];
+        assert!(cache.insert(&mut pool, &[1, 2, 3, 4, 5, 6, 7, 8], a.clone()));
+        assert_eq!(pool.refcount(first_page), 2);
+        assert_eq!(cache.page_refs(), 2);
+        // The original owner lets go; pages survive through the cache.
+        let mut owner_copy = a;
+        owner_copy.release(&mut pool);
+        assert_eq!(pool.refcount(first_page), 1);
+        assert_eq!(pool.in_use(), 2);
+        assert_eq!(cache.evict_lru(&mut pool), Some(2));
+        assert_eq!(pool.in_use(), 0);
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn duplicate_insert_releases_duplicate_refs() {
+        let mut pool = pool();
+        let mut cache: PrefixCache<PageRunPrefix> = PrefixCache::new();
+        let a = run_of(&mut pool, 1);
+        let page = a.runs[0][0];
+        assert!(cache.insert(&mut pool, &[7, 7, 7], a.clone()));
+        assert!(!cache.insert(&mut pool, &[7, 7, 7], a.clone()));
+        assert_eq!(pool.refcount(page), 2, "dup insert nets zero references");
+        assert_eq!(cache.stats().insertions, 1);
+        // Two owner refs (a + its clone inside the first insert path) remain ours.
+        let mut owner = a;
+        owner.release(&mut pool);
+        cache.clear(&mut pool);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        let mut pool = pool();
+        let mut cache: PrefixCache<PageRunPrefix> = PrefixCache::new();
+        for (i, key) in [[1u32, 1], [2, 2], [3, 3]].iter().enumerate() {
+            let mut v = run_of(&mut pool, 1);
+            v.tokens = 2;
+            assert!(cache.insert(&mut pool, key, v.clone()));
+            // The cache is the sole owner from here on.
+            let mut owner = v;
+            owner.release(&mut pool);
+            assert_eq!(cache.entries(), i + 1);
+        }
+        // Touch [1,1]; LRU is now [2,2].
+        assert!(cache.lookup(&[1, 1, 9], 1, 2).is_some());
+        let before = pool.in_use();
+        cache.evict_lru(&mut pool);
+        assert_eq!(pool.in_use(), before - 1);
+        assert!(cache.lookup(&[2, 2, 9], 1, 2).is_none(), "[2,2] evicted");
+        assert!(cache.lookup(&[1, 1, 9], 1, 2).is_some());
+        assert!(cache.lookup(&[3, 3, 9], 1, 2).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (3, 1));
+        assert_eq!(s.hit_tokens, 6);
+    }
+
+    #[test]
+    fn evict_lru_freeing_skips_fully_co_owned_entries() {
+        let mut pool = pool();
+        let mut cache: PrefixCache<PageRunPrefix> = PrefixCache::new();
+        // Entry A (older, LRU) shares its single page with entry B — a nested
+        // anchor: evicting A alone frees nothing. Entry B adds a page of its own.
+        let page_shared = pool.allocate().unwrap();
+        let page_own = pool.allocate().unwrap();
+        let a = PageRunPrefix {
+            tokens: 4,
+            runs: vec![vec![page_shared]],
+        };
+        let b = PageRunPrefix {
+            tokens: 8,
+            runs: vec![vec![page_shared, page_own]],
+        };
+        assert!(cache.insert(&mut pool, &[1, 2, 3, 4], a));
+        assert!(cache.insert(&mut pool, &[1, 2, 3, 4, 5, 6, 7, 8], b));
+        // Drop the allocation-time references; the cache co-owns everything.
+        pool.free(page_shared);
+        pool.free(page_own);
+        assert_eq!(pool.refcount(page_shared), 2); // A + B
+        assert_eq!(pool.refcount(page_own), 1); // B only
+                                                // Pressure eviction must pick B (frees page_own), not the zero-yield A.
+        let freed = cache.evict_lru_freeing(&mut pool).unwrap();
+        assert_eq!(freed, 2, "B held two references");
+        assert!(cache.is_cached(&[1, 2, 3, 4]), "A survives");
+        assert!(!cache.is_cached(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        assert_eq!(pool.refcount(page_shared), 1);
+        // Now A is the sole owner of the shared page: it qualifies.
+        assert!(cache.evict_lru_freeing(&mut pool).is_some());
+        assert!(cache.evict_lru_freeing(&mut pool).is_none(), "cache empty");
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn depth_bounds_respected() {
+        let mut pool = pool();
+        let mut cache: PrefixCache<PageRunPrefix> = PrefixCache::new();
+        let v = run_of(&mut pool, 1);
+        assert!(cache.insert(&mut pool, &[4, 5, 6], v.clone()));
+        let mut owner = v;
+        owner.release(&mut pool);
+        // min_match above the entry depth: miss.
+        assert!(cache.lookup(&[4, 5, 6, 7], 4, 3).is_none());
+        // max_match below the entry depth: miss (the whole prompt is cached, but
+        // at least one suffix token must remain to compute logits).
+        assert!(cache.lookup(&[4, 5, 6], 1, 2).is_none());
+        assert!(cache.lookup(&[4, 5, 6, 7], 3, 3).is_some());
+        cache.clear(&mut pool);
+        assert_eq!(pool.in_use(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Cross-request KV prefix cache: radix-tree prefix sharing over refcounted pages.
+//!
+//! Modern long-context traffic is dominated by *reusable* prefill — shared system
+//! prompts, per-user personas, multi-turn histories. LServe's paged, refcounted KV
+//! layout ([`lserve_kvcache::PagePool`]) is exactly the substrate real servers use
+//! for automatic prefix caching: a page can be co-owned by any number of sequences
+//! *and* by the cache, and is recycled only when the last owner lets go.
+//!
+//! This crate provides the cache's data plane, policy-free and generic over what a
+//! cached prefix actually stores:
+//!
+//! * [`RadixTree`] — a token-level radix tree keyed by prompt token sequences, with
+//!   edge splitting on divergence and edge merging on removal. Lookups return the
+//!   *deepest* cached entry that is a prefix of the query, within caller-supplied
+//!   depth bounds (serving layers bound matches below by the prefill tile grid and
+//!   above by `prompt_len - 1` so at least one suffix token is always computed).
+//! * [`PrefixPages`] — the contract a cached value signs: it references pool pages
+//!   and can take/drop one co-ownership reference on all of them. The serving layer
+//!   caches full per-sequence KV state; [`PageRunPrefix`] is the minimal concrete
+//!   value (per-layer, page-aligned runs of [`lserve_kvcache::PageId`]s).
+//! * [`PrefixCache`] — the managed store: refcount-backed insertion (donating a
+//!   prefix retains its pages; a duplicate insert is refused and releases nothing),
+//!   LRU touch on every hit, LRU eviction under pool pressure, and hit/miss/token
+//!   counters for serving reports.
+//!
+//! Mutation safety comes from copy-on-write at the page layer: appending into a
+//! page whose refcount exceeds 1 forks it first (see `lserve_kvcache`), so a cached
+//! prefix is immutable for as long as the tree references it.
+
+pub mod cache;
+pub mod tree;
+
+pub use cache::{PageRunPrefix, PrefixCache, PrefixCacheStats, PrefixPages};
+pub use tree::RadixTree;

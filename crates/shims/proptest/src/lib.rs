@@ -143,6 +143,28 @@ impl Strategy for Range<f64> {
     }
 }
 
+/// Tuples of strategies generate tuples of values (mirrors proptest's tuple
+/// strategy composition, used e.g. for operation streams `(op, operand)`).
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
 /// Boolean strategies (`proptest::bool::ANY`).
 pub mod bool {
     use super::{Strategy, TestRng};

@@ -19,13 +19,20 @@
 //! * [`gates`] — a generator of DuoAttention-style per-head gate values `α`: heads
 //!   with genuinely local synthetic attention mass get low α, retrieval-ish heads
 //!   get high α, so the §3.3 quantile classification has realistic inputs.
+//! * [`shared_prefix`] — shared-prefix and multi-turn *serving* workloads (N
+//!   personas × M queries over a common system prompt; nested conversation
+//!   turns), the traffic shapes that make cross-request prefix caching pay off.
 
 pub mod gates;
 pub mod longbench;
 pub mod niah;
 pub mod ruler;
+pub mod shared_prefix;
 
 pub use gates::{duo_gates, HeadProfile};
 pub use longbench::{longbench_tasks, LongBenchTask};
 pub use niah::{NiahCase, NiahConfig};
 pub use ruler::{DriftingQueries, MultiNeedleCase};
+pub use shared_prefix::{
+    multi_turn_workload, shared_prefix_workload, PromptSpec, SharedPrefixConfig,
+};

@@ -19,7 +19,8 @@
 //! |---|---|
 //! | [`tensor`](lserve_tensor) | f32 kernels: matmul, online softmax, RMSNorm, RoPE |
 //! | [`quant`](lserve_quant) | INT8/INT4 group quantization (QServe-style KV layout) |
-//! | [`kvcache`](lserve_kvcache) | paged pool, two-way dense/streaming caches, `K_stats` |
+//! | [`kvcache`](lserve_kvcache) | paged pool (refcounts + copy-on-write forks), two-way dense/streaming caches, `K_stats` |
+//! | [`prefixcache`](lserve_prefixcache) | cross-request KV prefix cache: radix tree, LRU, refcounted page sharing |
 //! | [`attention`](lserve_attention) | block patterns (§3.4 iterators), prefill/decode/fused kernels |
 //! | [`selector`](lserve_selector) | flat (Quest), hierarchical (§3.5.2), reusable (§3.5.3) |
 //! | [`model`](lserve_model) | Llama-3/Llama-2/Minitron shapes, seeded weights, forward blocks |
@@ -48,6 +49,7 @@ pub use lserve_core as core;
 pub use lserve_costmodel as costmodel;
 pub use lserve_kvcache as kvcache;
 pub use lserve_model as model;
+pub use lserve_prefixcache as prefixcache;
 pub use lserve_quant as quant;
 pub use lserve_selector as selector;
 pub use lserve_tensor as tensor;

@@ -1,7 +1,9 @@
 //! Scheduler-level properties: page conservation under arbitrary workloads
 //! (including preemption), and determinism of continuous batching — the batched
 //! scheduler must emit token-identical greedy outputs to running each request
-//! alone on a fresh pool, across chunked prefill and preemption/resume cycles.
+//! alone on a fresh pool, across chunked prefill, preemption/resume cycles, and
+//! cross-request prefix caching (warm cache hits must be bit-identical to cold
+//! runs, for any chunk size, pool pressure, and KV precision).
 
 use std::sync::Arc;
 
@@ -152,6 +154,84 @@ proptest! {
         let report = sched.run_to_completion(200_000);
         prop_assert_eq!(sched.pool_in_use(), 0, "leaked pages");
         prop_assert_eq!(report.completed.len() + report.rejected.len(), nreq);
+    }
+
+    /// Prefix-cache determinism (the acceptance property): with the cache
+    /// enabled, every request's outputs are bit-identical to a cold solo run with
+    /// the cache disabled — across chunk sizes, pool pressures (evictions and
+    /// preemptions included), FP16/INT4 KV, and multi-wave traffic where later
+    /// waves hit prefixes donated by earlier ones.
+    #[test]
+    fn prefix_cache_outputs_match_cold_solo_runs(
+        wseed in 0u64..20,
+        chunk in 3usize..14,
+        shared_len in 8usize..40,
+        slack in 0usize..60,
+        quantized in proptest::bool::ANY,
+    ) {
+        let w = weights(wseed);
+        let mut cfg = small_page_cfg();
+        if quantized {
+            cfg.paging = PagingConfig::new(8, 4, KvPrecision::Int4);
+        }
+        // A request family sharing a `shared_len`-token prefix with per-request
+        // suffixes (the persona/query traffic shape).
+        let requests: Vec<Request> = (0..3u64)
+            .map(|i| {
+                let mut prompt: Vec<u32> =
+                    (0..shared_len).map(|t| ((t * 3 + 1) % 90) as u32).collect();
+                prompt.extend(
+                    (0..10 + 4 * i as usize).map(|t| ((t * 7 + i as usize * 11) % 90) as u32),
+                );
+                Request { id: i, prompt, max_new_tokens: 6 }
+            })
+            .collect();
+        let single_max = requests
+            .iter()
+            .map(|r| estimate(&cfg, &w.config, r.prompt.len() + r.max_new_tokens))
+            .max()
+            .unwrap();
+        let mut scfg = SchedulerConfig::new(single_max + slack);
+        scfg.chunk_tokens = chunk;
+        scfg.admission = AdmissionPolicy::FirstChunk;
+        scfg.prefix_cache = true;
+        let mut sched = Scheduler::new(
+            Arc::new(ModelExecutor::new(Arc::clone(&w), cfg.clone())),
+            scfg,
+        );
+        // Wave 1 populates the cache; wave 2 (same prompts re-issued under new
+        // ids plus the originals' suffix family) consumes it.
+        sched.submit(requests[0].clone());
+        sched.run_to_completion(200_000);
+        for r in &requests[1..] {
+            sched.submit(r.clone());
+        }
+        let report = sched.run_to_completion(200_000);
+        prop_assert_eq!(report.completed.len(), 3);
+        for req in &requests {
+            let want = run_solo(&cfg, &w, chunk, req.clone());
+            let got = &report
+                .completed
+                .iter()
+                .find(|(id, _)| *id == req.id)
+                .unwrap()
+                .1;
+            prop_assert_eq!(got, &want, "request {} diverged under prefix caching", req.id);
+        }
+        // Page conservation: after the run only the cache holds pages, and
+        // flushing it returns the pool to empty.
+        sched.flush_prefix_cache();
+        prop_assert_eq!(sched.pool_in_use(), 0, "leaked pages after flush");
+        // The cache must actually have been exercised when prompts are long
+        // enough to clear the tile grid.
+        if shared_len >= chunk && slack >= 40 {
+            prop_assert!(
+                report.prefix_hit_tokens > 0,
+                "no hits despite shareable prefixes (shared_len {} chunk {})",
+                shared_len,
+                chunk
+            );
+        }
     }
 
     /// Determinism: the batched scheduler's greedy outputs are token-identical to
