@@ -6,11 +6,12 @@
 //! independently on each head". GQA's query→KV head mapping (`h_kv = h / n`, Eq. 1)
 //! is applied here.
 
-use lserve_kvcache::{HeadCache, LayerKvCache, PagePool};
+use lserve_kvcache::{LayerKvCache, PagePool};
 use lserve_tensor::Matrix;
 
-use crate::decode::{decode_dense_head, decode_streaming_head, DecodeStats};
+use crate::decode::DecodeStats;
 use crate::dynamic::build_dynamic_prefill_mask;
+use crate::parallel::{run_decode_shard, run_sharded, BalanceStats, DecodeShard};
 use crate::pattern::{DensePattern, StreamingPattern};
 use crate::prefill::{prefill_attention, PrefillStats};
 
@@ -94,6 +95,45 @@ pub fn fused_prefill_layer(
     cfg: &LayerAttnConfig,
     kinds: &[HeadKind],
 ) -> (Matrix, PrefillStats, PrefillStats) {
+    let (out, dense, stream, _) = fused_prefill_layer_threads(q, k, v, cfg, kinds, None, 1);
+    (out, dense, stream)
+}
+
+/// One query head's unit of prefill work inside the sharded layer kernel.
+struct PrefillShard {
+    h: usize,
+    kind: HeadKind,
+    qh: Matrix,
+    kh: Matrix,
+    vh: Matrix,
+    out: Matrix,
+    stats: PrefillStats,
+}
+
+/// Sharded variant of [`fused_prefill_layer`] / [`fused_prefill_layer_dynamic`]:
+/// each query head is one shard, executed across up to `threads` scoped worker
+/// threads with an LPT assignment by estimated tile cost (dense heads grow
+/// quadratically with the prompt, streaming heads linearly — the per-head
+/// sparsity asymmetry that makes naive partitioning unbalanced).
+///
+/// `dynamic_keep` selects the MInference-style dynamic mask for dense heads
+/// (`Some(keep)`) or full causal attention (`None`). Outputs are bit-identical
+/// to the single-threaded functions for every thread count: each shard computes
+/// into its own buffer with the same kernel on the same inputs, and the scatter
+/// into the layer output runs serially in head order.
+///
+/// # Panics
+///
+/// Same shape requirements as [`fused_prefill_layer`].
+pub fn fused_prefill_layer_threads(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    cfg: &LayerAttnConfig,
+    kinds: &[HeadKind],
+    dynamic_keep: Option<usize>,
+    threads: usize,
+) -> (Matrix, PrefillStats, PrefillStats, BalanceStats) {
     let n = q.rows();
     let d = cfg.head_dim;
     assert_eq!(q.cols(), cfg.num_q_heads * d, "Q width mismatch");
@@ -102,45 +142,83 @@ pub fn fused_prefill_layer(
     assert_eq!(k.rows(), n, "K rows mismatch");
     assert_eq!(kinds.len(), cfg.num_kv_heads, "kinds length mismatch");
 
-    let mut out = Matrix::zeros(n, cfg.num_q_heads * d);
-    let mut dense_stats = PrefillStats::default();
-    let mut stream_stats = PrefillStats::default();
     let streaming = StreamingPattern::new(cfg.sink_blocks, cfg.local_blocks);
-
+    let nt = n.div_ceil(cfg.tile) as u64;
+    let causal_tiles = nt * (nt + 1) / 2;
+    let mut shards: Vec<PrefillShard> = Vec::with_capacity(cfg.num_q_heads);
+    let mut costs: Vec<u64> = Vec::with_capacity(cfg.num_q_heads);
     for h in 0..cfg.num_q_heads {
         let kv = cfg.kv_head_of(h);
-        let qh = head_slice(q, h, d);
-        let kh = head_slice(k, kv, d);
-        let vh = head_slice(v, kv, d);
-        let (oh, stats) = match kinds[kv] {
-            HeadKind::Dense => {
-                let r = prefill_attention(
-                    &qh,
-                    &kh,
-                    &vh,
+        // Estimated tiles the shard will visit: the sparsity-aware signal the
+        // LPT assignment balances on.
+        let cost = match (kinds[kv], dynamic_keep) {
+            (HeadKind::Streaming, _) => {
+                (nt * (cfg.sink_blocks + cfg.local_blocks + 1) as u64).min(causal_tiles)
+            }
+            (HeadKind::Dense, Some(keep)) => {
+                (nt * (keep + cfg.sink_blocks + 1) as u64).min(causal_tiles)
+            }
+            (HeadKind::Dense, None) => causal_tiles,
+        };
+        costs.push(cost.max(1));
+        shards.push(PrefillShard {
+            h,
+            kind: kinds[kv],
+            qh: head_slice(q, h, d),
+            kh: head_slice(k, kv, d),
+            vh: head_slice(v, kv, d),
+            out: Matrix::zeros(0, 0),
+            stats: PrefillStats::default(),
+        });
+    }
+
+    let balance = run_sharded(threads, &costs, &mut shards, |s| {
+        let (oh, stats) = match s.kind {
+            HeadKind::Dense => match dynamic_keep {
+                None => prefill_attention(
+                    &s.qh,
+                    &s.kh,
+                    &s.vh,
                     cfg.scale(),
                     cfg.tile,
                     cfg.tile,
                     &DensePattern,
-                );
-                dense_stats.tiles_visited += r.1.tiles_visited;
-                dense_stats.tiles_total_causal += r.1.tiles_total_causal;
-                r
-            }
-            HeadKind::Streaming => {
-                let r =
-                    prefill_attention(&qh, &kh, &vh, cfg.scale(), cfg.tile, cfg.tile, &streaming);
-                stream_stats.tiles_visited += r.1.tiles_visited;
-                stream_stats.tiles_total_causal += r.1.tiles_total_causal;
-                r
-            }
+                ),
+                Some(keep) => {
+                    let mask =
+                        build_dynamic_prefill_mask(&s.qh, &s.kh, cfg.tile, keep, cfg.sink_blocks);
+                    prefill_attention(&s.qh, &s.kh, &s.vh, cfg.scale(), cfg.tile, cfg.tile, &mask)
+                }
+            },
+            HeadKind::Streaming => prefill_attention(
+                &s.qh,
+                &s.kh,
+                &s.vh,
+                cfg.scale(),
+                cfg.tile,
+                cfg.tile,
+                &streaming,
+            ),
         };
-        let _ = stats;
+        s.out = oh;
+        s.stats = stats;
+    });
+
+    let mut out = Matrix::zeros(n, cfg.num_q_heads * d);
+    let mut dense_stats = PrefillStats::default();
+    let mut stream_stats = PrefillStats::default();
+    for s in &shards {
+        let agg = match s.kind {
+            HeadKind::Dense => &mut dense_stats,
+            HeadKind::Streaming => &mut stream_stats,
+        };
+        agg.tiles_visited += s.stats.tiles_visited;
+        agg.tiles_total_causal += s.stats.tiles_total_causal;
         for r in 0..n {
-            out.row_mut(r)[h * d..(h + 1) * d].copy_from_slice(oh.row(r));
+            out.row_mut(r)[s.h * d..(s.h + 1) * d].copy_from_slice(s.out.row(r));
         }
     }
-    (out, dense_stats, stream_stats)
+    (out, dense_stats, stream_stats, balance)
 }
 
 /// Fused decode over all heads of one layer against the two-way paged cache.
@@ -177,27 +255,27 @@ pub fn fused_decode_layer(
         "selections length mismatch"
     );
 
+    let group = cfg.group_size();
     let mut out = vec![0.0f32; cfg.num_q_heads * d];
     let mut dense_stats = DecodeStats::default();
     let mut stream_stats = DecodeStats::default();
 
-    for h in 0..cfg.num_q_heads {
-        let kv = cfg.kv_head_of(h);
-        let qh = &q[h * d..(h + 1) * d];
-        let (oh, stats) = match cache.head(kv) {
-            HeadCache::Dense(c) => {
-                let r = decode_dense_head(pool, c, qh, cfg.scale(), selections[kv].as_deref());
-                dense_stats.accumulate(r.1);
-                r
-            }
-            HeadCache::Streaming(c) => {
-                let r = decode_streaming_head(pool, c, qh, cfg.scale());
-                stream_stats.accumulate(r.1);
-                r
-            }
+    // One shard per KV head, executed serially: the degenerate (single-worker)
+    // case of the sharded decode path the executor parallelizes.
+    for (kv, out_chunk) in out.chunks_mut(group * d).enumerate() {
+        let mut shard = DecodeShard {
+            head: cache.head(kv),
+            queries: &q[kv * group * d..(kv + 1) * group * d],
+            selection: selections[kv].as_deref(),
+            head_dim: d,
+            scale: cfg.scale(),
+            out: out_chunk,
+            dense: DecodeStats::default(),
+            streaming: DecodeStats::default(),
         };
-        let _ = stats;
-        out[h * d..(h + 1) * d].copy_from_slice(&oh);
+        run_decode_shard(pool, &mut shard);
+        dense_stats.accumulate(shard.dense);
+        stream_stats.accumulate(shard.streaming);
     }
     (out, dense_stats, stream_stats)
 }
@@ -219,50 +297,15 @@ pub fn fused_prefill_layer_dynamic(
     kinds: &[HeadKind],
     keep_per_tile: usize,
 ) -> (Matrix, PrefillStats, PrefillStats) {
-    let n = q.rows();
-    let d = cfg.head_dim;
-    assert_eq!(q.cols(), cfg.num_q_heads * d, "Q width mismatch");
-    assert_eq!(k.cols(), cfg.num_kv_heads * d, "K width mismatch");
-    assert_eq!(v.cols(), cfg.num_kv_heads * d, "V width mismatch");
-    assert_eq!(kinds.len(), cfg.num_kv_heads, "kinds length mismatch");
-
-    let mut out = Matrix::zeros(n, cfg.num_q_heads * d);
-    let mut dense_stats = PrefillStats::default();
-    let mut stream_stats = PrefillStats::default();
-    let streaming = StreamingPattern::new(cfg.sink_blocks, cfg.local_blocks);
-
-    for h in 0..cfg.num_q_heads {
-        let kv = cfg.kv_head_of(h);
-        let qh = head_slice(q, h, d);
-        let kh = head_slice(k, kv, d);
-        let vh = head_slice(v, kv, d);
-        let (oh, _) = match kinds[kv] {
-            HeadKind::Dense => {
-                let mask =
-                    build_dynamic_prefill_mask(&qh, &kh, cfg.tile, keep_per_tile, cfg.sink_blocks);
-                let r = prefill_attention(&qh, &kh, &vh, cfg.scale(), cfg.tile, cfg.tile, &mask);
-                dense_stats.tiles_visited += r.1.tiles_visited;
-                dense_stats.tiles_total_causal += r.1.tiles_total_causal;
-                r
-            }
-            HeadKind::Streaming => {
-                let r =
-                    prefill_attention(&qh, &kh, &vh, cfg.scale(), cfg.tile, cfg.tile, &streaming);
-                stream_stats.tiles_visited += r.1.tiles_visited;
-                stream_stats.tiles_total_causal += r.1.tiles_total_causal;
-                r
-            }
-        };
-        for r in 0..n {
-            out.row_mut(r)[h * d..(h + 1) * d].copy_from_slice(oh.row(r));
-        }
-    }
-    (out, dense_stats, stream_stats)
+    let (out, dense, stream, _) =
+        fused_prefill_layer_threads(q, k, v, cfg, kinds, Some(keep_per_tile), 1);
+    (out, dense, stream)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::decode::{decode_dense_head, decode_streaming_head};
     use crate::reference::causal_attention_reference;
     use lserve_kvcache::{PagingConfig, StreamingWindow};
     use lserve_quant::KvPrecision;
@@ -387,6 +430,29 @@ mod tests {
         let (want, _, _) = fused_prefill_layer(&q, &k, &v, &c, &kinds);
         assert_eq!(stats_full.tiles_visited, stats_full.tiles_total_causal);
         assert!(full.max_abs_diff(&want) < 1e-5);
+    }
+
+    #[test]
+    fn threaded_prefill_bit_identical_to_serial() {
+        let c = cfg();
+        let mut g = SeededGaussian::new(23);
+        let n = 40;
+        let q = g.matrix(n, c.num_q_heads * c.head_dim, 1.0);
+        let k = g.matrix(n, c.num_kv_heads * c.head_dim, 1.0);
+        let v = g.matrix(n, c.num_kv_heads * c.head_dim, 1.0);
+        let kinds = [HeadKind::Dense, HeadKind::Streaming];
+        for dynamic_keep in [None, Some(2)] {
+            let (want, wd, ws, _) =
+                fused_prefill_layer_threads(&q, &k, &v, &c, &kinds, dynamic_keep, 1);
+            for threads in [2, 3, 8] {
+                let (got, gd, gs, balance) =
+                    fused_prefill_layer_threads(&q, &k, &v, &c, &kinds, dynamic_keep, threads);
+                assert_eq!(got.max_abs_diff(&want), 0.0, "threads {threads}");
+                assert_eq!((gd, gs), (wd, ws));
+                assert_eq!(balance.shards, c.num_q_heads as u64);
+                assert!(balance.workers <= threads);
+            }
+        }
     }
 
     #[test]

@@ -21,10 +21,15 @@
 //! * [`fused`] — the layer-level hybrid kernel of §3.6: dense and streaming heads
 //!   dispatched in one call over the two-way KV cache, GQA query→KV head mapping
 //!   included.
+//! * [`parallel`] — the sparsity-aware multi-threaded execution layer: per-head
+//!   attention shards, LPT cost balancing, and a scoped-thread worker pool with
+//!   work stealing (std only), bit-identical to serial execution at every thread
+//!   count.
 
 pub mod decode;
 pub mod dynamic;
 pub mod fused;
+pub mod parallel;
 pub mod pattern;
 pub mod prefill;
 pub mod reference;
@@ -32,8 +37,10 @@ pub mod reference;
 pub use decode::{decode_dense_head, decode_streaming_head, DecodeStats};
 pub use dynamic::build_dynamic_prefill_mask;
 pub use fused::{
-    fused_decode_layer, fused_prefill_layer, fused_prefill_layer_dynamic, HeadKind, LayerAttnConfig,
+    fused_decode_layer, fused_prefill_layer, fused_prefill_layer_dynamic,
+    fused_prefill_layer_threads, HeadKind, LayerAttnConfig,
 };
+pub use parallel::{lpt_assign, run_decode_shard, run_sharded, BalanceStats, DecodeShard};
 pub use pattern::{BlockDecision, BlockPattern, DensePattern, MaskPattern, StreamingPattern};
 pub use prefill::{prefill_attention, PrefillStats};
 pub use reference::{causal_attention_reference, masked_attention_reference};

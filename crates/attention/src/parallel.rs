@@ -1,0 +1,316 @@
+//! Sparsity-aware parallel execution of per-head attention shards.
+//!
+//! LServe's per-head sparsity makes attention work wildly non-uniform: a
+//! streaming head touches a constant sink+local window while a dense head
+//! touches its full (or selected) page set. Splitting a layer's attention at
+//! *(sequence × KV-head)* granularity therefore produces shards whose costs
+//! span orders of magnitude, and a naive round-robin over worker threads
+//! leaves most of them idle behind the one that drew the long dense shards
+//! (the observation S-HPLB makes for head-parallel sparse decoding).
+//!
+//! This module is the std-only worker pool the executor runs those shards on:
+//!
+//! * [`lpt_assign`] — Longest-Processing-Time-first assignment of shards to
+//!   workers by their *estimated* cost (streaming ≈ resident window tokens,
+//!   dense ≈ selected/resident page tokens from the selector), the classic
+//!   `4/3`-approximate makespan heuristic.
+//! * [`run_sharded`] — scoped worker threads (no `'static` bounds, no
+//!   channels, no external deps) that drain their own LPT queue and then
+//!   *steal* unstarted shards from other workers' queues, smallest-first, so a
+//!   mispredicted straggler cannot serialize the phase.
+//! * [`DecodeShard`] / [`run_decode_shard`] — the unit of decode work: one KV
+//!   head's query group against its head cache, written into a caller-provided
+//!   disjoint output slice.
+//!
+//! Every shard writes only its own preallocated output slice and reads only
+//! shared immutable state (pool pages, caches, queries), so the result is
+//! bit-identical for every thread count, assignment, and steal schedule; the
+//! only synchronization is one uncontended claim per shard. Wall-clock
+//! speedup needs physical cores, but the [`BalanceStats`] cost counters give a
+//! deterministic model of the achievable parallelism either way.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+use lserve_kvcache::{HeadCache, PagePool};
+
+use crate::decode::{decode_dense_head, decode_streaming_head, DecodeStats};
+
+/// Measured and estimated balance of one parallel phase.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BalanceStats {
+    /// Worker threads actually used (clamped to the shard count).
+    pub workers: usize,
+    /// Shards executed.
+    pub shards: u64,
+    /// Shards executed by a worker other than their LPT assignee.
+    pub stolen: u64,
+    /// Measured per-worker busy time in nanoseconds.
+    pub busy_ns: Vec<u64>,
+    /// Estimated cost assigned to each worker by [`lpt_assign`].
+    pub assigned_cost: Vec<u64>,
+}
+
+impl BalanceStats {
+    /// Total measured busy time across workers.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.busy_ns.iter().sum()
+    }
+
+    /// Busiest worker's measured time — the phase's wall-clock lower bound.
+    pub fn max_busy_ns(&self) -> u64 {
+        self.busy_ns.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total estimated shard cost (the serial work the phase replaces).
+    pub fn cost_total(&self) -> u64 {
+        self.assigned_cost.iter().sum()
+    }
+
+    /// Largest per-worker estimated cost — the phase's modeled critical path.
+    pub fn cost_critical(&self) -> u64 {
+        self.assigned_cost.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Longest-Processing-Time-first assignment: shards sorted by descending cost
+/// (ties broken by index, so the result is deterministic) are each given to
+/// the currently least-loaded worker. Returns one index list per worker, each
+/// in descending-cost order.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn lpt_assign(costs: &[u64], workers: usize) -> Vec<Vec<usize>> {
+    assert!(workers > 0, "need at least one worker");
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    let mut load = vec![0u64; workers];
+    for i in order {
+        let w = (0..workers)
+            .min_by_key(|&w| (load[w], w))
+            .expect("workers > 0");
+        load[w] += costs[i];
+        queues[w].push(i);
+    }
+    queues
+}
+
+/// Runs `tasks` across up to `threads` scoped worker threads, LPT-balanced by
+/// `costs`, with work stealing as the straggler fallback.
+///
+/// Each task is executed exactly once, by exactly one worker. Workers drain
+/// their own queue in descending-cost order, then scan the other queues from
+/// the *back* (smallest assigned shards first) and steal anything unstarted.
+/// Claims go through one uncontended mutex per shard; the task bodies
+/// themselves run lock-free on whatever disjoint state they own.
+///
+/// With `threads <= 1` (or a single task) everything runs serially on the
+/// calling thread in task order — the reference path the parallel schedule
+/// must match bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if `costs.len() != tasks.len()`, or propagates a panic from `run`.
+pub fn run_sharded<T: Send, F: Fn(&mut T) + Sync>(
+    threads: usize,
+    costs: &[u64],
+    tasks: &mut [T],
+    run: F,
+) -> BalanceStats {
+    assert_eq!(costs.len(), tasks.len(), "one cost per shard");
+    let n = tasks.len();
+    let workers = threads.max(1).min(n.max(1));
+    if workers <= 1 {
+        let t0 = Instant::now();
+        for t in tasks.iter_mut() {
+            run(t);
+        }
+        return BalanceStats {
+            workers: 1,
+            shards: n as u64,
+            stolen: 0,
+            busy_ns: vec![t0.elapsed().as_nanos() as u64],
+            assigned_cost: vec![costs.iter().sum()],
+        };
+    }
+    let queues = lpt_assign(costs, workers);
+    let assigned_cost: Vec<u64> = queues
+        .iter()
+        .map(|q| q.iter().map(|&i| costs[i]).sum())
+        .collect();
+    // One claimable slot per shard: `take()` hands exclusive ownership of the
+    // `&mut T` to whichever worker gets there first, so assignment and steal
+    // races can never run a shard twice.
+    let slots: Vec<Mutex<Option<&mut T>>> = tasks.iter_mut().map(|t| Mutex::new(Some(t))).collect();
+    let stolen = AtomicU64::new(0);
+    let mut busy_ns = vec![0u64; workers];
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queues = &queues;
+                let slots = &slots;
+                let stolen = &stolen;
+                let run = &run;
+                s.spawn(move || {
+                    let t0 = Instant::now();
+                    for &i in &queues[w] {
+                        let task = slots[i].lock().expect("shard slot poisoned").take();
+                        if let Some(task) = task {
+                            run(task);
+                        }
+                    }
+                    // Straggler fallback: steal unstarted shards, smallest
+                    // (back of the LPT queue) first, from the nearest victim.
+                    for offset in 1..workers {
+                        let victim = (w + offset) % workers;
+                        for &i in queues[victim].iter().rev() {
+                            let task = slots[i].lock().expect("shard slot poisoned").take();
+                            if let Some(task) = task {
+                                stolen.fetch_add(1, Ordering::Relaxed);
+                                run(task);
+                            }
+                        }
+                    }
+                    t0.elapsed().as_nanos() as u64
+                })
+            })
+            .collect();
+        for (w, h) in handles.into_iter().enumerate() {
+            busy_ns[w] = h.join().expect("attention worker panicked");
+        }
+    });
+    BalanceStats {
+        workers,
+        shards: n as u64,
+        stolen: stolen.into_inner(),
+        busy_ns,
+        assigned_cost,
+    }
+}
+
+/// One *(sequence × KV-head)* unit of decode attention: the KV head's query
+/// group against its cache, into a caller-owned disjoint output slice.
+///
+/// `queries` and `out` both hold `group_size * head_dim` values (the query
+/// heads of one GQA group are contiguous, so the output region is too).
+#[derive(Debug)]
+pub struct DecodeShard<'a> {
+    /// The KV head's cache (dense or streaming).
+    pub head: &'a HeadCache,
+    /// Query rows of every query head in this KV head's group, concatenated.
+    pub queries: &'a [f32],
+    /// Selected physical-page indices for a dense head (`None` = full history;
+    /// ignored for streaming heads, whose page table *is* the selection).
+    pub selection: Option<&'a [usize]>,
+    /// Per-head feature dimension `D`.
+    pub head_dim: usize,
+    /// Logit scale `1/sqrt(D)`.
+    pub scale: f32,
+    /// Preallocated output slice, same length as `queries`.
+    pub out: &'a mut [f32],
+    /// Work counters accumulated over the group, dense-head portion.
+    pub dense: DecodeStats,
+    /// Work counters accumulated over the group, streaming-head portion.
+    pub streaming: DecodeStats,
+}
+
+/// Executes one decode shard: every query head of the group runs the matching
+/// single-head kernel, and the results land in the shard's output slice.
+///
+/// # Panics
+///
+/// Panics if `queries`/`out` lengths disagree or are not a multiple of
+/// `head_dim`, or on the underlying kernels' shape checks.
+pub fn run_decode_shard(pool: &PagePool, shard: &mut DecodeShard<'_>) {
+    let d = shard.head_dim;
+    assert_eq!(
+        shard.out.len(),
+        shard.queries.len(),
+        "shard output mismatch"
+    );
+    assert_eq!(shard.queries.len() % d, 0, "ragged query group");
+    let group = shard.queries.len() / d;
+    for g in 0..group {
+        let q = &shard.queries[g * d..(g + 1) * d];
+        let oh = match shard.head {
+            HeadCache::Dense(c) => {
+                let (oh, stats) = decode_dense_head(pool, c, q, shard.scale, shard.selection);
+                shard.dense.accumulate(stats);
+                oh
+            }
+            HeadCache::Streaming(c) => {
+                let (oh, stats) = decode_streaming_head(pool, c, q, shard.scale);
+                shard.streaming.accumulate(stats);
+                oh
+            }
+        };
+        shard.out[g * d..(g + 1) * d].copy_from_slice(&oh);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn lpt_balances_known_loads() {
+        // Loads {7,6,5,4,3} over 2 workers: LPT yields a 14/11 split (within
+        // its 4/3 bound of the optimal 13/12), far better than the 16/9 a
+        // naive in-order halving would produce.
+        let costs = [5, 3, 7, 6, 4];
+        let queues = lpt_assign(&costs, 2);
+        let loads: Vec<u64> = queues
+            .iter()
+            .map(|q| q.iter().map(|&i| costs[i]).sum())
+            .collect();
+        assert_eq!(loads.iter().sum::<u64>(), 25);
+        assert_eq!(*loads.iter().max().unwrap(), 14);
+    }
+
+    #[test]
+    fn lpt_is_deterministic_under_ties() {
+        let costs = [4u64, 4, 4, 4];
+        assert_eq!(lpt_assign(&costs, 2), lpt_assign(&costs, 2));
+        assert_eq!(lpt_assign(&costs, 2), vec![vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn run_sharded_executes_every_task_once() {
+        for threads in [1, 2, 3, 8] {
+            let mut tasks: Vec<u32> = vec![0; 37];
+            let costs: Vec<u64> = (0..37).map(|i| (i % 5 + 1) as u64).collect();
+            let executions = AtomicUsize::new(0);
+            let stats = run_sharded(threads, &costs, &mut tasks, |t| {
+                *t += 1;
+                executions.fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(tasks.iter().all(|&t| t == 1), "threads {threads}");
+            assert_eq!(executions.into_inner(), 37);
+            assert_eq!(stats.shards, 37);
+            assert!(stats.workers <= threads.max(1));
+            assert_eq!(stats.busy_ns.len(), stats.workers);
+            assert_eq!(stats.cost_total(), costs.iter().sum::<u64>());
+            assert!(stats.cost_critical() <= stats.cost_total());
+        }
+    }
+
+    #[test]
+    fn worker_count_clamps_to_shard_count() {
+        let mut tasks = vec![0u8; 2];
+        let stats = run_sharded(16, &[1, 1], &mut tasks, |t| *t = 1);
+        assert_eq!(stats.workers, 2);
+        assert_eq!(tasks, vec![1, 1]);
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let mut tasks: Vec<u8> = Vec::new();
+        let stats = run_sharded(4, &[], &mut tasks, |_| {});
+        assert_eq!(stats.shards, 0);
+    }
+}

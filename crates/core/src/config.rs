@@ -1,7 +1,30 @@
 //! Engine configuration and the policy presets compared in the paper.
 
+use std::sync::OnceLock;
+
 use lserve_kvcache::{PagingConfig, StreamingWindow};
 use lserve_quant::KvPrecision;
+
+/// Default decode/prefill worker-thread count, read once from the
+/// `LSERVE_DECODE_THREADS` environment variable (defaults to 1; invalid or
+/// zero values fall back to 1).
+///
+/// This is the process-wide default: [`crate::ModelExecutor::decode_batch`]
+/// and [`crate::ModelExecutor::prefill`] use it when no explicit thread count
+/// is given, and [`crate::SchedulerConfig::new`] seeds its `decode_threads`
+/// knob from it. CI runs the whole test suite under a `{1, 8}` matrix of this
+/// variable, so the determinism suite exercises both the serial and the
+/// sharded path on every push.
+pub fn decode_threads_from_env() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("LSERVE_DECODE_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
+}
 
 /// Which dynamic page-selection policy dense heads use during decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -23,16 +23,19 @@ use std::fmt;
 use std::sync::Arc;
 
 use lserve_attention::{
-    fused_decode_layer, fused_prefill_layer, fused_prefill_layer_dynamic, HeadKind, LayerAttnConfig,
+    fused_prefill_layer_threads, run_decode_shard, run_sharded, DecodeShard, DecodeStats, HeadKind,
+    LayerAttnConfig,
 };
 use lserve_kvcache::{HeadCache, LayerKvCache, PagePool};
 use lserve_model::forward::{ffn_block, logits, post_attention, pre_attention};
-use lserve_model::{LayerWeights, ModelWeights};
+use lserve_model::ModelWeights;
 use lserve_selector::{FlatSelector, HierarchicalSelector, PageSelector, ReusableSelector};
 use lserve_tensor::rope::RopeTable;
 use lserve_tensor::Matrix;
 use lserve_workloads::duo_gates;
 
+use crate::config::decode_threads_from_env;
+use crate::stats::ParallelExecStats;
 use crate::{streaming_masks_from_gates, EngineConfig, EngineStats, SelectorKind};
 
 /// The KV page pool is exhausted; the sequence cannot grow.
@@ -340,6 +343,32 @@ impl ModelExecutor {
         pool: &mut PagePool,
         tokens: &[u32],
     ) -> Result<PrefillOutput, OutOfPagesError> {
+        let mut stats = ParallelExecStats::default();
+        self.prefill_threads(state, pool, tokens, decode_threads_from_env(), &mut stats)
+    }
+
+    /// [`ModelExecutor::prefill`] with an explicit worker-thread count: each
+    /// layer's per-head attention runs as cost-balanced shards on up to
+    /// `threads` scoped worker threads (dense heads cost quadratic tiles,
+    /// streaming heads linear — the LPT assignment balances that asymmetry).
+    /// Outputs are bit-identical for every thread count; `exec_stats`
+    /// accumulates per-phase worker utilization and cost-balance counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfPagesError`] exactly as [`ModelExecutor::prefill`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or the state already holds context.
+    pub fn prefill_threads(
+        &self,
+        state: &mut SequenceState,
+        pool: &mut PagePool,
+        tokens: &[u32],
+        threads: usize,
+        exec_stats: &mut ParallelExecStats,
+    ) -> Result<PrefillOutput, OutOfPagesError> {
         assert!(!tokens.is_empty(), "empty prompt");
         assert_eq!(state.tokens_processed, 0, "prefill on a non-empty sequence");
         let model = &self.weights.config;
@@ -358,19 +387,16 @@ impl ModelExecutor {
                     return Err(OutOfPagesError);
                 }
             }
-            let (attn, dense_stats, stream_stats) = match dynamic_keep {
-                Some(keep) => fused_prefill_layer_dynamic(
-                    &acts.q,
-                    &acts.k,
-                    &acts.v,
-                    &self.attn_cfg,
-                    &self.kinds[l],
-                    keep,
-                ),
-                None => {
-                    fused_prefill_layer(&acts.q, &acts.k, &acts.v, &self.attn_cfg, &self.kinds[l])
-                }
-            };
+            let (attn, dense_stats, stream_stats, balance) = fused_prefill_layer_threads(
+                &acts.q,
+                &acts.k,
+                &acts.v,
+                &self.attn_cfg,
+                &self.kinds[l],
+                dynamic_keep,
+                threads,
+            );
+            exec_stats.absorb(&balance);
             state.stats.add_prefill(dense_stats, stream_stats);
             x = post_attention(lw, &x, &attn);
             x = ffn_block(lw, &x);
@@ -383,29 +409,25 @@ impl ModelExecutor {
         })
     }
 
-    /// One transformer layer of the decode path for one sequence: QKV + RoPE, KV
-    /// writeback, dynamic page selection, fused two-way attention, output
-    /// projection, FFN.
-    fn decode_layer(
+    /// Runs dynamic page selection for every dense head of layer `l` (§3.5),
+    /// returning the per-KV-head selections plus the selector's sparsity-aware
+    /// cost hints (estimated visited tokens per selected head) that feed the
+    /// parallel shard balancer.
+    fn select_pages(
         &self,
         state: &mut SequenceState,
-        pool: &mut PagePool,
+        pool: &PagePool,
         l: usize,
-        lw: &LayerWeights,
-        x: &Matrix,
-        pos: usize,
-    ) -> Result<Matrix, OutOfPagesError> {
+        q_row: &[f32],
+    ) -> (Vec<Option<Vec<usize>>>, Vec<Option<u64>>) {
         let model = &self.weights.config;
         let d = model.head_dim;
         let group = model.gqa_group_size();
-        let acts = pre_attention(model, lw, x, pos, &self.rope);
-        if !state.layers[l].append_token(pool, acts.k.row(0), acts.v.row(0), d) {
-            return Err(OutOfPagesError);
-        }
-        let q_row = acts.q.row(0);
+        let np = pool.config().physical_page_size();
         let mut selections: Vec<Option<Vec<usize>>> = vec![None; model.num_kv_heads];
+        let mut hints: Vec<Option<u64>> = vec![None; model.num_kv_heads];
         if let Some(budget) = self.cfg.dynamic_budget {
-            for (kv, selection) in selections.iter_mut().enumerate() {
+            for kv in 0..model.num_kv_heads {
                 let Some(selector) = state.selectors[l][kv].as_mut() else {
                     continue;
                 };
@@ -431,15 +453,11 @@ impl ModelExecutor {
                 } else {
                     state.stats.selector_invocations += 1;
                 }
-                *selection = Some(sel.pages);
+                hints[kv] = Some(sel.estimated_cost_tokens(np));
+                selections[kv] = Some(sel.pages);
             }
         }
-        let (attn, dense_stats, stream_stats) =
-            fused_decode_layer(pool, &state.layers[l], q_row, &self.attn_cfg, &selections);
-        state.stats.add_decode(dense_stats, stream_stats);
-        let attn_m = Matrix::from_vec(1, attn.len(), attn);
-        let x = post_attention(lw, x, &attn_m);
-        Ok(ffn_block(lw, &x))
+        (selections, hints)
     }
 
     /// Runs one decode step for one sequence: absorbs `token`, returns next-token
@@ -468,9 +486,10 @@ impl ModelExecutor {
     }
 
     /// Batched decode: one token for every sequence in `batch`, walking **layers in
-    /// the outer loop and sequences in the inner loop** so the weight and config
-    /// traversal of each layer is amortized across the whole batch (iteration-level
-    /// batching, the memory-access pattern real batched decode kernels use).
+    /// the outer loop** so the weight and config traversal of each layer is
+    /// amortized across the whole batch (iteration-level batching, the
+    /// memory-access pattern real batched decode kernels use). Uses the
+    /// process-wide default thread count ([`decode_threads_from_env`]).
     ///
     /// Each sequence's computation is independent, so outputs are bit-identical to
     /// calling [`ModelExecutor::decode_step`] per sequence in any order — the
@@ -488,21 +507,149 @@ impl ModelExecutor {
         pool: &mut PagePool,
         batch: &mut [(&mut SequenceState, u32)],
     ) -> Vec<Result<DecodeOutput, OutOfPagesError>> {
+        let mut stats = ParallelExecStats::default();
+        self.decode_batch_threads(pool, batch, decode_threads_from_env(), &mut stats)
+    }
+
+    /// [`ModelExecutor::decode_batch`] with an explicit worker-thread count.
+    ///
+    /// Every layer runs in three phases:
+    ///
+    /// 1. **Serial writeback** (per sequence, in batch order): QKV + RoPE, KV
+    ///    append into the paged cache (the only pool mutation), and dynamic
+    ///    page selection. Allocation order is identical to the serial path.
+    /// 2. **Parallel attention**: one shard per *(sequence × KV-head)*, each
+    ///    costed by the sparsity-aware estimate (streaming ≈ resident window,
+    ///    selected dense ≈ the selector's page set, unselected dense ≈ full
+    ///    history), LPT-assigned across up to `threads` scoped workers with
+    ///    work-stealing for stragglers. Every shard writes only its own
+    ///    preallocated output slice — no locks on the hot path.
+    /// 3. **Serial reduction** (per sequence, in batch order): output
+    ///    projection and FFN.
+    ///
+    /// Shards read only shared immutable state and own disjoint outputs, and
+    /// both serial phases run in fixed batch order, so the result is
+    /// **bit-identical for every thread count** — the property
+    /// `tests/proptest_scheduler.rs` and the golden suite pin down.
+    ///
+    /// `exec_stats` accumulates one [`ParallelExecStats`] phase per layer:
+    /// measured worker busy time (utilization/imbalance) plus the
+    /// deterministic cost-model critical path (modeled speedup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sequence has no context yet (prefill first).
+    pub fn decode_batch_threads(
+        &self,
+        pool: &mut PagePool,
+        batch: &mut [(&mut SequenceState, u32)],
+        threads: usize,
+        exec_stats: &mut ParallelExecStats,
+    ) -> Vec<Result<DecodeOutput, OutOfPagesError>> {
         for (state, _) in batch.iter() {
             assert!(state.tokens_processed > 0, "decode before prefill");
         }
+        let model = &self.weights.config;
+        let d = model.head_dim;
+        let group = model.gqa_group_size();
+        let width = model.q_width();
         let positions: Vec<usize> = batch.iter().map(|(s, _)| s.tokens_processed).collect();
         let mut xs: Vec<Option<Matrix>> = batch
             .iter()
             .map(|(_, token)| Some(self.weights.embed_tokens(&[*token])))
             .collect();
         for (l, lw) in self.weights.layers.iter().enumerate() {
+            // Phase 1 (serial, batch order): QKV + RoPE, KV writeback, dynamic
+            // page selection. A failed append kills only that sequence.
+            let mut qrows: Vec<Option<Vec<f32>>> = vec![None; batch.len()];
+            let mut selections: Vec<Vec<Option<Vec<usize>>>> = Vec::with_capacity(batch.len());
+            let mut cost_hints: Vec<Vec<Option<u64>>> = Vec::with_capacity(batch.len());
             for (i, (state, _)) in batch.iter_mut().enumerate() {
-                let Some(x) = xs[i].take() else { continue };
-                match self.decode_layer(state, pool, l, lw, &x, positions[i]) {
-                    Ok(next_x) => xs[i] = Some(next_x),
-                    Err(OutOfPagesError) => xs[i] = None,
+                let Some(x) = xs[i].as_ref() else {
+                    selections.push(Vec::new());
+                    cost_hints.push(Vec::new());
+                    continue;
+                };
+                let acts = pre_attention(model, lw, x, positions[i], &self.rope);
+                if !state.layers[l].append_token(pool, acts.k.row(0), acts.v.row(0), d) {
+                    xs[i] = None;
+                    selections.push(Vec::new());
+                    cost_hints.push(Vec::new());
+                    continue;
                 }
+                let q_row = acts.q.row(0).to_vec();
+                let (sel, hint) = self.select_pages(state, pool, l, &q_row);
+                selections.push(sel);
+                cost_hints.push(hint);
+                qrows[i] = Some(q_row);
+            }
+            // Phase 2 (parallel): sharded attention into preallocated,
+            // disjoint per-(sequence × KV-head) output slices.
+            let mut outs: Vec<Vec<f32>> = qrows
+                .iter()
+                .map(|q| {
+                    if q.is_some() {
+                        vec![0.0f32; width]
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            let shard_stats: Vec<(usize, DecodeStats, DecodeStats)> = {
+                let pool_ref: &PagePool = pool;
+                let scale = self.attn_cfg.scale();
+                let mut shards: Vec<DecodeShard<'_>> = Vec::new();
+                let mut shard_seq: Vec<usize> = Vec::new();
+                let mut costs: Vec<u64> = Vec::new();
+                for (i, ((state, _), out)) in batch.iter().zip(outs.iter_mut()).enumerate() {
+                    let Some(q) = qrows[i].as_ref() else { continue };
+                    let cache = &state.layers[l];
+                    for (kv, out_chunk) in out.chunks_mut(group * d).enumerate() {
+                        let selection = selections[i][kv].as_deref();
+                        costs.push(decode_shard_cost(
+                            pool_ref,
+                            cache.head(kv),
+                            selection,
+                            cost_hints[i][kv],
+                            group,
+                        ));
+                        shard_seq.push(i);
+                        shards.push(DecodeShard {
+                            head: cache.head(kv),
+                            queries: &q[kv * group * d..(kv + 1) * group * d],
+                            selection,
+                            head_dim: d,
+                            scale,
+                            out: out_chunk,
+                            dense: DecodeStats::default(),
+                            streaming: DecodeStats::default(),
+                        });
+                    }
+                }
+                let balance = run_sharded(threads, &costs, &mut shards, |shard| {
+                    run_decode_shard(pool_ref, shard)
+                });
+                exec_stats.absorb(&balance);
+                shard_seq
+                    .iter()
+                    .zip(shards.iter())
+                    .map(|(&i, s)| (i, s.dense, s.streaming))
+                    .collect()
+            };
+            // Work counters attributed per sequence in shard-construction
+            // order, so stats stay deterministic too.
+            for (i, dense, streaming) in shard_stats {
+                batch[i].0.stats.add_decode(dense, streaming);
+            }
+            // Phase 3 (serial, batch order): output projection + FFN.
+            for i in 0..batch.len() {
+                if qrows[i].is_none() {
+                    continue;
+                }
+                let x = xs[i].take().expect("live sequence has activations");
+                let attn_m = Matrix::from_vec(1, width, std::mem::take(&mut outs[i]));
+                let x = post_attention(lw, &x, &attn_m);
+                xs[i] = Some(ffn_block(lw, &x));
             }
         }
         xs.into_iter()
@@ -521,6 +668,33 @@ impl ModelExecutor {
             })
             .collect()
     }
+}
+
+/// Sparsity-aware cost estimate of one *(sequence × KV-head)* decode shard, in
+/// visited KV tokens times query heads served (the work the kernel actually
+/// does):
+///
+/// * streaming head → resident sink+local window tokens (constant-bounded);
+/// * selected dense head → the selector's cost hint (its selected page set),
+///   clamped to the real history;
+/// * unselected dense head → the full history.
+fn decode_shard_cost(
+    pool: &PagePool,
+    head: &HeadCache,
+    selection: Option<&[usize]>,
+    hint: Option<u64>,
+    group: usize,
+) -> u64 {
+    let tokens = match head {
+        HeadCache::Streaming(c) => c.resident_tokens(pool) as u64,
+        HeadCache::Dense(c) => match (selection, hint) {
+            (Some(_), Some(h)) => h.min(c.tokens() as u64),
+            (Some(sel), None) => (sel.len() as u64 * pool.config().physical_page_size() as u64)
+                .min(c.tokens() as u64),
+            _ => c.tokens() as u64,
+        },
+    };
+    (tokens * group as u64).max(1)
 }
 
 #[cfg(test)]
@@ -599,6 +773,97 @@ mod tests {
             }
         }
         assert_eq!(seq_tokens, b_tokens);
+    }
+
+    /// The tentpole invariant at the executor level: for every thread count,
+    /// `decode_batch_threads` emits bit-identical logits to the serial path —
+    /// including a mixed dense/streaming batch with active page selection.
+    #[test]
+    fn parallel_decode_bit_identical_across_thread_counts() {
+        let mut cfg = EngineConfig::lserve_fp16();
+        cfg.paging = lserve_kvcache::PagingConfig::new(8, 4, lserve_quant::KvPrecision::Fp16);
+        cfg.dynamic_budget = Some(16); // selection active at toy context lengths
+        let w = tiny_weights();
+        let exec = ModelExecutor::new(Arc::clone(&w), cfg.clone());
+        let prompts: [&[u32]; 3] = [&[1, 2, 3, 4], &[9, 8, 7], &[20, 30, 40, 50, 60]];
+
+        let run = |threads: usize| -> (Vec<Vec<Vec<f32>>>, u64) {
+            let mut pool = cfg.make_pool_for(&w.config, 1024);
+            let mut states: Vec<SequenceState> =
+                prompts.iter().map(|_| exec.new_sequence()).collect();
+            let mut exec_stats = ParallelExecStats::default();
+            let mut pending: Vec<u32> = states
+                .iter_mut()
+                .zip(prompts)
+                .map(|(state, prompt)| {
+                    let out = exec
+                        .prefill_threads(state, &mut pool, prompt, threads, &mut exec_stats)
+                        .unwrap();
+                    greedy_next_token(&out.logits)
+                })
+                .collect();
+            let mut all_logits: Vec<Vec<Vec<f32>>> = prompts.iter().map(|_| Vec::new()).collect();
+            for _ in 0..24 {
+                let mut batch: Vec<(&mut SequenceState, u32)> = states
+                    .iter_mut()
+                    .zip(pending.iter())
+                    .map(|(s, &t)| (s, t))
+                    .collect();
+                let outs =
+                    exec.decode_batch_threads(&mut pool, &mut batch, threads, &mut exec_stats);
+                for (i, out) in outs.into_iter().enumerate() {
+                    let logits = out.unwrap().logits;
+                    pending[i] = greedy_next_token(&logits);
+                    all_logits[i].push(logits);
+                }
+            }
+            (all_logits, exec_stats.shards)
+        };
+
+        let (want, shards1) = run(1);
+        assert!(shards1 > 0);
+        for threads in [2, 3, 8] {
+            let (got, shards_t) = run(threads);
+            assert_eq!(got, want, "logits diverged at {threads} threads");
+            assert_eq!(shards_t, shards1, "shard count must not depend on threads");
+        }
+    }
+
+    #[test]
+    fn shard_cost_reflects_sparsity() {
+        let cfg = EngineConfig::lserve_fp16();
+        let w = tiny_weights();
+        let mut pool = cfg.make_pool_for(&w.config, 2048);
+        let exec = ModelExecutor::new(Arc::clone(&w), cfg);
+        let mut s = exec.new_sequence();
+        let prompt: Vec<u32> = (0..200).map(|i| (i % 90) as u32).collect();
+        exec.prefill(&mut s, &mut pool, &prompt).unwrap();
+        let layer = &s.layers[0];
+        let (dense_kv, stream_kv) = {
+            let mut dense = None;
+            let mut stream = None;
+            for kv in 0..layer.num_heads() {
+                match layer.head(kv) {
+                    HeadCache::Dense(_) => dense = Some(kv),
+                    HeadCache::Streaming(_) => stream = Some(kv),
+                }
+            }
+            (dense.expect("mixed layer"), stream.expect("mixed layer"))
+        };
+        let full = decode_shard_cost(&pool, layer.head(dense_kv), None, None, 2);
+        let selected = decode_shard_cost(&pool, layer.head(dense_kv), Some(&[0, 1]), Some(128), 2);
+        let streaming = decode_shard_cost(&pool, layer.head(stream_kv), None, None, 2);
+        assert!(
+            full > selected && full > streaming,
+            "full {full}, selected {selected}, streaming {streaming}"
+        );
+        assert_eq!(full, 200 * 2, "unselected dense head costed by history");
+        assert_eq!(selected, 128 * 2, "selected head costed by selector hint");
+        // Streaming heads are window-bounded no matter how long the context.
+        let window = exec.config().streaming_window;
+        let np = pool.config().physical_page_size();
+        assert!(streaming <= (window.max_pages() * np * 2) as u64);
+        s.release(&mut pool);
     }
 
     #[test]

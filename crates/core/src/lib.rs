@@ -16,7 +16,10 @@
 //!   state, position, stats). The executor runs block-sparse fused prefill (§3.4),
 //!   two-way paged KV writeback, and decode with hierarchical + reusable page
 //!   selection feeding the fused decode kernel (§3.5–3.6) — including
-//!   [`ModelExecutor::decode_batch`], the layer-outer batched decode step.
+//!   [`ModelExecutor::decode_batch`], the layer-outer batched decode step whose
+//!   attention phase shards across a sparsity-aware worker pool
+//!   ([`ModelExecutor::decode_batch_threads`], bit-identical at every thread
+//!   count).
 //! * [`engine`] — [`Engine`], the single-sequence convenience wrapper over one
 //!   executor + one sequence state.
 //! * [`serving`] — the continuous-batching [`Scheduler`] (chunked prefill over a
@@ -37,7 +40,7 @@ pub mod prefix;
 pub mod serving;
 pub mod stats;
 
-pub use config::{EngineConfig, SelectorKind};
+pub use config::{decode_threads_from_env, EngineConfig, SelectorKind};
 pub use engine::{DecodeOutput, Engine, PrefillOutput};
 pub use executor::{ModelExecutor, OutOfPagesError, SequenceState};
 pub use heads::{classify_heads, streaming_masks_from_gates};
@@ -47,4 +50,4 @@ pub use serving::{
     sequence_pages_estimate, tile_grid_boundary, AdmissionPolicy, Request, RequestMetrics,
     RequestStatus, Scheduler, SchedulerConfig, ServingEngine, ServingReport,
 };
-pub use stats::EngineStats;
+pub use stats::{EngineStats, ParallelExecStats};

@@ -36,10 +36,19 @@
 //!   `chunk_tokens` is always computed by the per-token decode path, so the KV for
 //!   a shared prefix is bit-identical no matter which request computed it.
 //!
+//! * **Sparsity-aware parallel decode** ([`SchedulerConfig::decode_threads`],
+//!   default from `LSERVE_DECODE_THREADS`): every prefill/decode attention
+//!   phase runs as *(sequence × KV-head)* shards, LPT-balanced by the per-head
+//!   sparsity cost (streaming window vs. selected/full dense pages) across a
+//!   scoped-thread worker pool with work stealing. The report aggregates
+//!   worker utilization/imbalance and the deterministic cost-balance counters
+//!   ([`ServingReport::worker_utilization`], [`ParallelExecStats`]).
+//!
 //! The determinism guarantee that falls out: for any request set, the batched
 //! scheduler's greedy outputs are token-identical to running each request alone on
 //! a fresh pool under the same [`SchedulerConfig`] — with or without the prefix
-//! cache, across chunk sizes, pool pressures, and KV precisions.
+//! cache, across chunk sizes, pool pressures, KV precisions, and decode
+//! worker-thread counts.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -48,8 +57,10 @@ use lserve_kvcache::PagePool;
 use lserve_model::{greedy_next_token, ModelConfig, ModelWeights};
 use lserve_prefixcache::{PrefixCache, PrefixCacheStats};
 
+use crate::config::decode_threads_from_env;
 use crate::executor::{ModelExecutor, SequenceState};
 use crate::prefix::CachedPrefix;
+use crate::stats::ParallelExecStats;
 use crate::EngineConfig;
 
 /// The prefill tile grid: the fused tile-prefill path covers absolute token
@@ -137,11 +148,17 @@ pub struct SchedulerConfig {
     /// entries are LRU-evicted under pool pressure (before any preemption).
     /// Outputs are token-identical with the cache on or off.
     pub prefix_cache: bool,
+    /// Worker threads for the sharded attention phases of prefill and decode
+    /// (the *(sequence × KV-head)* LPT-balanced executor). Defaults to the
+    /// `LSERVE_DECODE_THREADS` environment variable (1 when unset). Outputs
+    /// are bit-identical for every value — the knob trades wall-clock only.
+    pub decode_threads: usize,
 }
 
 impl SchedulerConfig {
     /// Defaults: 128-token prefill chunks, batch of up to 64, first-chunk
-    /// admission (preemption-backed), prefix cache off.
+    /// admission (preemption-backed), prefix cache off, decode threads from
+    /// the `LSERVE_DECODE_THREADS` environment (1 when unset).
     pub fn new(pool_pages: usize) -> Self {
         Self {
             pool_pages,
@@ -149,6 +166,7 @@ impl SchedulerConfig {
             max_batch: 64,
             admission: AdmissionPolicy::FirstChunk,
             prefix_cache: false,
+            decode_threads: decode_threads_from_env(),
         }
     }
 
@@ -156,11 +174,13 @@ impl SchedulerConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `chunk_tokens`, `max_batch` or `pool_pages` is zero.
+    /// Panics if `chunk_tokens`, `max_batch`, `pool_pages` or `decode_threads`
+    /// is zero.
     pub fn validate(&self) {
         assert!(self.pool_pages > 0, "pool must hold at least one page");
         assert!(self.chunk_tokens > 0, "chunk must be at least one token");
         assert!(self.max_batch > 0, "batch must admit at least one sequence");
+        assert!(self.decode_threads > 0, "need at least one decode worker");
     }
 }
 
@@ -229,9 +249,27 @@ pub struct ServingReport {
     pub prefix_insertions: u64,
     /// Prefix-cache entries evicted under pool pressure.
     pub prefix_evictions: u64,
+    /// Worker threads the run's sharded attention phases were configured with.
+    pub decode_threads: usize,
+    /// Aggregate parallel-execution counters across every prefill/decode
+    /// phase: measured per-step worker utilization/imbalance and the
+    /// deterministic cost-balance critical path (see
+    /// [`ParallelExecStats::utilization`], [`ParallelExecStats::imbalance`],
+    /// [`ParallelExecStats::modeled_speedup`]).
+    pub parallel: ParallelExecStats,
 }
 
 impl ServingReport {
+    /// Measured mean worker utilization of the sharded attention phases, in
+    /// `(0, 1]` (1.0 when no parallel phase ran).
+    pub fn worker_utilization(&self) -> f64 {
+        self.parallel.utilization()
+    }
+
+    /// Measured worker imbalance `>= 1` (critical path over perfect balance).
+    pub fn worker_imbalance(&self) -> f64 {
+        self.parallel.imbalance()
+    }
     /// Fraction of prompt-prefill tokens served from the prefix cache, in
     /// `[0, 1]` (0 when no prompt token was processed).
     pub fn prefix_hit_rate(&self) -> f64 {
@@ -389,7 +427,10 @@ impl Scheduler {
             pool,
             queue: VecDeque::new(),
             running: Vec::new(),
-            report: ServingReport::default(),
+            report: ServingReport {
+                decode_threads: scfg.decode_threads,
+                ..ServingReport::default()
+            },
             next_priority: 0,
             work_tokens: 0,
             prefix: PrefixCache::new(),
@@ -703,7 +744,13 @@ impl Scheduler {
                 let tokens: Vec<u32> = (0..boundary)
                     .map(|t| self.running[i].feed_token(t))
                     .collect();
-                match exec.prefill(&mut self.running[i].state, &mut self.pool, &tokens) {
+                match exec.prefill_threads(
+                    &mut self.running[i].state,
+                    &mut self.pool,
+                    &tokens,
+                    self.scfg.decode_threads,
+                    &mut self.report.parallel,
+                ) {
                     Ok(out) => {
                         self.running[i].fed = boundary;
                         self.work_tokens += boundary as u64;
@@ -749,7 +796,17 @@ impl Scheduler {
                 }
                 let fed_pos = self.running[i].fed;
                 let t = self.running[i].feed_token(fed_pos);
-                match exec.decode_step(&mut self.running[i].state, &mut self.pool, t) {
+                let mut one = [(&mut self.running[i].state, t)];
+                let result = exec
+                    .decode_batch_threads(
+                        &mut self.pool,
+                        &mut one,
+                        self.scfg.decode_threads,
+                        &mut self.report.parallel,
+                    )
+                    .pop()
+                    .expect("one result per input sequence");
+                match result {
                     Ok(out) => {
                         self.running[i].fed += 1;
                         self.work_tokens += 1;
@@ -821,7 +878,12 @@ impl Scheduler {
         if batch.is_empty() {
             return;
         }
-        let results = exec.decode_batch(&mut self.pool, &mut batch);
+        let results = exec.decode_batch_threads(
+            &mut self.pool,
+            &mut batch,
+            self.scfg.decode_threads,
+            &mut self.report.parallel,
+        );
         drop(batch);
         // Walk results in reverse index order so removals (completion, fallback
         // preemption) do not shift the indices still to be visited.
@@ -1001,6 +1063,7 @@ impl ServingEngine {
             max_batch: usize::MAX,
             admission: AdmissionPolicy::FullFootprint,
             prefix_cache: false,
+            decode_threads: decode_threads_from_env(),
         };
         Self {
             inner: Scheduler::new(exec, scfg),

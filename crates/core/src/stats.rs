@@ -1,6 +1,6 @@
 //! Aggregate work counters reported by the engine.
 
-use lserve_attention::{DecodeStats, PrefillStats};
+use lserve_attention::{BalanceStats, DecodeStats, PrefillStats};
 
 /// Cumulative work counters across an engine's lifetime.
 ///
@@ -68,6 +68,102 @@ impl EngineStats {
     }
 }
 
+/// Aggregate counters of the sparsity-aware parallel execution layer, folded
+/// over every prefill/decode parallel phase an executor ran.
+///
+/// Two families of numbers live here:
+///
+/// * **Measured** (`busy_ns_*`, `stolen`): wall-clock worker activity. Useful
+///   for utilization/imbalance reporting; inherently nondeterministic.
+/// * **Modeled** (`cost_*`): the sparsity-aware shard cost estimates the LPT
+///   assignment balanced. `cost_total / cost_critical` is the speedup a
+///   perfectly parallel machine would get from this schedule — deterministic,
+///   so tests and benches can assert on it regardless of host core count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParallelExecStats {
+    /// Largest worker count used by any phase.
+    pub workers: usize,
+    /// Parallel phases executed (one per layer per prefill/decode call).
+    pub phases: u64,
+    /// Attention shards executed across all phases.
+    pub shards: u64,
+    /// Shards executed by a worker other than their LPT assignee (work
+    /// stealing fired).
+    pub stolen: u64,
+    /// Total measured worker busy time, nanoseconds.
+    pub busy_ns_total: u64,
+    /// Sum over phases of the busiest worker's time — the measured critical
+    /// path across all phases.
+    pub busy_ns_critical: u64,
+    /// Sum over phases of `phase workers × busiest worker's time` — the total
+    /// worker-seconds the pool was open. Per-phase accumulation matters:
+    /// phases clamp their worker count to the shard count, so a run mixing
+    /// 2-worker and 8-worker phases must not divide every phase by 8.
+    pub busy_ns_capacity: u64,
+    /// Total estimated shard cost (serial work) across all phases.
+    pub cost_total: u64,
+    /// Sum over phases of the most-loaded worker's estimated cost — the
+    /// modeled critical path of the LPT schedule.
+    pub cost_critical: u64,
+}
+
+impl ParallelExecStats {
+    /// Folds one parallel phase's balance report in.
+    pub fn absorb(&mut self, b: &BalanceStats) {
+        self.workers = self.workers.max(b.workers);
+        self.phases += 1;
+        self.shards += b.shards;
+        self.stolen += b.stolen;
+        self.busy_ns_total += b.total_busy_ns();
+        self.busy_ns_critical += b.max_busy_ns();
+        self.busy_ns_capacity += b.workers as u64 * b.max_busy_ns();
+        self.cost_total += b.cost_total();
+        self.cost_critical += b.cost_critical();
+    }
+
+    /// Merges another accumulator (e.g. per-step stats into a run total).
+    pub fn merge(&mut self, other: &ParallelExecStats) {
+        self.workers = self.workers.max(other.workers);
+        self.phases += other.phases;
+        self.shards += other.shards;
+        self.stolen += other.stolen;
+        self.busy_ns_total += other.busy_ns_total;
+        self.busy_ns_critical += other.busy_ns_critical;
+        self.busy_ns_capacity += other.busy_ns_capacity;
+        self.cost_total += other.cost_total;
+        self.cost_critical += other.cost_critical;
+    }
+
+    /// Measured mean worker utilization in `(0, 1]`: busy time divided by the
+    /// worker-seconds the pool was open (per phase, that phase's worker count
+    /// × its critical path). 1.0 when no parallel phase ran.
+    pub fn utilization(&self) -> f64 {
+        if self.busy_ns_capacity == 0 {
+            return 1.0;
+        }
+        self.busy_ns_total as f64 / self.busy_ns_capacity as f64
+    }
+
+    /// Measured imbalance `>= 1`: how much longer the critical path ran than a
+    /// perfectly balanced schedule would have (the reciprocal of utilization).
+    pub fn imbalance(&self) -> f64 {
+        let u = self.utilization();
+        if u == 0.0 {
+            return 1.0;
+        }
+        1.0 / u
+    }
+
+    /// Modeled speedup of the LPT schedule over serial execution
+    /// (`cost_total / cost_critical`, deterministic). 1.0 when nothing ran.
+    pub fn modeled_speedup(&self) -> f64 {
+        if self.cost_critical == 0 {
+            return 1.0;
+        }
+        self.cost_total as f64 / self.cost_critical as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +210,57 @@ mod tests {
         );
         assert_eq!(s.decode_tokens_visited, 96);
         assert!((s.decode_sparsity() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_stats_absorb_and_model() {
+        let mut p = ParallelExecStats::default();
+        assert_eq!(p.utilization(), 1.0);
+        assert_eq!(p.modeled_speedup(), 1.0);
+        p.absorb(&BalanceStats {
+            workers: 4,
+            shards: 8,
+            stolen: 1,
+            busy_ns: vec![100, 100, 100, 100],
+            assigned_cost: vec![30, 30, 20, 20],
+        });
+        assert_eq!(p.phases, 1);
+        assert_eq!(p.shards, 8);
+        assert_eq!(p.cost_total, 100);
+        assert_eq!(p.cost_critical, 30);
+        assert!((p.modeled_speedup() - 100.0 / 30.0).abs() < 1e-12);
+        assert!((p.utilization() - 1.0).abs() < 1e-12);
+        let mut q = ParallelExecStats::default();
+        q.merge(&p);
+        q.merge(&p);
+        assert_eq!(q.phases, 2);
+        assert_eq!(q.cost_total, 200);
+        assert!(q.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn utilization_weights_phases_by_their_own_worker_count() {
+        // A fully-busy 2-worker phase followed by a fully-busy 8-worker phase:
+        // utilization must be 1.0, not deflated by dividing the small phase by
+        // the run-wide maximum worker count.
+        let mut p = ParallelExecStats::default();
+        p.absorb(&BalanceStats {
+            workers: 2,
+            shards: 2,
+            stolen: 0,
+            busy_ns: vec![50, 50],
+            assigned_cost: vec![5, 5],
+        });
+        p.absorb(&BalanceStats {
+            workers: 8,
+            shards: 8,
+            stolen: 0,
+            busy_ns: vec![100; 8],
+            assigned_cost: vec![10; 8],
+        });
+        assert_eq!(p.workers, 8);
+        assert_eq!(p.busy_ns_capacity, 2 * 50 + 8 * 100);
+        assert!((p.utilization() - 1.0).abs() < 1e-12);
+        assert!((p.imbalance() - 1.0).abs() < 1e-12);
     }
 }

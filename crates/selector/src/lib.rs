@@ -53,6 +53,17 @@ impl Selection {
             .map(|&p| pool.page(cache.page_table()[p]).len())
             .sum()
     }
+
+    /// Sparsity-aware decode cost signal: the KV tokens a decode kernel
+    /// restricted to this selection will visit, assuming full pages of
+    /// `page_size` tokens (the last page may be partial, so this is an upper
+    /// bound — exact enough for load balancing, and computable without
+    /// touching the pool). Parallel executors feed this into the LPT shard
+    /// assignment so a selected dense head is costed by its *selected* page
+    /// set, not its full history.
+    pub fn estimated_cost_tokens(&self, page_size: usize) -> u64 {
+        self.pages.len() as u64 * page_size as u64
+    }
 }
 
 /// A page-selection policy for one dense head.
@@ -144,6 +155,17 @@ mod tests {
     #[test]
     fn finalize_empty_table() {
         assert!(finalize_selection(&[], 0, 4, true).is_empty());
+    }
+
+    #[test]
+    fn cost_signal_scales_with_selected_pages() {
+        let sel = Selection {
+            pages: vec![0, 3, 7],
+            logical_pages_scored: 12,
+            reused: false,
+        };
+        assert_eq!(sel.estimated_cost_tokens(64), 3 * 64);
+        assert_eq!(Selection::default().estimated_cost_tokens(64), 0);
     }
 
     #[test]

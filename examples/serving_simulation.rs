@@ -70,6 +70,48 @@ fn run(name: &str, cfg: EngineConfig, pool_pages: usize, chunk_tokens: usize) {
     );
 }
 
+/// Sparsity-aware parallel decode: the same workload on the sharded executor
+/// at several worker counts. Outputs are bit-identical across thread counts
+/// (the determinism suite pins this); what changes is the schedule — reported
+/// as per-step worker utilization/imbalance and the deterministic cost-model
+/// speedup of the LPT shard assignment.
+fn run_parallel_decode_demo() {
+    println!("\nparallel decode over (sequence x KV-head) shards:\n");
+    let weights = Arc::new(ModelWeights::random(&ModelConfig::tiny(), 11));
+    let exec = Arc::new(ModelExecutor::new(
+        weights,
+        engine_cfg(EngineConfig::lserve_fp16()),
+    ));
+    for threads in [1usize, 4] {
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 16;
+        scfg.admission = AdmissionPolicy::FirstChunk;
+        scfg.decode_threads = threads;
+        let mut sched = Scheduler::new(Arc::clone(&exec), scfg);
+        submit_all(&mut sched);
+        let report = sched.run_to_completion(1_000_000);
+        println!(
+            "{:>26}: completed {}, {} shards over {} phases, modeled speedup {:.2}x, \
+             worker utilization {:.1}% (imbalance {:.2}x), {} stolen",
+            format!("{threads} decode thread(s)"),
+            report.completed.len(),
+            report.parallel.shards,
+            report.parallel.phases,
+            report.parallel.modeled_speedup(),
+            100.0 * report.worker_utilization(),
+            report.worker_imbalance(),
+            report.parallel.stolen,
+        );
+    }
+    println!(
+        "\nStreaming-head shards cost a constant window while dense-head shards grow\n\
+         with context (or shrink to the selector's page set), so the executor\n\
+         LPT-balances shards by that cost and lets idle workers steal stragglers;\n\
+         the modeled speedup is the schedule's critical-path win, independent of\n\
+         how many physical cores this host happens to have."
+    );
+}
+
 /// The persona workload as serving requests.
 fn persona_wave(cfg: &SharedPrefixConfig) -> Vec<Request> {
     shared_prefix_workload(cfg)
@@ -241,6 +283,7 @@ fn main() {
         170,
         16,
     );
+    run_parallel_decode_demo();
     run_prefix_cache_demo();
     println!(
         "\nChunked prefill bounds per-iteration prefill work, so short requests keep\n\

@@ -4,6 +4,11 @@
 //! alone on a fresh pool, across chunked prefill, preemption/resume cycles, and
 //! cross-request prefix caching (warm cache hits must be bit-identical to cold
 //! runs, for any chunk size, pool pressure, and KV precision).
+//!
+//! Since the executor grew its sharded parallel attention phase, the same file
+//! also pins the thread-count axis: for any worker count, chunk size, pool
+//! pressure (preemption/resume included), and KV precision, the scheduler's
+//! outputs are bit-identical to the single-threaded run.
 
 use std::sync::Arc;
 
@@ -113,6 +118,60 @@ fn forced_preemption_and_chunked_prefill_match_solo_runs() {
     // Preempted requests must report their preemption count.
     let preempted: u32 = report.request_metrics.iter().map(|m| m.preemptions).sum();
     assert!(preempted as u64 >= report.preemptions);
+}
+
+/// Deterministic anchor for the parallel-decode acceptance criterion: a mixed
+/// workload under enough pool pressure to force preemption/resume cycles must
+/// produce byte-identical reports at every thread count in {1, 2, 3, 8}.
+#[test]
+fn parallel_decode_matches_single_thread_under_preemption() {
+    let w = weights(17);
+    let cfg = small_page_cfg();
+    let requests: Vec<Request> = (0..3u64)
+        .map(|i| Request {
+            id: i,
+            prompt: (0..30 + 11 * i as usize)
+                .map(|t| ((t * 5 + i as usize * 3) % 90) as u32)
+                .collect(),
+            max_new_tokens: 10,
+        })
+        .collect();
+    let single_max = requests
+        .iter()
+        .map(|r| estimate(&cfg, &w.config, r.prompt.len() + r.max_new_tokens))
+        .max()
+        .unwrap();
+    let run = |threads: usize| {
+        let mut scfg = SchedulerConfig::new(single_max + single_max / 2);
+        scfg.chunk_tokens = 8;
+        scfg.admission = AdmissionPolicy::FirstChunk;
+        scfg.decode_threads = threads;
+        let mut sched = Scheduler::new(
+            Arc::new(ModelExecutor::new(Arc::clone(&w), cfg.clone())),
+            scfg,
+        );
+        for r in &requests {
+            sched.submit(r.clone());
+        }
+        let report = sched.run_to_completion(200_000);
+        assert_eq!(sched.pool_in_use(), 0, "leaked pages at {threads} threads");
+        report
+    };
+    let want = run(1);
+    assert_eq!(want.completed.len(), 3);
+    assert!(want.preemptions > 0, "pool must force preemption");
+    for threads in [2usize, 3, 8] {
+        let got = run(threads);
+        assert_eq!(got.completed, want.completed, "{threads} threads diverged");
+        assert_eq!(got.decode_steps, want.decode_steps);
+        assert_eq!(got.preemptions, want.preemptions);
+        assert_eq!(got.scheduler_steps, want.scheduler_steps);
+        assert_eq!(
+            got.parallel.shards, want.parallel.shards,
+            "shard decomposition must not depend on thread count"
+        );
+        assert_eq!(got.decode_threads, threads);
+    }
 }
 
 proptest! {
@@ -232,6 +291,63 @@ proptest! {
                 chunk
             );
         }
+    }
+
+    /// Thread-count determinism (the tentpole property): for any worker count,
+    /// chunk size, pool pressure (preemption/resume cycles included), and KV
+    /// precision, the scheduler's outputs are bit-identical to the
+    /// single-threaded run of the same workload — the sharded attention phase
+    /// only redistributes work, never changes it.
+    #[test]
+    fn parallel_decode_outputs_match_single_thread(
+        wseed in 0u64..20,
+        chunk in 3usize..16,
+        slack in 0usize..50,
+        threads_pick in 0usize..3,
+        quantized in proptest::bool::ANY,
+    ) {
+        let threads = [2usize, 3, 8][threads_pick];
+        let w = weights(wseed);
+        let mut cfg = small_page_cfg();
+        if quantized {
+            cfg.paging = PagingConfig::new(8, 4, KvPrecision::Int4);
+        }
+        let requests: Vec<Request> = (0..3u64)
+            .map(|i| Request {
+                id: i,
+                prompt: (0..20 + 9 * i as usize)
+                    .map(|t| ((t * 3 + i as usize * 7) % 90) as u32)
+                    .collect(),
+                max_new_tokens: 6,
+            })
+            .collect();
+        let single_max = requests
+            .iter()
+            .map(|r| estimate(&cfg, &w.config, r.prompt.len() + r.max_new_tokens))
+            .max()
+            .unwrap();
+        let run = |threads: usize| {
+            let mut scfg = SchedulerConfig::new(single_max + slack);
+            scfg.chunk_tokens = chunk;
+            scfg.admission = AdmissionPolicy::FirstChunk;
+            scfg.decode_threads = threads;
+            let mut sched = Scheduler::new(
+                Arc::new(ModelExecutor::new(Arc::clone(&w), cfg.clone())),
+                scfg,
+            );
+            for r in &requests {
+                sched.submit(r.clone());
+            }
+            let report = sched.run_to_completion(200_000);
+            assert_eq!(sched.pool_in_use(), 0, "leaked pages at {threads} threads");
+            report
+        };
+        let want = run(1);
+        let got = run(threads);
+        prop_assert_eq!(&got.completed, &want.completed, "{} threads diverged", threads);
+        prop_assert_eq!(got.decode_steps, want.decode_steps);
+        prop_assert_eq!(got.preemptions, want.preemptions);
+        prop_assert_eq!(got.parallel.shards, want.parallel.shards);
     }
 
     /// Determinism: the batched scheduler's greedy outputs are token-identical to

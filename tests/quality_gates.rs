@@ -1,0 +1,192 @@
+//! Tier-1 retrieval-quality gates: the NIAH/RULER workload generators promoted
+//! from figure-harness material into regression tests that run on every
+//! `cargo test`.
+//!
+//! Each gate runs the real engine machinery — seeded haystacks loaded through
+//! the paged KV cache, page selection through the production selectors, and
+//! (for the attention gate) the actual paged decode kernel — on instances
+//! small enough for debug builds, and asserts accuracy against **fixed
+//! thresholds**. A selector or cache regression that silently degrades
+//! retrieval now fails CI instead of only bending a benchmark curve.
+
+use lserve::attention::decode_dense_head;
+use lserve::kvcache::PagingConfig;
+use lserve::quant::KvPrecision;
+use lserve::selector::{FlatSelector, HierarchicalSelector, PageSelector, ReusableSelector};
+use lserve::workloads::{DriftingQueries, MultiNeedleCase, NiahCase, NiahConfig};
+
+const SEQ: usize = 16_384;
+const BUDGET: usize = 4096;
+const SEEDS: u64 = 5;
+
+fn mean_recall<F: FnMut(u64) -> f64>(mut run: F) -> (f64, f64) {
+    let mut total = 0.0;
+    let mut min: f64 = 1.0;
+    for seed in 0..SEEDS {
+        let r = run(seed);
+        total += r;
+        min = min.min(r);
+    }
+    (total / SEEDS as f64, min)
+}
+
+/// Figure 6/9 regime: flat Quest-style statistics over fine (16-token) pages
+/// must retrieve the needle essentially always.
+#[test]
+fn niah_flat_fine_pages_recall_gate() {
+    let cfg = NiahConfig::standard(SEQ);
+    let (mean, _) = mean_recall(|seed| {
+        let case = NiahCase::generate(cfg, 0.6, 100 + seed);
+        let (pool, cache) = case.build_cache(PagingConfig::flat(16, KvPrecision::Fp16));
+        let mut sel = FlatSelector::new(true);
+        let s = sel.select(&pool, &cache, &[case.query()], BUDGET, 0);
+        case.recall(&s.pages, 16)
+    });
+    assert!(
+        mean >= 0.9,
+        "flat@16 mean recall {mean:.3} below the 0.9 gate"
+    );
+}
+
+/// Figure 13 regime: hierarchical paging must keep recall high on coarse
+/// (64-token) physical pages with 16-token logical statistics — the
+/// page-size-dilemma fix this repo reproduces.
+#[test]
+fn niah_hierarchical_coarse_pages_recall_gate() {
+    let cfg = NiahConfig::standard(SEQ);
+    let (mean, _) = mean_recall(|seed| {
+        let case = NiahCase::generate(cfg, 0.4, 200 + seed);
+        let (pool, cache) = case.build_cache(PagingConfig::new(64, 16, KvPrecision::Fp16));
+        let mut sel = HierarchicalSelector::new(true);
+        let s = sel.select(&pool, &cache, &[case.query()], BUDGET, 0);
+        case.recall(&s.pages, 64)
+    });
+    assert!(
+        mean >= 0.9,
+        "hierarchical@64/16 mean recall {mean:.3} below the 0.9 gate"
+    );
+}
+
+/// The selection must also survive quantization: INT4 pages store the key
+/// statistics the selector reads, so rounding error must not lose the needle.
+#[test]
+fn niah_hierarchical_int4_recall_gate() {
+    let cfg = NiahConfig::standard(SEQ);
+    let (mean, _) = mean_recall(|seed| {
+        let case = NiahCase::generate(cfg, 0.5, 300 + seed);
+        let (pool, cache) = case.build_cache(PagingConfig::new(64, 16, KvPrecision::Int4));
+        let mut sel = HierarchicalSelector::new(true);
+        let s = sel.select(&pool, &cache, &[case.query()], BUDGET, 0);
+        case.recall(&s.pages, 64)
+    });
+    assert!(
+        mean >= 0.9,
+        "hierarchical@64/16 INT4 mean recall {mean:.3} below the 0.9 gate"
+    );
+}
+
+/// End-to-end through the paged decode kernel: when the query locks onto the
+/// needle hard enough that the softmax mass concentrates there (the sharpened
+/// probe below), attention restricted to the *selected* pages must reproduce
+/// full attention closely — i.e. the pages the selector dropped carried
+/// negligible mass for this query.
+#[test]
+fn niah_selected_attention_matches_full_gate() {
+    let cfg = NiahConfig::standard(8192);
+    for seed in 0..3u64 {
+        let case = NiahCase::generate(cfg, 0.5, 400 + seed);
+        let (pool, cache) = case.build_cache(PagingConfig::new(64, 16, KvPrecision::Fp16));
+        let mut sel = HierarchicalSelector::new(true);
+        let s = sel.select(&pool, &cache, &[case.query()], BUDGET, 0);
+        assert!(
+            case.recall(&s.pages, 64) >= 1.0,
+            "seed {seed} lost the needle"
+        );
+        // Sharpen the probe: a 4x query concentrates the softmax on the
+        // needle tokens, the regime where page selection must be lossless.
+        let probe: Vec<f32> = case.query().iter().map(|x| 4.0 * x).collect();
+        let scale = 1.0 / (cfg.head_dim as f32).sqrt();
+        let (full, _) = decode_dense_head(&pool, &cache, &probe, scale, None);
+        let (selected, _) = decode_dense_head(&pool, &cache, &probe, scale, Some(&s.pages));
+        let err: f32 = full
+            .iter()
+            .zip(&selected)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        let norm: f32 = full.iter().map(|a| a * a).sum::<f32>().sqrt();
+        assert!(
+            err <= 0.1 * norm,
+            "seed {seed}: selected attention drifted {err:.4} vs norm {norm:.4}"
+        );
+    }
+}
+
+/// RULER-style multi-needle aggregation: the hierarchical selector must keep
+/// at least 3 of 4 needles under the same token budget (partial credit, like
+/// RULER's multi-needle subtasks).
+#[test]
+fn ruler_multi_needle_accuracy_gate() {
+    let cfg = NiahConfig {
+        spike: 3.2,
+        ..NiahConfig::standard(8192)
+    };
+    let mut total = 0.0;
+    for seed in 0..3u64 {
+        let case = MultiNeedleCase::generate(cfg, 4, 500 + seed);
+        let (pool, cache) = case.build_cache(PagingConfig::new(64, 16, KvPrecision::Fp16));
+        let mut sel = HierarchicalSelector::new(true);
+        let s = sel.select(&pool, &cache, &[case.query()], BUDGET, 0);
+        let acc = case.accuracy(&s.pages, 64);
+        assert!(
+            acc >= 0.5,
+            "seed {seed} accuracy {acc:.3} below the 0.5 floor"
+        );
+        total += acc;
+    }
+    let mean = total / 3.0;
+    assert!(
+        mean >= 0.75,
+        "multi-needle mean accuracy {mean:.3} below 0.75"
+    );
+}
+
+/// Table 6 regime at test scale: drifting decode queries under the paper's
+/// default reuse interval (C=4) must stay close to select-every-step quality,
+/// and far above the floor.
+#[test]
+fn ruler_drifting_reuse_interval_gate() {
+    let cfg = NiahConfig {
+        spike: 3.2,
+        ..NiahConfig::standard(8192)
+    };
+    let steps = 48;
+    let run = |interval: usize| -> f64 {
+        let mut total = 0.0;
+        for seed in 0..2u64 {
+            let case = MultiNeedleCase::generate(cfg, 3, 600 + seed);
+            let trace = DriftingQueries::generate(&case, steps, 12, 1.2, 0.2, 700 + seed);
+            let (pool, cache) = case.build_cache(PagingConfig::new(64, 16, KvPrecision::Fp16));
+            let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), interval);
+            for t in 0..steps {
+                let s = sel.select(&pool, &cache, &[trace.query(t)], BUDGET, t);
+                total += trace.weighted_recall(&case, t, &s.pages, 64);
+            }
+        }
+        total / (2 * steps) as f64
+    };
+    let every_step = run(1);
+    let reused = run(4);
+    assert!(
+        every_step >= 0.85,
+        "C=1 weighted recall {every_step:.3} below the 0.85 gate"
+    );
+    assert!(
+        reused >= 0.8,
+        "C=4 weighted recall {reused:.3} below the 0.8 gate"
+    );
+    assert!(
+        reused >= every_step - 0.1,
+        "reuse interval 4 lost more than 0.1 recall ({reused:.3} vs {every_step:.3})"
+    );
+}
