@@ -55,6 +55,14 @@ pub fn decode_dense_head(
         ..DecodeStats::default()
     };
     let mut visit = |page_idx: usize| {
+        // Residency precondition of the tiered KV memory: only hot
+        // (device-resident) pages may feed the kernel — a cold page must be
+        // promoted by the executor's residency pass before decode runs.
+        assert!(
+            pool.is_hot(table[page_idx]),
+            "decode kernel read of cold page {:?} (page {page_idx}): promote before attending",
+            table[page_idx]
+        );
         let page = pool.page(table[page_idx]);
         assert_eq!(page.head_dim(), q.len(), "query dimension mismatch");
         stats.pages_visited += 1;
@@ -107,6 +115,13 @@ pub fn decode_streaming_head(
         ..DecodeStats::default()
     };
     for (_, id) in table {
+        // Streaming windows are working sets and never demoted while the
+        // sequence runs, but a swapped-in sequence must have been fully
+        // promoted before decoding — enforce the same residency precondition.
+        assert!(
+            pool.is_hot(id),
+            "streaming decode read of cold page {id:?}: promote before attending"
+        );
         let page = pool.page(id);
         assert_eq!(page.head_dim(), q.len(), "query dimension mismatch");
         stats.pages_visited += 1;
@@ -237,6 +252,38 @@ mod tests {
         for (a, b) in got.iter().zip(want.row(0)) {
             assert!((a - b).abs() < 0.05, "int8 decode drifted: {a} vs {b}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "cold page")]
+    fn decode_refuses_cold_pages() {
+        let cfg = PagingConfig::new(4, 4, KvPrecision::Fp16);
+        let mut pool = PagePool::new(cfg, 8, 4);
+        let mut cache = DenseHeadCache::new();
+        for i in 0..6 {
+            cache.append(&mut pool, &[i as f32; 4], &[0.0; 4]);
+        }
+        // Page 0 moves to the cold tier; attending it must trip the residency
+        // precondition rather than silently reading host memory.
+        pool.demote(cache.page_table()[0]).unwrap();
+        let _ = decode_dense_head(&pool, &cache, &[1.0; 4], 0.5, Some(&[0]));
+    }
+
+    #[test]
+    fn decode_skips_cold_pages_outside_selection() {
+        let cfg = PagingConfig::new(4, 4, KvPrecision::Fp16);
+        let mut pool = PagePool::new(cfg, 8, 4);
+        let mut cache = DenseHeadCache::new();
+        let mut g = SeededGaussian::new(3);
+        let k = g.matrix(10, 4, 1.0);
+        let v = g.matrix(10, 4, 1.0);
+        fill_dense(&mut pool, &mut cache, &k, &v);
+        let q = g.matrix(1, 4, 1.0);
+        let (want, _) = decode_dense_head(&pool, &cache, q.row(0), 0.5, Some(&[1, 2]));
+        // A cold page that the selection does not visit is harmless.
+        pool.demote(cache.page_table()[0]).unwrap();
+        let (got, _) = decode_dense_head(&pool, &cache, q.row(0), 0.5, Some(&[1, 2]));
+        assert_eq!(got, want);
     }
 
     #[test]

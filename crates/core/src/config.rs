@@ -67,6 +67,15 @@ pub struct EngineConfig {
     pub dynamic_prefill_after: usize,
     /// Seed for the synthetic DuoAttention gate values.
     pub gate_seed: u64,
+    /// Selection-driven demotion for the tiered KV memory: `Some(k)` demotes a
+    /// dense-head page to the cold (host) tier once the head's
+    /// [`lserve_selector::ReusableSelector`] has skipped it for `k` consecutive
+    /// fresh selection chunks; a later selection that picks a cold page
+    /// triggers an accounted promote before the decode kernel runs. `None`
+    /// keeps every page device-resident (the single-tier baseline). Outputs
+    /// are bit-identical either way — the knob trades hot-tier footprint for
+    /// modeled transfer work.
+    pub demote_after_chunks: Option<usize>,
 }
 
 impl EngineConfig {
@@ -84,6 +93,7 @@ impl EngineConfig {
             dynamic_prefill_keep: Some(64),
             dynamic_prefill_after: 131_072,
             gate_seed: 0xD00D,
+            demote_after_chunks: None,
         }
     }
 
@@ -109,6 +119,7 @@ impl EngineConfig {
             dynamic_prefill_keep: None,
             dynamic_prefill_after: usize::MAX,
             gate_seed: 0xD00D,
+            demote_after_chunks: None,
         }
     }
 
@@ -134,6 +145,7 @@ impl EngineConfig {
             dynamic_prefill_keep: None,
             dynamic_prefill_after: usize::MAX,
             gate_seed: 0xD00D,
+            demote_after_chunks: None,
         }
     }
 
@@ -184,6 +196,13 @@ impl EngineConfig {
         assert!(self.prefill_tile > 0, "prefill tile must be positive");
         if let Some(keep) = self.dynamic_prefill_keep {
             assert!(keep > 0, "dynamic prefill keep budget must be positive");
+        }
+        if let Some(k) = self.demote_after_chunks {
+            assert!(k >= 1, "demotion staleness must be at least one chunk");
+            assert!(
+                self.dynamic_budget.is_some(),
+                "selection-driven demotion needs an active page selector"
+            );
         }
     }
 }

@@ -97,6 +97,15 @@ impl SelectorBox {
             SelectorBox::Hierarchical(s) => s.reset(),
         }
     }
+
+    /// Last-use tracking for selection-driven demotion: page indices this
+    /// head's selector has skipped for at least `k` fresh selection chunks.
+    fn stale_pages(&self, k: usize) -> Vec<usize> {
+        match self {
+            SelectorBox::Flat(s) => s.stale_pages(k),
+            SelectorBox::Hierarchical(s) => s.stale_pages(k),
+        }
+    }
 }
 
 /// Per-request mutable state: KV caches, selector state, position, stats.
@@ -153,6 +162,40 @@ impl SequenceState {
     /// heads.
     pub fn resident_pages(&self) -> usize {
         self.layers.iter().map(|l| l.resident_pages()).sum()
+    }
+
+    /// Swap-out: demotes every sole-owned hot page this sequence holds to the
+    /// cold tier, freeing their hot slots while keeping every page table,
+    /// selector history and position counter intact. Pages co-owned with the
+    /// prefix cache or another sequence stay hot (they are someone else's
+    /// working set). Returns `(pages moved, token-units moved)`.
+    pub fn demote_resident(&self, pool: &mut PagePool) -> (u64, u64) {
+        self.layers.iter().fold((0, 0), |(p, u), l| {
+            let (lp, lu) = l.demote_all(pool);
+            (p + lp, u + lu)
+        })
+    }
+
+    /// Swap-in: promotes every cold page this sequence holds back to the hot
+    /// tier so decode can continue exactly where it left off. Returns
+    /// `(pages moved, token-units moved)`, or `None` when the hot tier cannot
+    /// fit them (callers reserve [`SequenceState::cold_pages`] free slots
+    /// first; pages promoted before the failure stay hot).
+    pub fn promote_resident(&self, pool: &mut PagePool) -> Option<(u64, u64)> {
+        let mut pages = 0;
+        let mut units = 0;
+        for l in &self.layers {
+            let (lp, lu) = l.promote_all(pool)?;
+            pages += lp;
+            units += lu;
+        }
+        Some((pages, units))
+    }
+
+    /// Pages this sequence holds that currently sit in the cold tier — the
+    /// exact hot-tier demand of a swap-in.
+    pub fn cold_pages(&self, pool: &PagePool) -> usize {
+        self.layers.iter().map(|l| l.cold_pages(pool)).sum()
     }
 
     /// Takes one additional reference on every page this sequence holds (prefix
@@ -419,13 +462,13 @@ impl ModelExecutor {
         pool: &PagePool,
         l: usize,
         q_row: &[f32],
-    ) -> (Vec<Option<Vec<usize>>>, Vec<Option<u64>>) {
+    ) -> LayerSelections {
         let model = &self.weights.config;
         let d = model.head_dim;
         let group = model.gqa_group_size();
-        let np = pool.config().physical_page_size();
         let mut selections: Vec<Option<Vec<usize>>> = vec![None; model.num_kv_heads];
         let mut hints: Vec<Option<u64>> = vec![None; model.num_kv_heads];
+        let mut fresh = vec![false; model.num_kv_heads];
         if let Some(budget) = self.cfg.dynamic_budget {
             for kv in 0..model.num_kv_heads {
                 let Some(selector) = state.selectors[l][kv].as_mut() else {
@@ -452,12 +495,115 @@ impl ModelExecutor {
                     state.stats.selector_reuses += 1;
                 } else {
                     state.stats.selector_invocations += 1;
+                    fresh[kv] = true;
                 }
-                hints[kv] = Some(sel.estimated_cost_tokens(np));
+                hints[kv] = Some(sel.estimated_cost_tokens(pool, cache));
                 selections[kv] = Some(sel.pages);
             }
         }
-        (selections, hints)
+        (selections, hints, fresh)
+    }
+
+    /// The residency pass of the tiered KV memory, run per layer between page
+    /// selection and the attention kernels:
+    ///
+    /// 1. **Selection-driven demotion** (when
+    ///    [`EngineConfig::demote_after_chunks`] is `Some(k)`): dense-head
+    ///    pages the head's reusable selector has skipped for `k` consecutive
+    ///    fresh selection chunks are demoted to the cold tier — except pages
+    ///    in the current selection, the table's final page (append target),
+    ///    and pages co-owned with the prefix cache or another sequence (the
+    ///    pool refuses those). The sweep runs only on steps whose selection
+    ///    was freshly scored (`fresh[kv]`): the stale set is a pure function
+    ///    of the chunk clock, so reuse steps cannot change it.
+    /// 2. **Promotion**: every cold page the current selection picks is
+    ///    promoted back before the kernel runs, satisfying the kernels'
+    ///    hot-residency precondition. The accounted fetch units are returned
+    ///    per KV head so the LPT shard costing can charge the fetch to the
+    ///    shard that caused it.
+    ///
+    /// Migrations move data, never mutate it, so outputs are bit-identical to
+    /// the always-resident baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfPagesError`] when a required promotion cannot fit the
+    /// hot tier; the scheduler treats this like any other out-of-memory decode
+    /// failure (release and replay).
+    fn apply_residency(
+        &self,
+        state: &mut SequenceState,
+        pool: &mut PagePool,
+        l: usize,
+        selections: &[Option<Vec<usize>>],
+        fresh: &[bool],
+    ) -> Result<Vec<u64>, OutOfPagesError> {
+        let mut fetch_units = vec![0u64; selections.len()];
+        let mut demoted = 0u64;
+        let mut promoted = 0u64;
+        let mut units = 0u64;
+        for (kv, selection) in selections.iter().enumerate() {
+            let Some(sel) = selection else {
+                // No selection this step: the kernel reads this head's whole
+                // page table (full-history dense attention, or a streaming
+                // window), so every cold page must come back first. Cold pages
+                // appear here only on sequences seeded from a prefix snapshot
+                // captured after demotion — the common case is a no-op scan.
+                let head = state.layers[l].head(kv);
+                if head.cold_pages(pool) > 0 {
+                    match head.promote_all(pool) {
+                        Some((p, u)) => {
+                            promoted += p;
+                            units += u;
+                            fetch_units[kv] += u;
+                        }
+                        None => {
+                            state.stats.add_migration(demoted, promoted, units);
+                            return Err(OutOfPagesError);
+                        }
+                    }
+                }
+                continue;
+            };
+            let HeadCache::Dense(cache) = state.layers[l].head(kv) else {
+                continue;
+            };
+            let table = cache.page_table();
+            if let (Some(k), true) = (self.cfg.demote_after_chunks, fresh[kv]) {
+                if let Some(selector) = state.selectors[l][kv].as_ref() {
+                    for p in selector.stale_pages(k) {
+                        // Never demote the append target (the table's final
+                        // page) or anything the current selection reads.
+                        if p + 1 >= table.len() || sel.contains(&p) {
+                            continue;
+                        }
+                        if let Some(u) = pool.demote(table[p]) {
+                            demoted += 1;
+                            units += u;
+                        }
+                    }
+                }
+            }
+            for &p in sel {
+                let id = table[p];
+                if pool.is_hot(id) {
+                    continue;
+                }
+                match pool.promote(id) {
+                    Some(u) => {
+                        promoted += 1;
+                        units += u;
+                        fetch_units[kv] += u;
+                    }
+                    None => {
+                        state.stats.add_migration(demoted, promoted, units);
+                        return Err(OutOfPagesError);
+                    }
+                }
+            }
+        }
+        state.stats.add_migration(demoted, promoted, units);
+        Ok(fetch_units)
     }
 
     /// Runs one decode step for one sequence: absorbs `token`, returns next-token
@@ -564,10 +710,12 @@ impl ModelExecutor {
             let mut qrows: Vec<Option<Vec<f32>>> = vec![None; batch.len()];
             let mut selections: Vec<Vec<Option<Vec<usize>>>> = Vec::with_capacity(batch.len());
             let mut cost_hints: Vec<Vec<Option<u64>>> = Vec::with_capacity(batch.len());
+            let mut fetch_units: Vec<Vec<u64>> = Vec::with_capacity(batch.len());
             for (i, (state, _)) in batch.iter_mut().enumerate() {
                 let Some(x) = xs[i].as_ref() else {
                     selections.push(Vec::new());
                     cost_hints.push(Vec::new());
+                    fetch_units.push(Vec::new());
                     continue;
                 };
                 let acts = pre_attention(model, lw, x, positions[i], &self.rope);
@@ -575,10 +723,26 @@ impl ModelExecutor {
                     xs[i] = None;
                     selections.push(Vec::new());
                     cost_hints.push(Vec::new());
+                    fetch_units.push(Vec::new());
                     continue;
                 }
                 let q_row = acts.q.row(0).to_vec();
-                let (sel, hint) = self.select_pages(state, pool, l, &q_row);
+                let (sel, hint, fresh) = self.select_pages(state, pool, l, &q_row);
+                // Residency pass: demote selector-stale pages, promote any
+                // cold page the selection wants, before the kernels read.
+                match self.apply_residency(state, pool, l, &sel, &fresh) {
+                    Ok(fetch) => fetch_units.push(fetch),
+                    Err(_) => {
+                        // A required promotion did not fit the hot tier; the
+                        // sequence fails this step like any other OOM and the
+                        // serving layer replays it.
+                        xs[i] = None;
+                        selections.push(Vec::new());
+                        cost_hints.push(Vec::new());
+                        fetch_units.push(Vec::new());
+                        continue;
+                    }
+                }
                 selections.push(sel);
                 cost_hints.push(hint);
                 qrows[i] = Some(q_row);
@@ -611,6 +775,7 @@ impl ModelExecutor {
                             cache.head(kv),
                             selection,
                             cost_hints[i][kv],
+                            fetch_units[i][kv],
                             group,
                         ));
                         shard_seq.push(i);
@@ -670,6 +835,11 @@ impl ModelExecutor {
     }
 }
 
+/// One layer's per-KV-head selection results: the selected page sets, the
+/// selector's cost hints for LPT balancing, and whether each head's selection
+/// was freshly scored this step (the demotion sweep runs only then).
+type LayerSelections = (Vec<Option<Vec<usize>>>, Vec<Option<u64>>, Vec<bool>);
+
 /// Sparsity-aware cost estimate of one *(sequence × KV-head)* decode shard, in
 /// visited KV tokens times query heads served (the work the kernel actually
 /// does):
@@ -677,12 +847,16 @@ impl ModelExecutor {
 /// * streaming head → resident sink+local window tokens (constant-bounded);
 /// * selected dense head → the selector's cost hint (its selected page set),
 ///   clamped to the real history;
-/// * unselected dense head → the full history.
+/// * unselected dense head → the full history;
+/// * plus the modeled host-link fetch cost of any cold pages the residency
+///   pass just promoted for this shard — a shard whose pages crossed the host
+///   link is genuinely slower this step, and the LPT balancer should know.
 fn decode_shard_cost(
     pool: &PagePool,
     head: &HeadCache,
     selection: Option<&[usize]>,
     hint: Option<u64>,
+    fetch_units: u64,
     group: usize,
 ) -> u64 {
     let tokens = match head {
@@ -694,7 +868,7 @@ fn decode_shard_cost(
             _ => c.tokens() as u64,
         },
     };
-    (tokens * group as u64).max(1)
+    (tokens * group as u64).max(1) + lserve_kvcache::transfer_cost_tokens(fetch_units)
 }
 
 #[cfg(test)]
@@ -850,9 +1024,10 @@ mod tests {
             }
             (dense.expect("mixed layer"), stream.expect("mixed layer"))
         };
-        let full = decode_shard_cost(&pool, layer.head(dense_kv), None, None, 2);
-        let selected = decode_shard_cost(&pool, layer.head(dense_kv), Some(&[0, 1]), Some(128), 2);
-        let streaming = decode_shard_cost(&pool, layer.head(stream_kv), None, None, 2);
+        let full = decode_shard_cost(&pool, layer.head(dense_kv), None, None, 0, 2);
+        let selected =
+            decode_shard_cost(&pool, layer.head(dense_kv), Some(&[0, 1]), Some(128), 0, 2);
+        let streaming = decode_shard_cost(&pool, layer.head(stream_kv), None, None, 0, 2);
         assert!(
             full > selected && full > streaming,
             "full {full}, selected {selected}, streaming {streaming}"
@@ -863,7 +1038,61 @@ mod tests {
         let window = exec.config().streaming_window;
         let np = pool.config().physical_page_size();
         assert!(streaming <= (window.max_pages() * np * 2) as u64);
+        // A shard whose pages just crossed the host link costs strictly more.
+        let fetched = decode_shard_cost(
+            &pool,
+            layer.head(dense_kv),
+            Some(&[0, 1]),
+            Some(128),
+            256,
+            2,
+        );
+        assert!(fetched > selected, "fetch cost must surface in the shard");
         s.release(&mut pool);
+    }
+
+    /// Selection-driven demotion (tiered KV memory): with `demote_after_chunks`
+    /// on, selector-stale dense pages migrate to the cold tier and come back
+    /// when a selection re-picks them — and the emitted logits are
+    /// bit-identical to the always-resident baseline at every step.
+    #[test]
+    fn selection_driven_demotion_is_bit_identical_and_migrates() {
+        let mut base = EngineConfig::lserve_fp16();
+        base.paging = lserve_kvcache::PagingConfig::new(8, 4, lserve_quant::KvPrecision::Fp16);
+        base.dynamic_budget = Some(16);
+        base.reuse_interval = 2;
+        let w = tiny_weights();
+
+        let run = |demote: Option<usize>| -> (Vec<Vec<f32>>, u64, u64, usize) {
+            let mut cfg = base.clone();
+            cfg.demote_after_chunks = demote;
+            let exec = ModelExecutor::new(Arc::clone(&w), cfg.clone());
+            let mut pool = cfg.make_pool_for(&w.config, 1024);
+            let mut s = exec.new_sequence();
+            let prompt: Vec<u32> = (0..40).map(|i| (i % 90) as u32).collect();
+            let first = exec.prefill(&mut s, &mut pool, &prompt).unwrap();
+            let mut next = greedy_next_token(&first.logits);
+            let mut all = Vec::new();
+            let mut peak_cold = 0;
+            for _ in 0..40 {
+                let out = exec.decode_step(&mut s, &mut pool, next).unwrap();
+                next = greedy_next_token(&out.logits);
+                peak_cold = peak_cold.max(pool.cold_in_use());
+                all.push(out.logits);
+            }
+            let stats = s.stats();
+            s.release(&mut pool);
+            assert_eq!(pool.in_use(), 0);
+            assert_eq!(pool.cold_in_use(), 0, "release must drain the cold tier");
+            (all, stats.pages_demoted, stats.pages_promoted, peak_cold)
+        };
+
+        let (want, d0, p0, cold0) = run(None);
+        assert_eq!((d0, p0, cold0), (0, 0, 0), "baseline stays resident");
+        let (got, demoted, _promoted, peak_cold) = run(Some(1));
+        assert_eq!(got, want, "demotion changed the logits");
+        assert!(demoted > 0, "stale pages must actually demote");
+        assert!(peak_cold > 0, "cold tier must hold the demoted pages");
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub use heads::{classify_heads, streaming_masks_from_gates};
 pub use lserve_prefixcache::PrefixCacheStats;
 pub use prefix::CachedPrefix;
 pub use serving::{
-    sequence_pages_estimate, tile_grid_boundary, AdmissionPolicy, Request, RequestMetrics,
-    RequestStatus, Scheduler, SchedulerConfig, ServingEngine, ServingReport,
+    preemption_from_env, sequence_pages_estimate, tile_grid_boundary, AdmissionPolicy,
+    PreemptionPolicy, Request, RequestMetrics, RequestStatus, Scheduler, SchedulerConfig,
+    ServingEngine, ServingReport,
 };
 pub use stats::{EngineStats, ParallelExecStats};

@@ -117,6 +117,45 @@ pub enum RequestStatus {
     Rejected,
 }
 
+/// How the scheduler relieves pool pressure when decode demand exceeds the
+/// free hot tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PreemptionPolicy {
+    /// Release every page the victim holds and re-queue it; on re-admission
+    /// its prompt *plus* already-generated tokens are re-fed through the
+    /// deterministic pipeline (the classic recompute-based preemption).
+    #[default]
+    Replay,
+    /// Demote the victim's sole-owned pages to the cold (host) tier and park
+    /// its sequence state; on re-admission the cold pages are promoted back —
+    /// modeled transfer work instead of recompute — and decode continues
+    /// exactly where it stopped. Pages co-owned with the prefix cache or
+    /// another sequence stay hot for their other readers (the CoW/refcount
+    /// discipline), so a swap never disturbs shared prefixes. Outputs are
+    /// bit-identical to [`PreemptionPolicy::Replay`].
+    Swap,
+}
+
+/// Process-wide default preemption policy, read once from the
+/// `LSERVE_PREEMPTION` environment variable (`replay` | `swap`, defaulting to
+/// replay; unknown values fall back to replay). CI runs the test suite under
+/// both values, so the determinism suite exercises swap-based preemption on
+/// every push.
+pub fn preemption_from_env() -> PreemptionPolicy {
+    static CACHE: std::sync::OnceLock<PreemptionPolicy> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        match std::env::var("LSERVE_PREEMPTION")
+            .unwrap_or_default()
+            .trim()
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "swap" => PreemptionPolicy::Swap,
+            _ => PreemptionPolicy::Replay,
+        }
+    })
+}
+
 /// How the scheduler decides a queued request may start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdmissionPolicy {
@@ -153,12 +192,18 @@ pub struct SchedulerConfig {
     /// `LSERVE_DECODE_THREADS` environment variable (1 when unset). Outputs
     /// are bit-identical for every value — the knob trades wall-clock only.
     pub decode_threads: usize,
+    /// How pool pressure is relieved: recompute-based [`PreemptionPolicy::Replay`]
+    /// or the tiered memory's [`PreemptionPolicy::Swap`]. Defaults to the
+    /// `LSERVE_PREEMPTION` environment variable (replay when unset). Outputs
+    /// are bit-identical for both values.
+    pub preemption: PreemptionPolicy,
 }
 
 impl SchedulerConfig {
     /// Defaults: 128-token prefill chunks, batch of up to 64, first-chunk
     /// admission (preemption-backed), prefix cache off, decode threads from
-    /// the `LSERVE_DECODE_THREADS` environment (1 when unset).
+    /// the `LSERVE_DECODE_THREADS` environment (1 when unset), preemption
+    /// policy from `LSERVE_PREEMPTION` (replay when unset).
     pub fn new(pool_pages: usize) -> Self {
         Self {
             pool_pages,
@@ -167,6 +212,7 @@ impl SchedulerConfig {
             admission: AdmissionPolicy::FirstChunk,
             prefix_cache: false,
             decode_threads: decode_threads_from_env(),
+            preemption: preemption_from_env(),
         }
     }
 
@@ -251,6 +297,30 @@ pub struct ServingReport {
     pub prefix_evictions: u64,
     /// Worker threads the run's sharded attention phases were configured with.
     pub decode_threads: usize,
+    /// Preemption policy the run was configured with.
+    pub preemption: PreemptionPolicy,
+    /// Pages migrated hot → cold over the run (selection-driven demotion plus
+    /// swap-outs), from the pool's lifetime tier ledger.
+    pub pages_demoted: u64,
+    /// Pages migrated cold → hot over the run (selection re-picks plus
+    /// swap-resume promotions).
+    pub pages_promoted: u64,
+    /// Modeled transfer work of swap-resume promotions specifically, in
+    /// forward-pass token-equivalents — the number to hold against the replay
+    /// tokens the swap policy avoided re-feeding. Counted into the `work
+    /// tokens` clock, so TTFT under swap honestly pays for its transfers.
+    pub swap_resume_work_tokens: u64,
+    /// High-water mark of cold-tier (host) pages in use.
+    pub peak_cold_pages: usize,
+    /// High-water mark of concurrently running sequences.
+    pub peak_running: usize,
+    /// Sum over scheduler iterations of the running-sequence count (after
+    /// admission). `running_seq_steps / scheduler_steps` is the *sustained*
+    /// concurrency of the run — the oversubscription win of the tiered memory
+    /// shows up here: a replay victim spends iterations out of the running set
+    /// re-feeding its context, while a swapped victim resumes for the cost of
+    /// a transfer.
+    pub running_seq_steps: u64,
     /// Aggregate parallel-execution counters across every prefill/decode
     /// phase: measured per-step worker utilization/imbalance and the
     /// deterministic cost-balance critical path (see
@@ -269,6 +339,16 @@ impl ServingReport {
     /// Measured worker imbalance `>= 1` (critical path over perfect balance).
     pub fn worker_imbalance(&self) -> f64 {
         self.parallel.imbalance()
+    }
+
+    /// Mean concurrently running sequences per scheduler iteration (0 when no
+    /// iteration ran) — the sustained-concurrency number the tiered memory's
+    /// oversubscription win is measured by.
+    pub fn mean_running(&self) -> f64 {
+        if self.scheduler_steps == 0 {
+            return 0.0;
+        }
+        self.running_seq_steps as f64 / self.scheduler_steps as f64
     }
     /// Fraction of prompt-prefill tokens served from the prefix cache, in
     /// `[0, 1]` (0 when no prompt token was processed).
@@ -330,15 +410,35 @@ struct RequestProgress {
     cached_tokens: usize,
 }
 
+/// A swapped-out sequence parked in the queue: its full executor state (page
+/// tables pointing at cold — or still-shared hot — pages, selector history,
+/// position counters) plus the feed bookkeeping needed to continue exactly
+/// where preemption stopped. Only clean states are parked (nothing
+/// half-written); the unclean OOM fallbacks always take the replay path.
+#[derive(Debug)]
+struct SwappedSeq {
+    state: SequenceState,
+    /// Feed tokens (prompt + resume_feed) consumed before the swap.
+    fed: usize,
+    /// The resume-feed snapshot `fed` indexes into (frozen at swap time so
+    /// `feed_token` stays stable even though `generated` kept the full list).
+    resume_feed: Vec<u32>,
+    /// Most recently emitted token, not yet consumed by a decode step.
+    last_token: Option<u32>,
+}
+
 /// A request waiting for (re-)admission; carries generation progress across
 /// preemptions.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct QueuedSeq {
     req: Request,
     priority: u64,
     /// Tokens already generated (and emitted) before a preemption.
     generated: Vec<u32>,
     progress: RequestProgress,
+    /// Present when the sequence was swapped out instead of released: admission
+    /// promotes its cold pages back and resumes without any re-feeding.
+    swap: Option<SwappedSeq>,
 }
 
 /// A running sequence: executor state plus feed/generation progress.
@@ -402,8 +502,13 @@ pub struct Scheduler {
     report: ServingReport,
     next_priority: u64,
     /// Monotone clock: tokens pushed through the forward pass across all
-    /// sequences (tile prefill, prompt-continuation feed, and decode).
+    /// sequences (tile prefill, prompt-continuation feed, and decode), plus
+    /// the modeled transfer work of swap-resume promotions.
     work_tokens: u64,
+    /// Accumulated swap-resume promotion cost in token-equivalents, summed
+    /// per resume event — exactly the amounts charged to `work_tokens`, so
+    /// the report field can never drift from the clock.
+    swap_resume_work: u64,
     /// Cross-request KV prefix cache (unused unless `scfg.prefix_cache`).
     prefix: PrefixCache<CachedPrefix>,
 }
@@ -429,10 +534,12 @@ impl Scheduler {
             running: Vec::new(),
             report: ServingReport {
                 decode_threads: scfg.decode_threads,
+                preemption: scfg.preemption,
                 ..ServingReport::default()
             },
             next_priority: 0,
             work_tokens: 0,
+            swap_resume_work: 0,
             prefix: PrefixCache::new(),
         }
     }
@@ -455,6 +562,7 @@ impl Scheduler {
             req,
             priority,
             generated: Vec::new(),
+            swap: None,
             progress: RequestProgress {
                 submit_iter: self.report.scheduler_steps,
                 submit_work: self.work_tokens,
@@ -477,9 +585,15 @@ impl Scheduler {
         self.running.len()
     }
 
-    /// Pages currently in use in the shared pool.
+    /// Hot (device) pages currently in use in the shared pool.
     pub fn pool_in_use(&self) -> usize {
         self.pool.in_use()
+    }
+
+    /// Cold (host) pages currently in use in the shared pool — swapped-out
+    /// victims and selection-demoted stale context.
+    pub fn pool_cold_in_use(&self) -> usize {
+        self.pool.cold_in_use()
     }
 
     /// The live (unsorted) report accumulated so far.
@@ -543,9 +657,19 @@ impl Scheduler {
         self.report.scheduler_steps += 1;
         let now = self.report.scheduler_steps;
         self.admit();
+        self.report.peak_running = self.report.peak_running.max(self.running.len());
+        self.report.running_seq_steps += self.running.len() as u64;
         self.prefill_phase(now);
         self.decode_phase(now);
         self.report.peak_pages = self.report.peak_pages.max(self.pool.peak_in_use());
+        self.report.peak_cold_pages = self.report.peak_cold_pages.max(self.pool.cold_in_use());
+        // Tier-migration counters come straight from the pool's lifetime
+        // ledger (selection-driven moves in the executor and swap moves here
+        // both land in it); swap-resume work is scheduler-side only.
+        let tier = self.pool.tier_stats();
+        self.report.pages_demoted = tier.pages_demoted;
+        self.report.pages_promoted = tier.pages_promoted;
+        self.report.swap_resume_work_tokens = self.swap_resume_work;
         // Hit/insert counters come from the cache's own ledger so the report can
         // never drift from `prefix_cache_stats()` (evictions stay scheduler-side:
         // the report counts pressure evictions only, not flushes).
@@ -586,6 +710,49 @@ impl Scheduler {
                 self.report.rejected.push(q.req.id);
                 continue;
             }
+            // A swapped-out victim resumes by promotion, not by re-feeding:
+            // its exact hot demand is its cold page count. Evict idle cached
+            // prefixes first, exactly like fresh admission does.
+            if let Some(parked) = &front.swap {
+                let need = parked.state.cold_pages(&self.pool);
+                while need > self.pool.free_pages() {
+                    if !self.evict_prefix_one() {
+                        break;
+                    }
+                }
+                if need > self.pool.free_pages() {
+                    // With nothing running, no future completion will free hot
+                    // pages — spill the swap-parked states (including this
+                    // one) back to replay so admission can always make
+                    // progress, then retry.
+                    if self.running.is_empty() && self.spill_swapped_queue() {
+                        continue;
+                    }
+                    break; // wait for hot pages to free up
+                }
+                let q = self.queue.pop_front().expect("front checked");
+                let swap = q.swap.expect("checked above");
+                let (_, units) = swap
+                    .state
+                    .promote_resident(&mut self.pool)
+                    .expect("cold-page demand reserved above");
+                // The promotion is accounted work on the run's monotone clock:
+                // TTFT/TBT under swap honestly pay for the transfer.
+                let cost = lserve_kvcache::transfer_cost_tokens(units);
+                self.swap_resume_work += cost;
+                self.work_tokens += cost;
+                self.running.push(SchedSeq {
+                    req: q.req,
+                    priority: q.priority,
+                    state: swap.state,
+                    resume_feed: swap.resume_feed,
+                    fed: swap.fed,
+                    generated: q.generated,
+                    last_token: swap.last_token,
+                    progress: q.progress,
+                });
+                continue;
+            }
             let feed_len = front.req.prompt.len() + front.generated.len();
             // A cached match makes the request cheaper to admit and must survive
             // the eviction loop below, so LRU-protect it before evicting and size
@@ -613,6 +780,12 @@ impl Scheduler {
                 }
             }
             if self.pages_estimate(admit_tokens) > self.pool.free_pages() {
+                // Swap-parked states can pin shared prefix pages the eviction
+                // loop cannot free; with nothing running, spilling them back
+                // to replay is the only way admission can make progress.
+                if self.running.is_empty() && self.spill_swapped_queue() {
+                    continue;
+                }
                 break; // wait for running sequences to finish or be preempted
             }
             let q = self.queue.pop_front().expect("front checked");
@@ -737,7 +910,13 @@ impl Scheduler {
                     if self.evict_prefix_one() {
                         continue;
                     }
-                    if !self.make_room_below(pr) {
+                    if self.make_room_below(pr) {
+                        continue;
+                    }
+                    // Swap-parked states may pin the very prefix pages the
+                    // eviction loop needs; spill them to replay (what Replay
+                    // freed at preemption time) before giving up.
+                    if !self.spill_swapped_queue() {
                         break;
                     }
                 }
@@ -792,6 +971,11 @@ impl Scheduler {
                     if self.make_room_below(pr) {
                         continue;
                     }
+                    // Unpin prefix pages held by swap-parked peers (degrading
+                    // them to replay) before stalling the feed.
+                    if self.spill_swapped_queue() {
+                        continue;
+                    }
                     break; // wait for a later iteration
                 }
                 let fed_pos = self.running[i].fed;
@@ -823,7 +1007,9 @@ impl Scheduler {
                     Err(_) => {
                         // Exact reservation should prevent this; self-preempt to
                         // discard the partially-written token and replay later.
-                        self.preempt_index(i);
+                        // Always the replay path: the state is unclean and must
+                        // not be parked for swap-resume.
+                        self.preempt_index_replay(i);
                         break;
                     }
                 }
@@ -849,8 +1035,15 @@ impl Scheduler {
                 continue;
             }
             if self.running.len() <= 1 {
-                // Before truncating the lone sequence, reclaim every page the
-                // cache still holds exclusively.
+                // Before truncating the lone sequence, spill swap-parked
+                // states back to replay: releasing their pages unpins any
+                // prefix-cache entries they co-own — exactly what the Replay
+                // policy would already have freed at preemption time — and
+                // keeps bounded-memory truncation policy-independent.
+                if self.spill_swapped_queue() {
+                    continue;
+                }
+                // Then reclaim every page the cache still holds exclusively.
                 if self.evict_prefix_all() {
                     continue;
                 }
@@ -897,8 +1090,9 @@ impl Scheduler {
                 }
                 Err(_) => {
                     // Reservation makes this unreachable in practice; keep the
-                    // conservative fallback anyway.
-                    self.preempt_index(i);
+                    // conservative fallback anyway. Replay, never swap: the
+                    // failed step left the state partially written.
+                    self.preempt_index_replay(i);
                 }
             }
         }
@@ -1002,22 +1196,79 @@ impl Scheduler {
         }
     }
 
-    /// Preempts running sequence `i`: releases every page it holds and re-queues
-    /// it (by priority) with its generation progress, to be re-fed later.
+    /// Preempts running sequence `i` under the configured policy. The sequence
+    /// must be at a clean step boundary (nothing half-written) — the unclean
+    /// OOM fallbacks call [`Scheduler::preempt_index_replay`] directly.
     fn preempt_index(&mut self, i: usize) {
+        match self.scfg.preemption {
+            PreemptionPolicy::Replay => self.preempt_index_replay(i),
+            PreemptionPolicy::Swap => self.preempt_index_swap(i),
+        }
+    }
+
+    /// Replay preemption: releases every page sequence `i` holds and re-queues
+    /// it with its generation progress, to be re-fed later.
+    fn preempt_index_replay(&mut self, i: usize) {
         let mut seq = self.running.remove(i);
         seq.state.release(&mut self.pool);
         self.report.preemptions += 1;
-        let q = QueuedSeq {
+        self.requeue(QueuedSeq {
             req: seq.req,
             priority: seq.priority,
             generated: seq.generated,
+            swap: None,
             progress: RequestProgress {
                 preemptions: seq.progress.preemptions + 1,
                 ..seq.progress
             },
-        };
-        // Keep the queue sorted by priority so FCFS order survives preemption.
+        });
+    }
+
+    /// Swap preemption: demotes every sole-owned page sequence `i` holds to
+    /// the cold tier (pages co-owned with the prefix cache or other sequences
+    /// stay hot for their readers) and parks the intact sequence state in the
+    /// queue. Resume is an accounted promotion instead of a replay.
+    fn preempt_index_swap(&mut self, i: usize) {
+        let seq = self.running.remove(i);
+        seq.state.demote_resident(&mut self.pool);
+        self.report.preemptions += 1;
+        self.requeue(QueuedSeq {
+            req: seq.req,
+            priority: seq.priority,
+            generated: seq.generated,
+            swap: Some(SwappedSeq {
+                state: seq.state,
+                fed: seq.fed,
+                resume_feed: seq.resume_feed,
+                last_token: seq.last_token,
+            }),
+            progress: RequestProgress {
+                preemptions: seq.progress.preemptions + 1,
+                ..seq.progress
+            },
+        });
+    }
+
+    /// Last-resort pressure relief under [`PreemptionPolicy::Swap`]: releases
+    /// every swap-parked state in the queue, degrading those requests to a
+    /// replay resume. This returns their cold pages and — crucially — drops
+    /// their references on shared prefix pages, so the eviction loop regains
+    /// everything the Replay policy would have freed at preemption time.
+    /// Returns `true` if any state was spilled.
+    fn spill_swapped_queue(&mut self) -> bool {
+        let mut any = false;
+        for q in self.queue.iter_mut() {
+            if let Some(mut swap) = q.swap.take() {
+                swap.state.release(&mut self.pool);
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Inserts a preempted request back into the queue, keeping it sorted by
+    /// priority so FCFS order survives preemption.
+    fn requeue(&mut self, q: QueuedSeq) {
         let pos = self
             .queue
             .iter()
@@ -1064,6 +1315,7 @@ impl ServingEngine {
             admission: AdmissionPolicy::FullFootprint,
             prefix_cache: false,
             decode_threads: decode_threads_from_env(),
+            preemption: preemption_from_env(),
         };
         Self {
             inner: Scheduler::new(exec, scfg),
@@ -1508,6 +1760,97 @@ mod tests {
         assert!(r.prefix_evictions > 0, "pressure must evict cache entries");
         sched.flush_prefix_cache();
         assert_eq!(sched.pool_in_use(), 0);
+    }
+
+    #[test]
+    fn swap_preemption_matches_replay_and_reports_migrations() {
+        // Same tight-pool workload as `preemption_does_not_change_tokens`, but
+        // under PreemptionPolicy::Swap: victims demote their page set instead
+        // of releasing it and resume by promotion — outputs must still be
+        // bit-identical, and the tier counters must show real traffic.
+        let w = weights();
+        let cfg = EngineConfig::dense();
+        let m = &w.config;
+        let one_seq_pages = m.num_layers * m.num_kv_heads * (cfg.paging.pages_for(70) + 1);
+
+        let run = |policy: PreemptionPolicy| {
+            let mut scfg = SchedulerConfig::new(one_seq_pages + 2);
+            scfg.chunk_tokens = 16;
+            scfg.admission = AdmissionPolicy::FirstChunk;
+            scfg.preemption = policy;
+            let mut sched = scheduler(cfg.clone(), scfg);
+            sched.submit(request(1, 60, 10));
+            sched.submit(request(2, 60, 10));
+            let r = sched.run_to_completion(100_000);
+            assert_eq!(sched.pool_in_use(), 0, "hot pages leaked under {policy:?}");
+            assert_eq!(
+                sched.pool_cold_in_use(),
+                0,
+                "cold pages leaked under {policy:?}"
+            );
+            r
+        };
+        let replay = run(PreemptionPolicy::Replay);
+        let swap = run(PreemptionPolicy::Swap);
+        assert!(
+            swap.preemptions > 0,
+            "pool pressure must trigger preemption"
+        );
+        assert_eq!(swap.completed, replay.completed, "swap changed outputs");
+        assert!(swap.pages_demoted > 0, "swap must demote victim pages");
+        assert!(swap.pages_promoted > 0, "resume must promote them back");
+        assert!(swap.swap_resume_work_tokens > 0, "resume work is accounted");
+        assert!(swap.peak_cold_pages > 0);
+        assert_eq!(swap.preemption, PreemptionPolicy::Swap);
+        assert_eq!(replay.pages_demoted, 0, "replay never touches the tiers");
+        assert_eq!(replay.swap_resume_work_tokens, 0);
+        // The whole point: resuming by transfer is far cheaper than replaying
+        // the victim's context through the forward pass.
+        let replayed_tokens: u64 = 60 + 10; // upper bound of one victim replay
+        assert!(
+            swap.swap_resume_work_tokens < replayed_tokens,
+            "swap resume ({}) should undercut replay (~{replayed_tokens})",
+            swap.swap_resume_work_tokens
+        );
+    }
+
+    #[test]
+    fn swap_preemption_never_demotes_shared_prefix_pages() {
+        // A victim seeded from the prefix cache co-owns its prefix pages with
+        // the tree. Swapping it out must leave those pages hot (the tree's
+        // readers may need them) and demote only the sole-owned suffix.
+        let cfg = EngineConfig::lserve_fp16();
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 8;
+        scfg.prefix_cache = true;
+        scfg.preemption = PreemptionPolicy::Swap;
+        let mut sched = scheduler(cfg, scfg);
+        sched.submit(request(1, 32, 4));
+        sched.run_to_completion(10_000);
+        assert!(sched.prefix_cache_entries() > 0);
+        let tree_pages = sched.pool_in_use();
+        // Manually drive a second consumer to a running state, then swap it.
+        sched.submit(request(2, 32, 30));
+        while sched.running() == 0 {
+            sched.step();
+        }
+        let m2 = sched
+            .report_snapshot()
+            .request_metrics
+            .iter()
+            .find(|m| m.id == 2);
+        assert!(m2.is_none(), "request 2 still running");
+        sched.preempt_index(0);
+        assert_eq!(sched.running(), 0);
+        assert!(
+            sched.pool_in_use() >= tree_pages,
+            "co-owned prefix pages must stay hot through a swap-out"
+        );
+        let r = sched.run_to_completion(10_000);
+        assert_eq!(r.completed.len(), 2, "rejected: {:?}", r.rejected);
+        sched.flush_prefix_cache();
+        assert_eq!(sched.pool_in_use(), 0);
+        assert_eq!(sched.pool_cold_in_use(), 0);
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub struct EngineStats {
     pub selector_reuses: u64,
     /// Decode steps executed.
     pub decode_steps: u64,
+    /// Pages this sequence demoted to the cold tier (selection-driven).
+    pub pages_demoted: u64,
+    /// Cold pages this sequence promoted back because a selection picked them.
+    pub pages_promoted: u64,
+    /// Token-units this sequence moved across the host link in either
+    /// direction (see [`lserve_kvcache::transfer_cost_tokens`] for the
+    /// conversion into forward-pass token-equivalents).
+    pub migrated_token_units: u64,
 }
 
 impl EngineStats {
@@ -56,6 +64,19 @@ impl EngineStats {
         }
         1.0 - (self.prefill_dense_tiles + self.prefill_streaming_tiles) as f64
             / self.prefill_total_causal_tiles as f64
+    }
+
+    /// Folds one layer's residency-pass migration counters in.
+    pub fn add_migration(&mut self, demoted: u64, promoted: u64, token_units: u64) {
+        self.pages_demoted += demoted;
+        self.pages_promoted += promoted;
+        self.migrated_token_units += token_units;
+    }
+
+    /// Modeled transfer work of this sequence's tier migrations, in
+    /// forward-pass token-equivalents.
+    pub fn migration_work_tokens(&self) -> u64 {
+        lserve_kvcache::transfer_cost_tokens(self.migrated_token_units)
     }
 
     /// Overall decode page sparsity (fraction of pages skipped).

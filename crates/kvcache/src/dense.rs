@@ -158,6 +158,45 @@ impl DenseHeadCache {
     pub fn holds_sole_reference(&self, pool: &PagePool) -> bool {
         self.pages.iter().any(|&id| pool.refcount(id) == 1)
     }
+
+    /// Demotes every sole-owned hot page of this head to the cold tier
+    /// (swap-out). Co-owned pages stay hot for their other readers; already
+    /// cold pages are skipped. Returns `(pages moved, token-units moved)`.
+    pub fn demote_all(&self, pool: &mut PagePool) -> (u64, u64) {
+        let mut pages = 0;
+        let mut units = 0;
+        for &id in &self.pages {
+            if let Some(u) = pool.demote(id) {
+                pages += 1;
+                units += u;
+            }
+        }
+        (pages, units)
+    }
+
+    /// Promotes every cold page of this head back to the hot tier (swap-in).
+    /// Returns `(pages moved, token-units moved)`, or `None` if the hot tier
+    /// filled up mid-way (pages promoted so far stay hot; callers reserve
+    /// [`DenseHeadCache::cold_pages`] free slots first to rule this out).
+    pub fn promote_all(&self, pool: &mut PagePool) -> Option<(u64, u64)> {
+        let mut pages = 0;
+        let mut units = 0;
+        for &id in &self.pages {
+            if pool.is_hot(id) {
+                continue;
+            }
+            let u = pool.promote(id)?;
+            pages += 1;
+            units += u;
+        }
+        Some((pages, units))
+    }
+
+    /// Number of this head's pages currently in the cold tier (the exact hot
+    /// demand of a swap-in).
+    pub fn cold_pages(&self, pool: &PagePool) -> usize {
+        self.pages.iter().filter(|&&id| !pool.is_hot(id)).count()
+    }
 }
 
 #[cfg(test)]

@@ -80,6 +80,32 @@ impl HeadCache {
         }
     }
 
+    /// Demotes every sole-owned hot page this head retains (swap-out).
+    /// Returns `(pages moved, token-units moved)`.
+    pub fn demote_all(&self, pool: &mut PagePool) -> (u64, u64) {
+        match self {
+            HeadCache::Dense(c) => c.demote_all(pool),
+            HeadCache::Streaming(c) => c.demote_all(pool),
+        }
+    }
+
+    /// Promotes every cold page this head retains (swap-in). `None` if the hot
+    /// tier filled up mid-way; reserve [`HeadCache::cold_pages`] slots first.
+    pub fn promote_all(&self, pool: &mut PagePool) -> Option<(u64, u64)> {
+        match self {
+            HeadCache::Dense(c) => c.promote_all(pool),
+            HeadCache::Streaming(c) => c.promote_all(pool),
+        }
+    }
+
+    /// Pages this head retains that currently sit in the cold tier.
+    pub fn cold_pages(&self, pool: &PagePool) -> usize {
+        match self {
+            HeadCache::Dense(c) => c.cold_pages(pool),
+            HeadCache::Streaming(c) => c.cold_pages(pool),
+        }
+    }
+
     /// Borrow the dense cache.
     ///
     /// # Panics
@@ -238,6 +264,34 @@ impl LayerKvCache {
     /// True when any head references a page no other owner shares.
     pub fn holds_sole_reference(&self, pool: &PagePool) -> bool {
         self.heads.iter().any(|h| h.holds_sole_reference(pool))
+    }
+
+    /// Demotes every sole-owned hot page of every head (full-layer swap-out).
+    /// Returns `(pages moved, token-units moved)`.
+    pub fn demote_all(&self, pool: &mut PagePool) -> (u64, u64) {
+        self.heads.iter().fold((0, 0), |(p, u), h| {
+            let (hp, hu) = h.demote_all(pool);
+            (p + hp, u + hu)
+        })
+    }
+
+    /// Promotes every cold page of every head (full-layer swap-in). `None` if
+    /// the hot tier filled up mid-way; reserve [`LayerKvCache::cold_pages`]
+    /// free slots first.
+    pub fn promote_all(&self, pool: &mut PagePool) -> Option<(u64, u64)> {
+        let mut pages = 0;
+        let mut units = 0;
+        for h in &self.heads {
+            let (hp, hu) = h.promote_all(pool)?;
+            pages += hp;
+            units += hu;
+        }
+        Some((pages, units))
+    }
+
+    /// Pages of this layer currently in the cold tier, across all heads.
+    pub fn cold_pages(&self, pool: &PagePool) -> usize {
+        self.heads.iter().map(|h| h.cold_pages(pool)).sum()
     }
 
     /// Tokens stored (identical across heads by construction; reported from head 0).

@@ -3,10 +3,14 @@
 //! This crate is the serving-memory substrate of the LServe reproduction (paper §2.1
 //! "Paged Attention" and §3.2 "LServe System Overview"):
 //!
-//! * [`PagePool`] — a fixed-capacity pool of physical KV pages with a free list and
-//!   reference counts, playing the role of GPU device memory. Sequences hold *page
-//!   tables* (vectors of [`PageId`]) and kernels access pages through the pool,
-//!   mirroring PagedAttention's indirect addressing.
+//! * [`PagePool`] — a two-tier pool of physical KV pages with a free list and
+//!   reference counts: a capacity-bounded **hot tier** playing the role of GPU
+//!   device memory (the only tier attention kernels may read) and an unbounded
+//!   **cold tier** modeling host memory, with explicit [`PagePool::demote`] /
+//!   [`PagePool::promote`] migrations that carry a deterministic modeled
+//!   transfer cost ([`transfer_cost_tokens`]). Sequences hold *page tables*
+//!   (vectors of [`PageId`], stable across migrations) and kernels access pages
+//!   through the pool, mirroring PagedAttention's indirect addressing.
 //! * [`KvPage`] — one physical page of up to `N_P` tokens for a single KV head,
 //!   stored at a configurable precision (FP16/INT8/INT4, scales and zeros carried per
 //!   token row exactly like QServe's layout) plus the per-*logical*-page channelwise
@@ -36,6 +40,6 @@ pub mod streaming;
 pub use config::PagingConfig;
 pub use dense::DenseHeadCache;
 pub use layer::{HeadCache, LayerKvCache};
-pub use pool::{KvPage, PageId, PagePool};
-pub use stats::LogicalPageStats;
+pub use pool::{KvPage, PageId, PagePool, Residency};
+pub use stats::{transfer_cost_tokens, LogicalPageStats, TierStats, HOST_TRANSFER_SPEEDUP};
 pub use streaming::{StreamingHeadCache, StreamingWindow};

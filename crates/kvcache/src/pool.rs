@@ -1,8 +1,28 @@
-//! Physical KV pages and the fixed-capacity page pool.
+//! Physical KV pages and the two-tier (hot device / cold host) page pool.
 
 use lserve_quant::{quantize_group, KvPrecision, QuantParams};
 
-use crate::{config::PagingConfig, stats::LogicalPageStats};
+use crate::{
+    config::PagingConfig,
+    stats::{LogicalPageStats, TierStats},
+};
+
+/// Which memory tier a live page currently resides in.
+///
+/// Only **hot** (device-resident) pages may be read by attention kernels; cold
+/// pages model KV data offloaded to host memory, where only the page's
+/// *metadata* (key statistics for selection, length, refcount) remains cheaply
+/// accessible. Migrations between the tiers are explicit
+/// ([`PagePool::demote`] / [`PagePool::promote`]) and carry a deterministic
+/// modeled transfer cost (see [`crate::stats::transfer_cost_tokens`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// Device-resident: attention kernels may read the page.
+    Hot,
+    /// Offloaded to modeled host memory: metadata readable, KV data must be
+    /// promoted back before a kernel may touch it.
+    Cold,
+}
 
 /// Opaque handle to a physical page in a [`PagePool`].
 ///
@@ -182,11 +202,25 @@ impl KvPage {
     }
 }
 
-/// Fixed-capacity pool of physical pages with free list and reference counts.
+/// Two-tier pool of physical pages with free list and reference counts.
 ///
-/// Plays the role of device KV memory: allocation fails ([`None`]) when the pool is
-/// exhausted, and freed pages are recycled. Reference counts support shared prefixes
-/// (several sequences pointing at the same pages).
+/// The **hot tier** plays the role of device KV memory: it is bounded by
+/// `capacity` pages, allocation fails ([`None`]) when it is exhausted, and
+/// freed pages are recycled. The **cold tier** models host memory: unbounded,
+/// holding pages explicitly [`PagePool::demote`]d out of the hot tier until a
+/// [`PagePool::promote`] brings them back. [`PageId`]s are stable across
+/// migrations, so page tables held by sequences, selectors and the prefix
+/// cache stay valid whichever tier a page sits in.
+///
+/// Reference counts support shared prefixes (several sequences pointing at the
+/// same pages); a page referenced by more than one owner is never demoted
+/// ([`PagePool::demote`] refuses), which keeps the copy-on-write discipline of
+/// prefix sharing intact: a co-owned page is always hot for whoever reads it.
+///
+/// `in_use` / `free_pages` / `capacity` keep their device semantics (hot pages
+/// only), so admission and reservation logic written against the single-tier
+/// pool carries over unchanged; [`PagePool::cold_in_use`] and
+/// [`PagePool::tier_stats`] expose the host side.
 ///
 /// # Example
 ///
@@ -198,10 +232,14 @@ impl KvPage {
 /// let mut pool = PagePool::new(cfg, 2, 8);
 /// let a = pool.allocate().unwrap();
 /// let b = pool.allocate().unwrap();
-/// assert!(pool.allocate().is_none()); // capacity 2
-/// pool.free(a);
-/// assert!(pool.allocate().is_some());
-/// # let _ = b;
+/// assert!(pool.allocate().is_none()); // hot capacity 2
+/// // Demoting a page frees hot capacity without losing its contents.
+/// pool.demote(a).unwrap();
+/// let c = pool.allocate().unwrap();
+/// assert_eq!(pool.cold_in_use(), 1);
+/// pool.free(b);
+/// assert!(pool.promote(a).is_some());
+/// # let _ = c;
 /// ```
 #[derive(Debug, Clone)]
 pub struct PagePool {
@@ -209,22 +247,35 @@ pub struct PagePool {
     head_dim: usize,
     pages: Vec<Option<KvPage>>,
     refcounts: Vec<u32>,
+    residency: Vec<Residency>,
+    /// Recycled slot indices (fully-freed pages of either tier).
     free: Vec<PageId>,
+    hot_capacity: usize,
+    hot_in_use: usize,
+    cold_in_use: usize,
     peak_in_use: usize,
     forks: u64,
+    tier: TierStats,
 }
 
 impl PagePool {
-    /// Creates a pool of `capacity` pages for heads of dimension `head_dim`.
+    /// Creates a pool whose hot (device) tier holds `capacity` pages for heads
+    /// of dimension `head_dim`. The cold (host) tier starts empty and is
+    /// unbounded.
     pub fn new(config: PagingConfig, capacity: usize, head_dim: usize) -> Self {
         Self {
             config,
             head_dim,
-            pages: (0..capacity).map(|_| None).collect(),
-            refcounts: vec![0; capacity],
-            free: (0..capacity).rev().map(|i| PageId(i as u32)).collect(),
+            pages: Vec::new(),
+            refcounts: Vec::new(),
+            residency: Vec::new(),
+            free: Vec::new(),
+            hot_capacity: capacity,
+            hot_in_use: 0,
+            cold_in_use: 0,
             peak_in_use: 0,
             forks: 0,
+            tier: TierStats::default(),
         }
     }
 
@@ -233,32 +284,66 @@ impl PagePool {
         self.config
     }
 
-    /// Total page slots.
+    /// Hot-tier (device) page slots.
     pub fn capacity(&self) -> usize {
-        self.pages.len()
+        self.hot_capacity
     }
 
-    /// Pages currently allocated.
+    /// Hot (device-resident) pages currently allocated.
     pub fn in_use(&self) -> usize {
-        self.pages.len() - self.free.len()
+        self.hot_in_use
     }
 
-    /// Pages currently available for allocation.
+    /// Cold (host-resident) pages currently allocated.
+    pub fn cold_in_use(&self) -> usize {
+        self.cold_in_use
+    }
+
+    /// Live pages across both tiers.
+    pub fn total_in_use(&self) -> usize {
+        self.hot_in_use + self.cold_in_use
+    }
+
+    /// Hot pages currently available for allocation.
     pub fn free_pages(&self) -> usize {
-        self.free.len()
+        self.hot_capacity - self.hot_in_use
     }
 
-    /// High-water mark of allocated pages.
+    /// High-water mark of hot pages in use.
     pub fn peak_in_use(&self) -> usize {
         self.peak_in_use
     }
 
-    /// Allocates a fresh empty page, or `None` if the pool is exhausted.
+    /// Lifetime tier-migration counters (pages and token-units moved each way).
+    pub fn tier_stats(&self) -> TierStats {
+        self.tier
+    }
+
+    /// Grabs a recycled slot or grows the slot table by one.
+    fn take_slot(&mut self) -> PageId {
+        match self.free.pop() {
+            Some(id) => id,
+            None => {
+                let id = PageId(self.pages.len() as u32);
+                self.pages.push(None);
+                self.refcounts.push(0);
+                self.residency.push(Residency::Hot);
+                id
+            }
+        }
+    }
+
+    /// Allocates a fresh empty hot page, or `None` if the hot tier is full.
     pub fn allocate(&mut self) -> Option<PageId> {
-        let id = self.free.pop()?;
+        if self.hot_in_use >= self.hot_capacity {
+            return None;
+        }
+        let id = self.take_slot();
         self.pages[id.index()] = Some(KvPage::new(self.config, self.head_dim));
         self.refcounts[id.index()] = 1;
-        self.peak_in_use = self.peak_in_use.max(self.in_use());
+        self.residency[id.index()] = Residency::Hot;
+        self.hot_in_use += 1;
+        self.peak_in_use = self.peak_in_use.max(self.hot_in_use);
         Some(id)
     }
 
@@ -275,7 +360,8 @@ impl PagePool {
         self.refcounts[id.index()] += 1;
     }
 
-    /// Decrements the reference count, recycling the page when it reaches zero.
+    /// Decrements the reference count, recycling the page (from whichever tier
+    /// it resides in) when it reaches zero.
     ///
     /// # Panics
     ///
@@ -286,8 +372,89 @@ impl PagePool {
         self.refcounts[idx] -= 1;
         if self.refcounts[idx] == 0 {
             self.pages[idx] = None;
+            match self.residency[idx] {
+                Residency::Hot => self.hot_in_use -= 1,
+                Residency::Cold => self.cold_in_use -= 1,
+            }
+            self.residency[idx] = Residency::Hot;
             self.free.push(id);
         }
+    }
+
+    /// True when the page is device-resident (the only state attention kernels
+    /// may read it in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not allocated.
+    pub fn is_hot(&self, id: PageId) -> bool {
+        assert!(
+            self.pages[id.index()].is_some(),
+            "residency query on unallocated page {id:?}"
+        );
+        self.residency[id.index()] == Residency::Hot
+    }
+
+    /// Moves a hot page to the cold (host) tier, freeing one hot slot without
+    /// losing the page's contents. Returns the modeled transfer cost in
+    /// token-units (see [`crate::stats::transfer_cost_tokens`]).
+    ///
+    /// Returns `None` — and leaves the page untouched — when the page is
+    /// already cold, or when it is **co-owned** (refcount above 1): a page
+    /// shared with the prefix cache or another sequence must stay hot for its
+    /// other readers, exactly as copy-on-write forbids appending into it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not allocated.
+    pub fn demote(&mut self, id: PageId) -> Option<u64> {
+        let idx = id.index();
+        assert!(
+            self.pages[idx].is_some(),
+            "demote of unallocated page {id:?}"
+        );
+        if self.refcounts[idx] > 1 || self.residency[idx] == Residency::Cold {
+            return None;
+        }
+        self.residency[idx] = Residency::Cold;
+        self.hot_in_use -= 1;
+        self.cold_in_use += 1;
+        let units = self.config.physical_page_size() as u64;
+        self.tier.pages_demoted += 1;
+        self.tier.demoted_token_units += units;
+        Some(units)
+    }
+
+    /// Brings a cold page back to the hot tier so kernels may read it again.
+    /// Returns the modeled transfer cost in token-units — `Some(0)` when the
+    /// page was already hot (no transfer happened) — or `None` when the hot
+    /// tier is full (free or demote something first).
+    ///
+    /// Promotion is legal on shared pages (it moves data, never mutates it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not allocated.
+    pub fn promote(&mut self, id: PageId) -> Option<u64> {
+        let idx = id.index();
+        assert!(
+            self.pages[idx].is_some(),
+            "promote of unallocated page {id:?}"
+        );
+        if self.residency[idx] == Residency::Hot {
+            return Some(0);
+        }
+        if self.hot_in_use >= self.hot_capacity {
+            return None;
+        }
+        self.residency[idx] = Residency::Hot;
+        self.cold_in_use -= 1;
+        self.hot_in_use += 1;
+        self.peak_in_use = self.peak_in_use.max(self.hot_in_use);
+        let units = self.config.physical_page_size() as u64;
+        self.tier.pages_promoted += 1;
+        self.tier.promoted_token_units += units;
+        Some(units)
     }
 
     /// Shared access to a live page.
@@ -344,7 +511,9 @@ impl PagePool {
     /// above 1, so shared prefix pages are never mutated — the CoW discipline that
     /// makes cross-request prefix sharing safe.
     ///
-    /// Returns `None` (caller's reference unchanged) if the pool is exhausted.
+    /// Returns `None` (caller's reference unchanged) if the hot tier is full.
+    /// The fork is always created hot (forking exists to append, and appends
+    /// only ever target device-resident pages).
     ///
     /// # Panics
     ///
@@ -354,10 +523,16 @@ impl PagePool {
             self.pages[id.index()].is_some(),
             "fork of unallocated page {id:?}"
         );
-        let new = self.free.pop()?;
-        self.pages[new.index()] = self.pages[id.index()].clone();
+        if self.hot_in_use >= self.hot_capacity {
+            return None;
+        }
+        let copy = self.pages[id.index()].clone();
+        let new = self.take_slot();
+        self.pages[new.index()] = copy;
         self.refcounts[new.index()] = 1;
-        self.peak_in_use = self.peak_in_use.max(self.in_use());
+        self.residency[new.index()] = Residency::Hot;
+        self.hot_in_use += 1;
+        self.peak_in_use = self.peak_in_use.max(self.hot_in_use);
         self.forks += 1;
         self.free(id);
         Some(new)
@@ -497,6 +672,95 @@ mod tests {
         p.retain(id);
         assert!(p.fork(id).is_none());
         assert_eq!(p.refcount(id), 2, "failed fork leaves references unchanged");
+    }
+
+    #[test]
+    fn demote_frees_hot_capacity_and_preserves_contents() {
+        let mut p = pool(KvPrecision::Fp16);
+        let ids: Vec<_> = (0..8).map(|_| p.allocate().unwrap()).collect();
+        p.page_mut(ids[0])
+            .append(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]);
+        assert!(p.allocate().is_none());
+        let units = p.demote(ids[0]).unwrap();
+        assert_eq!(units, 4); // physical page size in token-units
+        assert!(!p.is_hot(ids[0]));
+        assert_eq!(p.in_use(), 7);
+        assert_eq!(p.cold_in_use(), 1);
+        assert_eq!(p.total_in_use(), 8);
+        assert_eq!(p.free_pages(), 1);
+        // Freed hot slot is allocatable while the cold page lives on.
+        let extra = p.allocate().unwrap();
+        assert_ne!(extra, ids[0]);
+        assert_eq!(p.page(ids[0]).key_row(0), &[1.0, 2.0, 3.0, 4.0]);
+        // Promote fails while the hot tier is full, succeeds after a free.
+        assert!(p.promote(ids[0]).is_none());
+        p.free(extra);
+        assert_eq!(p.promote(ids[0]), Some(4));
+        assert!(p.is_hot(ids[0]));
+        assert_eq!(p.page(ids[0]).value_row(0), &[5.0, 6.0, 7.0, 8.0]);
+        let t = p.tier_stats();
+        assert_eq!((t.pages_demoted, t.pages_promoted), (1, 1));
+        assert_eq!(t.demoted_token_units, 4);
+        assert_eq!(t.promoted_token_units, 4);
+    }
+
+    #[test]
+    fn demote_refuses_shared_and_double_demote() {
+        let mut p = pool(KvPrecision::Fp16);
+        let id = p.allocate().unwrap();
+        p.retain(id);
+        assert!(p.demote(id).is_none(), "co-owned page must stay hot");
+        assert!(p.is_hot(id));
+        p.free(id);
+        assert!(p.demote(id).is_some());
+        assert!(p.demote(id).is_none(), "already cold");
+        // Promoting a hot page is a free no-op.
+        p.promote(id).unwrap();
+        assert_eq!(p.promote(id), Some(0));
+    }
+
+    #[test]
+    fn free_of_cold_page_recycles_slot() {
+        let mut p = pool(KvPrecision::Fp16);
+        let id = p.allocate().unwrap();
+        p.demote(id).unwrap();
+        p.free(id);
+        assert_eq!(p.cold_in_use(), 0);
+        assert_eq!(p.total_in_use(), 0);
+        // The recycled slot comes back hot.
+        let again = p.allocate().unwrap();
+        assert_eq!(again, id);
+        assert!(p.is_hot(again));
+    }
+
+    #[test]
+    fn shared_cold_page_can_be_promoted_and_freed_by_owners() {
+        let mut p = pool(KvPrecision::Fp16);
+        let id = p.allocate().unwrap();
+        p.demote(id).unwrap();
+        // A second owner appears while the page is cold (a prefix-cache entry
+        // retaining a demoted donor's table).
+        p.retain(id);
+        assert!(
+            p.promote(id).is_some(),
+            "promotion is legal on shared pages"
+        );
+        p.free(id);
+        p.free(id);
+        assert_eq!(p.total_in_use(), 0);
+    }
+
+    #[test]
+    fn peak_tracks_hot_tier_only() {
+        let mut p = pool(KvPrecision::Fp16);
+        let ids: Vec<_> = (0..6).map(|_| p.allocate().unwrap()).collect();
+        assert_eq!(p.peak_in_use(), 6);
+        for &id in &ids {
+            p.demote(id).unwrap();
+        }
+        let _ = (0..8).map(|_| p.allocate().unwrap()).collect::<Vec<_>>();
+        assert_eq!(p.peak_in_use(), 8);
+        assert_eq!(p.total_in_use(), 14);
     }
 
     #[test]

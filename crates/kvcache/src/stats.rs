@@ -1,4 +1,50 @@
-//! Per-logical-page key statistics (`K_stats` in Figure 5).
+//! Per-logical-page key statistics (`K_stats` in Figure 5) and the tier
+//! migration accounting of the two-tier (hot device / cold host) pool.
+
+/// Modeled host-link speed, relative to recompute: transferring one token's
+/// KV page slot across the host link costs `1 / HOST_TRANSFER_SPEEDUP` of the
+/// forward-pass work of recomputing that token.
+///
+/// This single deterministic constant is what makes swap-based
+/// preemption/resume pay off in the cost model: re-prefilling an `S`-token
+/// victim costs `S` work tokens, while promoting its offloaded page set costs
+/// `pages · N_P / HOST_TRANSFER_SPEEDUP` — linear in the same context length
+/// but divided by the link speedup. (Physically: a PCIe copy of a KV page is
+/// far cheaper than re-running attention + FFN over the token span it holds.)
+pub const HOST_TRANSFER_SPEEDUP: u64 = 64;
+
+/// Converts accumulated migration token-units (one unit per token slot of
+/// every migrated physical page, as returned by `PagePool::demote`/`promote`)
+/// into forward-pass token-equivalents under [`HOST_TRANSFER_SPEEDUP`].
+/// Rounds up so any nonzero transfer carries nonzero modeled cost.
+pub fn transfer_cost_tokens(token_units: u64) -> u64 {
+    token_units.div_ceil(HOST_TRANSFER_SPEEDUP)
+}
+
+/// Lifetime tier-migration counters of a two-tier page pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierStats {
+    /// Pages moved hot → cold.
+    pub pages_demoted: u64,
+    /// Pages moved cold → hot.
+    pub pages_promoted: u64,
+    /// Token-units carried hot → cold (`pages_demoted · N_P`).
+    pub demoted_token_units: u64,
+    /// Token-units carried cold → hot (`pages_promoted · N_P`).
+    pub promoted_token_units: u64,
+}
+
+impl TierStats {
+    /// Token-units moved across the host link in either direction.
+    pub fn migrated_token_units(&self) -> u64 {
+        self.demoted_token_units + self.promoted_token_units
+    }
+
+    /// Total modeled migration cost in forward-pass token-equivalents.
+    pub fn transfer_work_tokens(&self) -> u64 {
+        transfer_cost_tokens(self.migrated_token_units())
+    }
+}
 
 /// Channelwise minimum and maximum of the keys in one logical page.
 ///
@@ -114,6 +160,22 @@ impl LogicalPageStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn transfer_cost_rounds_up_and_scales() {
+        assert_eq!(transfer_cost_tokens(0), 0);
+        assert_eq!(transfer_cost_tokens(1), 1, "nonzero transfer costs work");
+        assert_eq!(transfer_cost_tokens(HOST_TRANSFER_SPEEDUP), 1);
+        assert_eq!(transfer_cost_tokens(HOST_TRANSFER_SPEEDUP * 10), 10);
+        let t = TierStats {
+            pages_demoted: 2,
+            demoted_token_units: 2 * 64,
+            pages_promoted: 1,
+            promoted_token_units: 64,
+        };
+        assert_eq!(t.migrated_token_units(), 3 * 64);
+        assert_eq!(t.transfer_work_tokens(), 3);
+    }
 
     #[test]
     fn update_tracks_min_max() {

@@ -226,6 +226,52 @@ impl StreamingHeadCache {
         self.sink.iter().any(|&id| pool.refcount(id) == 1)
             || self.local.iter().any(|&(_, id)| pool.refcount(id) == 1)
     }
+
+    /// All pages this head currently retains (sink first, then local).
+    fn retained_ids(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.sink
+            .iter()
+            .copied()
+            .chain(self.local.iter().map(|&(_, id)| id))
+    }
+
+    /// Demotes every sole-owned hot page (sink + local ring) to the cold tier
+    /// (swap-out of a whole sequence; the *selection-driven* demotion policy
+    /// never touches streaming heads — their window is the working set).
+    /// Returns `(pages moved, token-units moved)`.
+    pub fn demote_all(&self, pool: &mut PagePool) -> (u64, u64) {
+        let mut pages = 0;
+        let mut units = 0;
+        for id in self.retained_ids() {
+            if let Some(u) = pool.demote(id) {
+                pages += 1;
+                units += u;
+            }
+        }
+        (pages, units)
+    }
+
+    /// Promotes every cold retained page back to the hot tier. Returns
+    /// `(pages moved, token-units moved)`, or `None` if the hot tier filled up
+    /// mid-way (reserve [`StreamingHeadCache::cold_pages`] free slots first).
+    pub fn promote_all(&self, pool: &mut PagePool) -> Option<(u64, u64)> {
+        let mut pages = 0;
+        let mut units = 0;
+        for id in self.retained_ids() {
+            if pool.is_hot(id) {
+                continue;
+            }
+            let u = pool.promote(id)?;
+            pages += 1;
+            units += u;
+        }
+        Some((pages, units))
+    }
+
+    /// Number of retained pages currently in the cold tier.
+    pub fn cold_pages(&self, pool: &PagePool) -> usize {
+        self.retained_ids().filter(|&id| !pool.is_hot(id)).count()
+    }
 }
 
 #[cfg(test)]

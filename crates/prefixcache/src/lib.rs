@@ -26,6 +26,17 @@
 //! Mutation safety comes from copy-on-write at the page layer: appending into a
 //! page whose refcount exceeds 1 forks it first (see `lserve_kvcache`), so a cached
 //! prefix is immutable for as long as the tree references it.
+//!
+//! The [`PrefixPages`] contract is **tier-agnostic**: retain/release operate on
+//! refcounts, which pages keep across hot↔cold migrations in the two-tier pool
+//! ([`lserve_kvcache::PagePool::demote`] / `promote`). A cached prefix may
+//! therefore reference cold (host-offloaded) pages — the tree keeps them alive
+//! either way, demotion refuses any page the tree co-owns with a live
+//! sequence, and a consumer seeded from a partly-cold entry promotes pages on
+//! first use (the executor's residency pass). Note the asymmetry pressure
+//! eviction inherits: evicting an entry whose sole pages are cold returns host
+//! slots, not hot ones, so eviction loops keep walking until something
+//! device-resident actually frees.
 
 pub mod cache;
 pub mod tree;

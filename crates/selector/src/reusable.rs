@@ -40,6 +40,13 @@ pub struct ReusableSelector<S> {
     last_scored_step: Option<usize>,
     invocations: u64,
     reuses: u64,
+    /// Fresh scoring events so far (the selection-chunk clock).
+    chunks_scored: u64,
+    /// Per physical-page index: the chunk at which the page was last part of a
+    /// fresh selection. Pages first seen by a fresh selection start at that
+    /// chunk, so a page is never "stale" before it had `k` chances to be
+    /// re-picked.
+    last_selected_chunk: Vec<u64>,
 }
 
 impl<S: PageSelector> ReusableSelector<S> {
@@ -58,6 +65,8 @@ impl<S: PageSelector> ReusableSelector<S> {
             last_scored_step: None,
             invocations: 0,
             reuses: 0,
+            chunks_scored: 0,
+            last_selected_chunk: Vec::new(),
         }
     }
 
@@ -80,6 +89,38 @@ impl<S: PageSelector> ReusableSelector<S> {
     pub fn inner(&self) -> &S {
         &self.inner
     }
+
+    /// Fresh scoring events so far (the chunk clock [`stale_pages`]
+    /// staleness is measured against).
+    ///
+    /// [`stale_pages`]: ReusableSelector::stale_pages
+    pub fn chunks_scored(&self) -> u64 {
+        self.chunks_scored
+    }
+
+    /// Last-use tracking for the tiered KV memory's selection-driven demotion
+    /// policy: physical page indices this selector has seen but **not** picked
+    /// for at least `k` consecutive fresh selection chunks. Such pages are
+    /// demotion candidates — the query stream has ignored them long enough
+    /// that their KV can move to the cold tier, and a later selection that
+    /// picks one again triggers an accounted promote.
+    ///
+    /// Pages forced into every selection (the most recent page, and the first
+    /// page when sinks are included) are never stale. Pages appended since the
+    /// last fresh scoring are unknown to the tracker and reported fresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (every page would be stale the moment it is scored).
+    pub fn stale_pages(&self, k: usize) -> Vec<usize> {
+        assert!(k >= 1, "staleness threshold must be at least one chunk");
+        self.last_selected_chunk
+            .iter()
+            .enumerate()
+            .filter(|&(_, &last)| self.chunks_scored.saturating_sub(last) >= k as u64)
+            .map(|(p, _)| p)
+            .collect()
+    }
 }
 
 impl<S: PageSelector> PageSelector for ReusableSelector<S> {
@@ -99,6 +140,17 @@ impl<S: PageSelector> PageSelector for ReusableSelector<S> {
             let sel = self.inner.select(pool, cache, queries, budget_tokens, step);
             self.last_scored_step = Some(step);
             self.invocations += 1;
+            // Advance the chunk clock and record last-use per page. Pages that
+            // appeared since the previous fresh scoring start life at this
+            // chunk, so staleness always measures *missed* selection chances.
+            self.chunks_scored += 1;
+            if self.last_selected_chunk.len() < cache.num_pages() {
+                self.last_selected_chunk
+                    .resize(cache.num_pages(), self.chunks_scored);
+            }
+            for &p in &sel.pages {
+                self.last_selected_chunk[p] = self.chunks_scored;
+            }
             self.cached = Some(sel.clone());
             sel
         } else {
@@ -120,6 +172,8 @@ impl<S: PageSelector> PageSelector for ReusableSelector<S> {
     fn reset(&mut self) {
         self.cached = None;
         self.last_scored_step = None;
+        self.chunks_scored = 0;
+        self.last_selected_chunk.clear();
         self.inner.reset();
     }
 }
@@ -210,6 +264,66 @@ mod tests {
         sel.reset();
         let s = sel.select(&pool, &cache, &[&q], 8, 1);
         assert!(!s.reused);
+    }
+
+    #[test]
+    fn stale_pages_track_missed_selection_chunks() {
+        let (pool, cache) = build(32); // 8 pages
+        let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), 1);
+        let q = [1.0f32, 0.0];
+        // Budget of 8 tokens = 2 pages: most pages lose every selection.
+        let first = sel.select(&pool, &cache, &[&q], 8, 0);
+        assert_eq!(sel.chunks_scored(), 1);
+        assert!(
+            sel.stale_pages(1).is_empty(),
+            "pages first seen this chunk have missed nothing yet"
+        );
+        for step in 1..4 {
+            let _ = sel.select(&pool, &cache, &[&q], 8, step);
+        }
+        let stale = sel.stale_pages(3);
+        assert!(!stale.is_empty(), "unpicked pages must go stale");
+        // Selected pages (stable across steps for a constant query) are fresh.
+        for p in &first.pages {
+            assert!(!stale.contains(p), "selected page {p} reported stale");
+        }
+        // The forced most-recent page is re-marked every fresh selection.
+        assert!(!stale.contains(&(cache.num_pages() - 1)));
+        // A higher threshold is strictly more conservative.
+        assert!(sel.stale_pages(4).len() <= stale.len());
+    }
+
+    #[test]
+    fn stale_pages_reset_with_selector() {
+        let (pool, cache) = build(32);
+        let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), 1);
+        let q = [1.0f32, 0.0];
+        for step in 0..5 {
+            let _ = sel.select(&pool, &cache, &[&q], 8, step);
+        }
+        assert!(!sel.stale_pages(2).is_empty());
+        sel.reset();
+        assert_eq!(sel.chunks_scored(), 0);
+        assert!(sel.stale_pages(1).is_empty(), "reset clears last-use state");
+    }
+
+    #[test]
+    fn reuse_steps_do_not_advance_staleness() {
+        let (pool, cache) = build(40);
+        let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), 4);
+        let q = [1.0f32, 0.5];
+        let _ = sel.select(&pool, &cache, &[&q], 8, 0);
+        let before = sel.stale_pages(1).len();
+        for step in 1..4 {
+            let s = sel.select(&pool, &cache, &[&q], 8, step);
+            assert!(s.reused);
+        }
+        assert_eq!(
+            sel.stale_pages(1).len(),
+            before,
+            "replayed selections must not age pages"
+        );
+        assert_eq!(sel.chunks_scored(), 1);
     }
 
     #[test]

@@ -22,16 +22,22 @@
 //! * [`shared_prefix`] — shared-prefix and multi-turn *serving* workloads (N
 //!   personas × M queries over a common system prompt; nested conversation
 //!   turns), the traffic shapes that make cross-request prefix caching pay off.
+//! * [`overcommit`] — bursty, unshared long-context arrivals whose aggregate
+//!   KV demand exceeds the hot tier, the traffic shape that exercises the
+//!   tiered KV memory (swap-based preemption vs replay, selection-driven
+//!   demotion).
 
 pub mod gates;
 pub mod longbench;
 pub mod niah;
+pub mod overcommit;
 pub mod ruler;
 pub mod shared_prefix;
 
 pub use gates::{duo_gates, HeadProfile};
 pub use longbench::{longbench_tasks, LongBenchTask};
 pub use niah::{NiahCase, NiahConfig};
+pub use overcommit::{overcommit_workload, OvercommitConfig};
 pub use ruler::{DriftingQueries, MultiNeedleCase};
 pub use shared_prefix::{
     multi_turn_workload, shared_prefix_workload, PromptSpec, SharedPrefixConfig,

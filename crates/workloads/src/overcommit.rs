@@ -1,0 +1,173 @@
+//! Overcommit workload: bursty long-context arrivals that oversubscribe the
+//! hot KV tier.
+//!
+//! The tiered KV memory's two policies — selection-driven demotion and
+//! swap-based preemption — only earn their keep when the *aggregate* KV demand
+//! of concurrently live sequences exceeds device memory. This generator
+//! synthesizes exactly that traffic: bursts of long-context prompts arriving
+//! together (an agent fleet waking up, a batch-inference window opening), each
+//! prompt unshared with its peers so the prefix cache cannot absorb the
+//! pressure, with generation long enough that the burst must coexist through
+//! many decode iterations.
+//!
+//! Like the other generators in this crate, it emits plain `(prompt,
+//! max_new_tokens)` specs; serving layers wrap them in their own request type
+//! and pick the hot-tier size (a pool well below `total_requests() ×
+//! per-sequence footprint` is the interesting regime — swap vs replay is then
+//! the difference between continuing a victim for the cost of a transfer and
+//! re-feeding its whole context).
+
+use lserve_tensor::SeededGaussian;
+
+use crate::shared_prefix::PromptSpec;
+
+/// Geometry of an overcommit workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OvercommitConfig {
+    /// Number of arrival bursts.
+    pub bursts: usize,
+    /// Long-context requests arriving together in each burst.
+    pub requests_per_burst: usize,
+    /// Base prompt length of every request (the "long context").
+    pub context_tokens: usize,
+    /// Per-request prompt-length jitter: request `i` of a burst adds
+    /// `i * context_jitter` tokens, so footprints differ and victim selection
+    /// is exercised at several sizes.
+    pub context_jitter: usize,
+    /// Generation budget per request — long enough that a burst's sequences
+    /// must coexist through many decode iterations.
+    pub max_new_tokens: usize,
+    /// Vocabulary size tokens are drawn from.
+    pub vocab: u32,
+    /// RNG seed; equal seeds produce identical workloads.
+    pub seed: u64,
+}
+
+impl OvercommitConfig {
+    /// A toy-scale default: 2 bursts × 4 requests, 160-token contexts with
+    /// 16-token jitter, 16 generated tokens each.
+    pub fn small() -> Self {
+        Self {
+            bursts: 2,
+            requests_per_burst: 4,
+            context_tokens: 160,
+            context_jitter: 16,
+            max_new_tokens: 16,
+            vocab: 90,
+            seed: 0xC01D,
+        }
+    }
+
+    /// Total requests the workload generates.
+    pub fn total_requests(&self) -> usize {
+        self.bursts * self.requests_per_burst
+    }
+
+    /// Prompt length of request `i` within a burst.
+    pub fn prompt_len(&self, i: usize) -> usize {
+        self.context_tokens + i * self.context_jitter
+    }
+
+    /// The largest prompt any request carries.
+    pub fn max_prompt_len(&self) -> usize {
+        self.prompt_len(self.requests_per_burst.saturating_sub(1))
+    }
+
+    /// Total KV-bearing tokens (prompts plus generations) live if every
+    /// request ran at once — the aggregate demand a hot tier must be sized
+    /// *below* for the workload to actually overcommit.
+    pub fn aggregate_demand_tokens(&self) -> usize {
+        (0..self.requests_per_burst)
+            .map(|i| self.prompt_len(i) + self.max_new_tokens)
+            .sum::<usize>()
+            * self.bursts
+    }
+}
+
+/// Generates the overcommit workload: `bursts × requests_per_burst` prompts in
+/// arrival order, burst-major (`PromptSpec::persona` carries the burst index).
+/// Every prompt is an independent token stream — deliberately zero sharing, so
+/// the only relief valves under pressure are preemption and tier migration.
+///
+/// # Example
+///
+/// ```
+/// use lserve_workloads::{overcommit_workload, OvercommitConfig};
+///
+/// let cfg = OvercommitConfig::small();
+/// let reqs = overcommit_workload(&cfg);
+/// assert_eq!(reqs.len(), cfg.total_requests());
+/// assert!(reqs.iter().all(|r| r.prompt_len() >= cfg.context_tokens));
+/// // No two prompts share a prefix worth caching.
+/// assert_ne!(reqs[0].prompt[..8], reqs[1].prompt[..8]);
+/// ```
+pub fn overcommit_workload(cfg: &OvercommitConfig) -> Vec<PromptSpec> {
+    let mut g = SeededGaussian::new(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.total_requests());
+    for burst in 0..cfg.bursts {
+        for i in 0..cfg.requests_per_burst {
+            let len = cfg.prompt_len(i);
+            let prompt: Vec<u32> = (0..len)
+                .map(|_| g.index(cfg.vocab as usize) as u32)
+                .collect();
+            out.push(PromptSpec {
+                persona: burst,
+                prompt,
+                max_new_tokens: cfg.max_new_tokens,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let cfg = OvercommitConfig::small();
+        let a = overcommit_workload(&cfg);
+        assert_eq!(a, overcommit_workload(&cfg));
+        assert_eq!(a.len(), 8);
+        let mut other = cfg;
+        other.seed ^= 1;
+        assert_ne!(a, overcommit_workload(&other));
+    }
+
+    #[test]
+    fn burst_structure_and_jitter() {
+        let cfg = OvercommitConfig::small();
+        let reqs = overcommit_workload(&cfg);
+        for (n, r) in reqs.iter().enumerate() {
+            assert_eq!(r.persona, n / cfg.requests_per_burst, "burst-major order");
+            let i = n % cfg.requests_per_burst;
+            assert_eq!(r.prompt_len(), cfg.prompt_len(i));
+            assert!(r.prompt.iter().all(|&t| t < cfg.vocab));
+        }
+        assert_eq!(reqs[3].prompt_len(), cfg.max_prompt_len());
+    }
+
+    #[test]
+    fn aggregate_demand_exceeds_any_single_request() {
+        let cfg = OvercommitConfig::small();
+        assert!(
+            cfg.aggregate_demand_tokens() > 4 * (cfg.max_prompt_len() + cfg.max_new_tokens),
+            "the workload must be able to oversubscribe a single-sequence tier"
+        );
+    }
+
+    #[test]
+    fn prompts_are_pairwise_unshared() {
+        let reqs = overcommit_workload(&OvercommitConfig::small());
+        for a in 0..reqs.len() {
+            for b in a + 1..reqs.len() {
+                assert_ne!(
+                    reqs[a].prompt[..16],
+                    reqs[b].prompt[..16],
+                    "requests {a} and {b} share a prefix"
+                );
+            }
+        }
+    }
+}

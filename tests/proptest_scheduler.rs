@@ -13,8 +13,8 @@
 use std::sync::Arc;
 
 use lserve::core::{
-    sequence_pages_estimate, AdmissionPolicy, EngineConfig, ModelExecutor, Request, Scheduler,
-    SchedulerConfig,
+    sequence_pages_estimate, AdmissionPolicy, EngineConfig, ModelExecutor, PreemptionPolicy,
+    Request, Scheduler, SchedulerConfig,
 };
 use lserve::kvcache::PagingConfig;
 use lserve::model::{ModelConfig, ModelWeights};
@@ -290,6 +290,113 @@ proptest! {
                 shared_len,
                 chunk
             );
+        }
+    }
+
+    /// Tiered-memory determinism (the tentpole property of the tiered KV
+    /// refactor): `PreemptionPolicy::Swap` — with selection-driven demotion on
+    /// or off — emits outputs bit-identical to `Replay` and to per-request
+    /// solo runs, across chunk sizes, pool pressures (swap-outs and resumes
+    /// included), FP16/INT4 KV, and prefix caching on/off. Migrations move
+    /// pages between tiers; they must never move a single output token.
+    #[test]
+    fn swap_preemption_outputs_match_replay_and_solo_runs(
+        wseed in 0u64..20,
+        chunk in 3usize..16,
+        slack in 0usize..50,
+        quantized in proptest::bool::ANY,
+        prefix_cache in proptest::bool::ANY,
+        demote in proptest::bool::ANY,
+    ) {
+        let w = weights(wseed);
+        let mut cfg = small_page_cfg();
+        if quantized {
+            cfg.paging = PagingConfig::new(8, 4, KvPrecision::Int4);
+        }
+        if demote {
+            // Activate page selection at toy scale (in BOTH configs, so the
+            // attention numerics are identical) so selection-driven demotion
+            // actually fires alongside the swap traffic.
+            cfg.dynamic_budget = Some(16);
+        }
+        let mut tiered_cfg = cfg.clone();
+        if demote {
+            tiered_cfg.demote_after_chunks = Some(1);
+        }
+        let requests: Vec<Request> = (0..3u64)
+            .map(|i| Request {
+                id: i,
+                prompt: (0..26 + 9 * i as usize)
+                    .map(|t| ((t * 3 + i as usize * 7) % 90) as u32)
+                    .collect(),
+                max_new_tokens: 8,
+            })
+            .collect();
+        let single_max = requests
+            .iter()
+            .map(|r| estimate(&cfg, &w.config, r.prompt.len() + r.max_new_tokens))
+            .max()
+            .unwrap();
+        let run = |engine_cfg: &EngineConfig, policy: PreemptionPolicy| {
+            let mut scfg = SchedulerConfig::new(single_max + slack);
+            scfg.chunk_tokens = chunk;
+            scfg.admission = AdmissionPolicy::FirstChunk;
+            scfg.prefix_cache = prefix_cache;
+            scfg.preemption = policy;
+            let mut sched = Scheduler::new(
+                Arc::new(ModelExecutor::new(Arc::clone(&w), engine_cfg.clone())),
+                scfg,
+            );
+            for r in &requests {
+                sched.submit(r.clone());
+            }
+            let report = sched.run_to_completion(200_000);
+            sched.flush_prefix_cache();
+            assert_eq!(
+                sched.pool_in_use(),
+                0,
+                "hot pages leaked under {policy:?} \
+                 (wseed {wseed} chunk {chunk} slack {slack} quantized {quantized} \
+                 prefix {prefix_cache} demote {demote}; queued {} running {} \
+                 completed {})",
+                sched.queued(),
+                sched.running(),
+                report.completed.len()
+            );
+            assert_eq!(
+                sched.pool_cold_in_use(), 0,
+                "cold pages leaked under {policy:?}"
+            );
+            report
+        };
+        let replay = run(&cfg, PreemptionPolicy::Replay);
+        let swap = run(&tiered_cfg, PreemptionPolicy::Swap);
+        prop_assert_eq!(replay.completed.len(), 3);
+        prop_assert_eq!(
+            &swap.completed, &replay.completed,
+            "swap/tiered outputs diverged from replay (wseed {} chunk {} slack {} \
+             quantized {} prefix {} demote {})",
+            wseed, chunk, slack, quantized, prefix_cache, demote
+        );
+        // Every promotion consumes a page some demotion produced (a victim
+        // preempted before holding any sole-owned page migrates nothing, so
+        // preemptions alone need not imply traffic).
+        prop_assert!(
+            swap.pages_promoted <= swap.pages_demoted,
+            "promoted {} pages but only {} were ever demoted",
+            swap.pages_promoted,
+            swap.pages_demoted
+        );
+        prop_assert_eq!(replay.pages_demoted, 0, "replay must not touch tiers");
+        for req in &requests {
+            let want = run_solo(&cfg, &w, chunk, req.clone());
+            let got = &swap
+                .completed
+                .iter()
+                .find(|(id, _)| *id == req.id)
+                .unwrap()
+                .1;
+            prop_assert_eq!(got, &want, "request {} diverged under swap", req.id);
         }
     }
 
