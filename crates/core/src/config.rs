@@ -1,29 +1,28 @@
 //! Engine configuration and the policy presets compared in the paper.
 
-use std::sync::OnceLock;
-
 use lserve_kvcache::{PagingConfig, StreamingWindow};
 use lserve_quant::KvPrecision;
 
-/// Default decode/prefill worker-thread count, read once from the
-/// `LSERVE_DECODE_THREADS` environment variable (defaults to 1; invalid or
-/// zero values fall back to 1).
+/// Default decode/prefill worker-thread count from the `LSERVE_DECODE_THREADS`
+/// environment variable (defaults to 1; invalid or zero values fall back
+/// to 1).
 ///
-/// This is the process-wide default: [`crate::ModelExecutor::decode_batch`]
-/// and [`crate::ModelExecutor::prefill`] use it when no explicit thread count
-/// is given, and [`crate::SchedulerConfig::new`] seeds its `decode_threads`
-/// knob from it. CI runs the whole test suite under a `{1, 8}` matrix of this
-/// variable, so the determinism suite exercises both the serial and the
-/// sharded path on every push.
+/// The variable is read on every call — deliberately *not* cached in a
+/// process-wide `OnceLock` — so tests and benches can vary the knob
+/// in-process (`std::env::set_var` between scheduler constructions takes
+/// effect immediately). [`crate::ModelExecutor::decode_batch`] and
+/// [`crate::ModelExecutor::prefill`] use it when no explicit thread count is
+/// given, and [`crate::SchedulerConfig::from_env`] reads it once at
+/// construction and pins the result in its `decode_threads` field. CI runs
+/// the whole test suite under a `{1, 8}` matrix of this variable, so the
+/// determinism suite exercises both the serial and the sharded path on every
+/// push.
 pub fn decode_threads_from_env() -> usize {
-    static CACHE: OnceLock<usize> = OnceLock::new();
-    *CACHE.get_or_init(|| {
-        std::env::var("LSERVE_DECODE_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(1)
-    })
+    std::env::var("LSERVE_DECODE_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 /// Which dynamic page-selection policy dense heads use during decode.

@@ -198,6 +198,18 @@ impl SequenceState {
         self.layers.iter().map(|l| l.cold_pages(pool)).sum()
     }
 
+    /// Pages this sequence holds that are both sole-owned and hot — exactly
+    /// what [`SequenceState::demote_resident`] would move, and therefore the
+    /// swap-out (and later swap-in) transfer cost of preempting this sequence
+    /// under the swap policy. Pages co-owned with the prefix cache or another
+    /// sequence cost nothing: they stay hot for their other readers.
+    pub fn sole_owned_hot_pages(&self, pool: &PagePool) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.sole_owned_hot_pages(pool))
+            .sum()
+    }
+
     /// Takes one additional reference on every page this sequence holds (prefix
     /// sharing: the caller co-owns the pages and must `release` its copy of the
     /// state).
@@ -259,6 +271,12 @@ pub struct ModelExecutor {
     rope: RopeTable,
     masks: Vec<Vec<bool>>,
     kinds: Vec<Vec<HeadKind>>,
+    /// Worker count for the thread-count-free entry points
+    /// ([`ModelExecutor::prefill`], [`ModelExecutor::decode_batch`]), resolved
+    /// once from `LSERVE_DECODE_THREADS` at construction — the env read itself
+    /// is uncached ([`decode_threads_from_env`]), so tests can vary the knob
+    /// between executor constructions without paying a per-token env lookup.
+    default_threads: usize,
 }
 
 impl ModelExecutor {
@@ -307,6 +325,7 @@ impl ModelExecutor {
             rope,
             masks,
             kinds,
+            default_threads: decode_threads_from_env(),
         }
     }
 
@@ -387,7 +406,7 @@ impl ModelExecutor {
         tokens: &[u32],
     ) -> Result<PrefillOutput, OutOfPagesError> {
         let mut stats = ParallelExecStats::default();
-        self.prefill_threads(state, pool, tokens, decode_threads_from_env(), &mut stats)
+        self.prefill_threads(state, pool, tokens, self.default_threads, &mut stats)
     }
 
     /// [`ModelExecutor::prefill`] with an explicit worker-thread count: each
@@ -654,7 +673,7 @@ impl ModelExecutor {
         batch: &mut [(&mut SequenceState, u32)],
     ) -> Vec<Result<DecodeOutput, OutOfPagesError>> {
         let mut stats = ParallelExecStats::default();
-        self.decode_batch_threads(pool, batch, decode_threads_from_env(), &mut stats)
+        self.decode_batch_threads(pool, batch, self.default_threads, &mut stats)
     }
 
     /// [`ModelExecutor::decode_batch`] with an explicit worker-thread count.

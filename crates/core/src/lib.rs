@@ -22,10 +22,13 @@
 //!   count).
 //! * [`engine`] — [`Engine`], the single-sequence convenience wrapper over one
 //!   executor + one sequence state.
-//! * [`serving`] — the continuous-batching [`Scheduler`] (chunked prefill over a
-//!   fixed tile grid, exact page-demand reservation, preemption/resume,
-//!   cross-request prefix caching) plus the [`ServingEngine`] compatibility
-//!   facade, standing in for the vLLM-style serving loop the paper builds on.
+//! * [`serving`] — the continuous-batching [`Scheduler`] behind the
+//!   handle-based streaming request API ([`RequestSpec`] → [`RequestHandle`] →
+//!   [`ServingEvent`]): chunked prefill over a fixed tile grid, exact
+//!   page-demand reservation, SLO-class/deadline/swap-cost-aware admission and
+//!   preemption, cancellation, multi-turn sessions, cross-request prefix
+//!   caching — plus the [`ServingEngine`] compatibility facade, standing in
+//!   for the vLLM-style serving loop the paper builds on.
 //! * [`prefix`] — [`CachedPrefix`], the positionally exact per-sequence KV
 //!   snapshot the scheduler donates into (and seeds from) the
 //!   `lserve-prefixcache` radix tree.
@@ -48,7 +51,8 @@ pub use lserve_prefixcache::PrefixCacheStats;
 pub use prefix::CachedPrefix;
 pub use serving::{
     preemption_from_env, sequence_pages_estimate, tile_grid_boundary, AdmissionPolicy,
-    PreemptionPolicy, Request, RequestMetrics, RequestStatus, Scheduler, SchedulerConfig,
-    ServingEngine, ServingReport,
+    FinishReason, PreemptionPolicy, RejectReason, Request, RequestHandle, RequestMetrics,
+    RequestSpec, RequestStatus, Scheduler, SchedulerConfig, ServingEngine, ServingEvent,
+    ServingReport, SloClass,
 };
 pub use stats::{EngineStats, ParallelExecStats};

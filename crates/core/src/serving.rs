@@ -1,11 +1,30 @@
-//! Continuous-batching serving layer: shared page pool, chunked prefill,
-//! preemption, batched decode.
+//! Continuous-batching serving layer: streamed request lifecycles over a shared
+//! page pool, chunked prefill, SLO-class scheduling, preemption, batched decode.
 //!
 //! The paper's efficiency results are measured inside serving systems (vLLM,
-//! QServe) whose scheduler interleaves many sequences over one device memory. This
-//! module reproduces that control plane at small scale around the
-//! executor/state split:
+//! QServe) whose scheduler interleaves many sequences over one device memory, and
+//! its headline metrics — TTFT and per-token decode latency — are *interactive*
+//! metrics. This module reproduces that control plane at small scale around the
+//! executor/state split, fronted by a request-handle API:
 //!
+//! * **Request handles with a streamed event lifecycle**: callers build a
+//!   [`RequestSpec`] (SLO class, optional work-token deadline, stop conditions,
+//!   optional multi-turn session) and [`Scheduler::submit`] returns a
+//!   [`RequestHandle`] whose drainable event queue yields [`ServingEvent`]s —
+//!   `Admitted`, `FirstToken`, `Token`, `Preempted`, `Resumed`, `Finished`,
+//!   `Cancelled`, `Rejected` — as [`Scheduler::step`] produces them. Std-only,
+//!   no async runtime: events cross an `Arc<Mutex<VecDeque>>`, the same
+//!   discipline as the scoped-thread executor. Handles support
+//!   [`RequestHandle::cancel`]: pages are released at the next step boundary,
+//!   the completed prefix is donated to the prefix cache, and survivors'
+//!   outputs remain bit-identical to solo runs.
+//! * **Class- and cost-aware scheduling**: admission ordering and preemption
+//!   victim selection consult the [`SloClass`] (`Interactive` beats `Batch`
+//!   beats `BestEffort`), the request's virtual deadline (EDF within a class,
+//!   in work tokens; requests without a deadline age via
+//!   [`SchedulerConfig::no_deadline_slack`], so nothing starves within its
+//!   class), and — under [`PreemptionPolicy::Swap`] — the per-victim swap cost
+//!   (fewest sole-owned hot pages).
 //! * **Iteration-level continuous batching** (Orca): every scheduler iteration
 //!   advances all running sequences by one token through
 //!   [`ModelExecutor::decode_batch`], which walks layers in the outer loop so the
@@ -19,39 +38,40 @@
 //!   iterations.
 //! * **Preemption and resume**: page demand is computed *exactly* before every
 //!   decode iteration ([`SequenceState::pages_needed_for_next_token`]); when
-//!   demand exceeds the free pool, the lowest-priority sequence releases all its
-//!   pages and re-queues. On re-admission it re-feeds its prompt *plus* the tokens
-//!   it had already generated through the identical deterministic pipeline, which
-//!   reconstructs a bit-identical cache — so preemption never changes the tokens a
-//!   request produces.
+//!   demand exceeds the free pool, a cost- and class-chosen victim releases (or
+//!   swap-parks) its pages and re-queues. On re-admission it re-feeds its prompt
+//!   *plus* the tokens it had already generated through the identical
+//!   deterministic pipeline (or promotes its swapped pages), which reconstructs a
+//!   bit-identical cache — so preemption never changes the tokens a request
+//!   produces.
 //! * **Cross-request prefix caching** (opt-in via
 //!   [`SchedulerConfig::prefix_cache`]): prompts are matched against a radix tree
 //!   of previously computed prefixes ([`lserve_prefixcache::PrefixCache`]). A hit
 //!   seeds the new sequence with the cached pages (refcount-shared, copy-on-write
 //!   on append) and only the prompt suffix is prefilled. Sequences donate anchors
 //!   into the tree on every prefill-grid boundary and donate their full
-//!   conversation on completion, and the tree's LRU entries are evicted before any
-//!   running sequence is preempted. Prefix stability rests on the *fixed prefill
-//!   tile grid* (see [`tile_grid_boundary`]): every token position at or beyond
-//!   `chunk_tokens` is always computed by the per-token decode path, so the KV for
-//!   a shared prefix is bit-identical no matter which request computed it.
-//!
+//!   conversation on completion *or cancellation*, and the tree's LRU entries are
+//!   evicted before any running sequence is preempted. Prefix stability rests on
+//!   the *fixed prefill tile grid* (see [`tile_grid_boundary`]).
+//! * **Multi-turn sessions**: a [`RequestSpec::session`] id makes the new turn's
+//!   prompt extend the session's recorded conversation (prior prompt + output),
+//!   so with the prefix cache enabled a follow-up turn starts from the donated
+//!   pages of the previous one.
 //! * **Sparsity-aware parallel decode** ([`SchedulerConfig::decode_threads`],
 //!   default from `LSERVE_DECODE_THREADS`): every prefill/decode attention
 //!   phase runs as *(sequence × KV-head)* shards, LPT-balanced by the per-head
-//!   sparsity cost (streaming window vs. selected/full dense pages) across a
-//!   scoped-thread worker pool with work stealing. The report aggregates
-//!   worker utilization/imbalance and the deterministic cost-balance counters
-//!   ([`ServingReport::worker_utilization`], [`ParallelExecStats`]).
+//!   sparsity cost across a scoped-thread worker pool with work stealing.
 //!
-//! The determinism guarantee that falls out: for any request set, the batched
-//! scheduler's greedy outputs are token-identical to running each request alone on
-//! a fresh pool under the same [`SchedulerConfig`] — with or without the prefix
-//! cache, across chunk sizes, pool pressures, KV precisions, and decode
-//! worker-thread counts.
+//! The determinism guarantee that falls out: for any request set — including
+//! arbitrary cancellations and stop-condition terminations — every surviving
+//! request's greedy outputs are token-identical to running it alone on a fresh
+//! pool under the same [`SchedulerConfig`], with or without the prefix cache,
+//! across chunk sizes, pool pressures, KV precisions, preemption policies, and
+//! decode worker-thread counts.
 
-use std::collections::VecDeque;
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 use lserve_kvcache::PagePool;
 use lserve_model::{greedy_next_token, ModelConfig, ModelWeights};
@@ -93,7 +113,10 @@ pub fn sequence_pages_estimate(cfg: &EngineConfig, model: &ModelConfig, tokens: 
         + streaming_heads * (cfg.streaming_window.max_pages() + 2)
 }
 
-/// A generation request.
+/// A flat generation request — the pre-handle API, kept as a compatibility
+/// shim. `Request` converts into a [`RequestSpec`] with the defaults (Batch
+/// class, no deadline, no stop conditions, no session), so existing call sites
+/// keep working; new code should build a [`RequestSpec`] directly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Caller-chosen identifier.
@@ -104,7 +127,347 @@ pub struct Request {
     pub max_new_tokens: usize,
 }
 
-/// Lifecycle state of a request inside the serving engine.
+/// Service-level-objective class of a request. Scheduling is strict-priority
+/// across classes (admission ordering and preemption victim selection both
+/// consult it) and starvation-free *within* a class (EDF over virtual
+/// deadlines whose no-deadline fallback ages with the work clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SloClass {
+    /// Latency-sensitive traffic: admitted ahead of other classes and shielded
+    /// from preemption while any lower class is running.
+    Interactive,
+    /// Throughput traffic with ordinary guarantees — the default, and the
+    /// behaviour of the pre-SLO scheduler when every request uses it.
+    #[default]
+    Batch,
+    /// Scavenger traffic: first to be preempted, last to be admitted.
+    BestEffort,
+}
+
+impl SloClass {
+    /// Strict-priority rank: lower is more important.
+    fn rank(self) -> u8 {
+        match self {
+            SloClass::Interactive => 0,
+            SloClass::Batch => 1,
+            SloClass::BestEffort => 2,
+        }
+    }
+}
+
+/// Why a request finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishReason {
+    /// Generated its full `max_new_tokens` budget.
+    Length,
+    /// Emitted a token in [`RequestSpec::stop_tokens`]; the stop token itself
+    /// is excluded from the output (and never streamed).
+    StopToken,
+    /// The generated tail matched a [`RequestSpec::stop_sequences`] entry; the
+    /// matched sequence is *included* in the output (its tokens were already
+    /// streamed before the match completed).
+    StopSequence,
+    /// Bounded-memory truncation: the lone running sequence could not grow any
+    /// further and was finished with what it had.
+    Truncated,
+}
+
+/// Why a request was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The prompt was empty — a generation needs at least one prompt token.
+    EmptyPrompt,
+    /// The estimated full footprint can never fit the pool.
+    TooLarge,
+    /// A request with this id is already known to the scheduler (live or
+    /// terminal). The earlier request is untouched; duplicate ids are an
+    /// explicit rejection instead of silent shadowing.
+    DuplicateId,
+}
+
+/// A generation request under the handle-based API: what to generate, how it
+/// terminates, and how the scheduler should treat it relative to other
+/// traffic.
+///
+/// Built with the builder methods:
+///
+/// ```
+/// use lserve_core::{RequestSpec, SloClass};
+///
+/// let spec = RequestSpec::new(7, vec![1, 2, 3])
+///     .max_new_tokens(32)
+///     .class(SloClass::Interactive)
+///     .deadline_work_tokens(400)
+///     .stop_token(0)
+///     .stop_sequence(vec![5, 6])
+///     .session(1);
+/// assert_eq!(spec.id, 7);
+/// assert_eq!(spec.class, SloClass::Interactive);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestSpec {
+    /// Caller-chosen identifier; must be unique across the scheduler's
+    /// lifetime (duplicates are rejected with [`RejectReason::DuplicateId`]).
+    pub id: u64,
+    /// Prompt token ids for this turn. With a [`RequestSpec::session`], the
+    /// effective prompt is the session's recorded conversation followed by
+    /// these tokens.
+    pub prompt: Vec<u32>,
+    /// Generation budget (greedy). Defaults to 16.
+    pub max_new_tokens: usize,
+    /// SLO class (defaults to [`SloClass::Batch`]).
+    pub class: SloClass,
+    /// Optional TTFT deadline in *work tokens* (forward-pass tokens across all
+    /// sequences) from submission. Within a class, admission and victim
+    /// selection order by earliest virtual deadline; [`RequestMetrics`]
+    /// records whether it was met.
+    pub deadline_work_tokens: Option<u64>,
+    /// Generation stops when an emitted token is in this set; the stop token
+    /// is excluded from the output.
+    pub stop_tokens: Vec<u32>,
+    /// Generation stops when the generated tail matches any of these
+    /// sequences; the matched sequence stays in the output (its tokens were
+    /// already streamed).
+    pub stop_sequences: Vec<Vec<u32>>,
+    /// Optional session id: the request continues the session's conversation
+    /// (prior effective prompt + output), and its own conversation is recorded
+    /// back on completion — multi-turn chat over the prefix cache.
+    ///
+    /// Turns of one session are sequential by contract: submit a follow-up
+    /// only after the prior turn's terminal event. A turn submitted while the
+    /// session's previous turn is still in flight sees the conversation as it
+    /// was last *recorded* (it does not wait), and concurrent turns of one
+    /// session record last-completion-wins.
+    pub session: Option<u64>,
+}
+
+impl RequestSpec {
+    /// A spec with the defaults: 16 new tokens, [`SloClass::Batch`], no
+    /// deadline, no stop conditions, no session.
+    pub fn new(id: u64, prompt: Vec<u32>) -> Self {
+        Self {
+            id,
+            prompt,
+            max_new_tokens: 16,
+            class: SloClass::Batch,
+            deadline_work_tokens: None,
+            stop_tokens: Vec::new(),
+            stop_sequences: Vec::new(),
+            session: None,
+        }
+    }
+
+    /// Sets the generation budget.
+    pub fn max_new_tokens(mut self, n: usize) -> Self {
+        self.max_new_tokens = n;
+        self
+    }
+
+    /// Sets the SLO class.
+    pub fn class(mut self, class: SloClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Sets a TTFT deadline in work tokens from submission.
+    pub fn deadline_work_tokens(mut self, deadline: u64) -> Self {
+        self.deadline_work_tokens = Some(deadline);
+        self
+    }
+
+    /// Adds a stop token (excluded from the output when hit).
+    pub fn stop_token(mut self, token: u32) -> Self {
+        self.stop_tokens.push(token);
+        self
+    }
+
+    /// Adds a stop sequence (included in the output when matched). Empty
+    /// sequences are ignored.
+    pub fn stop_sequence(mut self, seq: Vec<u32>) -> Self {
+        self.stop_sequences.push(seq);
+        self
+    }
+
+    /// Attaches the request to a multi-turn session. Session turns are
+    /// sequential by contract: submit a follow-up turn only after the prior
+    /// turn's terminal event (see [`RequestSpec::session`]).
+    pub fn session(mut self, session: u64) -> Self {
+        self.session = Some(session);
+        self
+    }
+}
+
+impl From<Request> for RequestSpec {
+    fn from(req: Request) -> Self {
+        RequestSpec::new(req.id, req.prompt).max_new_tokens(req.max_new_tokens)
+    }
+}
+
+/// One step of a request's lifecycle, streamed through its
+/// [`RequestHandle`] as the scheduler produces it.
+///
+/// Event-stream invariants (pinned by the test suite): events arrive in
+/// lifecycle order — `Admitted` first, token events only between
+/// `Admitted`/`Resumed` and the next `Preempted` or terminal event,
+/// `FirstToken` exactly once before any `Token`, every `Resumed` preceded by a
+/// matching `Preempted` — and every request sees **exactly one terminal
+/// event** (`Finished`, `Cancelled`, or `Rejected`), always last. The
+/// concatenated payloads of `FirstToken` + `Token` equal the terminal event's
+/// `tokens`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServingEvent {
+    /// The request was admitted into the running batch for the first time.
+    Admitted,
+    /// The first output token.
+    FirstToken {
+        /// The token id.
+        token: u32,
+    },
+    /// A subsequent output token.
+    Token {
+        /// The token id.
+        token: u32,
+    },
+    /// The request was preempted under pool pressure; it keeps its progress
+    /// and will resume.
+    Preempted {
+        /// How the victim's pages were handled (released for replay, or
+        /// demoted for swap-resume).
+        policy: PreemptionPolicy,
+    },
+    /// The request re-entered the running batch after a preemption.
+    Resumed,
+    /// Terminal: the request completed with `tokens` as its output.
+    Finished {
+        /// Why generation stopped.
+        reason: FinishReason,
+        /// The full output (stop-token truncation already applied).
+        tokens: Vec<u32>,
+    },
+    /// Terminal: the request was cancelled; `tokens` is the output produced
+    /// before cancellation took effect.
+    Cancelled {
+        /// Output tokens emitted before the cancellation boundary.
+        tokens: Vec<u32>,
+    },
+    /// Terminal: the request was rejected.
+    Rejected {
+        /// Why it could not be served.
+        reason: RejectReason,
+    },
+}
+
+impl ServingEvent {
+    /// True for `Finished`, `Cancelled`, and `Rejected` — the events that end
+    /// a request's stream.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            ServingEvent::Finished { .. }
+                | ServingEvent::Cancelled { .. }
+                | ServingEvent::Rejected { .. }
+        )
+    }
+}
+
+/// The scheduler/handle shared half of a request's lifecycle: the event
+/// queue, the cancellation flag, and the terminal marker.
+#[derive(Debug)]
+struct HandleShared {
+    id: u64,
+    events: Mutex<VecDeque<ServingEvent>>,
+    cancel: AtomicBool,
+    terminal: AtomicBool,
+}
+
+impl HandleShared {
+    fn new(id: u64) -> Arc<Self> {
+        Arc::new(Self {
+            id,
+            events: Mutex::new(VecDeque::new()),
+            cancel: AtomicBool::new(false),
+            terminal: AtomicBool::new(false),
+        })
+    }
+
+    fn push(&self, event: ServingEvent) {
+        debug_assert!(
+            !self.terminal.load(Ordering::Acquire),
+            "event after terminal for request {}",
+            self.id
+        );
+        let terminal = event.is_terminal();
+        let mut events = self.events.lock().expect("event queue lock poisoned");
+        events.push_back(event);
+        if terminal {
+            // Flagged only after the event is enqueued (and while the queue
+            // lock is still held), so a consumer that observes
+            // `is_terminal() == true` is guaranteed to find the terminal
+            // event in its next drain.
+            self.terminal.store(true, Ordering::Release);
+        }
+    }
+
+    fn cancel_requested(&self) -> bool {
+        self.cancel.load(Ordering::Acquire)
+    }
+}
+
+/// A caller's view of one submitted request: a drainable stream of
+/// [`ServingEvent`]s plus cooperative cancellation.
+///
+/// Handles are cheap to clone (an `Arc`) and `Send`, so a driver thread can
+/// hand them out; dropping a handle never affects the request — events simply
+/// accumulate until the terminal event, after which the scheduler drops its
+/// side.
+#[derive(Debug, Clone)]
+pub struct RequestHandle {
+    shared: Arc<HandleShared>,
+}
+
+impl RequestHandle {
+    /// The request id this handle tracks.
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Requests cancellation. The scheduler acts at the next
+    /// [`Scheduler::step`] boundary: pages are released, the completed prefix
+    /// is donated to the prefix cache, and the terminal
+    /// [`ServingEvent::Cancelled`] is pushed. Cancelling an already-terminal
+    /// request is a no-op.
+    pub fn cancel(&self) {
+        self.shared.cancel.store(true, Ordering::Release);
+    }
+
+    /// Pops the oldest undrained event, if any.
+    pub fn try_next_event(&self) -> Option<ServingEvent> {
+        self.shared
+            .events
+            .lock()
+            .expect("event queue lock poisoned")
+            .pop_front()
+    }
+
+    /// Drains every currently queued event.
+    pub fn drain_events(&self) -> Vec<ServingEvent> {
+        self.shared
+            .events
+            .lock()
+            .expect("event queue lock poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// True once a terminal event (`Finished`/`Cancelled`/`Rejected`) has been
+    /// *produced* — it may still be waiting in the queue to be drained.
+    pub fn is_terminal(&self) -> bool {
+        self.shared.terminal.load(Ordering::Acquire)
+    }
+}
+
+/// Lifecycle state of a request inside the serving engine — the poll-style
+/// compatibility view over the event stream ([`Scheduler::status`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RequestStatus {
     /// Waiting for admission (fresh or preempted).
@@ -113,7 +476,10 @@ pub enum RequestStatus {
     Running,
     /// Completed with the generated tokens.
     Finished(Vec<u32>),
-    /// Could never fit in the pool (prompt larger than device memory).
+    /// Cancelled via its handle, with the tokens generated before the
+    /// cancellation boundary.
+    Cancelled(Vec<u32>),
+    /// Could never fit in the pool (or was otherwise rejected at admission).
     Rejected,
 }
 
@@ -136,24 +502,25 @@ pub enum PreemptionPolicy {
     Swap,
 }
 
-/// Process-wide default preemption policy, read once from the
-/// `LSERVE_PREEMPTION` environment variable (`replay` | `swap`, defaulting to
-/// replay; unknown values fall back to replay). CI runs the test suite under
-/// both values, so the determinism suite exercises swap-based preemption on
-/// every push.
+/// Default preemption policy from the `LSERVE_PREEMPTION` environment variable
+/// (`replay` | `swap`, defaulting to replay; unknown values fall back to
+/// replay).
+///
+/// Read on every call — deliberately *not* cached in a process-wide
+/// `OnceLock` — so tests and benches can vary the knob in-process;
+/// [`SchedulerConfig::from_env`] reads it once at construction and pins the
+/// result. CI runs the test suite under both values, so the determinism suite
+/// exercises swap-based preemption on every push.
 pub fn preemption_from_env() -> PreemptionPolicy {
-    static CACHE: std::sync::OnceLock<PreemptionPolicy> = std::sync::OnceLock::new();
-    *CACHE.get_or_init(|| {
-        match std::env::var("LSERVE_PREEMPTION")
-            .unwrap_or_default()
-            .trim()
-            .to_ascii_lowercase()
-            .as_str()
-        {
-            "swap" => PreemptionPolicy::Swap,
-            _ => PreemptionPolicy::Replay,
-        }
-    })
+    match std::env::var("LSERVE_PREEMPTION")
+        .unwrap_or_default()
+        .trim()
+        .to_ascii_lowercase()
+        .as_str()
+    {
+        "swap" => PreemptionPolicy::Swap,
+        _ => PreemptionPolicy::Replay,
+    }
 }
 
 /// How the scheduler decides a queued request may start.
@@ -183,9 +550,10 @@ pub struct SchedulerConfig {
     pub admission: AdmissionPolicy,
     /// Enables the cross-request KV prefix cache: admission matches prompts
     /// against previously computed prefixes, prefill donates anchors on tile-grid
-    /// boundaries, completed sequences donate their conversation, and cached
-    /// entries are LRU-evicted under pool pressure (before any preemption).
-    /// Outputs are token-identical with the cache on or off.
+    /// boundaries, completed (and cancelled) sequences donate their
+    /// conversation, and cached entries are LRU-evicted under pool pressure
+    /// (before any preemption). Outputs are token-identical with the cache on
+    /// or off.
     pub prefix_cache: bool,
     /// Worker threads for the sharded attention phases of prefill and decode
     /// (the *(sequence × KV-head)* LPT-balanced executor). Defaults to the
@@ -197,14 +565,32 @@ pub struct SchedulerConfig {
     /// `LSERVE_PREEMPTION` environment variable (replay when unset). Outputs
     /// are bit-identical for both values.
     pub preemption: PreemptionPolicy,
+    /// Enables SLO-class- and deadline-aware scheduling (the default). When
+    /// `false`, admission and victim selection fall back to class-blind FCFS
+    /// arrival order — the baseline the interactive-class win is measured
+    /// against. Outputs per request are bit-identical either way; only
+    /// ordering (and therefore latency) changes.
+    pub class_aware: bool,
+    /// Virtual-deadline slack, in work tokens, assigned to requests that carry
+    /// no explicit deadline. Within a class the scheduler orders by virtual
+    /// deadline (`submit-time work clock + deadline-or-slack`), so this is the
+    /// aging horizon: a deadline-less request outranks any later arrival once
+    /// the work clock has advanced past the difference — starvation-freedom
+    /// within the class.
+    pub no_deadline_slack: u64,
 }
 
 impl SchedulerConfig {
-    /// Defaults: 128-token prefill chunks, batch of up to 64, first-chunk
-    /// admission (preemption-backed), prefix cache off, decode threads from
-    /// the `LSERVE_DECODE_THREADS` environment (1 when unset), preemption
-    /// policy from `LSERVE_PREEMPTION` (replay when unset).
-    pub fn new(pool_pages: usize) -> Self {
+    /// Environment-seeded defaults: 128-token prefill chunks, batch of up to
+    /// 64, first-chunk admission (preemption-backed), prefix cache off,
+    /// class-aware scheduling on, decode threads read once from
+    /// `LSERVE_DECODE_THREADS` (1 when unset), preemption policy read once
+    /// from `LSERVE_PREEMPTION` (replay when unset).
+    ///
+    /// The environment is read here, at construction — never cached
+    /// process-wide — so tests and benches can vary the variables between
+    /// scheduler constructions in one process.
+    pub fn from_env(pool_pages: usize) -> Self {
         Self {
             pool_pages,
             chunk_tokens: 128,
@@ -213,20 +599,32 @@ impl SchedulerConfig {
             prefix_cache: false,
             decode_threads: decode_threads_from_env(),
             preemption: preemption_from_env(),
+            class_aware: true,
+            no_deadline_slack: 1 << 20,
         }
+    }
+
+    /// Alias for [`SchedulerConfig::from_env`] (the historical constructor
+    /// name).
+    pub fn new(pool_pages: usize) -> Self {
+        Self::from_env(pool_pages)
     }
 
     /// Validates internal consistency.
     ///
     /// # Panics
     ///
-    /// Panics if `chunk_tokens`, `max_batch`, `pool_pages` or `decode_threads`
-    /// is zero.
+    /// Panics if `chunk_tokens`, `max_batch`, `pool_pages`, `decode_threads`
+    /// or `no_deadline_slack` is zero.
     pub fn validate(&self) {
         assert!(self.pool_pages > 0, "pool must hold at least one page");
         assert!(self.chunk_tokens > 0, "chunk must be at least one token");
         assert!(self.max_batch > 0, "batch must admit at least one sequence");
         assert!(self.decode_threads > 0, "need at least one decode worker");
+        assert!(
+            self.no_deadline_slack > 0,
+            "aging horizon must be positive for starvation-freedom"
+        );
     }
 }
 
@@ -235,6 +633,10 @@ impl SchedulerConfig {
 pub struct RequestMetrics {
     /// Request id.
     pub id: u64,
+    /// SLO class the request ran under.
+    pub class: SloClass,
+    /// Why generation stopped.
+    pub finish: FinishReason,
     /// Iterations from submission until the first generated token (time to first
     /// token). Zero when the request finished without emitting any token.
     pub ttft_iters: u64,
@@ -245,13 +647,19 @@ pub struct RequestMetrics {
     pub ttft_work_tokens: u64,
     /// Iterations between the first and the last generated token.
     pub decode_span_iters: u64,
-    /// Tokens generated.
+    /// Tokens generated (output tokens; stop-token truncation applied).
     pub tokens: usize,
     /// Times this request was preempted (pages released, later re-prefilled).
     pub preemptions: u32,
     /// Prompt tokens served from the prefix cache at admission (the deepest
     /// value across admissions, for requests that were preempted and resumed).
     pub cached_prompt_tokens: usize,
+    /// The TTFT deadline the request carried, if any (work tokens from
+    /// submission).
+    pub deadline_work_tokens: Option<u64>,
+    /// Whether the deadline was met (`None` when no deadline was set; a
+    /// request that never emitted a token misses by definition).
+    pub deadline_met: Option<bool>,
 }
 
 impl RequestMetrics {
@@ -269,10 +677,17 @@ impl RequestMetrics {
 /// Summary of a serving run.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServingReport {
-    /// `(request id, generated tokens)` for every completed request.
+    /// `(request id, output tokens)` for every completed request.
     pub completed: Vec<(u64, Vec<u32>)>,
-    /// Requests that could never be admitted.
+    /// Requests that could never be admitted (admission-time rejections;
+    /// duplicate-id rejections appear only in [`ServingReport::rejections`]).
     pub rejected: Vec<u64>,
+    /// Every rejection with its reason, including duplicate-id rejections
+    /// made at submit time.
+    pub rejections: Vec<(u64, RejectReason)>,
+    /// `(request id, output tokens at the cancellation boundary)` for every
+    /// cancelled request.
+    pub cancelled: Vec<(u64, Vec<u32>)>,
     /// Scheduler iterations executed.
     pub scheduler_steps: u64,
     /// Total decode steps across all sequences (prompt-continuation feeding
@@ -282,7 +697,8 @@ pub struct ServingReport {
     pub peak_pages: usize,
     /// Total preemption events across the run.
     pub preemptions: u64,
-    /// Per-request latency metrics, sorted by request id on completion.
+    /// Per-request latency metrics for completed requests, sorted by request
+    /// id on completion.
     pub request_metrics: Vec<RequestMetrics>,
     /// Prompt tokens served from the prefix cache, summed over admission events
     /// (a preempted request that re-admits with a hit counts again, exactly as
@@ -291,7 +707,8 @@ pub struct ServingReport {
     /// Prompt tokens actually computed by prefill (tile chunk + per-token feed),
     /// summed over admission events. Zero when the prefix cache is disabled.
     pub prefix_recomputed_tokens: u64,
-    /// Prefixes donated into the cache (anchors and completed conversations).
+    /// Prefixes donated into the cache (anchors, completed conversations, and
+    /// cancelled requests' completed prefixes).
     pub prefix_insertions: u64,
     /// Prefix-cache entries evicted under pool pressure.
     pub prefix_evictions: u64,
@@ -316,16 +733,10 @@ pub struct ServingReport {
     pub peak_running: usize,
     /// Sum over scheduler iterations of the running-sequence count (after
     /// admission). `running_seq_steps / scheduler_steps` is the *sustained*
-    /// concurrency of the run — the oversubscription win of the tiered memory
-    /// shows up here: a replay victim spends iterations out of the running set
-    /// re-feeding its context, while a swapped victim resumes for the cost of
-    /// a transfer.
+    /// concurrency of the run.
     pub running_seq_steps: u64,
     /// Aggregate parallel-execution counters across every prefill/decode
-    /// phase: measured per-step worker utilization/imbalance and the
-    /// deterministic cost-balance critical path (see
-    /// [`ParallelExecStats::utilization`], [`ParallelExecStats::imbalance`],
-    /// [`ParallelExecStats::modeled_speedup`]).
+    /// phase (see [`ParallelExecStats`]).
     pub parallel: ParallelExecStats,
 }
 
@@ -350,6 +761,7 @@ impl ServingReport {
         }
         self.running_seq_steps as f64 / self.scheduler_steps as f64
     }
+
     /// Fraction of prompt-prefill tokens served from the prefix cache, in
     /// `[0, 1]` (0 when no prompt token was processed).
     pub fn prefix_hit_rate(&self) -> f64 {
@@ -370,6 +782,36 @@ impl ServingReport {
             .collect();
         v.sort_unstable();
         nearest_rank(&v, q).copied().unwrap_or(0)
+    }
+
+    /// Nearest-rank percentile of TTFT (work tokens) restricted to one
+    /// [`SloClass`] — the per-class SLO view. Returns 0 when no request of
+    /// that class completed.
+    pub fn ttft_work_percentile_class(&self, class: SloClass, q: f64) -> u64 {
+        let mut v: Vec<u64> = self
+            .request_metrics
+            .iter()
+            .filter(|m| m.class == class)
+            .map(|m| m.ttft_work_tokens)
+            .collect();
+        v.sort_unstable();
+        nearest_rank(&v, q).copied().unwrap_or(0)
+    }
+
+    /// `(met, total)` deadline counts over completed requests that carried a
+    /// deadline.
+    pub fn deadlines(&self) -> (usize, usize) {
+        let total = self
+            .request_metrics
+            .iter()
+            .filter(|m| m.deadline_met.is_some())
+            .count();
+        let met = self
+            .request_metrics
+            .iter()
+            .filter(|m| m.deadline_met == Some(true))
+            .count();
+        (met, total)
     }
 
     /// Nearest-rank percentile (`q` in `(0, 1]`) of per-request mean
@@ -408,6 +850,38 @@ struct RequestProgress {
     last_token_iter: u64,
     preemptions: u32,
     cached_tokens: usize,
+    /// Whether the request has ever entered the running batch — decides
+    /// between the `Admitted` and `Resumed` events at (re-)admission.
+    ever_admitted: bool,
+}
+
+/// The scheduling rank of a request: strict priority by class, earliest
+/// virtual deadline within a class, FCFS arrival as the final tiebreak. Lower
+/// orders first. With [`SchedulerConfig::class_aware`] off, class and
+/// deadline collapse to zero and the key degenerates to pure arrival order
+/// (class-blind FCFS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct SloKey {
+    class: u8,
+    vdeadline: u64,
+    arrival: u64,
+}
+
+/// The identity-and-policy core of a request, shared by its queued and running
+/// representations.
+#[derive(Debug)]
+struct SeqCore {
+    spec: RequestSpec,
+    /// Session-resolved effective prompt (the session's conversation followed
+    /// by this turn's tokens; equal to `spec.prompt` without a session).
+    prompt: Vec<u32>,
+    /// Monotone submission counter — the unique identity used for re-location
+    /// and FCFS tiebreaks.
+    arrival: u64,
+    /// Scheduling rank (see [`SloKey`]).
+    key: SloKey,
+    /// The caller's event stream.
+    handle: Arc<HandleShared>,
 }
 
 /// A swapped-out sequence parked in the queue: its full executor state (page
@@ -431,8 +905,7 @@ struct SwappedSeq {
 /// preemptions.
 #[derive(Debug)]
 struct QueuedSeq {
-    req: Request,
-    priority: u64,
+    core: SeqCore,
     /// Tokens already generated (and emitted) before a preemption.
     generated: Vec<u32>,
     progress: RequestProgress,
@@ -444,8 +917,7 @@ struct QueuedSeq {
 /// A running sequence: executor state plus feed/generation progress.
 #[derive(Debug)]
 struct SchedSeq {
-    req: Request,
-    priority: u64,
+    core: SeqCore,
     state: SequenceState,
     /// Tokens generated before the last preemption; re-fed after the prompt on
     /// resume so the cache is reconstructed exactly.
@@ -461,16 +933,28 @@ struct SchedSeq {
 
 impl SchedSeq {
     fn feed_len(&self) -> usize {
-        self.req.prompt.len() + self.resume_feed.len()
+        self.core.prompt.len() + self.resume_feed.len()
     }
 
     fn feed_token(&self, i: usize) -> u32 {
-        if i < self.req.prompt.len() {
-            self.req.prompt[i]
+        if i < self.core.prompt.len() {
+            self.core.prompt[i]
         } else {
-            self.resume_feed[i - self.req.prompt.len()]
+            self.resume_feed[i - self.core.prompt.len()]
         }
     }
+}
+
+/// Where a known request id currently lives — the O(1) backing of
+/// [`Scheduler::status`] (indices point into the report's `completed` /
+/// `cancelled` vectors, which only ever grow).
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    Queued,
+    Running,
+    Finished(usize),
+    Cancelled(usize),
+    Rejected,
 }
 
 /// Continuous-batching scheduler over one shared page pool.
@@ -479,7 +963,10 @@ impl SchedSeq {
 ///
 /// ```
 /// use std::sync::Arc;
-/// use lserve_core::{EngineConfig, ModelExecutor, Request, Scheduler, SchedulerConfig};
+/// use lserve_core::{
+///     EngineConfig, ModelExecutor, RequestSpec, Scheduler, SchedulerConfig, ServingEvent,
+///     SloClass,
+/// };
 /// use lserve_model::{ModelConfig, ModelWeights};
 ///
 /// let weights = Arc::new(ModelWeights::random(&ModelConfig::tiny(), 3));
@@ -487,10 +974,17 @@ impl SchedSeq {
 /// let mut scfg = SchedulerConfig::new(2048);
 /// scfg.chunk_tokens = 4; // prompts longer than 4 tokens prefill across iterations
 /// let mut sched = Scheduler::new(exec, scfg);
-/// sched.submit(Request { id: 1, prompt: (0..16).collect(), max_new_tokens: 4 });
-/// let report = sched.run_to_completion(10_000);
-/// assert_eq!(report.completed.len(), 1);
-/// assert_eq!(report.request_metrics.len(), 1);
+/// let handle = sched.submit(
+///     RequestSpec::new(1, (0..16).collect())
+///         .max_new_tokens(4)
+///         .class(SloClass::Interactive),
+/// );
+/// while !handle.is_terminal() {
+///     sched.step();
+/// }
+/// let events = handle.drain_events();
+/// assert_eq!(events.first(), Some(&ServingEvent::Admitted));
+/// assert!(matches!(events.last(), Some(ServingEvent::Finished { tokens, .. }) if tokens.len() == 4));
 /// ```
 #[derive(Debug)]
 pub struct Scheduler {
@@ -500,7 +994,7 @@ pub struct Scheduler {
     queue: VecDeque<QueuedSeq>,
     running: Vec<SchedSeq>,
     report: ServingReport,
-    next_priority: u64,
+    next_arrival: u64,
     /// Monotone clock: tokens pushed through the forward pass across all
     /// sequences (tile prefill, prompt-continuation feed, and decode), plus
     /// the modeled transfer work of swap-resume promotions.
@@ -511,6 +1005,13 @@ pub struct Scheduler {
     swap_resume_work: u64,
     /// Cross-request KV prefix cache (unused unless `scfg.prefix_cache`).
     prefix: PrefixCache<CachedPrefix>,
+    /// id → lifecycle phase, the O(1) index behind [`Scheduler::status`] and
+    /// the duplicate-id check.
+    index: HashMap<u64, Phase>,
+    /// session id → recorded conversation (effective prompt + output of the
+    /// session's last *completed* turn; in-flight turns are invisible here —
+    /// the sequential-turns contract of [`RequestSpec::session`]).
+    sessions: HashMap<u64, Vec<u32>>,
 }
 
 impl Scheduler {
@@ -537,10 +1038,12 @@ impl Scheduler {
                 preemption: scfg.preemption,
                 ..ServingReport::default()
             },
-            next_priority: 0,
+            next_arrival: 0,
             work_tokens: 0,
             swap_resume_work: 0,
             prefix: PrefixCache::new(),
+            index: HashMap::new(),
+            sessions: HashMap::new(),
         }
     }
 
@@ -554,13 +1057,67 @@ impl Scheduler {
         &self.scfg
     }
 
-    /// Enqueues a request. Earlier submissions have higher priority (FCFS).
-    pub fn submit(&mut self, req: Request) {
-        let priority = self.next_priority;
-        self.next_priority += 1;
-        self.queue.push_back(QueuedSeq {
-            req,
-            priority,
+    /// The scheduling rank of a spec at the current work clock: strict
+    /// priority by class, EDF within a class over `submit work + deadline`
+    /// (no-deadline requests age in after `no_deadline_slack`), FCFS arrival
+    /// as the tiebreak. With `class_aware` off everything collapses to
+    /// arrival order.
+    fn slo_key(&self, spec: &RequestSpec, arrival: u64) -> SloKey {
+        if !self.scfg.class_aware {
+            return SloKey {
+                class: 0,
+                vdeadline: 0,
+                arrival,
+            };
+        }
+        let slack = spec
+            .deadline_work_tokens
+            .unwrap_or(self.scfg.no_deadline_slack);
+        SloKey {
+            class: spec.class.rank(),
+            vdeadline: self.work_tokens.saturating_add(slack),
+            arrival,
+        }
+    }
+
+    /// Submits a request and returns its lifecycle handle. The queue is
+    /// ordered by scheduling rank (class, then virtual deadline, then
+    /// arrival), so an interactive or tight-deadline request enters ahead of
+    /// queued batch traffic. A spec whose id the scheduler already knows is
+    /// rejected immediately with [`RejectReason::DuplicateId`] (the earlier
+    /// request is untouched).
+    pub fn submit(&mut self, spec: impl Into<RequestSpec>) -> RequestHandle {
+        let spec = spec.into();
+        let handle = HandleShared::new(spec.id);
+        if self.index.contains_key(&spec.id) {
+            handle.push(ServingEvent::Rejected {
+                reason: RejectReason::DuplicateId,
+            });
+            self.report
+                .rejections
+                .push((spec.id, RejectReason::DuplicateId));
+            return RequestHandle { shared: handle };
+        }
+        let arrival = self.next_arrival;
+        self.next_arrival += 1;
+        let prompt = match spec.session.and_then(|sid| self.sessions.get(&sid)) {
+            Some(history) => {
+                let mut p = history.clone();
+                p.extend_from_slice(&spec.prompt);
+                p
+            }
+            None => spec.prompt.clone(),
+        };
+        let key = self.slo_key(&spec, arrival);
+        self.index.insert(spec.id, Phase::Queued);
+        self.enqueue(QueuedSeq {
+            core: SeqCore {
+                spec,
+                prompt,
+                arrival,
+                key,
+                handle: Arc::clone(&handle),
+            },
             generated: Vec::new(),
             swap: None,
             progress: RequestProgress {
@@ -571,8 +1128,10 @@ impl Scheduler {
                 last_token_iter: 0,
                 preemptions: 0,
                 cached_tokens: 0,
+                ever_admitted: false,
             },
         });
+        RequestHandle { shared: handle }
     }
 
     /// Requests waiting for admission (fresh or preempted).
@@ -625,23 +1184,19 @@ impl Scheduler {
         self.prefix.clear(&mut self.pool);
     }
 
-    /// Lifecycle state of request `id`, or `None` for an unknown id. A preempted
-    /// request reports [`RequestStatus::Queued`] until it is re-admitted. With
-    /// duplicate ids the live states (queued/running) win over finished ones.
+    /// Lifecycle state of request `id`, or `None` for an unknown id — an O(1)
+    /// index lookup. A preempted request reports [`RequestStatus::Queued`]
+    /// until it is re-admitted. Duplicate submissions never enter the index
+    /// (they are rejected at submit time), so every id maps to exactly one
+    /// lifecycle.
     pub fn status(&self, id: u64) -> Option<RequestStatus> {
-        if self.queue.iter().any(|q| q.req.id == id) {
-            return Some(RequestStatus::Queued);
-        }
-        if self.running.iter().any(|s| s.req.id == id) {
-            return Some(RequestStatus::Running);
-        }
-        if let Some((_, tokens)) = self.report.completed.iter().find(|(cid, _)| *cid == id) {
-            return Some(RequestStatus::Finished(tokens.clone()));
-        }
-        if self.report.rejected.contains(&id) {
-            return Some(RequestStatus::Rejected);
-        }
-        None
+        Some(match *self.index.get(&id)? {
+            Phase::Queued => RequestStatus::Queued,
+            Phase::Running => RequestStatus::Running,
+            Phase::Finished(i) => RequestStatus::Finished(self.report.completed[i].1.clone()),
+            Phase::Cancelled(i) => RequestStatus::Cancelled(self.report.cancelled[i].1.clone()),
+            Phase::Rejected => RequestStatus::Rejected,
+        })
     }
 
     /// Pages needed to hold `tokens` tokens of context for one sequence under the
@@ -650,12 +1205,13 @@ impl Scheduler {
         sequence_pages_estimate(self.exec.config(), &self.exec.weights().config, tokens)
     }
 
-    /// One scheduler iteration: admit, feed prompt chunks, reserve decode pages
-    /// (preempting on pressure), then advance every ready sequence by one decode
-    /// step (continuous batching).
+    /// One scheduler iteration: apply pending cancellations, admit, feed
+    /// prompt chunks, reserve decode pages (preempting on pressure), then
+    /// advance every ready sequence by one decode step (continuous batching).
     pub fn step(&mut self) {
         self.report.scheduler_steps += 1;
         let now = self.report.scheduler_steps;
+        self.apply_cancellations();
         self.admit();
         self.report.peak_running = self.report.peak_running.max(self.running.len());
         self.report.running_seq_steps += self.running.len() as u64;
@@ -689,25 +1245,101 @@ impl Scheduler {
         let mut report = self.report.clone();
         report.completed.sort_by_key(|(id, _)| *id);
         report.rejected.sort_unstable();
+        report.rejections.sort_by_key(|(id, _)| *id);
+        report.cancelled.sort_by_key(|(id, _)| *id);
         report.request_metrics.sort_by_key(|m| m.id);
         report
     }
 
-    /// FCFS admission from the queue head, seeding from the prefix cache when a
-    /// prompt matches a cached prefix.
+    /// Acts on every pending [`RequestHandle::cancel`] at the step boundary:
+    /// running victims donate their completed prefix to the cache (when
+    /// enabled) and release their pages; queued victims release any swapped
+    /// state. Each gets its terminal [`ServingEvent::Cancelled`] carrying the
+    /// output produced so far.
+    fn apply_cancellations(&mut self) {
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].core.handle.cancel_requested() {
+                let seq = self.running.remove(i);
+                self.cancel_running(seq);
+            } else {
+                i += 1;
+            }
+        }
+        let mut j = 0;
+        while j < self.queue.len() {
+            if self.queue[j].core.handle.cancel_requested() {
+                let q = self.queue.remove(j).expect("index in bounds");
+                self.cancel_queued(q);
+            } else {
+                j += 1;
+            }
+        }
+    }
+
+    fn cancel_running(&mut self, mut seq: SchedSeq) {
+        self.donate_tokens(&seq.core.prompt, &seq.generated, &seq.state);
+        seq.state.release(&mut self.pool);
+        self.finish_cancelled(seq.core, seq.generated);
+    }
+
+    fn cancel_queued(&mut self, mut q: QueuedSeq) {
+        if let Some(mut swap) = q.swap.take() {
+            // The parked state is clean, so its completed prefix is donatable
+            // like any other; its pages may sit in the cold tier, which the
+            // prefix contract supports (a later consumer's residency pass
+            // promotes on first use).
+            self.donate_tokens(&q.core.prompt, &q.generated, &swap.state);
+            swap.state.release(&mut self.pool);
+        }
+        self.finish_cancelled(q.core, q.generated);
+    }
+
+    /// Terminal rejection bookkeeping for a request that owned a queue/running
+    /// slot: the event, the status index, and both report vectors move
+    /// together. (Duplicate-id rejections at submit time deliberately bypass
+    /// this — they never owned a slot, so only the handle event and the
+    /// reasons vector apply there.)
+    fn finish_rejected(&mut self, core: SeqCore, reason: RejectReason) {
+        core.handle.push(ServingEvent::Rejected { reason });
+        self.index.insert(core.spec.id, Phase::Rejected);
+        self.report.rejected.push(core.spec.id);
+        self.report.rejections.push((core.spec.id, reason));
+    }
+
+    fn finish_cancelled(&mut self, core: SeqCore, output: Vec<u32>) {
+        core.handle.push(ServingEvent::Cancelled {
+            tokens: output.clone(),
+        });
+        self.index
+            .insert(core.spec.id, Phase::Cancelled(self.report.cancelled.len()));
+        self.report.cancelled.push((core.spec.id, output));
+    }
+
+    /// Rank-ordered admission from the queue head, seeding from the prefix
+    /// cache when a prompt matches a cached prefix. The queue is kept sorted
+    /// by [`SloKey`], so the head is always the most entitled request
+    /// (interactive before batch before best-effort; EDF within a class);
+    /// admission never skips the head, which preserves within-class FCFS
+    /// fairness under pressure.
     fn admit(&mut self) {
         while self.running.len() < self.scfg.max_batch {
             let Some(front) = self.queue.front() else {
                 break;
             };
-            let full_tokens = front.req.prompt.len() + front.req.max_new_tokens;
+            let full_tokens = front.core.prompt.len() + front.core.spec.max_new_tokens;
             // A generation needs at least one prompt token (the first logits come
             // from prefill); an empty prompt can never become decode-ready.
-            if front.req.prompt.is_empty()
-                || self.pages_estimate(full_tokens) > self.pool.capacity()
-            {
+            let reject = if front.core.prompt.is_empty() {
+                Some(RejectReason::EmptyPrompt)
+            } else if self.pages_estimate(full_tokens) > self.pool.capacity() {
+                Some(RejectReason::TooLarge)
+            } else {
+                None
+            };
+            if let Some(reason) = reject {
                 let q = self.queue.pop_front().expect("front checked");
-                self.report.rejected.push(q.req.id);
+                self.finish_rejected(q.core, reason);
                 continue;
             }
             // A swapped-out victim resumes by promotion, not by re-feeding:
@@ -741,28 +1373,32 @@ impl Scheduler {
                 let cost = lserve_kvcache::transfer_cost_tokens(units);
                 self.swap_resume_work += cost;
                 self.work_tokens += cost;
+                q.core.handle.push(ServingEvent::Resumed);
+                self.index.insert(q.core.spec.id, Phase::Running);
                 self.running.push(SchedSeq {
-                    req: q.req,
-                    priority: q.priority,
+                    core: q.core,
                     state: swap.state,
                     resume_feed: swap.resume_feed,
                     fed: swap.fed,
                     generated: q.generated,
                     last_token: swap.last_token,
-                    progress: q.progress,
+                    progress: RequestProgress {
+                        ever_admitted: true,
+                        ..q.progress
+                    },
                 });
                 continue;
             }
-            let feed_len = front.req.prompt.len() + front.generated.len();
+            let feed_len = front.core.prompt.len() + front.generated.len();
             // A cached match makes the request cheaper to admit and must survive
             // the eviction loop below, so LRU-protect it before evicting and size
             // the first-chunk estimate by the uncached remainder.
             let matched = if self.scfg.prefix_cache {
                 let min_match = self.scfg.chunk_tokens;
-                let max_match = front.req.prompt.len().saturating_sub(1);
+                let max_match = front.core.prompt.len().saturating_sub(1);
                 if max_match >= min_match {
                     self.prefix
-                        .touch(&front.req.prompt, min_match, max_match)
+                        .touch(&front.core.prompt, min_match, max_match)
                         .unwrap_or(0)
                 } else {
                     0
@@ -789,24 +1425,31 @@ impl Scheduler {
                 break; // wait for running sequences to finish or be preempted
             }
             let q = self.queue.pop_front().expect("front checked");
-            let (cached, state) = self.seeded_state(&q.req.prompt);
+            let (cached, state) = self.seeded_state(&q.core.prompt);
+            q.core.handle.push(if q.progress.ever_admitted {
+                ServingEvent::Resumed
+            } else {
+                ServingEvent::Admitted
+            });
+            self.index.insert(q.core.spec.id, Phase::Running);
             self.running.push(SchedSeq {
                 generated: q.generated.clone(),
                 resume_feed: q.generated,
-                req: q.req,
-                priority: q.priority,
+                core: q.core,
                 state,
                 fed: cached,
                 last_token: None,
                 progress: RequestProgress {
                     cached_tokens: q.progress.cached_tokens.max(cached),
+                    ever_admitted: true,
                     ..q.progress
                 },
             });
         }
-        // Resumed sequences have old (small) priorities; keep the running list in
-        // priority order so phases and victim selection stay O(1) to reason about.
-        self.running.sort_by_key(|s| s.priority);
+        // Resumed sequences have old (small) ranks; keep the running list in
+        // rank order so the prefill phase serves the most entitled sequences
+        // first and victim reasoning stays simple.
+        self.running.sort_by_key(|s| s.core.key);
     }
 
     /// Looks `prompt` up in the prefix cache and seeds a sequence from the
@@ -837,7 +1480,7 @@ impl Scheduler {
         }
         let seq = &self.running[i];
         let fed = seq.fed;
-        let plen = seq.req.prompt.len();
+        let plen = seq.core.prompt.len();
         let chunk = self.scfg.chunk_tokens;
         let on_grid = fed > 0 && fed.is_multiple_of(chunk);
         if fed < chunk || fed > plen || !(on_grid || fed == plen) {
@@ -850,12 +1493,40 @@ impl Scheduler {
         );
         // Skip the state capture entirely when the prefix is already cached (the
         // common case on warm traffic re-walking a donated prompt).
-        if self.prefix.is_cached(&seq.req.prompt[..fed]) {
+        if self.prefix.is_cached(&seq.core.prompt[..fed]) {
             return;
         }
         let value = CachedPrefix::capture(&seq.state);
         self.prefix
-            .insert(&mut self.pool, &seq.req.prompt[..fed], value);
+            .insert(&mut self.pool, &seq.core.prompt[..fed], value);
+    }
+
+    /// Donates the absorbed token stream of a clean state — `prompt ++
+    /// generated`, truncated to `state.context_len()` — into the prefix
+    /// cache. The generalization of completion donation that also serves
+    /// cancellation: whatever prefix the request got through is warm for the
+    /// next request that walks it. Sub-grid prompts never donate (their tile
+    /// covered `[0, prompt_len)`, so their KV is not what a longer prompt's
+    /// cold run would compute).
+    fn donate_tokens(&mut self, prompt: &[u32], generated: &[u32], state: &SequenceState) {
+        if !self.scfg.prefix_cache {
+            return;
+        }
+        let chunk = self.scfg.chunk_tokens;
+        let absorbed = state.context_len();
+        if prompt.len() < chunk || absorbed < chunk {
+            return;
+        }
+        let mut key: Vec<u32> = prompt[..prompt.len().min(absorbed)].to_vec();
+        if absorbed > prompt.len() {
+            key.extend(&generated[..absorbed - prompt.len()]);
+        }
+        debug_assert_eq!(key.len(), absorbed);
+        if self.prefix.is_cached(&key) {
+            return;
+        }
+        let value = CachedPrefix::capture(state);
+        self.prefix.insert(&mut self.pool, &key, value);
     }
 
     /// One pressure-relief eviction: removes the LRU cache entry whose removal
@@ -883,18 +1554,19 @@ impl Scheduler {
     }
 
     /// Feeds prompt (and resume) tokens, up to `chunk_tokens` per sequence per
-    /// iteration, in priority order.
+    /// iteration, in rank order (interactive sequences feed before batch ones).
     fn prefill_phase(&mut self, now: u64) {
         let exec = Arc::clone(&self.exec);
-        let order: Vec<u64> = self.running.iter().map(|s| s.priority).collect();
-        for pr in order {
+        let order: Vec<u64> = self.running.iter().map(|s| s.core.arrival).collect();
+        for ar in order {
             // Re-locate: earlier work in this phase may have preempted sequences.
-            let Some(i) = self.running.iter().position(|s| s.priority == pr) else {
+            let Some(i) = self.running.iter().position(|s| s.core.arrival == ar) else {
                 continue;
             };
             if self.running[i].fed >= self.running[i].feed_len() {
                 continue;
             }
+            let my_key = self.running[i].core.key;
             let mut budget = self.scfg.chunk_tokens;
             // First grid cell: fused tile prefill over the fixed tile grid (a pure
             // function of absolute token position), so replays after preemption and
@@ -902,7 +1574,7 @@ impl Scheduler {
             // the prefix cache start with `fed > 0` and never take this path.
             if self.running[i].fed == 0 {
                 let boundary =
-                    tile_grid_boundary(self.scfg.chunk_tokens, self.running[i].req.prompt.len());
+                    tile_grid_boundary(self.scfg.chunk_tokens, self.running[i].core.prompt.len());
                 loop {
                     if self.pages_estimate(boundary) <= self.pool.free_pages() {
                         break;
@@ -910,7 +1582,7 @@ impl Scheduler {
                     if self.evict_prefix_one() {
                         continue;
                     }
-                    if self.make_room_below(pr) {
+                    if self.make_room_below(my_key) {
                         continue;
                     }
                     // Swap-parked states may pin the very prefix pages the
@@ -944,7 +1616,7 @@ impl Scheduler {
                         }
                     }
                     Err(_) => {
-                        // The estimate was optimistic and no lower-priority victim
+                        // The estimate was optimistic and no lower-rank victim
                         // is left. Give the partial pages back and retry on a later
                         // iteration — unless this sequence is alone, in which case
                         // it can never fit and must fail.
@@ -952,7 +1624,7 @@ impl Scheduler {
                         self.running[i].fed = 0;
                         if self.running.len() == 1 && self.queue.is_empty() {
                             let seq = self.running.remove(i);
-                            self.report.rejected.push(seq.req.id);
+                            self.finish_rejected(seq.core, RejectReason::TooLarge);
                         }
                         continue;
                     }
@@ -968,7 +1640,7 @@ impl Scheduler {
                     if self.evict_prefix_one() {
                         continue;
                     }
-                    if self.make_room_below(pr) {
+                    if self.make_room_below(my_key) {
                         continue;
                     }
                     // Unpin prefix pages held by swap-parked peers (degrading
@@ -994,7 +1666,7 @@ impl Scheduler {
                     Ok(out) => {
                         self.running[i].fed += 1;
                         self.work_tokens += 1;
-                        if self.scfg.prefix_cache && fed_pos < self.running[i].req.prompt.len() {
+                        if self.scfg.prefix_cache && fed_pos < self.running[i].core.prompt.len() {
                             self.report.prefix_recomputed_tokens += 1;
                         }
                         budget -= 1;
@@ -1017,8 +1689,9 @@ impl Scheduler {
         }
     }
 
-    /// Reserve pages for one decode token per ready sequence, preempting from the
-    /// lowest priority until demand fits, then run the batched decode step.
+    /// Reserve pages for one decode token per ready sequence, preempting the
+    /// cost- and class-chosen victim until demand fits, then run the batched
+    /// decode step.
     fn decode_phase(&mut self, now: u64) {
         loop {
             let demand: usize = self
@@ -1050,12 +1723,23 @@ impl Scheduler {
                 // Nothing to preempt in favor of: the lone sequence cannot grow any
                 // further. Finish it with what it has (bounded-memory truncation).
                 if let Some(seq) = self.running.pop() {
-                    self.complete(seq);
+                    self.complete(seq, FinishReason::Truncated);
                 }
                 return;
             }
-            // Victim: lowest priority = last in the sorted running list.
-            let victim = self.running.len() - 1;
+            // Progress guarantee: the best-ranked running sequence is never a
+            // victim here, so the most entitled live request always advances —
+            // without this, the swap-cost choice could ping-pong a cheap
+            // victim through resume/preempt cycles forever.
+            let best = self
+                .running
+                .iter()
+                .map(|s| s.core.key)
+                .min()
+                .expect("running list non-empty");
+            let victim = self
+                .pick_victim(Some(best))
+                .expect("more than one running sequence with unique ranks");
             self.preempt_index(victim);
         }
         // Batched decode: one token for every sequence whose feed is complete.
@@ -1102,97 +1786,170 @@ impl Scheduler {
     /// next token to emit.
     fn finish_feed(&mut self, i: usize, last_logits: &[f32], now: u64) {
         let next = greedy_next_token(last_logits);
-        if self.running[i].req.max_new_tokens == 0 {
+        if self.running[i].core.spec.max_new_tokens == 0 {
             let seq = self.running.remove(i);
-            self.complete(seq);
+            self.complete(seq, FinishReason::Length);
             return;
         }
         self.emit_token(i, next, now);
     }
 
-    /// Records a newly generated token for running sequence `i`, completing the
-    /// request when it reaches its token budget.
+    /// Records a newly generated token for running sequence `i`: streams the
+    /// token event, applies stop conditions, and completes the request when it
+    /// hits a stop or its token budget.
     fn emit_token(&mut self, i: usize, token: u32, now: u64) {
         let work_now = self.work_tokens;
-        let seq = &mut self.running[i];
-        debug_assert!(seq.generated.len() < seq.req.max_new_tokens);
-        seq.generated.push(token);
-        seq.last_token = Some(token);
-        if seq.progress.first_token_iter.is_none() {
-            seq.progress.first_token_iter = Some(now);
-        }
-        if seq.progress.first_token_work.is_none() {
-            seq.progress.first_token_work = Some(work_now);
-        }
-        seq.progress.last_token_iter = now;
-        if seq.generated.len() >= seq.req.max_new_tokens {
+        let stop_token = {
+            let seq = &mut self.running[i];
+            debug_assert!(seq.generated.len() < seq.core.spec.max_new_tokens);
+            seq.generated.push(token);
+            seq.last_token = Some(token);
+            if seq.core.spec.stop_tokens.contains(&token) {
+                true
+            } else {
+                let first = seq.progress.first_token_work.is_none();
+                if seq.progress.first_token_iter.is_none() {
+                    seq.progress.first_token_iter = Some(now);
+                }
+                if first {
+                    seq.progress.first_token_work = Some(work_now);
+                }
+                seq.progress.last_token_iter = now;
+                seq.core.handle.push(if first {
+                    ServingEvent::FirstToken { token }
+                } else {
+                    ServingEvent::Token { token }
+                });
+                false
+            }
+        };
+        if stop_token {
+            // The stop token terminates generation and is excluded from the
+            // output (it was never streamed).
             let seq = self.running.remove(i);
-            self.complete(seq);
+            self.complete(seq, FinishReason::StopToken);
+            return;
+        }
+        let seq = &self.running[i];
+        if seq
+            .core
+            .spec
+            .stop_sequences
+            .iter()
+            .any(|s| !s.is_empty() && seq.generated.ends_with(s))
+        {
+            let seq = self.running.remove(i);
+            self.complete(seq, FinishReason::StopSequence);
+            return;
+        }
+        if seq.generated.len() >= seq.core.spec.max_new_tokens {
+            let seq = self.running.remove(i);
+            self.complete(seq, FinishReason::Length);
         }
     }
 
     /// Releases a finished sequence — donating its conversation (prompt plus
     /// absorbed generated tokens) into the prefix cache first, so follow-up turns
-    /// that extend this conversation start from its pages — and records its
-    /// report entries.
-    fn complete(&mut self, mut seq: SchedSeq) {
-        self.donate_completed(&seq);
+    /// that extend this conversation start from its pages — then records its
+    /// report entries, terminal event, and (for session requests) the session's
+    /// updated conversation.
+    fn complete(&mut self, mut seq: SchedSeq, reason: FinishReason) {
+        self.donate_tokens(&seq.core.prompt, &seq.generated, &seq.state);
         seq.state.release(&mut self.pool);
+        let output = match reason {
+            FinishReason::StopToken => {
+                let mut g = seq.generated;
+                g.pop();
+                g
+            }
+            _ => seq.generated,
+        };
         let p = seq.progress;
+        let ttft_work = p.first_token_work.map_or(0, |first| first - p.submit_work);
+        let deadline = seq.core.spec.deadline_work_tokens;
         self.report.request_metrics.push(RequestMetrics {
-            id: seq.req.id,
+            id: seq.core.spec.id,
+            class: seq.core.spec.class,
+            finish: reason,
             ttft_iters: p.first_token_iter.map_or(0, |first| first - p.submit_iter),
-            ttft_work_tokens: p.first_token_work.map_or(0, |first| first - p.submit_work),
+            ttft_work_tokens: ttft_work,
             decode_span_iters: p
                 .first_token_iter
                 .map_or(0, |first| p.last_token_iter - first),
-            tokens: seq.generated.len(),
+            tokens: output.len(),
             preemptions: p.preemptions,
             cached_prompt_tokens: p.cached_tokens,
+            deadline_work_tokens: deadline,
+            deadline_met: deadline
+                .map(|d| p.first_token_work.is_some_and(|fw| fw - p.submit_work <= d)),
         });
-        self.report.completed.push((seq.req.id, seq.generated));
+        if let Some(sid) = seq.core.spec.session {
+            let mut conversation = seq.core.prompt.clone();
+            conversation.extend_from_slice(&output);
+            self.sessions.insert(sid, conversation);
+        }
+        seq.core.handle.push(ServingEvent::Finished {
+            reason,
+            tokens: output.clone(),
+        });
+        self.index.insert(
+            seq.core.spec.id,
+            Phase::Finished(self.report.completed.len()),
+        );
+        self.report.completed.push((seq.core.spec.id, output));
     }
 
-    /// Donates a completed sequence's absorbed token sequence (prompt plus all
-    /// generated tokens except the final, never-absorbed one) into the prefix
-    /// cache. Decode-path KV is cold-prefill-equivalent — the continuation feed
-    /// uses the same per-token pipeline — so a multi-turn follow-up whose prompt
-    /// extends this conversation gets a bit-identical warm start.
-    fn donate_completed(&mut self, seq: &SchedSeq) {
-        // The prompt itself must clear the tile grid: a sub-grid prompt tiled
-        // only `[0, prompt_len)` and based its decode-step indices there, so its
-        // KV is *not* what a cold run of a longer prompt would compute — donating
-        // it would break the fixed-tile-grid provenance invariant, however long
-        // the generated tail grew.
-        if !self.scfg.prefix_cache
-            || seq.fed < seq.feed_len()
-            || seq.req.prompt.len() < self.scfg.chunk_tokens
-        {
-            return;
+    /// Chooses the preemption victim among running sequences whose rank is
+    /// strictly worse than `than` (all of them when `than` is `None`).
+    ///
+    /// Selection is class-first (the worst class present loses), then
+    /// cost-aware within that class: under [`PreemptionPolicy::Swap`] the
+    /// victim is the sequence with the fewest sole-owned hot pages — the
+    /// cheapest to move across the tiers now and to promote back later
+    /// (latest virtual deadline, then latest arrival, break ties) — while
+    /// under [`PreemptionPolicy::Replay`] it is the least entitled sequence
+    /// (latest virtual deadline, then latest arrival), whose replayed context
+    /// is the least urgent work to redo.
+    fn pick_victim(&self, than: Option<SloKey>) -> Option<usize> {
+        let candidates: Vec<usize> = (0..self.running.len())
+            .filter(|&i| than.is_none_or(|k| self.running[i].core.key > k))
+            .collect();
+        let worst_class = candidates
+            .iter()
+            .map(|&i| self.running[i].core.key.class)
+            .max()?;
+        let same_class = candidates
+            .into_iter()
+            .filter(|&i| self.running[i].core.key.class == worst_class);
+        // The cost-aware choice is part of SLO-aware scheduling; with
+        // `class_aware` off the baseline is honestly class-blind FCFS under
+        // *both* policies (latest arrival loses, exactly the pre-SLO rule).
+        if self.scfg.class_aware && self.scfg.preemption == PreemptionPolicy::Swap {
+            same_class.min_by_key(|&i| {
+                let s = &self.running[i];
+                (
+                    s.state.sole_owned_hot_pages(&self.pool),
+                    std::cmp::Reverse(s.core.key.vdeadline),
+                    std::cmp::Reverse(s.core.key.arrival),
+                )
+            })
+        } else {
+            same_class.max_by_key(|&i| {
+                let s = &self.running[i];
+                (s.core.key.vdeadline, s.core.key.arrival)
+            })
         }
-        let absorbed = seq.state.context_len();
-        let mut key = seq.req.prompt.clone();
-        let absorbed_generated = absorbed - seq.req.prompt.len();
-        key.extend(&seq.generated[..absorbed_generated]);
-        debug_assert_eq!(key.len(), absorbed);
-        if self.prefix.is_cached(&key) {
-            return;
-        }
-        let value = CachedPrefix::capture(&seq.state);
-        self.prefix.insert(&mut self.pool, &key, value);
     }
 
-    /// Preempts the lowest-priority running sequence whose priority is *lower*
-    /// than `than` (i.e. a strictly later arrival). Returns `false` when no such
-    /// victim exists.
-    fn make_room_below(&mut self, than: u64) -> bool {
-        match self.running.last() {
-            Some(seq) if seq.priority > than => {
-                let victim = self.running.len() - 1;
+    /// Preempts the chosen victim among sequences ranked strictly worse than
+    /// `than`. Returns `false` when no such victim exists.
+    fn make_room_below(&mut self, than: SloKey) -> bool {
+        match self.pick_victim(Some(than)) {
+            Some(victim) => {
                 self.preempt_index(victim);
                 true
             }
-            _ => false,
+            None => false,
         }
     }
 
@@ -1212,9 +1969,12 @@ impl Scheduler {
         let mut seq = self.running.remove(i);
         seq.state.release(&mut self.pool);
         self.report.preemptions += 1;
-        self.requeue(QueuedSeq {
-            req: seq.req,
-            priority: seq.priority,
+        seq.core.handle.push(ServingEvent::Preempted {
+            policy: PreemptionPolicy::Replay,
+        });
+        self.index.insert(seq.core.spec.id, Phase::Queued);
+        self.enqueue(QueuedSeq {
+            core: seq.core,
             generated: seq.generated,
             swap: None,
             progress: RequestProgress {
@@ -1232,9 +1992,12 @@ impl Scheduler {
         let seq = self.running.remove(i);
         seq.state.demote_resident(&mut self.pool);
         self.report.preemptions += 1;
-        self.requeue(QueuedSeq {
-            req: seq.req,
-            priority: seq.priority,
+        seq.core.handle.push(ServingEvent::Preempted {
+            policy: PreemptionPolicy::Swap,
+        });
+        self.index.insert(seq.core.spec.id, Phase::Queued);
+        self.enqueue(QueuedSeq {
+            core: seq.core,
             generated: seq.generated,
             swap: Some(SwappedSeq {
                 state: seq.state,
@@ -1266,13 +2029,15 @@ impl Scheduler {
         any
     }
 
-    /// Inserts a preempted request back into the queue, keeping it sorted by
-    /// priority so FCFS order survives preemption.
-    fn requeue(&mut self, q: QueuedSeq) {
+    /// Inserts a request into the queue, keeping it sorted by scheduling rank
+    /// ([`SloKey`]: class, virtual deadline, arrival). Fresh submissions and
+    /// preempted requeues share this path, so admission order always reflects
+    /// the SLO policy while within-class FCFS survives preemption.
+    fn enqueue(&mut self, q: QueuedSeq) {
         let pos = self
             .queue
             .iter()
-            .position(|other| other.priority > q.priority)
+            .position(|other| other.core.key > q.core.key)
             .unwrap_or(self.queue.len());
         self.queue.insert(pos, q);
     }
@@ -1282,8 +2047,8 @@ impl Scheduler {
 ///
 /// Compatibility facade over [`Scheduler`]: monolithic prefill (unbounded chunk)
 /// and conservative full-footprint admission, which is the original FCFS
-/// continuous-batching behaviour. New code that wants chunked prefill or
-/// preemption should construct a [`Scheduler`] directly.
+/// continuous-batching behaviour. New code that wants chunked prefill,
+/// preemption, or SLO classes should construct a [`Scheduler`] directly.
 ///
 /// # Example
 ///
@@ -1309,22 +2074,21 @@ impl ServingEngine {
     pub fn new(weights: Arc<ModelWeights>, cfg: EngineConfig, pool_pages: usize) -> Self {
         let exec = Arc::new(ModelExecutor::new(weights, cfg));
         let scfg = SchedulerConfig {
-            pool_pages,
             chunk_tokens: usize::MAX,
             max_batch: usize::MAX,
             admission: AdmissionPolicy::FullFootprint,
             prefix_cache: false,
-            decode_threads: decode_threads_from_env(),
-            preemption: preemption_from_env(),
+            ..SchedulerConfig::from_env(pool_pages)
         };
         Self {
             inner: Scheduler::new(exec, scfg),
         }
     }
 
-    /// Enqueues a request.
-    pub fn submit(&mut self, req: Request) {
-        self.inner.submit(req);
+    /// Enqueues a request (a flat [`Request`] or a full [`RequestSpec`]) and
+    /// returns its lifecycle handle.
+    pub fn submit(&mut self, req: impl Into<RequestSpec>) -> RequestHandle {
+        self.inner.submit(req)
     }
 
     /// Requests waiting for admission.
@@ -1370,12 +2134,8 @@ mod tests {
         Arc::new(ModelWeights::random(&ModelConfig::tiny(), 5))
     }
 
-    fn request(id: u64, len: usize, gen: usize) -> Request {
-        Request {
-            id,
-            prompt: (0..len).map(|i| (i % 90) as u32).collect(),
-            max_new_tokens: gen,
-        }
+    fn request(id: u64, len: usize, gen: usize) -> RequestSpec {
+        RequestSpec::new(id, (0..len).map(|i| (i % 90) as u32).collect()).max_new_tokens(gen)
     }
 
     fn scheduler(cfg: EngineConfig, scfg: SchedulerConfig) -> Scheduler {
@@ -1421,12 +2181,19 @@ mod tests {
     #[test]
     fn oversized_request_rejected_not_deadlocked() {
         let mut srv = ServingEngine::new(weights(), EngineConfig::dense(), 16);
-        srv.submit(request(1, 512, 4)); // needs ~40 pages, can never fit in 16
+        let h1 = srv.submit(request(1, 512, 4)); // needs ~40 pages, can never fit in 16
         srv.submit(request(2, 4, 2));
         let r = srv.run_to_completion(1000);
         assert_eq!(r.rejected, vec![1]);
+        assert_eq!(r.rejections, vec![(1, RejectReason::TooLarge)]);
         assert_eq!(r.completed.len(), 1);
         assert_eq!(r.completed[0].0, 2);
+        assert_eq!(
+            h1.drain_events(),
+            vec![ServingEvent::Rejected {
+                reason: RejectReason::TooLarge
+            }]
+        );
     }
 
     #[test]
@@ -1457,6 +2224,7 @@ mod tests {
         srv.submit(request(2, 4, 3));
         let r = srv.run_to_completion(1000);
         assert_eq!(r.rejected, vec![1]);
+        assert_eq!(r.rejections, vec![(1, RejectReason::EmptyPrompt)]);
         assert_eq!(r.completed.len(), 1);
         assert!(r.scheduler_steps < 100, "must not spin to the step cap");
     }
@@ -1607,14 +2375,10 @@ mod tests {
     }
 
     /// Builds a request whose prompt is `shared ++ suffix`.
-    fn extend(shared: &[u32], suffix: &[u32], id: u64, gen: usize) -> Request {
+    fn extend(shared: &[u32], suffix: &[u32], id: u64, gen: usize) -> RequestSpec {
         let mut prompt = shared.to_vec();
         prompt.extend_from_slice(suffix);
-        Request {
-            id,
-            prompt,
-            max_new_tokens: gen,
-        }
+        RequestSpec::new(id, prompt).max_new_tokens(gen)
     }
 
     fn shared_tokens(len: usize) -> Vec<u32> {
@@ -1701,11 +2465,7 @@ mod tests {
         let mut prompt2 = turn1.prompt.clone();
         prompt2.extend_from_slice(&generated);
         prompt2.extend_from_slice(&[33, 44, 55, 66]);
-        sched.submit(Request {
-            id: 2,
-            prompt: prompt2,
-            max_new_tokens: 4,
-        });
+        sched.submit(RequestSpec::new(2, prompt2).max_new_tokens(4));
         let r2 = sched.run_to_completion(10_000);
         let m2 = r2.request_metrics.iter().find(|m| m.id == 2).unwrap();
         // The completed-conversation entry covers prompt + generated[..7]: the
@@ -1747,13 +2507,15 @@ mod tests {
         scfg.prefix_cache = true;
         let mut sched = Scheduler::new(Arc::new(ModelExecutor::new(w, cfg)), scfg);
         for id in 0..4u64 {
-            sched.submit(Request {
-                id,
-                prompt: (0..24)
-                    .map(|t| ((t * 7 + id as usize * 13) % 90) as u32)
-                    .collect(),
-                max_new_tokens: 6,
-            });
+            sched.submit(
+                RequestSpec::new(
+                    id,
+                    (0..24)
+                        .map(|t| ((t * 7 + id as usize * 13) % 90) as u32)
+                        .collect(),
+                )
+                .max_new_tokens(6),
+            );
         }
         let r = sched.run_to_completion(100_000);
         assert_eq!(r.completed.len(), 4, "rejected: {:?}", r.rejected);
@@ -1873,10 +2635,497 @@ mod tests {
         );
         assert_eq!(m1.tokens, 6);
         assert_eq!(m2.tokens, 6);
+        assert_eq!(m1.finish, FinishReason::Length);
+        assert_eq!(m1.class, SloClass::Batch);
+        assert_eq!(m1.deadline_met, None);
         // Decode proceeds one token per iteration once feeding is done (the first
         // iteration emits two tokens — feed completion plus one decode — so the
         // mean sits just below 1).
         assert!(m2.mean_tbt_iters() > 0.0 && m2.mean_tbt_iters() <= 1.0);
         assert_eq!(m1.preemptions + m2.preemptions, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Handle-lifecycle, SLO-class, and stop-condition tests (the new API).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn spec_builder_and_request_conversion() {
+        let spec = RequestSpec::new(3, vec![1, 2])
+            .max_new_tokens(9)
+            .class(SloClass::BestEffort)
+            .deadline_work_tokens(77)
+            .stop_token(5)
+            .stop_sequence(vec![6, 7])
+            .session(11);
+        assert_eq!(spec.max_new_tokens, 9);
+        assert_eq!(spec.class, SloClass::BestEffort);
+        assert_eq!(spec.deadline_work_tokens, Some(77));
+        assert_eq!(spec.stop_tokens, vec![5]);
+        assert_eq!(spec.stop_sequences, vec![vec![6, 7]]);
+        assert_eq!(spec.session, Some(11));
+        let from_req: RequestSpec = Request {
+            id: 4,
+            prompt: vec![9],
+            max_new_tokens: 3,
+        }
+        .into();
+        assert_eq!(from_req, RequestSpec::new(4, vec![9]).max_new_tokens(3));
+    }
+
+    #[test]
+    fn handle_streams_events_in_lifecycle_order() {
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 8;
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        let handle = sched.submit(request(1, 20, 5));
+        assert_eq!(handle.id(), 1);
+        assert!(!handle.is_terminal());
+        let mut events = Vec::new();
+        while !handle.is_terminal() {
+            sched.step();
+            events.extend(handle.drain_events());
+        }
+        events.extend(handle.drain_events());
+        assert_eq!(events.first(), Some(&ServingEvent::Admitted));
+        let streamed: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                ServingEvent::FirstToken { token } | ServingEvent::Token { token } => Some(*token),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(streamed.len(), 5);
+        match events.last() {
+            Some(ServingEvent::Finished {
+                reason: FinishReason::Length,
+                tokens,
+            }) => assert_eq!(tokens, &streamed),
+            other => panic!("expected Finished(Length), got {other:?}"),
+        }
+        // Exactly one FirstToken, before every Token.
+        let first_pos = events
+            .iter()
+            .position(|e| matches!(e, ServingEvent::FirstToken { .. }))
+            .expect("first token streamed");
+        assert!(events
+            .iter()
+            .enumerate()
+            .all(|(i, e)| !matches!(e, ServingEvent::Token { .. }) || i > first_pos));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, ServingEvent::FirstToken { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn duplicate_id_rejected_with_reason_original_untouched() {
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 8;
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        let h1 = sched.submit(request(1, 12, 4));
+        let h_dup = sched.submit(request(1, 6, 2));
+        assert!(h_dup.is_terminal(), "duplicate rejected at submit time");
+        assert_eq!(
+            h_dup.drain_events(),
+            vec![ServingEvent::Rejected {
+                reason: RejectReason::DuplicateId
+            }]
+        );
+        let r = sched.run_to_completion(10_000);
+        assert_eq!(r.completed.len(), 1);
+        assert_eq!(r.completed[0].1.len(), 4, "original request served intact");
+        assert!(r.rejected.is_empty(), "admission-level rejects unaffected");
+        assert_eq!(r.rejections, vec![(1, RejectReason::DuplicateId)]);
+        assert!(h1.is_terminal());
+        // A terminal id stays taken: re-submitting after completion is still a
+        // duplicate (ids are unique across the scheduler's lifetime).
+        let h_dup2 = sched.submit(request(1, 6, 2));
+        assert_eq!(
+            h_dup2.drain_events(),
+            vec![ServingEvent::Rejected {
+                reason: RejectReason::DuplicateId
+            }]
+        );
+    }
+
+    #[test]
+    fn stop_token_truncates_output_and_is_never_streamed() {
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 8;
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        sched.submit(request(1, 20, 8));
+        let reference = sched.run_to_completion(10_000).completed[0].1.clone();
+        assert_eq!(reference.len(), 8);
+        let stop_at = 4;
+        let stop = reference[stop_at];
+        // Guard against an earlier occurrence making the expectation ambiguous.
+        assert!(!reference[..stop_at].contains(&stop));
+
+        let mut sched2 = scheduler(EngineConfig::lserve_fp16(), scfg);
+        let handle = sched2.submit(request(2, 20, 8).stop_token(stop));
+        let r = sched2.run_to_completion(10_000);
+        assert_eq!(r.completed[0].1, reference[..stop_at].to_vec());
+        let m = r.request_metrics[0];
+        assert_eq!(m.finish, FinishReason::StopToken);
+        assert_eq!(m.tokens, stop_at);
+        let events = handle.drain_events();
+        assert!(
+            events
+                .iter()
+                .all(|e| !matches!(e, ServingEvent::FirstToken { token } | ServingEvent::Token { token } if *token == stop)),
+            "the stop token must never be streamed"
+        );
+        match events.last() {
+            Some(ServingEvent::Finished { reason, tokens }) => {
+                assert_eq!(*reason, FinishReason::StopToken);
+                assert_eq!(tokens, &reference[..stop_at].to_vec());
+            }
+            other => panic!("expected Finished, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stop_sequence_completes_inclusively() {
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 8;
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        sched.submit(request(1, 20, 8));
+        let reference = sched.run_to_completion(10_000).completed[0].1.clone();
+        let stop_seq = reference[3..5].to_vec();
+
+        let mut sched2 = scheduler(EngineConfig::lserve_fp16(), scfg);
+        sched2.submit(request(2, 20, 8).stop_sequence(stop_seq.clone()));
+        let r = sched2.run_to_completion(10_000);
+        // Inclusive semantics: output ends with the matched sequence (its
+        // tokens were already streamed when the match completed).
+        let out = &r.completed[0].1;
+        assert!(out.ends_with(&stop_seq));
+        assert_eq!(out, &reference[..5].to_vec());
+        assert_eq!(r.request_metrics[0].finish, FinishReason::StopSequence);
+    }
+
+    #[test]
+    fn interactive_class_jumps_queue_and_batch_still_completes() {
+        // Serialized admission (max_batch 1): under class-aware scheduling the
+        // interactive request submitted *after* two batch requests runs first.
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 8;
+        scfg.max_batch = 1;
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        sched.submit(request(1, 24, 6));
+        sched.submit(request(2, 24, 6));
+        sched.submit(request(3, 8, 4).class(SloClass::Interactive));
+        let r = sched.run_to_completion(10_000);
+        assert_eq!(r.completed.len(), 3);
+        let m3 = r.request_metrics.iter().find(|m| m.id == 3).unwrap();
+        let m2 = r.request_metrics.iter().find(|m| m.id == 2).unwrap();
+        assert!(
+            m3.ttft_work_tokens < m2.ttft_work_tokens,
+            "interactive must not wait behind queued batch traffic: {} vs {}",
+            m3.ttft_work_tokens,
+            m2.ttft_work_tokens
+        );
+        // Class-blind FCFS instead serves arrival order.
+        let mut blind_cfg = scfg;
+        blind_cfg.class_aware = false;
+        let mut blind = scheduler(EngineConfig::lserve_fp16(), blind_cfg);
+        blind.submit(request(1, 24, 6));
+        blind.submit(request(2, 24, 6));
+        blind.submit(request(3, 8, 4).class(SloClass::Interactive));
+        let rb = blind.run_to_completion(10_000);
+        let b3 = rb.request_metrics.iter().find(|m| m.id == 3).unwrap();
+        assert!(
+            b3.ttft_work_tokens > m3.ttft_work_tokens,
+            "class-aware scheduling must beat FCFS for the interactive request"
+        );
+        // Identical outputs under both orderings (determinism).
+        assert_eq!(r.completed, rb.completed);
+    }
+
+    #[test]
+    fn deadline_edf_orders_within_class() {
+        // Two batch requests; the later arrival carries a tight deadline and
+        // must be admitted first under serialized admission.
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 8;
+        scfg.max_batch = 1;
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        sched.submit(request(1, 24, 6));
+        sched.submit(request(2, 24, 6).deadline_work_tokens(40));
+        let r = sched.run_to_completion(10_000);
+        let m1 = r.request_metrics.iter().find(|m| m.id == 1).unwrap();
+        let m2 = r.request_metrics.iter().find(|m| m.id == 2).unwrap();
+        assert!(
+            m2.ttft_work_tokens < m1.ttft_work_tokens,
+            "EDF must serve the tight deadline first: {} vs {}",
+            m2.ttft_work_tokens,
+            m1.ttft_work_tokens
+        );
+        assert_eq!(m2.deadline_work_tokens, Some(40));
+        assert_eq!(m2.deadline_met, Some(m2.ttft_work_tokens <= 40));
+        let (met, total) = r.deadlines();
+        assert_eq!(total, 1);
+        assert_eq!(met == 1, m2.deadline_met == Some(true));
+    }
+
+    #[test]
+    fn cancel_mid_flight_releases_pages_and_survivor_matches_solo() {
+        let w = weights();
+        let cfg = EngineConfig::dense();
+        // Solo reference for the survivor.
+        let mut solo_cfg = SchedulerConfig::new(8192);
+        solo_cfg.chunk_tokens = 8;
+        let mut solo = Scheduler::new(
+            Arc::new(ModelExecutor::new(Arc::clone(&w), cfg.clone())),
+            solo_cfg,
+        );
+        solo.submit(request(2, 30, 10));
+        let want = solo.run_to_completion(10_000).completed[0].1.clone();
+
+        let mut scfg = SchedulerConfig::new(8192);
+        scfg.chunk_tokens = 8;
+        let mut sched = Scheduler::new(Arc::new(ModelExecutor::new(w, cfg)), scfg);
+        let victim = sched.submit(request(1, 40, 20));
+        sched.submit(request(2, 30, 10));
+        for _ in 0..4 {
+            sched.step();
+        }
+        victim.cancel();
+        victim.cancel(); // idempotent
+        let r = sched.run_to_completion(10_000);
+        assert_eq!(r.completed.len(), 1);
+        assert_eq!(r.completed[0], (2, want));
+        assert_eq!(r.cancelled.len(), 1);
+        assert_eq!(r.cancelled[0].0, 1);
+        assert_eq!(sched.pool_in_use(), 0, "cancelled pages must be released");
+        match sched.status(1) {
+            Some(RequestStatus::Cancelled(tokens)) => assert_eq!(tokens, r.cancelled[0].1),
+            other => panic!("expected cancelled, got {other:?}"),
+        }
+        match victim.drain_events().last() {
+            Some(ServingEvent::Cancelled { tokens }) => assert_eq!(tokens, &r.cancelled[0].1),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_queued_request_never_runs() {
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 8;
+        scfg.max_batch = 1;
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        sched.submit(request(1, 24, 30));
+        let queued = sched.submit(request(2, 24, 4));
+        sched.step();
+        assert_eq!(sched.status(2), Some(RequestStatus::Queued));
+        queued.cancel();
+        let r = sched.run_to_completion(10_000);
+        assert_eq!(r.completed.len(), 1);
+        assert_eq!(r.cancelled, vec![(2, vec![])]);
+        assert_eq!(
+            queued.drain_events(),
+            vec![ServingEvent::Cancelled { tokens: vec![] }]
+        );
+    }
+
+    #[test]
+    fn cancel_donates_completed_prefix_to_cache() {
+        let cfg = EngineConfig::lserve_fp16();
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 8;
+        scfg.prefix_cache = true;
+        let mut sched = scheduler(cfg, scfg);
+        let handle = sched.submit(request(1, 48, 20));
+        // Step until the prompt is partially fed, then cancel mid-flight.
+        for _ in 0..3 {
+            sched.step();
+        }
+        handle.cancel();
+        sched.step();
+        assert!(handle.is_terminal());
+        assert!(
+            sched.prefix_cache_entries() > 0,
+            "cancellation must donate the completed prefix"
+        );
+        // A follow-up with the same prompt starts warm from the donation.
+        sched.submit(request(2, 48, 4));
+        let r = sched.run_to_completion(10_000);
+        let m2 = r.request_metrics.iter().find(|m| m.id == 2).unwrap();
+        assert!(
+            m2.cached_prompt_tokens > 0,
+            "follow-up must hit the cancelled request's donated prefix"
+        );
+        sched.flush_prefix_cache();
+        assert_eq!(sched.pool_in_use(), 0);
+        assert_eq!(sched.pool_cold_in_use(), 0);
+    }
+
+    #[test]
+    fn cancel_swapped_queued_victim_releases_cold_pages() {
+        // Drive a victim into the swap-parked state, cancel it there, and
+        // verify both tiers drain.
+        let w = weights();
+        let cfg = EngineConfig::dense();
+        let m = &w.config;
+        let one_seq_pages = m.num_layers * m.num_kv_heads * (cfg.paging.pages_for(70) + 1);
+        let mut scfg = SchedulerConfig::new(one_seq_pages + 2);
+        scfg.chunk_tokens = 16;
+        scfg.admission = AdmissionPolicy::FirstChunk;
+        scfg.preemption = PreemptionPolicy::Swap;
+        let mut sched = Scheduler::new(Arc::new(ModelExecutor::new(w, cfg)), scfg);
+        let h1 = sched.submit(request(1, 60, 10));
+        let h2 = sched.submit(request(2, 60, 10));
+        // Run until one of them has been swap-preempted.
+        for _ in 0..200 {
+            sched.step();
+            if sched.pool_cold_in_use() > 0 {
+                break;
+            }
+        }
+        assert!(sched.pool_cold_in_use() > 0, "no swap-out happened");
+        let parked = if matches!(sched.status(1), Some(RequestStatus::Queued)) {
+            &h1
+        } else {
+            assert_eq!(sched.status(2), Some(RequestStatus::Queued));
+            &h2
+        };
+        parked.cancel();
+        let r = sched.run_to_completion(10_000);
+        assert_eq!(r.completed.len() + r.cancelled.len(), 2);
+        assert_eq!(r.cancelled.len(), 1);
+        assert_eq!(sched.pool_in_use(), 0);
+        assert_eq!(sched.pool_cold_in_use(), 0, "cold pages must drain");
+    }
+
+    #[test]
+    fn session_continues_prior_turn() {
+        let cfg = EngineConfig::lserve_fp16();
+        let mut scfg = SchedulerConfig::new(8192);
+        scfg.chunk_tokens = 8;
+        scfg.prefix_cache = true;
+        let mut sched = scheduler(cfg.clone(), scfg);
+        let turn1 = request(1, 32, 8).session(7);
+        sched.submit(turn1.clone());
+        let r1 = sched.run_to_completion(10_000);
+        let out1 = r1.completed[0].1.clone();
+        // Turn 2 carries only the *new* tokens; the session store prepends the
+        // recorded conversation.
+        let new_tokens = vec![33u32, 44, 55, 66];
+        sched.submit(
+            RequestSpec::new(2, new_tokens.clone())
+                .max_new_tokens(4)
+                .session(7),
+        );
+        let r2 = sched.run_to_completion(10_000);
+        let out2 = r2
+            .completed
+            .iter()
+            .find(|(id, _)| *id == 2)
+            .unwrap()
+            .1
+            .clone();
+        let m2 = r2.request_metrics.iter().find(|m| m.id == 2).unwrap();
+        assert!(
+            m2.cached_prompt_tokens > 0,
+            "session turn must start warm from the donated conversation"
+        );
+        // Reference: a fresh scheduler fed the concatenated conversation
+        // explicitly produces the same tokens.
+        let mut fresh_cfg = SchedulerConfig::new(8192);
+        fresh_cfg.chunk_tokens = 8;
+        let mut fresh = scheduler(cfg, fresh_cfg);
+        let mut full_prompt = turn1.prompt.clone();
+        full_prompt.extend_from_slice(&out1);
+        full_prompt.extend_from_slice(&new_tokens);
+        fresh.submit(RequestSpec::new(9, full_prompt).max_new_tokens(4));
+        let want = fresh.run_to_completion(10_000).completed[0].1.clone();
+        assert_eq!(
+            out2, want,
+            "session continuation must match explicit concat"
+        );
+    }
+
+    /// Small pages so the two sequences' hot footprints actually differ in
+    /// page counts at toy context lengths.
+    fn small_page_dense() -> EngineConfig {
+        let mut cfg = EngineConfig::dense();
+        cfg.paging = lserve_kvcache::PagingConfig::new(8, 4, lserve_quant::KvPrecision::Fp16);
+        cfg.prefill_tile = 8;
+        cfg
+    }
+
+    #[test]
+    fn swap_victim_choice_prefers_fewest_sole_owned_hot_pages() {
+        // Two running sequences of very different page footprints: under Swap
+        // the cheap victim (fewer sole-owned hot pages) is chosen, under
+        // Replay the least entitled (latest arrival).
+        let run = |policy: PreemptionPolicy| {
+            let mut scfg = SchedulerConfig::new(8192);
+            scfg.chunk_tokens = 64;
+            scfg.preemption = policy;
+            let mut sched = scheduler(small_page_dense(), scfg);
+            sched.submit(request(1, 60, 10)); // large context, earliest arrival
+            sched.submit(request(2, 8, 10)); // small context
+            sched.step(); // both admitted and prefilled (chunk covers both)
+            assert_eq!(sched.running(), 2);
+            let victim = sched.pick_victim(None).expect("two candidates");
+            sched.running[victim].core.spec.id
+        };
+        assert_eq!(
+            run(PreemptionPolicy::Swap),
+            2,
+            "swap must pick the cheapest victim (fewest sole-owned hot pages)"
+        );
+        assert_eq!(
+            run(PreemptionPolicy::Replay),
+            2,
+            "replay picks the least entitled (latest) arrival"
+        );
+        // With the arrivals reversed — the large sequence arriving last — the
+        // two policies diverge: replay still takes the latest arrival (the
+        // large one), swap takes the cheap one.
+        let run_rev = |policy: PreemptionPolicy| {
+            let mut scfg = SchedulerConfig::new(8192);
+            scfg.chunk_tokens = 64;
+            scfg.preemption = policy;
+            let mut sched = scheduler(small_page_dense(), scfg);
+            sched.submit(request(1, 8, 10)); // small context, earliest arrival
+            sched.submit(request(2, 60, 10)); // large context, latest arrival
+            sched.step();
+            assert_eq!(sched.running(), 2);
+            let victim = sched.pick_victim(None).expect("two candidates");
+            sched.running[victim].core.spec.id
+        };
+        assert_eq!(run_rev(PreemptionPolicy::Replay), 2);
+        assert_eq!(
+            run_rev(PreemptionPolicy::Swap),
+            1,
+            "swap-cost choice must override arrival order"
+        );
+    }
+
+    #[test]
+    fn victim_selection_spares_interactive_class() {
+        // An interactive sequence is never preempted while a batch sequence
+        // runs, regardless of arrival order or page footprint.
+        for policy in [PreemptionPolicy::Replay, PreemptionPolicy::Swap] {
+            let mut scfg = SchedulerConfig::new(8192);
+            scfg.chunk_tokens = 64;
+            scfg.preemption = policy;
+            let mut sched = scheduler(EngineConfig::dense(), scfg);
+            sched.submit(request(1, 8, 10).class(SloClass::Interactive));
+            sched.submit(request(2, 60, 10)); // batch, huge footprint
+            sched.step();
+            assert_eq!(sched.running(), 2);
+            let victim = sched.pick_victim(None).expect("two candidates");
+            assert_eq!(
+                sched.running[victim].core.spec.id, 2,
+                "the batch sequence must lose under {policy:?}"
+            );
+        }
     }
 }

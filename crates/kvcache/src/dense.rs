@@ -197,6 +197,16 @@ impl DenseHeadCache {
     pub fn cold_pages(&self, pool: &PagePool) -> usize {
         self.pages.iter().filter(|&&id| !pool.is_hot(id)).count()
     }
+
+    /// Pages this head holds that are both sole-owned and hot — exactly what a
+    /// swap-out ([`DenseHeadCache::demote_all`]) would move, and therefore the
+    /// per-head transfer cost a cost-aware victim selector should charge.
+    pub fn sole_owned_hot_pages(&self, pool: &PagePool) -> usize {
+        self.pages
+            .iter()
+            .filter(|&&id| pool.refcount(id) == 1 && pool.is_hot(id))
+            .count()
+    }
 }
 
 #[cfg(test)]

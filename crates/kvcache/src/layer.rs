@@ -106,6 +106,15 @@ impl HeadCache {
         }
     }
 
+    /// Pages this head retains that are both sole-owned and hot — the pages a
+    /// swap-out would actually move.
+    pub fn sole_owned_hot_pages(&self, pool: &PagePool) -> usize {
+        match self {
+            HeadCache::Dense(c) => c.sole_owned_hot_pages(pool),
+            HeadCache::Streaming(c) => c.sole_owned_hot_pages(pool),
+        }
+    }
+
     /// Borrow the dense cache.
     ///
     /// # Panics
@@ -292,6 +301,15 @@ impl LayerKvCache {
     /// Pages of this layer currently in the cold tier, across all heads.
     pub fn cold_pages(&self, pool: &PagePool) -> usize {
         self.heads.iter().map(|h| h.cold_pages(pool)).sum()
+    }
+
+    /// Pages of this layer that are both sole-owned and hot, across all heads —
+    /// the exact page traffic a full-layer swap-out would generate.
+    pub fn sole_owned_hot_pages(&self, pool: &PagePool) -> usize {
+        self.heads
+            .iter()
+            .map(|h| h.sole_owned_hot_pages(pool))
+            .sum()
     }
 
     /// Tokens stored (identical across heads by construction; reported from head 0).

@@ -272,6 +272,14 @@ impl StreamingHeadCache {
     pub fn cold_pages(&self, pool: &PagePool) -> usize {
         self.retained_ids().filter(|&id| !pool.is_hot(id)).count()
     }
+
+    /// Retained pages that are both sole-owned and hot — exactly what a
+    /// swap-out ([`StreamingHeadCache::demote_all`]) would move.
+    pub fn sole_owned_hot_pages(&self, pool: &PagePool) -> usize {
+        self.retained_ids()
+            .filter(|&id| pool.refcount(id) == 1 && pool.is_hot(id))
+            .count()
+    }
 }
 
 #[cfg(test)]

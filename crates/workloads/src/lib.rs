@@ -26,6 +26,9 @@
 //!   KV demand exceeds the hot tier, the traffic shape that exercises the
 //!   tiered KV memory (swap-based preemption vs replay, selection-driven
 //!   demotion).
+//! * [`slo_mix`] — long batch prompts with short interactive requests arriving
+//!   behind them, the traffic shape that makes SLO-class-aware admission and
+//!   victim selection pay off (interactive TTFT vs class-blind FCFS).
 
 pub mod gates;
 pub mod longbench;
@@ -33,6 +36,7 @@ pub mod niah;
 pub mod overcommit;
 pub mod ruler;
 pub mod shared_prefix;
+pub mod slo_mix;
 
 pub use gates::{duo_gates, HeadProfile};
 pub use longbench::{longbench_tasks, LongBenchTask};
@@ -42,3 +46,4 @@ pub use ruler::{DriftingQueries, MultiNeedleCase};
 pub use shared_prefix::{
     multi_turn_workload, shared_prefix_workload, PromptSpec, SharedPrefixConfig,
 };
+pub use slo_mix::{slo_mix_workload, SloMixConfig, SloMixRequest};

@@ -1,5 +1,6 @@
-//! Quickstart: build an LServe engine, prefill a prompt, generate tokens, and
-//! inspect the sparsity the engine actually exercised.
+//! Quickstart: build an LServe scheduler, submit a streaming request through
+//! the handle-based API, watch its lifecycle events, and check the latency
+//! metrics (TTFT in work tokens, deadline) the run reports.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -7,7 +8,9 @@
 
 use std::sync::Arc;
 
-use lserve::core::{Engine, EngineConfig};
+use lserve::core::{
+    EngineConfig, ModelExecutor, RequestSpec, Scheduler, SchedulerConfig, ServingEvent, SloClass,
+};
 use lserve::model::{ModelConfig, ModelWeights};
 
 fn main() {
@@ -19,32 +22,64 @@ fn main() {
     // LServe policy: 50% streaming heads, hierarchical paging, a dynamic token
     // budget, selector reuse interval 4. `lserve_fp16` keeps KV in FP16 so the only
     // approximation is sparsity. The geometry is scaled to the tiny model (8-token
-    // physical pages, 4-token logical pages, 64-token budget) so a 160-token run
+    // physical pages, 4-token logical pages, 64-token budget) so a 96-token prompt
     // already exercises every sparsity path.
     let mut cfg = EngineConfig::lserve_fp16();
     cfg.paging = lserve::kvcache::PagingConfig::new(8, 4, lserve::quant::KvPrecision::Fp16);
     cfg.dynamic_budget = Some(64);
     cfg.prefill_tile = 8;
-    let mut pool = cfg.make_pool_for(&model, 512);
-    let mut engine = Engine::new(Arc::clone(&weights), cfg);
+    let exec = Arc::new(ModelExecutor::new(Arc::clone(&weights), cfg));
 
+    // The serving surface: a continuous-batching scheduler over a shared page
+    // pool. Submitting a RequestSpec returns a handle whose event queue
+    // streams the request's lifecycle as `step()` produces it.
+    let mut scfg = SchedulerConfig::new(512);
+    scfg.chunk_tokens = 16; // the prompt prefills in 16-token chunks
+    let mut sched = Scheduler::new(Arc::clone(&exec), scfg);
     let prompt: Vec<u32> = (0..96).map(|i| (1 + i % 90) as u32).collect();
-    let generated = engine
-        .generate(&mut pool, &prompt, 24)
-        .expect("pool sized for this sequence");
+    let handle = sched.submit(
+        RequestSpec::new(1, prompt.clone())
+            .max_new_tokens(24)
+            .class(SloClass::Interactive) // jumps queued batch traffic
+            .deadline_work_tokens(300), // TTFT SLO, in work tokens
+    );
+
+    let mut generated = Vec::new();
+    while !handle.is_terminal() {
+        sched.step();
+        for event in handle.drain_events() {
+            match event {
+                ServingEvent::Admitted => println!("admitted; prefilling in chunks"),
+                ServingEvent::FirstToken { token } | ServingEvent::Token { token } => {
+                    generated.push(token);
+                }
+                ServingEvent::Finished { reason, tokens } => {
+                    println!(
+                        "finished ({reason:?}): prompt ({} tokens) -> generated {tokens:?}",
+                        prompt.len()
+                    );
+                }
+                other => println!("{other:?}"),
+            }
+        }
+    }
+    let report = sched.report_snapshot();
+    let metrics = report.request_metrics[0];
     println!(
-        "prompt ({} tokens) -> generated {:?}",
-        prompt.len(),
-        generated
+        "TTFT {} work tokens (deadline 300 met: {}), {} tokens streamed",
+        metrics.ttft_work_tokens,
+        metrics.deadline_met == Some(true),
+        generated.len(),
     );
 
     // Compare against the dense engine: same weights, no sparsity.
     let dense_cfg = EngineConfig::dense();
-    let mut dense_pool = dense_cfg.make_pool_for(&model, 512);
-    let mut dense = Engine::new(weights, dense_cfg);
-    let reference = dense
-        .generate(&mut dense_pool, &prompt, 24)
-        .expect("pool sized");
+    let mut dense_sched = Scheduler::new(
+        Arc::new(ModelExecutor::new(weights, dense_cfg)),
+        SchedulerConfig::new(2048),
+    );
+    dense_sched.submit(RequestSpec::new(1, prompt).max_new_tokens(24));
+    let reference = dense_sched.run_to_completion(10_000).completed[0].1.clone();
     let agree = generated
         .iter()
         .zip(&reference)
@@ -54,20 +89,9 @@ fn main() {
         "dense agreement: {agree}/24 tokens (random weights + an aggressive 64-token \
 budget diverge quickly; trained models tolerate sparsity far better — Table 2)"
     );
-
-    let stats = engine.stats();
     println!(
-        "prefill block sparsity: {:.1}% of causal tiles skipped",
-        100.0 * stats.prefill_sparsity()
-    );
-    println!(
-        "decode page sparsity:   {:.1}% of pages skipped ({} steps)",
-        100.0 * stats.decode_sparsity(),
-        stats.decode_steps
-    );
-    println!(
-        "pool usage: {} pages in use, peak {}",
-        pool.in_use(),
-        pool.peak_in_use()
+        "pool usage after drain: {} pages in use, peak {}",
+        sched.pool_in_use(),
+        report.peak_pages
     );
 }

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use lserve::core::{Engine, EngineConfig, Request, SelectorKind, ServingEngine};
+use lserve::core::{Engine, EngineConfig, RequestSpec, SelectorKind, ServingEngine};
 use lserve::kvcache::PagingConfig;
 use lserve::model::{greedy_next_token, reference_forward_full, ModelConfig, ModelWeights};
 use lserve::quant::KvPrecision;
@@ -142,11 +142,7 @@ fn serving_matches_single_engine_for_every_policy() {
         let prompt: Vec<u32> = (0..20).map(|i| (i % 90) as u32).collect();
         let standalone = generate(cfg.clone(), &w, &prompt, 10);
         let mut srv = ServingEngine::new(Arc::clone(&w), cfg, 4096);
-        srv.submit(Request {
-            id: 9,
-            prompt: prompt.clone(),
-            max_new_tokens: 10,
-        });
+        srv.submit(RequestSpec::new(9, prompt.clone()).max_new_tokens(10));
         let report = srv.run_to_completion(10_000);
         assert_eq!(report.completed[0].1, standalone);
     }
@@ -157,11 +153,10 @@ fn serving_under_pressure_completes_everything() {
     let w = weights(7);
     let mut srv = ServingEngine::new(Arc::clone(&w), EngineConfig::lserve_fp16(), 200);
     for id in 0..10 {
-        srv.submit(Request {
-            id,
-            prompt: (0..16 + id as usize).map(|i| (i % 90) as u32).collect(),
-            max_new_tokens: 8,
-        });
+        srv.submit(
+            RequestSpec::new(id, (0..16 + id as usize).map(|i| (i % 90) as u32).collect())
+                .max_new_tokens(8),
+        );
     }
     let report = srv.run_to_completion(100_000);
     assert_eq!(report.completed.len(), 10);

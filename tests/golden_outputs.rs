@@ -24,7 +24,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use lserve::core::{
-    AdmissionPolicy, EngineConfig, ModelExecutor, Request, Scheduler, SchedulerConfig,
+    AdmissionPolicy, EngineConfig, ModelExecutor, RequestSpec, Scheduler, SchedulerConfig,
 };
 use lserve::kvcache::PagingConfig;
 use lserve::model::{ModelConfig, ModelWeights};
@@ -75,15 +75,17 @@ fn small_scale(mut cfg: EngineConfig, precision: KvPrecision) -> EngineConfig {
 
 /// Deterministic request set: three prompts of different lengths, long enough
 /// to cross several chunk/tile boundaries and trigger dynamic selection.
-fn requests() -> Vec<Request> {
+fn requests() -> Vec<RequestSpec> {
     [(1u64, 40usize), (2, 29), (3, 52)]
         .into_iter()
-        .map(|(id, len)| Request {
-            id,
-            prompt: (0..len)
-                .map(|t| ((t * 7 + id as usize * 13) % 90) as u32)
-                .collect(),
-            max_new_tokens: 12,
+        .map(|(id, len)| {
+            RequestSpec::new(
+                id,
+                (0..len)
+                    .map(|t| ((t * 7 + id as usize * 13) % 90) as u32)
+                    .collect(),
+            )
+            .max_new_tokens(12)
         })
         .collect()
 }

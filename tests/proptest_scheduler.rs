@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use lserve::core::{
     sequence_pages_estimate, AdmissionPolicy, EngineConfig, ModelExecutor, PreemptionPolicy,
-    Request, Scheduler, SchedulerConfig,
+    RequestSpec, Scheduler, SchedulerConfig, ServingEvent,
 };
 use lserve::kvcache::PagingConfig;
 use lserve::model::{ModelConfig, ModelWeights};
@@ -35,7 +35,7 @@ fn small_page_cfg() -> EngineConfig {
 
 use sequence_pages_estimate as estimate;
 
-fn run_solo(cfg: &EngineConfig, w: &Arc<ModelWeights>, chunk: usize, req: Request) -> Vec<u32> {
+fn run_solo(cfg: &EngineConfig, w: &Arc<ModelWeights>, chunk: usize, req: RequestSpec) -> Vec<u32> {
     // Fresh, generously sized pool; same chunk size as the batched run so the
     // tile-prefill boundary is identical.
     let pool_pages = estimate(cfg, &w.config, req.prompt.len() + req.max_new_tokens) * 2 + 16;
@@ -61,22 +61,10 @@ fn run_solo(cfg: &EngineConfig, w: &Arc<ModelWeights>, chunk: usize, req: Reques
 fn forced_preemption_and_chunked_prefill_match_solo_runs() {
     let w = weights(41);
     let cfg = small_page_cfg();
-    let requests: Vec<Request> = vec![
-        Request {
-            id: 1,
-            prompt: (0..52).map(|i| (i % 90) as u32).collect(),
-            max_new_tokens: 12,
-        },
-        Request {
-            id: 2,
-            prompt: (0..44).map(|i| ((i * 3) % 90) as u32).collect(),
-            max_new_tokens: 12,
-        },
-        Request {
-            id: 3,
-            prompt: (0..36).map(|i| ((i * 7) % 90) as u32).collect(),
-            max_new_tokens: 12,
-        },
+    let requests: Vec<RequestSpec> = vec![
+        RequestSpec::new(1, (0..52).map(|i| (i % 90) as u32).collect()).max_new_tokens(12),
+        RequestSpec::new(2, (0..44).map(|i| ((i * 3) % 90) as u32).collect()).max_new_tokens(12),
+        RequestSpec::new(3, (0..36).map(|i| ((i * 7) % 90) as u32).collect()).max_new_tokens(12),
     ];
     // Pool: any single request fits with room to spare, all three together do not.
     let single_max = requests
@@ -127,13 +115,15 @@ fn forced_preemption_and_chunked_prefill_match_solo_runs() {
 fn parallel_decode_matches_single_thread_under_preemption() {
     let w = weights(17);
     let cfg = small_page_cfg();
-    let requests: Vec<Request> = (0..3u64)
-        .map(|i| Request {
-            id: i,
-            prompt: (0..30 + 11 * i as usize)
-                .map(|t| ((t * 5 + i as usize * 3) % 90) as u32)
-                .collect(),
-            max_new_tokens: 10,
+    let requests: Vec<RequestSpec> = (0..3u64)
+        .map(|i| {
+            RequestSpec::new(
+                i,
+                (0..30 + 11 * i as usize)
+                    .map(|t| ((t * 5 + i as usize * 3) % 90) as u32)
+                    .collect(),
+            )
+            .max_new_tokens(10)
         })
         .collect();
     let single_max = requests
@@ -202,13 +192,9 @@ proptest! {
             scfg,
         );
         for i in 0..nreq {
-            sched.submit(Request {
-                id: i as u64,
-                prompt: (0..8 + 9 * i + wseed as usize % 7)
+            sched.submit(RequestSpec::new(i as u64, (0..8 + 9 * i + wseed as usize % 7)
                     .map(|t| ((t * (i + 2)) % 90) as u32)
-                    .collect(),
-                max_new_tokens: 4 + i,
-            });
+                    .collect()).max_new_tokens(4 + i));
         }
         let report = sched.run_to_completion(200_000);
         prop_assert_eq!(sched.pool_in_use(), 0, "leaked pages");
@@ -235,14 +221,14 @@ proptest! {
         }
         // A request family sharing a `shared_len`-token prefix with per-request
         // suffixes (the persona/query traffic shape).
-        let requests: Vec<Request> = (0..3u64)
+        let requests: Vec<RequestSpec> = (0..3u64)
             .map(|i| {
                 let mut prompt: Vec<u32> =
                     (0..shared_len).map(|t| ((t * 3 + 1) % 90) as u32).collect();
                 prompt.extend(
                     (0..10 + 4 * i as usize).map(|t| ((t * 7 + i as usize * 11) % 90) as u32),
                 );
-                Request { id: i, prompt, max_new_tokens: 6 }
+                RequestSpec::new(i, prompt).max_new_tokens(6)
             })
             .collect();
         let single_max = requests
@@ -323,13 +309,15 @@ proptest! {
         if demote {
             tiered_cfg.demote_after_chunks = Some(1);
         }
-        let requests: Vec<Request> = (0..3u64)
-            .map(|i| Request {
-                id: i,
-                prompt: (0..26 + 9 * i as usize)
-                    .map(|t| ((t * 3 + i as usize * 7) % 90) as u32)
-                    .collect(),
-                max_new_tokens: 8,
+        let requests: Vec<RequestSpec> = (0..3u64)
+            .map(|i| {
+                RequestSpec::new(
+                    i,
+                    (0..26 + 9 * i as usize)
+                        .map(|t| ((t * 3 + i as usize * 7) % 90) as u32)
+                        .collect(),
+                )
+                .max_new_tokens(8)
             })
             .collect();
         let single_max = requests
@@ -419,14 +407,10 @@ proptest! {
         if quantized {
             cfg.paging = PagingConfig::new(8, 4, KvPrecision::Int4);
         }
-        let requests: Vec<Request> = (0..3u64)
-            .map(|i| Request {
-                id: i,
-                prompt: (0..20 + 9 * i as usize)
+        let requests: Vec<RequestSpec> = (0..3u64)
+            .map(|i| RequestSpec::new(i, (0..20 + 9 * i as usize)
                     .map(|t| ((t * 3 + i as usize * 7) % 90) as u32)
-                    .collect(),
-                max_new_tokens: 6,
-            })
+                    .collect()).max_new_tokens(6))
             .collect();
         let single_max = requests
             .iter()
@@ -472,14 +456,10 @@ proptest! {
         if quantized {
             cfg.paging = PagingConfig::new(8, 4, KvPrecision::Int4);
         }
-        let requests: Vec<Request> = (0..3u64)
-            .map(|i| Request {
-                id: i,
-                prompt: (0..24 + 13 * i as usize)
+        let requests: Vec<RequestSpec> = (0..3u64)
+            .map(|i| RequestSpec::new(i, (0..24 + 13 * i as usize)
                     .map(|t| ((t * 5 + i as usize) % 90) as u32)
-                    .collect(),
-                max_new_tokens: 8,
-            })
+                    .collect()).max_new_tokens(8))
             .collect();
         // Pool always fits the largest single request, plus variable slack: small
         // slack forces preemption, large slack lets everything run concurrently.
@@ -510,6 +490,256 @@ proptest! {
                 .unwrap()
                 .1;
             prop_assert_eq!(got, &want, "request {} diverged", req.id);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Lifecycle determinism (the streaming-API acceptance property):
+    /// cancelling — or stop-sequence-terminating — an arbitrary request
+    /// mid-flight leaves every survivor's output bit-identical to its solo
+    /// run, across FP16/INT4 KV, replay/swap preemption (swap victim choice
+    /// included), and prefix cache on/off. The terminated request itself
+    /// always ends on a clean prefix of its own solo run.
+    #[test]
+    fn cancellation_and_stops_leave_survivors_bit_identical(
+        wseed in 0u64..20,
+        chunk in 3usize..14,
+        slack in 0usize..50,
+        victim_pick in 0usize..3,
+        cancel_step in 1u64..12,
+        quantized in proptest::bool::ANY,
+        swap in proptest::bool::ANY,
+        prefix_cache in proptest::bool::ANY,
+        use_stop in proptest::bool::ANY,
+    ) {
+        let w = weights(wseed);
+        let mut cfg = small_page_cfg();
+        if quantized {
+            cfg.paging = PagingConfig::new(8, 4, KvPrecision::Int4);
+        }
+        let requests: Vec<RequestSpec> = (0..3u64)
+            .map(|i| {
+                RequestSpec::new(
+                    i,
+                    (0..24 + 9 * i as usize)
+                        .map(|t| ((t * 5 + i as usize * 7) % 90) as u32)
+                        .collect(),
+                )
+                .max_new_tokens(8)
+            })
+            .collect();
+        let victim_id = victim_pick as u64;
+        // Per-request solo references (the bit-identity baseline).
+        let solo: Vec<Vec<u32>> = requests
+            .iter()
+            .map(|r| run_solo(&cfg, &w, chunk, r.clone()))
+            .collect();
+        let single_max = requests
+            .iter()
+            .map(|r| estimate(&cfg, &w.config, r.prompt.len() + r.max_new_tokens))
+            .max()
+            .unwrap();
+        let mut scfg = SchedulerConfig::new(single_max + slack);
+        scfg.chunk_tokens = chunk;
+        scfg.admission = AdmissionPolicy::FirstChunk;
+        scfg.prefix_cache = prefix_cache;
+        scfg.preemption = if swap {
+            PreemptionPolicy::Swap
+        } else {
+            PreemptionPolicy::Replay
+        };
+        let mut sched = Scheduler::new(
+            Arc::new(ModelExecutor::new(Arc::clone(&w), cfg.clone())),
+            scfg,
+        );
+        // In stop mode the victim carries a stop sequence drawn from its own
+        // solo output, so it terminates mid-flight through the stop path.
+        let stop_seq: Vec<u32> = solo[victim_pick][1..3].to_vec();
+        let mut handles = Vec::new();
+        for r in &requests {
+            let mut spec = r.clone();
+            if use_stop && r.id == victim_id {
+                spec = spec.stop_sequence(stop_seq.clone());
+            }
+            handles.push(sched.submit(spec));
+        }
+        if !use_stop {
+            for _ in 0..cancel_step {
+                sched.step();
+            }
+            handles[victim_pick].cancel();
+        }
+        let report = sched.run_to_completion(200_000);
+        prop_assert_eq!(
+            report.completed.len() + report.cancelled.len(),
+            3,
+            "every request must reach a terminal state"
+        );
+        for req in &requests {
+            let want = &solo[req.id as usize];
+            if req.id == victim_id {
+                // The terminated request ends on a prefix of its solo run: the
+                // exact stop point for stop sequences, the cancel boundary for
+                // cancellations.
+                let got = report
+                    .completed
+                    .iter()
+                    .chain(report.cancelled.iter())
+                    .find(|(id, _)| *id == req.id)
+                    .map(|(_, t)| t)
+                    .expect("victim reached a terminal state");
+                prop_assert!(
+                    got.len() <= want.len() && &want[..got.len()] == got.as_slice(),
+                    "victim {} diverged from its solo prefix",
+                    req.id
+                );
+                if use_stop {
+                    let expect_len = (1..=want.len())
+                        .find(|&k| want[..k].ends_with(&stop_seq))
+                        .expect("stop sequence drawn from the solo output");
+                    prop_assert_eq!(
+                        got,
+                        &want[..expect_len].to_vec(),
+                        "stop-terminated output must end exactly at the first match"
+                    );
+                }
+                continue;
+            }
+            let got = &report
+                .completed
+                .iter()
+                .find(|(id, _)| *id == req.id)
+                .expect("survivor completed")
+                .1;
+            prop_assert_eq!(
+                got,
+                want,
+                "survivor {} diverged after mid-flight termination of {}",
+                req.id,
+                victim_id
+            );
+        }
+        // Page conservation across both tiers, cache included.
+        sched.flush_prefix_cache();
+        prop_assert_eq!(sched.pool_in_use(), 0, "leaked hot pages");
+        prop_assert_eq!(sched.pool_cold_in_use(), 0, "leaked cold pages");
+    }
+
+    /// Event-stream invariants: for every request — across pool pressure,
+    /// preemption policies, and cancellation — events arrive in lifecycle
+    /// order (`Admitted` first, `FirstToken` exactly once before any `Token`,
+    /// every `Resumed` preceded by a matching `Preempted`, no token events
+    /// while preempted), exactly one terminal event arrives and it is last,
+    /// and the streamed tokens reassemble the terminal event's output.
+    #[test]
+    fn event_streams_follow_lifecycle_order(
+        wseed in 0u64..20,
+        chunk in 3usize..14,
+        slack in 0usize..40,
+        swap in proptest::bool::ANY,
+        cancel_pick in 0usize..4, // 3 = nobody cancelled
+    ) {
+        let w = weights(wseed);
+        let cfg = small_page_cfg();
+        let requests: Vec<RequestSpec> = (0..3u64)
+            .map(|i| {
+                RequestSpec::new(
+                    i,
+                    (0..20 + 9 * i as usize)
+                        .map(|t| ((t * 3 + i as usize) % 90) as u32)
+                        .collect(),
+                )
+                .max_new_tokens(6)
+            })
+            .collect();
+        let single_max = requests
+            .iter()
+            .map(|r| estimate(&cfg, &w.config, r.prompt.len() + r.max_new_tokens))
+            .max()
+            .unwrap();
+        let mut scfg = SchedulerConfig::new(single_max + slack);
+        scfg.chunk_tokens = chunk;
+        scfg.admission = AdmissionPolicy::FirstChunk;
+        scfg.preemption = if swap {
+            PreemptionPolicy::Swap
+        } else {
+            PreemptionPolicy::Replay
+        };
+        let mut sched = Scheduler::new(
+            Arc::new(ModelExecutor::new(Arc::clone(&w), cfg)),
+            scfg,
+        );
+        let handles: Vec<_> = requests.iter().map(|r| sched.submit(r.clone())).collect();
+        if cancel_pick < 3 {
+            sched.step();
+            sched.step();
+            handles[cancel_pick].cancel();
+        }
+        sched.run_to_completion(200_000);
+        for handle in &handles {
+            prop_assert!(handle.is_terminal(), "request {} never terminated", handle.id());
+            let events = handle.drain_events();
+            prop_assert!(!events.is_empty());
+            // Exactly one terminal event, and it is last.
+            let terminal_count = events.iter().filter(|e| e.is_terminal()).count();
+            prop_assert_eq!(terminal_count, 1, "request {} terminal events", handle.id());
+            prop_assert!(events.last().unwrap().is_terminal());
+            let mut admitted = 0usize;
+            let mut first_tokens = 0usize;
+            let mut preempted = 0usize;
+            let mut resumed = 0usize;
+            let mut in_batch = false;
+            let mut streamed: Vec<u32> = Vec::new();
+            for event in &events {
+                match event {
+                    ServingEvent::Admitted => {
+                        prop_assert_eq!(
+                            (admitted, preempted, streamed.len()),
+                            (0, 0, 0),
+                            "Admitted must be the first lifecycle event"
+                        );
+                        admitted += 1;
+                        in_batch = true;
+                    }
+                    ServingEvent::FirstToken { token } => {
+                        prop_assert!(in_batch, "token while not running");
+                        prop_assert_eq!(first_tokens, 0, "duplicate FirstToken");
+                        prop_assert!(streamed.is_empty(), "FirstToken after Token");
+                        first_tokens += 1;
+                        streamed.push(*token);
+                    }
+                    ServingEvent::Token { token } => {
+                        prop_assert!(in_batch, "token while not running");
+                        prop_assert_eq!(first_tokens, 1, "Token before FirstToken");
+                        streamed.push(*token);
+                    }
+                    ServingEvent::Preempted { .. } => {
+                        prop_assert!(in_batch, "preempted while not running");
+                        preempted += 1;
+                        in_batch = false;
+                    }
+                    ServingEvent::Resumed => {
+                        prop_assert!(!in_batch, "resumed while running");
+                        prop_assert!(
+                            resumed < preempted,
+                            "every Resumed needs a matching earlier Preempted"
+                        );
+                        resumed += 1;
+                        in_batch = true;
+                    }
+                    ServingEvent::Finished { tokens, .. } => {
+                        prop_assert_eq!(tokens, &streamed, "Finished payload != streamed tokens");
+                    }
+                    ServingEvent::Cancelled { tokens } => {
+                        prop_assert_eq!(tokens, &streamed, "Cancelled payload != streamed tokens");
+                    }
+                    ServingEvent::Rejected { .. } => {}
+                }
+            }
+            prop_assert!(resumed <= preempted);
         }
     }
 }
