@@ -11,6 +11,11 @@
 //!   offloaded page set across the host link vs replaying its context through
 //!   the forward pass. The ≥5x acceptance criterion is asserted on this
 //!   deterministic number after the timing runs.
+//! * **Sync vs async migration** on the oversubscribed scene: the copy
+//!   engine must cut the modeled migration stall at least 2x while leaving
+//!   every output token untouched. The comparison (plus an SLO-mix latency
+//!   profile) is written to `BENCH_pr6.json` at the repository root for CI
+//!   to archive.
 //!
 //! ```text
 //! cargo bench -p lserve-bench --bench tiered_offload
@@ -20,16 +25,18 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use std::sync::Arc;
 
+use lserve_bench::Json;
 use lserve_core::{
-    sequence_pages_estimate, AdmissionPolicy, EngineConfig, ModelExecutor, PreemptionPolicy,
-    Request, Scheduler, SchedulerConfig,
+    sequence_pages_estimate, AdmissionPolicy, EngineConfig, MigrationMode, ModelExecutor,
+    PreemptionPolicy, Request, RequestSpec, Scheduler, SchedulerConfig, ServingReport, SloClass,
 };
 use lserve_kvcache::{
-    LayerKvCache, PagePool, PagingConfig, StreamingWindow, HOST_TRANSFER_SPEEDUP,
+    migration_from_env, LayerKvCache, PagePool, PagingConfig, StreamingWindow,
+    HOST_TRANSFER_SPEEDUP,
 };
 use lserve_model::{ModelConfig, ModelWeights};
 use lserve_quant::KvPrecision;
-use lserve_workloads::{overcommit_workload, OvercommitConfig};
+use lserve_workloads::{overcommit_workload, slo_mix_workload, OvercommitConfig, SloMixConfig};
 
 /// Engine policy for the serving comparison: small pages and a small dynamic
 /// budget so selection (and therefore selection-driven demotion) is active at
@@ -43,8 +50,8 @@ fn engine_cfg(demote: Option<usize>) -> EngineConfig {
     cfg
 }
 
-fn workload() -> Vec<Request> {
-    overcommit_workload(&OvercommitConfig::small())
+fn workload_from(wl: &OvercommitConfig) -> Vec<Request> {
+    overcommit_workload(wl)
         .into_iter()
         .enumerate()
         .map(|(i, s)| Request {
@@ -55,24 +62,49 @@ fn workload() -> Vec<Request> {
         .collect()
 }
 
-fn run_serving(
+fn workload() -> Vec<Request> {
+    workload_from(&OvercommitConfig::small())
+}
+
+fn run_serving_wl(
     weights: &Arc<ModelWeights>,
     cfg: EngineConfig,
     pool_pages: usize,
     policy: PreemptionPolicy,
-) -> lserve_core::ServingReport {
+    migration: MigrationMode,
+    requests: Vec<Request>,
+) -> ServingReport {
     let exec = Arc::new(ModelExecutor::new(Arc::clone(weights), cfg));
     let mut scfg = SchedulerConfig::new(pool_pages);
     scfg.chunk_tokens = 16;
     scfg.admission = AdmissionPolicy::FirstChunk;
     scfg.preemption = policy;
+    scfg.migration = migration;
     let mut sched = Scheduler::new(exec, scfg);
-    for r in workload() {
+    for r in requests {
         sched.submit(r);
     }
     let report = sched.run_to_completion(1_000_000);
     assert!(report.rejected.is_empty(), "workload must fit the tier");
     report
+}
+
+fn run_serving(
+    weights: &Arc<ModelWeights>,
+    cfg: EngineConfig,
+    pool_pages: usize,
+    policy: PreemptionPolicy,
+) -> ServingReport {
+    // Timing legs follow `LSERVE_MIGRATION`, so the CI matrix times both
+    // engine modes; the deterministic comparison below pins each explicitly.
+    run_serving_wl(
+        weights,
+        cfg,
+        pool_pages,
+        policy,
+        migration_from_env(),
+        workload(),
+    )
 }
 
 fn bench_tiered_offload(c: &mut Criterion) {
@@ -183,6 +215,208 @@ fn bench_tiered_offload(c: &mut Criterion) {
         "swap resume ({swap_resume_tokens} tokens) must model >= 5x cheaper than \
          replaying the 32k-token victim ({replay_tokens} tokens)"
     );
+
+    // ---- Sync vs async copy engine on the oversubscribed scene. ----
+    //
+    // Same tier pressure, longer decode phase (the migration_bench preset):
+    // the async engine must cut the modeled migration stall at least 2x while
+    // every output token stays bit-identical. Written to `BENCH_pr6.json`
+    // alongside an SLO-mix latency profile for CI to archive.
+    let wl_mig = OvercommitConfig::migration_bench();
+    let per_seq_mig = sequence_pages_estimate(
+        &engine_cfg(Some(2)),
+        &weights.config,
+        wl_mig.max_prompt_len() + wl_mig.max_new_tokens,
+    );
+    let mig_pages = (per_seq_mig * wl_mig.requests_per_burst) / 3 + 16;
+    let run_mig = |mode| {
+        run_serving_wl(
+            &weights,
+            engine_cfg(Some(2)),
+            mig_pages,
+            PreemptionPolicy::Swap,
+            mode,
+            workload_from(&wl_mig),
+        )
+    };
+    let sync = run_mig(MigrationMode::Sync);
+    let async_ = run_mig(MigrationMode::Async);
+    assert_eq!(
+        async_.completed, sync.completed,
+        "the copy engine is an accounting change: outputs must not move"
+    );
+    assert!(
+        sync.migration_stall_tokens > 0,
+        "the oversubscribed scene must generate migration stall to hide"
+    );
+    assert!(
+        async_.migration_stall_tokens * 2 <= sync.migration_stall_tokens,
+        "async migration must cut modeled stall >= 2x (sync {} vs async {})",
+        sync.migration_stall_tokens,
+        async_.migration_stall_tokens
+    );
+    println!(
+        "\nsync vs async migration ({mig_pages} hot pages): stall {} -> {} tokens \
+         ({:.1}x), hidden {} tokens (overlap {:.0}%), prefetch {}/{} hit/issued",
+        sync.migration_stall_tokens,
+        async_.migration_stall_tokens,
+        sync.migration_stall_tokens as f64 / (async_.migration_stall_tokens.max(1)) as f64,
+        async_.hidden_transfer_tokens,
+        100.0 * async_.migration_overlap_ratio(),
+        async_.prefetch_hits,
+        async_.prefetch_issued,
+    );
+
+    // ---- SLO-mix latency profile under the async engine. ----
+    let slo_cfg = SloMixConfig::small();
+    let slo = run_slo_mix(&weights, &slo_cfg);
+    write_bench_json(&wl_mig, mig_pages, &sync, &async_, &slo);
+}
+
+/// Serves the SLO-mix workload (interactive bursts behind batch prompts)
+/// under swap preemption and the async copy engine, for the per-class
+/// latency profile `BENCH_pr6.json` records.
+fn run_slo_mix(weights: &Arc<ModelWeights>, cfg: &SloMixConfig) -> ServingReport {
+    let ecfg = engine_cfg(Some(2));
+    let per_batch = sequence_pages_estimate(
+        &ecfg,
+        &weights.config,
+        cfg.batch_prompt_tokens + cfg.batch_new_tokens,
+    );
+    // Room for one wave's batch prompts plus change: the interactive burst
+    // then competes for slots, which is the regime class-aware SLOs exist for.
+    let pool_pages = per_batch * cfg.batch_per_wave + per_batch / 2 + 16;
+    let exec = Arc::new(ModelExecutor::new(Arc::clone(weights), ecfg));
+    let mut scfg = SchedulerConfig::new(pool_pages);
+    scfg.chunk_tokens = 16;
+    scfg.admission = AdmissionPolicy::FirstChunk;
+    scfg.preemption = PreemptionPolicy::Swap;
+    scfg.migration = MigrationMode::Async;
+    let mut sched = Scheduler::new(exec, scfg);
+    for (i, r) in slo_mix_workload(cfg).into_iter().enumerate() {
+        let class = if r.interactive {
+            SloClass::Interactive
+        } else {
+            SloClass::Batch
+        };
+        sched.submit(
+            RequestSpec::new(i as u64, r.spec.prompt)
+                .max_new_tokens(r.spec.max_new_tokens)
+                .class(class),
+        );
+    }
+    let report = sched.run_to_completion(1_000_000);
+    assert!(report.rejected.is_empty(), "SLO mix must fit the tier");
+    report
+}
+
+/// One SLO class's latency block: p50/p95 TTFT (work tokens) and p50/p95
+/// per-request mean TBT (scheduler iterations).
+fn class_block(report: &ServingReport, class: SloClass) -> Json {
+    Json::obj([
+        (
+            "ttft_work_p50",
+            Json::from(report.ttft_work_percentile_class(class, 0.5)),
+        ),
+        (
+            "ttft_work_p95",
+            Json::from(report.ttft_work_percentile_class(class, 0.95)),
+        ),
+        (
+            "tbt_iters_p50",
+            Json::from(report.tbt_percentile_class(class, 0.5)),
+        ),
+        (
+            "tbt_iters_p95",
+            Json::from(report.tbt_percentile_class(class, 0.95)),
+        ),
+    ])
+}
+
+fn migration_block(report: &ServingReport) -> Json {
+    Json::obj([
+        ("pages_demoted", Json::from(report.pages_demoted)),
+        ("pages_promoted", Json::from(report.pages_promoted)),
+        ("stall_tokens", Json::from(report.migration_stall_tokens)),
+        (
+            "hidden_transfer_tokens",
+            Json::from(report.hidden_transfer_tokens),
+        ),
+        (
+            "overlap_ratio",
+            Json::from(report.migration_overlap_ratio()),
+        ),
+        ("prefetch_issued", Json::from(report.prefetch_issued)),
+        ("prefetch_hits", Json::from(report.prefetch_hits)),
+        ("prefetch_wasted", Json::from(report.prefetch_wasted)),
+        (
+            "swap_resume_work_tokens",
+            Json::from(report.swap_resume_work_tokens),
+        ),
+        ("preemptions", Json::from(report.preemptions)),
+    ])
+}
+
+/// Writes `BENCH_pr6.json` at the repository root: the sync-vs-async
+/// migration comparison on the oversubscribed overcommit scene plus the
+/// SLO-mix per-class latency profile. CI archives the file as an artifact.
+fn write_bench_json(
+    wl: &OvercommitConfig,
+    mig_pages: usize,
+    sync: &ServingReport,
+    async_: &ServingReport,
+    slo: &ServingReport,
+) {
+    let generated: u64 = slo
+        .completed
+        .iter()
+        .map(|(_, tokens)| tokens.len() as u64)
+        .sum();
+    let doc = Json::obj([
+        (
+            "bench",
+            Json::from("tiered_offload: async KV migration engine"),
+        ),
+        (
+            "overcommit_scene",
+            Json::obj([
+                ("requests", Json::from(wl.total_requests())),
+                ("context_tokens", Json::from(wl.context_tokens)),
+                ("max_new_tokens", Json::from(wl.max_new_tokens)),
+                ("hot_pages", Json::from(mig_pages)),
+                (
+                    "outputs_bit_identical",
+                    Json::from(u64::from(async_.completed == sync.completed)),
+                ),
+            ]),
+        ),
+        ("migration_sync", migration_block(sync)),
+        ("migration_async", migration_block(async_)),
+        (
+            "stall_reduction",
+            Json::from(
+                sync.migration_stall_tokens as f64 / (async_.migration_stall_tokens.max(1)) as f64,
+            ),
+        ),
+        (
+            "slo_mix",
+            Json::obj([
+                ("completed", Json::from(slo.completed.len())),
+                ("generated_tokens", Json::from(generated)),
+                ("scheduler_steps", Json::from(slo.scheduler_steps)),
+                (
+                    "throughput_tokens_per_step",
+                    Json::from(generated as f64 / slo.scheduler_steps.max(1) as f64),
+                ),
+                ("interactive", class_block(slo, SloClass::Interactive)),
+                ("batch", class_block(slo, SloClass::Batch)),
+                ("migration", migration_block(slo)),
+            ]),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json");
+    std::fs::write(path, doc.render() + "\n").expect("write BENCH_pr6.json");
+    println!("\nwrote {path}");
 }
 
 criterion_group!(benches, bench_tiered_offload);

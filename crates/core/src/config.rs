@@ -14,7 +14,9 @@ use lserve_quant::KvPrecision;
 /// [`crate::ModelExecutor::prefill`] use it when no explicit thread count is
 /// given, and [`crate::SchedulerConfig::from_env`] reads it once at
 /// construction and pins the result in its `decode_threads` field. CI runs
-/// the whole test suite under a `{1, 8}` matrix of this variable, so the
+/// the whole test suite under a `{1, 8}` matrix of this variable (crossed
+/// with `LSERVE_PREEMPTION` and `LSERVE_MIGRATION` — see
+/// [`lserve_kvcache::migration_from_env`] for the latter), so the
 /// determinism suite exercises both the serial and the sharded path on every
 /// push.
 pub fn decode_threads_from_env() -> usize {
@@ -73,7 +75,10 @@ pub struct EngineConfig {
     /// triggers an accounted promote before the decode kernel runs. `None`
     /// keeps every page device-resident (the single-tier baseline). Outputs
     /// are bit-identical either way — the knob trades hot-tier footprint for
-    /// modeled transfer work.
+    /// modeled transfer work. Whether that work stalls the decode loop or is
+    /// hidden behind it is a separate, orthogonal knob:
+    /// [`lserve_kvcache::MigrationMode`] (env `LSERVE_MIGRATION`), which
+    /// routes the transfers through the asynchronous copy engine.
     pub demote_after_chunks: Option<usize>,
 }
 

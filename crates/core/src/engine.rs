@@ -19,10 +19,17 @@ use crate::{EngineConfig, EngineStats};
 impl EngineConfig {
     /// Builds a page pool sized so one sequence of up to `max_tokens` fits under
     /// this configuration (dense heads grow with context; streaming heads are
-    /// bounded by their window).
+    /// bounded by their window). The migration mode is read from
+    /// `LSERVE_MIGRATION` (sync when unset), so single-sequence runs exercise
+    /// the same copy-engine path the scheduler does under the async CI leg.
     pub fn make_pool_for(&self, model: &ModelConfig, max_tokens: usize) -> PagePool {
         let capacity = crate::serving::sequence_pages_estimate(self, model, max_tokens) + 8;
-        PagePool::new(self.paging, capacity, model.head_dim)
+        PagePool::new_with_migration(
+            self.paging,
+            capacity,
+            model.head_dim,
+            lserve_kvcache::migration_from_env(),
+        )
     }
 }
 

@@ -26,7 +26,7 @@ use lserve_attention::{
     fused_prefill_layer_threads, run_decode_shard, run_sharded, DecodeShard, DecodeStats, HeadKind,
     LayerAttnConfig,
 };
-use lserve_kvcache::{HeadCache, LayerKvCache, PagePool};
+use lserve_kvcache::{HeadCache, LayerKvCache, MigrationMode, PagePool, HOST_TRANSFER_SPEEDUP};
 use lserve_model::forward::{ffn_block, logits, post_attention, pre_attention};
 use lserve_model::ModelWeights;
 use lserve_selector::{FlatSelector, HierarchicalSelector, PageSelector, ReusableSelector};
@@ -35,7 +35,7 @@ use lserve_tensor::Matrix;
 use lserve_workloads::duo_gates;
 
 use crate::config::decode_threads_from_env;
-use crate::stats::ParallelExecStats;
+use crate::stats::{MigrationDelta, ParallelExecStats};
 use crate::{streaming_masks_from_gates, EngineConfig, EngineStats, SelectorKind};
 
 /// The KV page pool is exhausted; the sequence cannot grow.
@@ -104,6 +104,24 @@ impl SelectorBox {
         match self {
             SelectorBox::Flat(s) => s.stale_pages(k),
             SelectorBox::Hierarchical(s) => s.stale_pages(k),
+        }
+    }
+
+    /// The decode step at which this head's next fresh scoring lands — the
+    /// trigger for issuing prefetches one step ahead of the selection.
+    fn next_fresh_step(&self) -> Option<usize> {
+        match self {
+            SelectorBox::Flat(s) => s.next_fresh_step(),
+            SelectorBox::Hierarchical(s) => s.next_fresh_step(),
+        }
+    }
+
+    /// Predicted-hot pages for the next fresh selection, most recently
+    /// selected first (residency-blind; the caller filters and caps).
+    fn prefetch_candidates(&self) -> Vec<usize> {
+        match self {
+            SelectorBox::Flat(s) => s.prefetch_candidates(),
+            SelectorBox::Hierarchical(s) => s.prefetch_candidates(),
         }
     }
 }
@@ -192,10 +210,18 @@ impl SequenceState {
         Some((pages, units))
     }
 
-    /// Pages this sequence holds that currently sit in the cold tier — the
-    /// exact hot-tier demand of a swap-in.
+    /// Pages this sequence holds that currently sit in the cold tier.
     pub fn cold_pages(&self, pool: &PagePool) -> usize {
         self.layers.iter().map(|l| l.cold_pages(pool)).sum()
+    }
+
+    /// The exact hot-tier reservation a swap-in of this sequence needs: cold
+    /// pages plus this sequence's own outbound transfers still in flight.
+    /// The pool counts an in-flight demotion as a reclaimable free slot, but
+    /// forcing one of *ours* lands the page cold and re-enters it as promote
+    /// demand — net-zero supply, so it must be reserved as demand up front.
+    pub fn swap_in_demand(&self, pool: &PagePool) -> usize {
+        self.layers.iter().map(|l| l.swap_in_demand(pool)).sum()
     }
 
     /// Pages this sequence holds that are both sole-owned and hot — exactly
@@ -464,6 +490,10 @@ impl ModelExecutor {
             x = ffn_block(lw, &x);
         }
         state.tokens_processed = tokens.len();
+        // Prefill compute drains in-flight transfers like decode compute does
+        // — one prompt token hides `HOST_TRANSFER_SPEEDUP` token-units. This
+        // is what lets a swap-resume promotion overlap re-admission prefill.
+        pool.advance_transfer_units(tokens.len() as u64 * HOST_TRANSFER_SPEEDUP);
         let last = x.slice_rows(tokens.len() - 1, tokens.len());
         let out = logits(&self.weights, &last);
         Ok(PrefillOutput {
@@ -542,7 +572,22 @@ impl ModelExecutor {
     ///    shard that caused it.
     ///
     /// Migrations move data, never mutate it, so outputs are bit-identical to
-    /// the always-resident baseline.
+    /// the always-resident baseline — and, because the async copy engine only
+    /// changes *when* transfers are accounted (never what the kernels read),
+    /// bit-identical across [`MigrationMode`]s too.
+    ///
+    /// Under [`MigrationMode::Async`] demotions are issued into the copy
+    /// engine (the hot slot frees when the transfer lands, or earlier if an
+    /// allocation forces it), promotions ride [`PagePool::ensure_hot`] so a
+    /// page already in flight costs only its unhidden remainder, and the
+    /// returned per-head fetch units carry **only the unhidden fraction** —
+    /// transfer work the step genuinely stalls on. Under
+    /// [`MigrationMode::Sync`] every moved unit is unhidden and the behavior
+    /// is exactly the pre-engine baseline.
+    ///
+    /// All migration accounting funnels through one
+    /// [`EngineStats::add_migration`] call per pass, on success and failure
+    /// alike.
     ///
     /// # Errors
     ///
@@ -557,30 +602,42 @@ impl ModelExecutor {
         selections: &[Option<Vec<usize>>],
         fresh: &[bool],
     ) -> Result<Vec<u64>, OutOfPagesError> {
+        let mut delta = MigrationDelta::default();
+        let result = self.residency_pass(state, pool, l, selections, fresh, &mut delta);
+        state.stats.add_migration(&delta);
+        result
+    }
+
+    /// The body of [`ModelExecutor::apply_residency`], accumulating all
+    /// migration traffic into `delta` so the wrapper commits it exactly once.
+    fn residency_pass(
+        &self,
+        state: &mut SequenceState,
+        pool: &mut PagePool,
+        l: usize,
+        selections: &[Option<Vec<usize>>],
+        fresh: &[bool],
+        delta: &mut MigrationDelta,
+    ) -> Result<Vec<u64>, OutOfPagesError> {
+        let sync = pool.migration_mode() == MigrationMode::Sync;
         let mut fetch_units = vec![0u64; selections.len()];
-        let mut demoted = 0u64;
-        let mut promoted = 0u64;
-        let mut units = 0u64;
         for (kv, selection) in selections.iter().enumerate() {
             let Some(sel) = selection else {
                 // No selection this step: the kernel reads this head's whole
                 // page table (full-history dense attention, or a streaming
-                // window), so every cold page must come back first. Cold pages
-                // appear here only on sequences seeded from a prefix snapshot
-                // captured after demotion — the common case is a no-op scan.
+                // window), so every page must be readable first. Non-resident
+                // pages appear here only on sequences seeded from a prefix
+                // snapshot captured after demotion — the common case is a
+                // no-op scan.
                 let head = state.layers[l].head(kv);
-                if head.cold_pages(pool) > 0 {
-                    match head.promote_all(pool) {
-                        Some((p, u)) => {
-                            promoted += p;
-                            units += u;
-                            fetch_units[kv] += u;
-                        }
-                        None => {
-                            state.stats.add_migration(demoted, promoted, units);
-                            return Err(OutOfPagesError);
-                        }
+                match head.ensure_resident(pool) {
+                    Some((p, u, unhidden)) => {
+                        delta.pages_promoted += p;
+                        delta.token_units += u;
+                        delta.unhidden_units += unhidden;
+                        fetch_units[kv] += unhidden;
                     }
+                    None => return Err(OutOfPagesError),
                 }
                 continue;
             };
@@ -597,32 +654,72 @@ impl ModelExecutor {
                             continue;
                         }
                         if let Some(u) = pool.demote(table[p]) {
-                            demoted += 1;
-                            units += u;
+                            delta.pages_demoted += 1;
+                            delta.token_units += u;
+                            if sync {
+                                // A synchronous demote stalls for the whole
+                                // copy; the engine hides it behind compute.
+                                delta.unhidden_units += u;
+                            }
                         }
                     }
                 }
             }
             for &p in sel {
-                let id = table[p];
-                if pool.is_hot(id) {
-                    continue;
-                }
-                match pool.promote(id) {
-                    Some(u) => {
-                        promoted += 1;
-                        units += u;
-                        fetch_units[kv] += u;
+                match pool.ensure_hot(table[p]) {
+                    Some((u, unhidden)) => {
+                        if u > 0 {
+                            delta.pages_promoted += 1;
+                        }
+                        delta.token_units += u;
+                        delta.unhidden_units += unhidden;
+                        fetch_units[kv] += unhidden;
                     }
-                    None => {
-                        state.stats.add_migration(demoted, promoted, units);
-                        return Err(OutOfPagesError);
-                    }
+                    None => return Err(OutOfPagesError),
                 }
             }
         }
-        state.stats.add_migration(demoted, promoted, units);
         Ok(fetch_units)
+    }
+
+    /// Selector-driven prefetch (async mode only): for every dense head whose
+    /// reusable selector will score afresh on the **next** decode step, start
+    /// host→device transfers for the pages that selection is most likely to
+    /// re-pick — ranked by selection recency — so by the time the fresh
+    /// selection demands them the copy has already ridden one step of
+    /// overlapped bandwidth. Wrong guesses cost only spare link bandwidth and
+    /// a genuinely free hot slot ([`PagePool::prefetch`] never evicts), and
+    /// are tallied as `prefetch_wasted` in [`lserve_kvcache::MigrationStats`].
+    fn issue_prefetches(&self, state: &mut SequenceState, pool: &mut PagePool, l: usize) {
+        /// Transfers issued per head per step: enough to cover a typical
+        /// selection delta, small enough to keep bad guesses cheap.
+        const PREFETCH_PER_HEAD: usize = 4;
+        let next_step = state.decode_step_idx + 1;
+        for kv in 0..state.selectors[l].len() {
+            let Some(selector) = state.selectors[l][kv].as_ref() else {
+                continue;
+            };
+            if selector.next_fresh_step() != Some(next_step) {
+                continue;
+            }
+            let HeadCache::Dense(cache) = state.layers[l].head(kv) else {
+                continue;
+            };
+            let table = cache.page_table();
+            let mut issued = 0;
+            for p in selector.prefetch_candidates() {
+                if issued >= PREFETCH_PER_HEAD {
+                    break;
+                }
+                // Never the append target (the table's final page).
+                if p + 1 >= table.len() {
+                    continue;
+                }
+                if pool.prefetch(table[p]) {
+                    issued += 1;
+                }
+            }
+        }
     }
 
     /// Runs one decode step for one sequence: absorbs `token`, returns next-token
@@ -765,6 +862,11 @@ impl ModelExecutor {
                 selections.push(sel);
                 cost_hints.push(hint);
                 qrows[i] = Some(q_row);
+                // Overlap window: promotions issued above ride the rest of
+                // this step's compute; prefetches below start a step early.
+                if pool.migration_mode() == MigrationMode::Async {
+                    self.issue_prefetches(state, pool, l);
+                }
             }
             // Phase 2 (parallel): sharded attention into preallocated,
             // disjoint per-(sequence × KV-head) output slices.
@@ -836,6 +938,12 @@ impl ModelExecutor {
                 xs[i] = Some(ffn_block(lw, &x));
             }
         }
+        // One decode step of compute hides one step of host-link bandwidth:
+        // each batched token buys `HOST_TRANSFER_SPEEDUP` token-units of
+        // transfer drain, the exact inverse of `transfer_cost_tokens`. A
+        // transfer fully drained by these advances cost the step nothing —
+        // that is the overlap the async engine models. (No-op in sync mode.)
+        pool.advance_transfer_units(batch.len() as u64 * HOST_TRANSFER_SPEEDUP);
         xs.into_iter()
             .zip(batch.iter_mut())
             .map(|(x, (state, _))| match x {

@@ -47,6 +47,7 @@ pub use config::{decode_threads_from_env, EngineConfig, SelectorKind};
 pub use engine::{DecodeOutput, Engine, PrefillOutput};
 pub use executor::{ModelExecutor, OutOfPagesError, SequenceState};
 pub use heads::{classify_heads, streaming_masks_from_gates};
+pub use lserve_kvcache::{migration_from_env, MigrationMode, MigrationStats};
 pub use lserve_prefixcache::PrefixCacheStats;
 pub use prefix::CachedPrefix;
 pub use serving::{
@@ -55,4 +56,4 @@ pub use serving::{
     RequestSpec, RequestStatus, Scheduler, SchedulerConfig, ServingEngine, ServingEvent,
     ServingReport, SloClass,
 };
-pub use stats::{EngineStats, ParallelExecStats};
+pub use stats::{EngineStats, MigrationDelta, ParallelExecStats};

@@ -73,7 +73,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-use lserve_kvcache::PagePool;
+use lserve_kvcache::{migration_from_env, MigrationMode, PagePool};
 use lserve_model::{greedy_next_token, ModelConfig, ModelWeights};
 use lserve_prefixcache::{PrefixCache, PrefixCacheStats};
 
@@ -565,6 +565,14 @@ pub struct SchedulerConfig {
     /// `LSERVE_PREEMPTION` environment variable (replay when unset). Outputs
     /// are bit-identical for both values.
     pub preemption: PreemptionPolicy,
+    /// How tier migrations are executed and accounted: inline
+    /// [`MigrationMode::Sync`] (every transfer stalls its issuing step) or
+    /// the overlapped [`MigrationMode::Async`] copy engine (transfers drain
+    /// behind compute; only demand-forced remainders stall). Defaults to the
+    /// `LSERVE_MIGRATION` environment variable (sync when unset). Outputs
+    /// are bit-identical for both values — the knob trades modeled stall
+    /// time only.
+    pub migration: MigrationMode,
     /// Enables SLO-class- and deadline-aware scheduling (the default). When
     /// `false`, admission and victim selection fall back to class-blind FCFS
     /// arrival order — the baseline the interactive-class win is measured
@@ -585,7 +593,8 @@ impl SchedulerConfig {
     /// 64, first-chunk admission (preemption-backed), prefix cache off,
     /// class-aware scheduling on, decode threads read once from
     /// `LSERVE_DECODE_THREADS` (1 when unset), preemption policy read once
-    /// from `LSERVE_PREEMPTION` (replay when unset).
+    /// from `LSERVE_PREEMPTION` (replay when unset), migration mode read
+    /// once from `LSERVE_MIGRATION` (sync when unset).
     ///
     /// The environment is read here, at construction — never cached
     /// process-wide — so tests and benches can vary the variables between
@@ -599,6 +608,7 @@ impl SchedulerConfig {
             prefix_cache: false,
             decode_threads: decode_threads_from_env(),
             preemption: preemption_from_env(),
+            migration: migration_from_env(),
             class_aware: true,
             no_deadline_slack: 1 << 20,
         }
@@ -729,6 +739,26 @@ pub struct ServingReport {
     pub swap_resume_work_tokens: u64,
     /// High-water mark of cold-tier (host) pages in use.
     pub peak_cold_pages: usize,
+    /// Migration mode the run was configured with.
+    pub migration: MigrationMode,
+    /// Selector-driven prefetches issued into the copy engine (async mode;
+    /// always zero under [`MigrationMode::Sync`]).
+    pub prefetch_issued: u64,
+    /// Prefetched pages a later demand actually read — each one a transfer
+    /// that would otherwise have stalled a decode step.
+    pub prefetch_hits: u64,
+    /// Prefetched pages demoted or freed without ever being demanded (the
+    /// cost of wrong guesses: wasted link bandwidth, never wasted hot slots).
+    pub prefetch_wasted: u64,
+    /// Modeled transfer work the copy engine hid behind compute, in
+    /// forward-pass token-equivalents. Always zero under sync migration.
+    pub hidden_transfer_tokens: u64,
+    /// Modeled transfer work steps actually stalled on, in forward-pass
+    /// token-equivalents: everything under sync migration, only demand
+    /// fetches and forced completions under async. The cross-mode comparable
+    /// stall metric — the async engine's win is this number shrinking while
+    /// outputs stay bit-identical.
+    pub migration_stall_tokens: u64,
     /// High-water mark of concurrently running sequences.
     pub peak_running: usize,
     /// Sum over scheduler iterations of the running-sequence count (after
@@ -814,6 +844,19 @@ impl ServingReport {
         (met, total)
     }
 
+    /// Fraction of this run's modeled transfer work the copy engine hid
+    /// behind compute, in `[0, 1]` (1.0 when nothing migrated — no transfers
+    /// means no stall). Sync migration hides nothing, so it reports 0 the
+    /// moment any page moves; the async engine's overlap win is this ratio
+    /// approaching 1.
+    pub fn migration_overlap_ratio(&self) -> f64 {
+        let total = self.hidden_transfer_tokens + self.migration_stall_tokens;
+        if total == 0 {
+            return 1.0;
+        }
+        self.hidden_transfer_tokens as f64 / total as f64
+    }
+
     /// Nearest-rank percentile (`q` in `(0, 1]`) of per-request mean
     /// time-between-tokens in scheduler iterations. Returns 0 when no request
     /// completed.
@@ -821,6 +864,20 @@ impl ServingReport {
         let mut v: Vec<f64> = self
             .request_metrics
             .iter()
+            .map(RequestMetrics::mean_tbt_iters)
+            .collect();
+        v.sort_by(f64::total_cmp);
+        nearest_rank(&v, q).copied().unwrap_or(0.0)
+    }
+
+    /// Nearest-rank percentile of per-request mean time-between-tokens
+    /// restricted to one [`SloClass`] — the per-class SLO view. Returns 0
+    /// when no request of that class completed.
+    pub fn tbt_percentile_class(&self, class: SloClass, q: f64) -> f64 {
+        let mut v: Vec<f64> = self
+            .request_metrics
+            .iter()
+            .filter(|m| m.class == class)
             .map(RequestMetrics::mean_tbt_iters)
             .collect();
         v.sort_by(f64::total_cmp);
@@ -1022,10 +1079,11 @@ impl Scheduler {
     /// Panics if `scfg` is inconsistent (see [`SchedulerConfig::validate`]).
     pub fn new(exec: Arc<ModelExecutor>, scfg: SchedulerConfig) -> Self {
         scfg.validate();
-        let pool = PagePool::new(
+        let pool = PagePool::new_with_migration(
             exec.config().paging,
             scfg.pool_pages,
             exec.weights().config.head_dim,
+            scfg.migration,
         );
         Self {
             exec,
@@ -1036,6 +1094,7 @@ impl Scheduler {
             report: ServingReport {
                 decode_threads: scfg.decode_threads,
                 preemption: scfg.preemption,
+                migration: scfg.migration,
                 ..ServingReport::default()
             },
             next_arrival: 0,
@@ -1226,6 +1285,15 @@ impl Scheduler {
         self.report.pages_demoted = tier.pages_demoted;
         self.report.pages_promoted = tier.pages_promoted;
         self.report.swap_resume_work_tokens = self.swap_resume_work;
+        // Copy-engine ledger: prefetch outcomes and the hidden/unhidden split
+        // of every transfer, straight from the pool so the report can never
+        // drift from `PagePool::migration_stats`.
+        let mig = self.pool.migration_stats();
+        self.report.prefetch_issued = mig.prefetch_issued;
+        self.report.prefetch_hits = mig.prefetch_hits;
+        self.report.prefetch_wasted = mig.prefetch_wasted;
+        self.report.hidden_transfer_tokens = mig.hidden_transfer_tokens();
+        self.report.migration_stall_tokens = mig.migration_stall_tokens();
         // Hit/insert counters come from the cache's own ledger so the report can
         // never drift from `prefix_cache_stats()` (evictions stay scheduler-side:
         // the report counts pressure evictions only, not flushes).
@@ -1343,10 +1411,12 @@ impl Scheduler {
                 continue;
             }
             // A swapped-out victim resumes by promotion, not by re-feeding:
-            // its exact hot demand is its cold page count. Evict idle cached
-            // prefixes first, exactly like fresh admission does.
+            // its exact hot demand is its cold page count plus its own
+            // demotions still in flight on the copy engine (forcing one frees
+            // a slot but lands a new cold page — net-zero supply). Evict idle
+            // cached prefixes first, exactly like fresh admission does.
             if let Some(parked) = &front.swap {
-                let need = parked.state.cold_pages(&self.pool);
+                let need = parked.state.swap_in_demand(&self.pool);
                 while need > self.pool.free_pages() {
                     if !self.evict_prefix_one() {
                         break;
@@ -1367,12 +1437,18 @@ impl Scheduler {
                 let (_, units) = swap
                     .state
                     .promote_resident(&mut self.pool)
-                    .expect("cold-page demand reserved above");
-                // The promotion is accounted work on the run's monotone clock:
-                // TTFT/TBT under swap honestly pay for the transfer.
-                let cost = lserve_kvcache::transfer_cost_tokens(units);
-                self.swap_resume_work += cost;
-                self.work_tokens += cost;
+                    .expect("swap-in demand reserved above");
+                // Under sync migration the promotion is accounted work on the
+                // run's monotone clock: TTFT/TBT honestly pay for the
+                // transfer. The async engine instead queues it on the copy
+                // engine, where it drains behind the very compute that
+                // resumes the sequence — only remainders a decode step
+                // demand-forces surface, in the pool's migration ledger.
+                if self.scfg.migration == MigrationMode::Sync {
+                    let cost = lserve_kvcache::transfer_cost_tokens(units);
+                    self.swap_resume_work += cost;
+                    self.work_tokens += cost;
+                }
                 q.core.handle.push(ServingEvent::Resumed);
                 self.index.insert(q.core.spec.id, Phase::Running);
                 self.running.push(SchedSeq {
@@ -2561,19 +2637,37 @@ mod tests {
         assert_eq!(swap.completed, replay.completed, "swap changed outputs");
         assert!(swap.pages_demoted > 0, "swap must demote victim pages");
         assert!(swap.pages_promoted > 0, "resume must promote them back");
-        assert!(swap.swap_resume_work_tokens > 0, "resume work is accounted");
         assert!(swap.peak_cold_pages > 0);
         assert_eq!(swap.preemption, PreemptionPolicy::Swap);
         assert_eq!(replay.pages_demoted, 0, "replay never touches the tiers");
         assert_eq!(replay.swap_resume_work_tokens, 0);
-        // The whole point: resuming by transfer is far cheaper than replaying
-        // the victim's context through the forward pass.
-        let replayed_tokens: u64 = 60 + 10; // upper bound of one victim replay
-        assert!(
-            swap.swap_resume_work_tokens < replayed_tokens,
-            "swap resume ({}) should undercut replay (~{replayed_tokens})",
-            swap.swap_resume_work_tokens
-        );
+        // The resume-cost accounting is mode-split: sync migration charges
+        // the promotion to the work clock at resume; the async copy engine
+        // hides it behind re-admission compute instead (CI runs both legs).
+        match swap.migration {
+            MigrationMode::Sync => {
+                assert!(swap.swap_resume_work_tokens > 0, "resume work accounted");
+                // The whole point: resuming by transfer is far cheaper than
+                // replaying the victim's context through the forward pass.
+                let replayed_tokens: u64 = 60 + 10; // one victim replay, upper bound
+                assert!(
+                    swap.swap_resume_work_tokens < replayed_tokens,
+                    "swap resume ({}) should undercut replay (~{replayed_tokens})",
+                    swap.swap_resume_work_tokens
+                );
+            }
+            MigrationMode::Async => {
+                assert_eq!(
+                    swap.swap_resume_work_tokens, 0,
+                    "async resume promotions ride the copy engine, not the clock"
+                );
+                assert!(
+                    swap.hidden_transfer_tokens > 0,
+                    "overlapped resume transfers must be hidden"
+                );
+                assert!(swap.migration_overlap_ratio() > 0.5);
+            }
+        }
     }
 
     #[test]

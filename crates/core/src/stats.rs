@@ -39,6 +39,27 @@ pub struct EngineStats {
     /// direction (see [`lserve_kvcache::transfer_cost_tokens`] for the
     /// conversion into forward-pass token-equivalents).
     pub migrated_token_units: u64,
+    /// The fraction of `migrated_token_units` this sequence actually stalled
+    /// on: transfer work the copy engine could not hide behind compute
+    /// (demand fetches, forced completions). Under synchronous migration
+    /// every moved unit lands here.
+    pub unhidden_token_units: u64,
+}
+
+/// One residency pass's migration traffic, accumulated across a layer and
+/// committed into [`EngineStats`] in a single [`EngineStats::add_migration`]
+/// call — the one place per-sequence migration accounting happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MigrationDelta {
+    /// Pages demoted to the cold tier (selection-driven).
+    pub pages_demoted: u64,
+    /// Cold pages promoted back because a selection picked them.
+    pub pages_promoted: u64,
+    /// Token-units issued across the host link in either direction.
+    pub token_units: u64,
+    /// The unhidden fraction of `token_units` (all of it under synchronous
+    /// migration; only demand-forced remainders under the async copy engine).
+    pub unhidden_units: u64,
 }
 
 impl EngineStats {
@@ -66,17 +87,25 @@ impl EngineStats {
             / self.prefill_total_causal_tiles as f64
     }
 
-    /// Folds one layer's residency-pass migration counters in.
-    pub fn add_migration(&mut self, demoted: u64, promoted: u64, token_units: u64) {
-        self.pages_demoted += demoted;
-        self.pages_promoted += promoted;
-        self.migrated_token_units += token_units;
+    /// Folds one residency pass's migration counters in (see
+    /// [`MigrationDelta`]).
+    pub fn add_migration(&mut self, delta: &MigrationDelta) {
+        self.pages_demoted += delta.pages_demoted;
+        self.pages_promoted += delta.pages_promoted;
+        self.migrated_token_units += delta.token_units;
+        self.unhidden_token_units += delta.unhidden_units;
     }
 
     /// Modeled transfer work of this sequence's tier migrations, in
     /// forward-pass token-equivalents.
     pub fn migration_work_tokens(&self) -> u64 {
         lserve_kvcache::transfer_cost_tokens(self.migrated_token_units)
+    }
+
+    /// The stalled part of [`EngineStats::migration_work_tokens`]: transfer
+    /// work this sequence waited for rather than overlapped.
+    pub fn migration_stall_tokens(&self) -> u64 {
+        lserve_kvcache::transfer_cost_tokens(self.unhidden_token_units)
     }
 
     /// Overall decode page sparsity (fraction of pages skipped).

@@ -1,6 +1,6 @@
 //! Page table of a dense (retrieval) head: full KV history with `K_stats`.
 
-use crate::{PageId, PagePool};
+use crate::{MigrationDir, PageId, PagePool, Residency};
 
 /// The KV history of one dense head: a page table over the full context, every page
 /// carrying key statistics for dynamic page selection (Figure 5, "Dense Head Pages").
@@ -178,24 +178,64 @@ impl DenseHeadCache {
     /// Returns `(pages moved, token-units moved)`, or `None` if the hot tier
     /// filled up mid-way (pages promoted so far stay hot; callers reserve
     /// [`DenseHeadCache::cold_pages`] free slots first to rule this out).
+    ///
+    /// Every page goes through [`PagePool::promote`], so in-flight states are
+    /// handled uniformly: hot and inbound pages cost `Some(0)`, an outbound
+    /// page is recaptured for free, only genuinely cold pages move.
     pub fn promote_all(&self, pool: &mut PagePool) -> Option<(u64, u64)> {
         let mut pages = 0;
         let mut units = 0;
         for &id in &self.pages {
-            if pool.is_hot(id) {
-                continue;
+            match pool.promote(id)? {
+                0 => {}
+                u => {
+                    pages += 1;
+                    units += u;
+                }
             }
-            let u = pool.promote(id)?;
-            pages += 1;
-            units += u;
         }
         Some((pages, units))
+    }
+
+    /// Makes every page of this head kernel-readable *now* (see
+    /// [`PagePool::ensure_hot`]). Returns `(pages moved, token-units issued,
+    /// token-units unhidden)`, or `None` if the hot tier filled up mid-way.
+    pub fn ensure_resident(&self, pool: &mut PagePool) -> Option<(u64, u64, u64)> {
+        let mut pages = 0;
+        let mut units = 0;
+        let mut unhidden = 0;
+        for &id in &self.pages {
+            let (u, uh) = pool.ensure_hot(id)?;
+            if u > 0 {
+                pages += 1;
+            }
+            units += u;
+            unhidden += uh;
+        }
+        Some((pages, units, unhidden))
     }
 
     /// Number of this head's pages currently in the cold tier (the exact hot
     /// demand of a swap-in).
     pub fn cold_pages(&self, pool: &PagePool) -> usize {
         self.pages.iter().filter(|&&id| !pool.is_hot(id)).count()
+    }
+
+    /// Hot slots a swap-in of this head must newly claim: cold pages plus
+    /// pages whose outbound transfer is still in flight. The latter look hot
+    /// (their slot is occupied and the copy engine counts them reclaimable),
+    /// but forcing one frees its slot *and* mints a new cold page — net-zero
+    /// supply — so a resume reservation must carry them as demand.
+    pub fn swap_in_demand(&self, pool: &PagePool) -> usize {
+        self.pages
+            .iter()
+            .filter(|&&id| {
+                matches!(
+                    pool.residency(id),
+                    Residency::Cold | Residency::Migrating(MigrationDir::ToCold)
+                )
+            })
+            .count()
     }
 
     /// Pages this head holds that are both sole-owned and hot — exactly what a

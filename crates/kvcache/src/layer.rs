@@ -98,11 +98,30 @@ impl HeadCache {
         }
     }
 
+    /// Makes every page this head retains kernel-readable *now* (see
+    /// [`PagePool::ensure_hot`]). Returns `(pages moved, token-units issued,
+    /// token-units unhidden)`, or `None` if the hot tier filled up mid-way.
+    pub fn ensure_resident(&self, pool: &mut PagePool) -> Option<(u64, u64, u64)> {
+        match self {
+            HeadCache::Dense(c) => c.ensure_resident(pool),
+            HeadCache::Streaming(c) => c.ensure_resident(pool),
+        }
+    }
+
     /// Pages this head retains that currently sit in the cold tier.
     pub fn cold_pages(&self, pool: &PagePool) -> usize {
         match self {
             HeadCache::Dense(c) => c.cold_pages(pool),
             HeadCache::Streaming(c) => c.cold_pages(pool),
+        }
+    }
+
+    /// Hot slots a swap-in of this head must newly claim (see
+    /// [`DenseHeadCache::swap_in_demand`]).
+    pub fn swap_in_demand(&self, pool: &PagePool) -> usize {
+        match self {
+            HeadCache::Dense(c) => c.swap_in_demand(pool),
+            HeadCache::Streaming(c) => c.swap_in_demand(pool),
         }
     }
 
@@ -298,9 +317,31 @@ impl LayerKvCache {
         Some((pages, units))
     }
 
+    /// Makes every page of every head kernel-readable *now* (see
+    /// [`PagePool::ensure_hot`]). Returns `(pages moved, token-units issued,
+    /// token-units unhidden)`, or `None` if the hot tier filled up mid-way.
+    pub fn ensure_resident(&self, pool: &mut PagePool) -> Option<(u64, u64, u64)> {
+        let mut pages = 0;
+        let mut units = 0;
+        let mut unhidden = 0;
+        for h in &self.heads {
+            let (hp, hu, huh) = h.ensure_resident(pool)?;
+            pages += hp;
+            units += hu;
+            unhidden += huh;
+        }
+        Some((pages, units, unhidden))
+    }
+
     /// Pages of this layer currently in the cold tier, across all heads.
     pub fn cold_pages(&self, pool: &PagePool) -> usize {
         self.heads.iter().map(|h| h.cold_pages(pool)).sum()
+    }
+
+    /// Hot slots a swap-in of this layer must newly claim, across all heads
+    /// (see [`DenseHeadCache::swap_in_demand`]).
+    pub fn swap_in_demand(&self, pool: &PagePool) -> usize {
+        self.heads.iter().map(|h| h.swap_in_demand(pool)).sum()
     }
 
     /// Pages of this layer that are both sole-owned and hot, across all heads —

@@ -31,6 +31,7 @@
 //! stays coarse-grained.
 
 pub mod config;
+pub mod copy_engine;
 pub mod dense;
 pub mod layer;
 pub mod pool;
@@ -38,6 +39,9 @@ pub mod stats;
 pub mod streaming;
 
 pub use config::PagingConfig;
+pub use copy_engine::{
+    migration_from_env, CopyEngine, MigrationDir, MigrationMode, MigrationStats, COPY_CHANNEL_DEPTH,
+};
 pub use dense::DenseHeadCache;
 pub use layer::{HeadCache, LayerKvCache};
 pub use pool::{KvPage, PageId, PagePool, Residency};

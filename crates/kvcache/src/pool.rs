@@ -4,6 +4,7 @@ use lserve_quant::{quantize_group, KvPrecision, QuantParams};
 
 use crate::{
     config::PagingConfig,
+    copy_engine::{CopyEngine, MigrationDir, MigrationMode, MigrationStats},
     stats::{LogicalPageStats, TierStats},
 };
 
@@ -15,6 +16,14 @@ use crate::{
 /// accessible. Migrations between the tiers are explicit
 /// ([`PagePool::demote`] / [`PagePool::promote`]) and carry a deterministic
 /// modeled transfer cost (see [`crate::stats::transfer_cost_tokens`]).
+///
+/// Under [`MigrationMode::Async`] a page can additionally be **in flight** on
+/// the modeled copy engine: `Migrating(ToCold)` pages still occupy their hot
+/// slot (and stay kernel-readable — the device copy is the source of the
+/// outbound DMA) until the transfer lands, while `Migrating(ToHot)` pages hold
+/// a hot slot from issue but become readable only when the inbound transfer
+/// lands (or is demand-forced). [`MigrationMode::Sync`] never produces a
+/// `Migrating` state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Residency {
     /// Device-resident: attention kernels may read the page.
@@ -22,6 +31,8 @@ pub enum Residency {
     /// Offloaded to modeled host memory: metadata readable, KV data must be
     /// promoted back before a kernel may touch it.
     Cold,
+    /// In flight on the copy engine in the given direction (async mode only).
+    Migrating(MigrationDir),
 }
 
 /// Opaque handle to a physical page in a [`PagePool`].
@@ -256,13 +267,36 @@ pub struct PagePool {
     peak_in_use: usize,
     forks: u64,
     tier: TierStats,
+    mode: MigrationMode,
+    engine: CopyEngine,
+    mig: MigrationStats,
+    /// Per-slot flag: the in-flight (or landed-but-untouched) promotion was
+    /// speculative, issued by the prefetcher. Cleared on the first demand
+    /// touch (a hit) or when the page is demoted/freed first (wasted).
+    prefetched: Vec<bool>,
 }
 
 impl PagePool {
     /// Creates a pool whose hot (device) tier holds `capacity` pages for heads
     /// of dimension `head_dim`. The cold (host) tier starts empty and is
-    /// unbounded.
+    /// unbounded. Migrations complete synchronously ([`MigrationMode::Sync`]);
+    /// see [`PagePool::new_with_migration`] for the overlapped engine.
     pub fn new(config: PagingConfig, capacity: usize, head_dim: usize) -> Self {
+        Self::new_with_migration(config, capacity, head_dim, MigrationMode::Sync)
+    }
+
+    /// Creates a pool with an explicit [`MigrationMode`]. Under
+    /// [`MigrationMode::Async`] demotions and promotions drain through the
+    /// modeled copy engine (see [`crate::copy_engine`]) as compute feeds
+    /// [`PagePool::advance_transfer_units`]; outputs of anything built on the
+    /// pool are bit-identical across modes — only the latency accounting and
+    /// slot timing differ.
+    pub fn new_with_migration(
+        config: PagingConfig,
+        capacity: usize,
+        head_dim: usize,
+        mode: MigrationMode,
+    ) -> Self {
         Self {
             config,
             head_dim,
@@ -276,7 +310,42 @@ impl PagePool {
             peak_in_use: 0,
             forks: 0,
             tier: TierStats::default(),
+            mode,
+            engine: CopyEngine::default(),
+            mig: MigrationStats::default(),
+            prefetched: Vec::new(),
         }
+    }
+
+    /// The migration mode this pool was constructed with.
+    pub fn migration_mode(&self) -> MigrationMode {
+        self.mode
+    }
+
+    /// Lifetime copy-engine counters (prefetch outcomes, hidden vs unhidden
+    /// transfer units). In [`MigrationMode::Sync`] every migrated unit counts
+    /// as unhidden, so [`MigrationStats::migration_stall_tokens`] is
+    /// comparable across modes.
+    pub fn migration_stats(&self) -> MigrationStats {
+        self.mig
+    }
+
+    /// Transfers currently in flight on the copy engine (both directions).
+    pub fn in_flight_transfers(&self) -> usize {
+        self.engine.in_flight(MigrationDir::ToCold) + self.engine.in_flight(MigrationDir::ToHot)
+    }
+
+    /// Residency state of a live page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not allocated.
+    pub fn residency(&self, id: PageId) -> Residency {
+        assert!(
+            self.pages[id.index()].is_some(),
+            "residency query on unallocated page {id:?}"
+        );
+        self.residency[id.index()]
     }
 
     /// The paging configuration pages are created with.
@@ -304,9 +373,12 @@ impl PagePool {
         self.hot_in_use + self.cold_in_use
     }
 
-    /// Hot pages currently available for allocation.
+    /// Hot pages currently available for allocation. In-flight demotions
+    /// count as available: their slots are reclaimable on demand
+    /// (allocation force-completes the oldest outbound transfer, charging its
+    /// remainder as unhidden stall).
     pub fn free_pages(&self) -> usize {
-        self.hot_capacity - self.hot_in_use
+        self.hot_capacity - self.hot_in_use + self.engine.in_flight(MigrationDir::ToCold)
     }
 
     /// High-water mark of hot pages in use.
@@ -328,20 +400,77 @@ impl PagePool {
                 self.pages.push(None);
                 self.refcounts.push(0);
                 self.residency.push(Residency::Hot);
+                self.prefetched.push(false);
                 id
             }
         }
     }
 
-    /// Allocates a fresh empty hot page, or `None` if the hot tier is full.
+    /// Applies the residency flip of a landed transfer. Slot accounting for
+    /// promotions happened at issue; demotions hand their hot slot over here.
+    fn land(&mut self, dir: MigrationDir, id: PageId) {
+        let idx = id.index();
+        debug_assert_eq!(self.residency[idx], Residency::Migrating(dir));
+        match dir {
+            MigrationDir::ToCold => {
+                self.residency[idx] = Residency::Cold;
+                self.hot_in_use -= 1;
+                self.cold_in_use += 1;
+            }
+            MigrationDir::ToHot => self.residency[idx] = Residency::Hot,
+        }
+    }
+
+    /// Force-completes the oldest in-flight transfer in `dir`, charging its
+    /// remainder as unhidden stall. Returns `false` when the queue is empty.
+    fn force_oldest(&mut self, dir: MigrationDir) -> bool {
+        let Some((page, remaining, _prefetch)) = self.engine.force_head(dir) else {
+            return false;
+        };
+        self.mig.unhidden_token_units += remaining;
+        self.mig.forced_completions += 1;
+        self.land(dir, page);
+        true
+    }
+
+    /// Frees one hot slot by force-completing outbound transfers. Returns
+    /// `false` when the hot tier is genuinely full (nothing reclaimable).
+    fn reclaim_hot_slot(&mut self) -> bool {
+        while self.hot_in_use >= self.hot_capacity {
+            if !self.force_oldest(MigrationDir::ToCold) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Records a demand touch on a prefetched page (the prefetch paid off).
+    fn touch_prefetched(&mut self, idx: usize) {
+        if self.prefetched[idx] {
+            self.prefetched[idx] = false;
+            self.mig.prefetch_hits += 1;
+        }
+    }
+
+    /// Records a prefetched page leaving before any demand touch.
+    fn waste_prefetched(&mut self, idx: usize) {
+        if self.prefetched[idx] {
+            self.prefetched[idx] = false;
+            self.mig.prefetch_wasted += 1;
+        }
+    }
+
+    /// Allocates a fresh empty hot page, or `None` if the hot tier is full
+    /// (after reclaiming any in-flight demotions' slots in async mode).
     pub fn allocate(&mut self) -> Option<PageId> {
-        if self.hot_in_use >= self.hot_capacity {
+        if !self.reclaim_hot_slot() {
             return None;
         }
         let id = self.take_slot();
         self.pages[id.index()] = Some(KvPage::new(self.config, self.head_dim));
         self.refcounts[id.index()] = 1;
         self.residency[id.index()] = Residency::Hot;
+        self.prefetched[id.index()] = false;
         self.hot_in_use += 1;
         self.peak_in_use = self.peak_in_use.max(self.hot_in_use);
         Some(id)
@@ -371,18 +500,32 @@ impl PagePool {
         assert!(self.pages[idx].is_some(), "free of unallocated page {id:?}");
         self.refcounts[idx] -= 1;
         if self.refcounts[idx] == 0 {
+            self.waste_prefetched(idx);
             self.pages[idx] = None;
             match self.residency[idx] {
                 Residency::Hot => self.hot_in_use -= 1,
                 Residency::Cold => self.cold_in_use -= 1,
+                // An in-flight transfer of a dying page is cancelled, not
+                // landed: its slot accounting is still on the hot side in
+                // both directions (see `land`).
+                Residency::Migrating(dir) => {
+                    let (remaining, _) = self
+                        .engine
+                        .cancel(dir, id)
+                        .expect("migrating page must be in flight");
+                    self.mig.cancelled_token_units += remaining;
+                    self.hot_in_use -= 1;
+                }
             }
             self.residency[idx] = Residency::Hot;
             self.free.push(id);
         }
     }
 
-    /// True when the page is device-resident (the only state attention kernels
-    /// may read it in).
+    /// True when the page is kernel-readable on the device: `Hot`, or still
+    /// draining out (`Migrating(ToCold)` — the device copy is the transfer
+    /// source and remains valid until the slot is handed over). An inbound
+    /// `Migrating(ToHot)` page is *not* readable until its transfer lands.
     ///
     /// # Panics
     ///
@@ -392,7 +535,10 @@ impl PagePool {
             self.pages[id.index()].is_some(),
             "residency query on unallocated page {id:?}"
         );
-        self.residency[id.index()] == Residency::Hot
+        matches!(
+            self.residency[id.index()],
+            Residency::Hot | Residency::Migrating(MigrationDir::ToCold)
+        )
     }
 
     /// Moves a hot page to the cold (host) tier, freeing one hot slot without
@@ -413,13 +559,43 @@ impl PagePool {
             self.pages[idx].is_some(),
             "demote of unallocated page {id:?}"
         );
-        if self.refcounts[idx] > 1 || self.residency[idx] == Residency::Cold {
+        if self.refcounts[idx] > 1 {
             return None;
         }
-        self.residency[idx] = Residency::Cold;
-        self.hot_in_use -= 1;
-        self.cold_in_use += 1;
         let units = self.config.physical_page_size() as u64;
+        match self.residency[idx] {
+            Residency::Cold | Residency::Migrating(MigrationDir::ToCold) => return None,
+            Residency::Migrating(MigrationDir::ToHot) => {
+                // Abort the inbound transfer: the page is wanted cold again
+                // before it ever became readable. The spent bandwidth is
+                // wasted traffic, charged to neither stall bucket.
+                let (remaining, _) = self
+                    .engine
+                    .cancel(MigrationDir::ToHot, id)
+                    .expect("migrating page must be in flight");
+                self.mig.cancelled_token_units += remaining;
+                self.waste_prefetched(idx);
+            }
+            Residency::Hot => self.waste_prefetched(idx),
+        }
+        match self.mode {
+            MigrationMode::Sync => {
+                self.residency[idx] = Residency::Cold;
+                self.hot_in_use -= 1;
+                self.cold_in_use += 1;
+                self.mig.unhidden_token_units += units;
+            }
+            MigrationMode::Async => {
+                // The hot slot stays occupied (and readable) until the
+                // outbound transfer lands; a full queue force-completes its
+                // oldest entry first, modeling a blocked copy stream.
+                if self.engine.is_full(MigrationDir::ToCold) {
+                    self.force_oldest(MigrationDir::ToCold);
+                }
+                self.residency[idx] = Residency::Migrating(MigrationDir::ToCold);
+                self.engine.issue(MigrationDir::ToCold, id, units, false);
+            }
+        }
         self.tier.pages_demoted += 1;
         self.tier.demoted_token_units += units;
         Some(units)
@@ -441,20 +617,151 @@ impl PagePool {
             self.pages[idx].is_some(),
             "promote of unallocated page {id:?}"
         );
-        if self.residency[idx] == Residency::Hot {
-            return Some(0);
+        match self.residency[idx] {
+            Residency::Hot => {
+                self.touch_prefetched(idx);
+                return Some(0);
+            }
+            // Already inbound: the promotion is in flight, nothing new moves.
+            Residency::Migrating(MigrationDir::ToHot) => return Some(0),
+            // Still draining out: abort the outbound transfer and keep the
+            // device copy — a free promotion (the data never left).
+            Residency::Migrating(MigrationDir::ToCold) => {
+                let (remaining, _) = self
+                    .engine
+                    .cancel(MigrationDir::ToCold, id)
+                    .expect("migrating page must be in flight");
+                self.mig.cancelled_token_units += remaining;
+                self.residency[idx] = Residency::Hot;
+                return Some(0);
+            }
+            Residency::Cold => {}
         }
-        if self.hot_in_use >= self.hot_capacity {
+        if !self.reclaim_hot_slot() {
             return None;
         }
-        self.residency[idx] = Residency::Hot;
+        let units = self.config.physical_page_size() as u64;
         self.cold_in_use -= 1;
         self.hot_in_use += 1;
         self.peak_in_use = self.peak_in_use.max(self.hot_in_use);
-        let units = self.config.physical_page_size() as u64;
+        match self.mode {
+            MigrationMode::Sync => {
+                self.residency[idx] = Residency::Hot;
+                self.mig.unhidden_token_units += units;
+            }
+            MigrationMode::Async => {
+                if self.engine.is_full(MigrationDir::ToHot) {
+                    self.force_oldest(MigrationDir::ToHot);
+                }
+                self.residency[idx] = Residency::Migrating(MigrationDir::ToHot);
+                self.engine.issue(MigrationDir::ToHot, id, units, false);
+            }
+        }
         self.tier.pages_promoted += 1;
         self.tier.promoted_token_units += units;
         Some(units)
+    }
+
+    /// Makes `id` kernel-readable *now*, forcing any in-flight inbound
+    /// transfer to completion. Returns `(issued, unhidden)` token-units: the
+    /// new transfer traffic this call generated and the fraction of transfer
+    /// cost the caller must absorb as stall. `None` when the hot tier is full.
+    ///
+    /// In [`MigrationMode::Sync`] this is exactly [`PagePool::promote`] with
+    /// the full cost unhidden. In [`MigrationMode::Async`]:
+    ///
+    /// * `Hot` / outbound-in-flight pages cost nothing (an outbound transfer
+    ///   is aborted for free — the device copy never left);
+    /// * an inbound-in-flight page charges only its *remaining* units — the
+    ///   part overlap didn't hide (a prefetch that landed early is free);
+    /// * a cold page issues a promotion and forces it immediately (demand
+    ///   fetch, nothing hidden).
+    pub fn ensure_hot(&mut self, id: PageId) -> Option<(u64, u64)> {
+        if self.mode == MigrationMode::Sync {
+            return self.promote(id).map(|u| (u, u));
+        }
+        let idx = id.index();
+        match self.residency[idx] {
+            Residency::Hot => {
+                self.touch_prefetched(idx);
+                Some((0, 0))
+            }
+            Residency::Migrating(MigrationDir::ToCold) => {
+                let (remaining, _) = self
+                    .engine
+                    .cancel(MigrationDir::ToCold, id)
+                    .expect("migrating page must be in flight");
+                self.mig.cancelled_token_units += remaining;
+                self.residency[idx] = Residency::Hot;
+                Some((0, 0))
+            }
+            Residency::Migrating(MigrationDir::ToHot) => {
+                let (remaining, _) = self
+                    .engine
+                    .force_page(MigrationDir::ToHot, id)
+                    .expect("migrating page must be in flight");
+                self.mig.unhidden_token_units += remaining;
+                if remaining > 0 {
+                    self.mig.forced_completions += 1;
+                }
+                self.land(MigrationDir::ToHot, id);
+                self.touch_prefetched(idx);
+                Some((0, remaining))
+            }
+            Residency::Cold => {
+                let issued = self.promote(id)?;
+                let (remaining, _) = self
+                    .engine
+                    .force_page(MigrationDir::ToHot, id)
+                    .expect("promotion just issued");
+                self.mig.unhidden_token_units += remaining;
+                self.mig.forced_completions += 1;
+                self.land(MigrationDir::ToHot, id);
+                Some((issued, remaining))
+            }
+        }
+    }
+
+    /// Speculatively promotes a cold page on the copy engine (async mode
+    /// only). Cheap and best-effort: declined — returning `false` — when the
+    /// page is not cold, the hot tier has no genuinely free slot (prefetch
+    /// never steals via reclaim), or the inbound queue is full.
+    pub fn prefetch(&mut self, id: PageId) -> bool {
+        let idx = id.index();
+        assert!(
+            self.pages[idx].is_some(),
+            "prefetch of unallocated page {id:?}"
+        );
+        if self.mode != MigrationMode::Async
+            || self.residency[idx] != Residency::Cold
+            || self.hot_in_use >= self.hot_capacity
+            || self.engine.is_full(MigrationDir::ToHot)
+        {
+            return false;
+        }
+        let units = self.config.physical_page_size() as u64;
+        self.cold_in_use -= 1;
+        self.hot_in_use += 1;
+        self.peak_in_use = self.peak_in_use.max(self.hot_in_use);
+        self.residency[idx] = Residency::Migrating(MigrationDir::ToHot);
+        self.engine.issue(MigrationDir::ToHot, id, units, true);
+        self.prefetched[idx] = true;
+        self.mig.prefetch_issued += 1;
+        self.tier.pages_promoted += 1;
+        self.tier.promoted_token_units += units;
+        true
+    }
+
+    /// Feeds `units` token-units of overlapped compute to the copy engine:
+    /// each direction drains up to `units` (independent modeled DMA links),
+    /// landing finished transfers and crediting the drained traffic as
+    /// hidden. A no-op in [`MigrationMode::Sync`].
+    pub fn advance_transfer_units(&mut self, units: u64) {
+        let (landed, drained) = self.engine.advance(units);
+        self.mig.hidden_token_units += drained;
+        for (dir, page) in landed {
+            self.land(dir, page);
+        }
     }
 
     /// Shared access to a live page.
@@ -471,11 +778,37 @@ impl PagePool {
 
     /// Mutable access to a live page.
     ///
+    /// Writing into a page whose transfer is in flight is a hazard (the DMA
+    /// would race the write), so an outbound transfer is aborted and an
+    /// inbound one force-completed (charged as unhidden stall) first. In
+    /// practice appends only target the hot tail page; this is the safety
+    /// net, not a hot path.
+    ///
     /// # Panics
     ///
     /// Panics if the page is not allocated.
     #[inline]
     pub fn page_mut(&mut self, id: PageId) -> &mut KvPage {
+        match self.residency.get(id.index()) {
+            Some(Residency::Migrating(MigrationDir::ToCold)) => {
+                let (remaining, _) = self
+                    .engine
+                    .cancel(MigrationDir::ToCold, id)
+                    .expect("migrating page must be in flight");
+                self.mig.cancelled_token_units += remaining;
+                self.residency[id.index()] = Residency::Hot;
+            }
+            Some(Residency::Migrating(MigrationDir::ToHot)) => {
+                let (remaining, _) = self
+                    .engine
+                    .force_page(MigrationDir::ToHot, id)
+                    .expect("migrating page must be in flight");
+                self.mig.unhidden_token_units += remaining;
+                self.mig.forced_completions += 1;
+                self.land(MigrationDir::ToHot, id);
+            }
+            _ => {}
+        }
         self.pages[id.index()]
             .as_mut()
             .unwrap_or_else(|| panic!("access to unallocated page {id:?}"))
@@ -523,7 +856,7 @@ impl PagePool {
             self.pages[id.index()].is_some(),
             "fork of unallocated page {id:?}"
         );
-        if self.hot_in_use >= self.hot_capacity {
+        if !self.reclaim_hot_slot() {
             return None;
         }
         let copy = self.pages[id.index()].clone();
@@ -531,6 +864,7 @@ impl PagePool {
         self.pages[new.index()] = copy;
         self.refcounts[new.index()] = 1;
         self.residency[new.index()] = Residency::Hot;
+        self.prefetched[new.index()] = false;
         self.hot_in_use += 1;
         self.peak_in_use = self.peak_in_use.max(self.hot_in_use);
         self.forks += 1;

@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use crate::{PageId, PagePool};
+use crate::{MigrationDir, PageId, PagePool, Residency};
 
 /// Λ-mask geometry of a streaming head, in *pages*.
 ///
@@ -254,23 +254,59 @@ impl StreamingHeadCache {
     /// Promotes every cold retained page back to the hot tier. Returns
     /// `(pages moved, token-units moved)`, or `None` if the hot tier filled up
     /// mid-way (reserve [`StreamingHeadCache::cold_pages`] free slots first).
+    ///
+    /// Every page goes through [`PagePool::promote`], so in-flight states are
+    /// handled uniformly (see [`crate::DenseHeadCache::promote_all`]).
     pub fn promote_all(&self, pool: &mut PagePool) -> Option<(u64, u64)> {
         let mut pages = 0;
         let mut units = 0;
         for id in self.retained_ids() {
-            if pool.is_hot(id) {
-                continue;
+            match pool.promote(id)? {
+                0 => {}
+                u => {
+                    pages += 1;
+                    units += u;
+                }
             }
-            let u = pool.promote(id)?;
-            pages += 1;
-            units += u;
         }
         Some((pages, units))
+    }
+
+    /// Makes every retained page kernel-readable *now* (see
+    /// [`PagePool::ensure_hot`]). Returns `(pages moved, token-units issued,
+    /// token-units unhidden)`, or `None` if the hot tier filled up mid-way.
+    pub fn ensure_resident(&self, pool: &mut PagePool) -> Option<(u64, u64, u64)> {
+        let mut pages = 0;
+        let mut units = 0;
+        let mut unhidden = 0;
+        for id in self.retained_ids() {
+            let (u, uh) = pool.ensure_hot(id)?;
+            if u > 0 {
+                pages += 1;
+            }
+            units += u;
+            unhidden += uh;
+        }
+        Some((pages, units, unhidden))
     }
 
     /// Number of retained pages currently in the cold tier.
     pub fn cold_pages(&self, pool: &PagePool) -> usize {
         self.retained_ids().filter(|&id| !pool.is_hot(id)).count()
+    }
+
+    /// Hot slots a swap-in of this head must newly claim (see
+    /// [`crate::DenseHeadCache::swap_in_demand`]): cold pages plus own
+    /// outbound transfers still in flight.
+    pub fn swap_in_demand(&self, pool: &PagePool) -> usize {
+        self.retained_ids()
+            .filter(|&id| {
+                matches!(
+                    pool.residency(id),
+                    Residency::Cold | Residency::Migrating(MigrationDir::ToCold)
+                )
+            })
+            .count()
     }
 
     /// Retained pages that are both sole-owned and hot — exactly what a

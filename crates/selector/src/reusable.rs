@@ -121,6 +121,40 @@ impl<S: PageSelector> ReusableSelector<S> {
             .map(|(p, _)| p)
             .collect()
     }
+
+    /// The decode step at which the next [`select`] call will score afresh
+    /// instead of replaying the cached selection — `None` before the first
+    /// fresh scoring (including right after [`reset`]). The async copy
+    /// engine's prefetch policy keys off this: cold pages predicted hot can
+    /// start their host→device transfer one step before the selection that
+    /// wants them actually runs, hiding the transfer behind compute.
+    ///
+    /// [`select`]: PageSelector::select
+    /// [`reset`]: PageSelector::reset
+    pub fn next_fresh_step(&self) -> Option<usize> {
+        self.last_scored_step.map(|s| s + self.reuse_interval)
+    }
+
+    /// Prefetch candidates for the next fresh selection: physical page
+    /// indices the last fresh scoring did **not** pick, ranked most recently
+    /// selected first — decode queries' temporal locality makes a page that
+    /// just dropped out of the selection the likeliest to be re-picked, and
+    /// a long-stale page the least. Ties break on page index, so the ranking
+    /// is deterministic.
+    ///
+    /// The list is residency-blind: callers filter for cold pages, skip the
+    /// append target, and cap how many transfers they issue.
+    pub fn prefetch_candidates(&self) -> Vec<usize> {
+        let mut cands: Vec<(u64, usize)> = self
+            .last_selected_chunk
+            .iter()
+            .enumerate()
+            .filter(|&(_, &last)| last < self.chunks_scored)
+            .map(|(p, &last)| (last, p))
+            .collect();
+        cands.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        cands.into_iter().map(|(_, p)| p).collect()
+    }
 }
 
 impl<S: PageSelector> PageSelector for ReusableSelector<S> {
@@ -324,6 +358,59 @@ mod tests {
             "replayed selections must not age pages"
         );
         assert_eq!(sel.chunks_scored(), 1);
+    }
+
+    #[test]
+    fn next_fresh_step_predicts_the_rescore() {
+        let (pool, cache) = build(32);
+        let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), 4);
+        let q = [1.0f32, 0.0];
+        assert_eq!(sel.next_fresh_step(), None, "nothing scored yet");
+        for step in 0..12 {
+            // Under a monotone step cadence the prediction is exact: a step
+            // scores afresh iff it has reached the predicted fresh step.
+            let predicted_fresh = sel.next_fresh_step().is_none_or(|s| step >= s);
+            let s = sel.select(&pool, &cache, &[&q], 8, step);
+            assert_eq!(!s.reused, predicted_fresh, "step {step}");
+        }
+        assert_eq!(
+            sel.next_fresh_step(),
+            Some(12),
+            "fresh at 0, 4, 8 — next 12"
+        );
+        sel.reset();
+        assert_eq!(sel.next_fresh_step(), None, "reset clears the prediction");
+    }
+
+    #[test]
+    fn prefetch_candidates_rank_recent_losers_first() {
+        let (pool, cache) = build(32); // 8 pages
+        let mut sel = ReusableSelector::new(HierarchicalSelector::new(true), 1);
+        let q = [1.0f32, 0.0];
+        let first = sel.select(&pool, &cache, &[&q], 8, 0);
+        assert!(
+            sel.prefetch_candidates().is_empty(),
+            "every page was seen (or selected) this chunk"
+        );
+        for step in 1..4 {
+            let _ = sel.select(&pool, &cache, &[&q], 8, step);
+        }
+        let cands = sel.prefetch_candidates();
+        assert!(!cands.is_empty(), "unpicked pages are candidates");
+        // Currently-selected pages never appear.
+        for p in &first.pages {
+            assert!(!cands.contains(p), "selected page {p} offered for prefetch");
+        }
+        // Ranking is by last-selected chunk, descending; ties by page index.
+        let rank: Vec<u64> = cands.iter().map(|&p| sel.last_selected_chunk[p]).collect();
+        assert!(rank.windows(2).all(|w| w[0] >= w[1]), "not recency-ranked");
+        // Candidates are a superset of the stale set: staleness demotes,
+        // recency prefetches, both read the same clock.
+        for p in sel.stale_pages(3) {
+            assert!(cands.contains(&p));
+        }
+        sel.reset();
+        assert!(sel.prefetch_candidates().is_empty());
     }
 
     #[test]

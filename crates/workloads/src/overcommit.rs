@@ -58,6 +58,20 @@ impl OvercommitConfig {
         }
     }
 
+    /// The migration-bench scene: the `small` geometry with a doubled
+    /// generation budget, so a burst's sequences coexist through enough
+    /// decode iterations that an asynchronous copy engine has compute to
+    /// hide transfers behind. Used by the `tiered_offload` bench's
+    /// sync-vs-async comparison (and the `BENCH_pr6.json` artifact CI
+    /// archives), where the stall-reduction acceptance gate is asserted.
+    pub fn migration_bench() -> Self {
+        Self {
+            max_new_tokens: 32,
+            seed: 0xA51C,
+            ..Self::small()
+        }
+    }
+
     /// Total requests the workload generates.
     pub fn total_requests(&self) -> usize {
         self.bursts * self.requests_per_burst
@@ -146,6 +160,19 @@ mod tests {
             assert!(r.prompt.iter().all(|&t| t < cfg.vocab));
         }
         assert_eq!(reqs[3].prompt_len(), cfg.max_prompt_len());
+    }
+
+    #[test]
+    fn migration_bench_extends_the_decode_phase() {
+        let small = OvercommitConfig::small();
+        let bench = OvercommitConfig::migration_bench();
+        assert!(bench.max_new_tokens > small.max_new_tokens);
+        assert_eq!(bench.total_requests(), small.total_requests());
+        assert_ne!(
+            overcommit_workload(&bench)[0].prompt,
+            overcommit_workload(&small)[0].prompt,
+            "distinct seed: the scenes must not alias"
+        );
     }
 
     #[test]
