@@ -14,8 +14,8 @@
 //! * **Sync vs async migration** on the oversubscribed scene: the copy
 //!   engine must cut the modeled migration stall at least 2x while leaving
 //!   every output token untouched. The comparison (plus an SLO-mix latency
-//!   profile) is written to `BENCH_pr6.json` at the repository root for CI
-//!   to archive.
+//!   profile) is registered on a [`MetricsSnapshot`] and written to
+//!   `BENCH_pr7.json` at the repository root for CI to validate and archive.
 //!
 //! ```text
 //! cargo bench -p lserve-bench --bench tiered_offload
@@ -27,8 +27,9 @@ use std::sync::Arc;
 
 use lserve_bench::Json;
 use lserve_core::{
-    sequence_pages_estimate, AdmissionPolicy, EngineConfig, MigrationMode, ModelExecutor,
-    PreemptionPolicy, Request, RequestSpec, Scheduler, SchedulerConfig, ServingReport, SloClass,
+    sequence_pages_estimate, AdmissionPolicy, EngineConfig, MetricsSnapshot, MigrationMode,
+    ModelExecutor, PreemptionPolicy, Request, RequestSpec, Scheduler, SchedulerConfig,
+    ServingReport, SloClass,
 };
 use lserve_kvcache::{
     migration_from_env, LayerKvCache, PagePool, PagingConfig, StreamingWindow,
@@ -153,18 +154,8 @@ fn bench_tiered_offload(c: &mut Criterion) {
         oversub_pages,
         PreemptionPolicy::Swap,
     );
-    println!(
-        "\noversubscribed swap run ({oversub_pages} hot pages vs {resident_pages} resident): \
-         completed {}, peak running {}, preemptions {}, pages demoted/promoted {}/{}, \
-         peak cold {}, swap-resume work {} tokens",
-        swap.completed.len(),
-        swap.peak_running,
-        swap.preemptions,
-        swap.pages_demoted,
-        swap.pages_promoted,
-        swap.peak_cold_pages,
-        swap.swap_resume_work_tokens,
-    );
+    println!("\noversubscribed swap run ({oversub_pages} hot pages vs {resident_pages} resident):");
+    println!("{}", swap.summary());
 
     // ---- The ≥5x swap-vs-replay resume model on a 32k-token victim. ----
     //
@@ -220,7 +211,7 @@ fn bench_tiered_offload(c: &mut Criterion) {
     //
     // Same tier pressure, longer decode phase (the migration_bench preset):
     // the async engine must cut the modeled migration stall at least 2x while
-    // every output token stays bit-identical. Written to `BENCH_pr6.json`
+    // every output token stays bit-identical. Written to `BENCH_pr7.json`
     // alongside an SLO-mix latency profile for CI to archive.
     let wl_mig = OvercommitConfig::migration_bench();
     let per_seq_mig = sequence_pages_estimate(
@@ -275,7 +266,7 @@ fn bench_tiered_offload(c: &mut Criterion) {
 
 /// Serves the SLO-mix workload (interactive bursts behind batch prompts)
 /// under swap preemption and the async copy engine, for the per-class
-/// latency profile `BENCH_pr6.json` records.
+/// latency profile `BENCH_pr7.json` records.
 fn run_slo_mix(weights: &Arc<ModelWeights>, cfg: &SloMixConfig) -> ServingReport {
     let ecfg = engine_cfg(Some(2));
     let per_batch = sequence_pages_estimate(
@@ -310,56 +301,11 @@ fn run_slo_mix(weights: &Arc<ModelWeights>, cfg: &SloMixConfig) -> ServingReport
     report
 }
 
-/// One SLO class's latency block: p50/p95 TTFT (work tokens) and p50/p95
-/// per-request mean TBT (scheduler iterations).
-fn class_block(report: &ServingReport, class: SloClass) -> Json {
-    Json::obj([
-        (
-            "ttft_work_p50",
-            Json::from(report.ttft_work_percentile_class(class, 0.5)),
-        ),
-        (
-            "ttft_work_p95",
-            Json::from(report.ttft_work_percentile_class(class, 0.95)),
-        ),
-        (
-            "tbt_iters_p50",
-            Json::from(report.tbt_percentile_class(class, 0.5)),
-        ),
-        (
-            "tbt_iters_p95",
-            Json::from(report.tbt_percentile_class(class, 0.95)),
-        ),
-    ])
-}
-
-fn migration_block(report: &ServingReport) -> Json {
-    Json::obj([
-        ("pages_demoted", Json::from(report.pages_demoted)),
-        ("pages_promoted", Json::from(report.pages_promoted)),
-        ("stall_tokens", Json::from(report.migration_stall_tokens)),
-        (
-            "hidden_transfer_tokens",
-            Json::from(report.hidden_transfer_tokens),
-        ),
-        (
-            "overlap_ratio",
-            Json::from(report.migration_overlap_ratio()),
-        ),
-        ("prefetch_issued", Json::from(report.prefetch_issued)),
-        ("prefetch_hits", Json::from(report.prefetch_hits)),
-        ("prefetch_wasted", Json::from(report.prefetch_wasted)),
-        (
-            "swap_resume_work_tokens",
-            Json::from(report.swap_resume_work_tokens),
-        ),
-        ("preemptions", Json::from(report.preemptions)),
-    ])
-}
-
-/// Writes `BENCH_pr6.json` at the repository root: the sync-vs-async
-/// migration comparison on the oversubscribed overcommit scene plus the
-/// SLO-mix per-class latency profile. CI archives the file as an artifact.
+/// Writes `BENCH_pr7.json` at the repository root via the consolidated
+/// [`MetricsSnapshot`] registry: the sync-vs-async migration comparison on
+/// the oversubscribed overcommit scene plus the SLO-mix latency profile, each
+/// registered as the full [`ServingReport::to_json`] counter projection. CI
+/// validates and archives the file as an artifact.
 fn write_bench_json(
     wl: &OvercommitConfig,
     mig_pages: usize,
@@ -372,50 +318,45 @@ fn write_bench_json(
         .iter()
         .map(|(_, tokens)| tokens.len() as u64)
         .sum();
-    let doc = Json::obj([
-        (
-            "bench",
-            Json::from("tiered_offload: async KV migration engine"),
-        ),
-        (
-            "overcommit_scene",
-            Json::obj([
-                ("requests", Json::from(wl.total_requests())),
-                ("context_tokens", Json::from(wl.context_tokens)),
-                ("max_new_tokens", Json::from(wl.max_new_tokens)),
-                ("hot_pages", Json::from(mig_pages)),
-                (
-                    "outputs_bit_identical",
-                    Json::from(u64::from(async_.completed == sync.completed)),
-                ),
-            ]),
-        ),
-        ("migration_sync", migration_block(sync)),
-        ("migration_async", migration_block(async_)),
-        (
-            "stall_reduction",
-            Json::from(
-                sync.migration_stall_tokens as f64 / (async_.migration_stall_tokens.max(1)) as f64,
+    let mut snap = MetricsSnapshot::new();
+    snap.insert(
+        "bench",
+        Json::from("tiered_offload: unified metrics registry"),
+    )
+    .insert(
+        "overcommit_scene",
+        Json::obj([
+            ("requests", Json::from(wl.total_requests())),
+            ("context_tokens", Json::from(wl.context_tokens)),
+            ("max_new_tokens", Json::from(wl.max_new_tokens)),
+            ("hot_pages", Json::from(mig_pages)),
+            (
+                "outputs_bit_identical",
+                Json::from(u64::from(async_.completed == sync.completed)),
             ),
+        ]),
+    )
+    .add_report("migration_sync", sync)
+    .add_report("migration_async", async_)
+    .insert(
+        "stall_reduction",
+        Json::from(
+            sync.migration_stall_tokens as f64 / (async_.migration_stall_tokens.max(1)) as f64,
         ),
-        (
-            "slo_mix",
-            Json::obj([
-                ("completed", Json::from(slo.completed.len())),
-                ("generated_tokens", Json::from(generated)),
-                ("scheduler_steps", Json::from(slo.scheduler_steps)),
-                (
-                    "throughput_tokens_per_step",
-                    Json::from(generated as f64 / slo.scheduler_steps.max(1) as f64),
-                ),
-                ("interactive", class_block(slo, SloClass::Interactive)),
-                ("batch", class_block(slo, SloClass::Batch)),
-                ("migration", migration_block(slo)),
-            ]),
-        ),
-    ]);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json");
-    std::fs::write(path, doc.render() + "\n").expect("write BENCH_pr6.json");
+    )
+    .insert(
+        "slo_mix_throughput",
+        Json::obj([
+            ("generated_tokens", Json::from(generated)),
+            (
+                "tokens_per_step",
+                Json::from(generated as f64 / slo.scheduler_steps.max(1) as f64),
+            ),
+        ]),
+    )
+    .add_report("slo_mix", slo);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json");
+    snap.write(path).expect("write BENCH_pr7.json");
     println!("\nwrote {path}");
 }
 

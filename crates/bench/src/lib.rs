@@ -73,109 +73,10 @@ pub fn decode_lengths() -> Vec<usize> {
     ]
 }
 
-/// A minimal JSON value for the machine-readable artifacts CI archives
-/// (`BENCH_*.json`). Hand-rolled on purpose: the harness carries no
-/// serialization dependency, and the artifacts are small, flat, and
-/// write-only from Rust's side.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// A float, rendered with enough precision to round-trip metrics.
-    Num(f64),
-    /// An unsigned counter.
-    Int(u64),
-    /// A string (escaped on render).
-    Str(String),
-    /// An ordered list.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience constructor for an object from `(key, value)` pairs.
-    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Self {
-        Json::Obj(
-            fields
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-    }
-
-    /// Renders the value as compact JSON.
-    ///
-    /// # Panics
-    ///
-    /// Panics on non-finite floats: the artifacts are metrics, and a NaN in
-    /// one is a bug worth stopping on, not serializing.
-    pub fn render(&self) -> String {
-        match self {
-            Json::Num(x) => {
-                assert!(x.is_finite(), "non-finite metric in JSON artifact: {x}");
-                // Plain Display round-trips f64 and never emits exponents for
-                // the metric ranges these artifacts hold.
-                if x.fract() == 0.0 && x.abs() < 1e15 {
-                    format!("{:.1}", x)
-                } else {
-                    format!("{x}")
-                }
-            }
-            Json::Int(n) => n.to_string(),
-            Json::Str(s) => {
-                let mut out = String::with_capacity(s.len() + 2);
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\t' => out.push_str("\\t"),
-                        '\r' => out.push_str("\\r"),
-                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-                out
-            }
-            Json::Arr(items) => {
-                let inner: Vec<String> = items.iter().map(Json::render).collect();
-                format!("[{}]", inner.join(","))
-            }
-            Json::Obj(fields) => {
-                let inner: Vec<String> = fields
-                    .iter()
-                    .map(|(k, v)| format!("{}:{}", Json::Str(k.clone()).render(), v.render()))
-                    .collect();
-                format!("{{{}}}", inner.join(","))
-            }
-        }
-    }
-}
-
-impl From<u64> for Json {
-    fn from(n: u64) -> Self {
-        Json::Int(n)
-    }
-}
-
-impl From<usize> for Json {
-    fn from(n: usize) -> Self {
-        Json::Int(n as u64)
-    }
-}
-
-impl From<f64> for Json {
-    fn from(x: f64) -> Self {
-        Json::Num(x)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(s: &str) -> Self {
-        Json::Str(s.to_string())
-    }
-}
+/// The deterministic JSON renderer behind the `BENCH_*.json` artifacts CI
+/// archives. It lives in `lserve-trace` (the trace exporter shares it);
+/// re-exported here so bench binaries keep their import path.
+pub use lserve_trace::{validate_json, Json};
 
 /// Geometric mean of positive values.
 ///
@@ -224,23 +125,10 @@ mod tests {
     }
 
     #[test]
-    fn json_renders_nested_values() {
-        let v = Json::obj([
-            ("count", Json::from(3u64)),
-            ("ratio", Json::from(0.75)),
-            ("whole", Json::from(2.0)),
-            ("name", Json::from("p\"5\"0\n")),
-            ("list", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
-        ]);
-        assert_eq!(
-            v.render(),
-            r#"{"count":3,"ratio":0.75,"whole":2.0,"name":"p\"5\"0\n","list":[1,2]}"#
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "non-finite metric")]
-    fn json_rejects_nan() {
-        let _ = Json::Num(f64::NAN).render();
+    fn json_reexport_renders() {
+        // The renderer itself is pinned in lserve-trace; this keeps the bench
+        // import path honest.
+        let v = Json::obj([("count", Json::from(3u64))]);
+        assert_eq!(v.render(), r#"{"count":3}"#);
     }
 }

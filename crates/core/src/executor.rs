@@ -23,8 +23,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use lserve_attention::{
-    fused_prefill_layer_threads, run_decode_shard, run_sharded, DecodeShard, DecodeStats, HeadKind,
-    LayerAttnConfig,
+    fused_prefill_layer_threads, lpt_assign, run_decode_shard, run_sharded, BalanceStats,
+    DecodeShard, DecodeStats, HeadKind, LayerAttnConfig,
 };
 use lserve_kvcache::{HeadCache, LayerKvCache, MigrationMode, PagePool, HOST_TRANSFER_SPEEDUP};
 use lserve_model::forward::{ffn_block, logits, post_attention, pre_attention};
@@ -32,6 +32,7 @@ use lserve_model::ModelWeights;
 use lserve_selector::{FlatSelector, HierarchicalSelector, PageSelector, ReusableSelector};
 use lserve_tensor::rope::RopeTable;
 use lserve_tensor::Matrix;
+use lserve_trace::{lane, Tracer, CONTROL_TID};
 use lserve_workloads::duo_gates;
 
 use crate::config::decode_threads_from_env;
@@ -466,8 +467,10 @@ impl ModelExecutor {
             .cfg
             .dynamic_prefill_keep
             .filter(|_| tokens.len() > self.cfg.dynamic_prefill_after);
+        let tracer = pool.tracer().clone();
         let mut x = self.weights.embed_tokens(tokens);
         for (l, lw) in self.weights.layers.iter().enumerate() {
+            let serial_start = tracer.now();
             let acts = pre_attention(model, lw, &x, 0, &self.rope);
             for t in 0..tokens.len() {
                 if !state.layers[l].append_token(pool, acts.k.row(t), acts.v.row(t), model.head_dim)
@@ -475,6 +478,18 @@ impl ModelExecutor {
                     return Err(OutOfPagesError);
                 }
             }
+            // The serial phase costs one clock tick per prompt token (QKV,
+            // RoPE, KV writeback all scale with the chunk).
+            tracer.advance(tokens.len() as u64);
+            tracer.span(
+                "prefill.serial",
+                "executor",
+                lane::EXECUTOR,
+                CONTROL_TID,
+                serial_start,
+                &[("layer", l as u64)],
+            );
+            let par_start = tracer.now();
             let (attn, dense_stats, stream_stats, balance) = fused_prefill_layer_threads(
                 &acts.q,
                 &acts.k,
@@ -485,6 +500,33 @@ impl ModelExecutor {
                 threads,
             );
             exec_stats.absorb(&balance);
+            if tracer.is_enabled() {
+                // The parallel phase costs its modeled critical path; worker
+                // lanes get one merged span per worker (their LPT-assigned
+                // load) so prefill imbalance shows in the flame chart.
+                tracer.advance(balance.cost_critical());
+                tracer.span(
+                    "prefill.attention",
+                    "executor",
+                    lane::EXECUTOR,
+                    CONTROL_TID,
+                    par_start,
+                    &[("layer", l as u64), ("shards", balance.shards)],
+                );
+                for (w, &c) in balance.assigned_cost.iter().enumerate() {
+                    if c > 0 {
+                        tracer.span_at(
+                            "shard",
+                            "attention",
+                            lane::WORKERS,
+                            w as u64,
+                            par_start,
+                            c,
+                            &[("cost", c)],
+                        );
+                    }
+                }
+            }
             state.stats.add_prefill(dense_stats, stream_stats);
             x = post_attention(lw, &x, &attn);
             x = ffn_block(lw, &x);
@@ -820,9 +862,11 @@ impl ModelExecutor {
             .iter()
             .map(|(_, token)| Some(self.weights.embed_tokens(&[*token])))
             .collect();
+        let tracer = pool.tracer().clone();
         for (l, lw) in self.weights.layers.iter().enumerate() {
             // Phase 1 (serial, batch order): QKV + RoPE, KV writeback, dynamic
             // page selection. A failed append kills only that sequence.
+            let serial_start = tracer.now();
             let mut qrows: Vec<Option<Vec<f32>>> = vec![None; batch.len()];
             let mut selections: Vec<Vec<Option<Vec<usize>>>> = Vec::with_capacity(batch.len());
             let mut cost_hints: Vec<Vec<Option<u64>>> = Vec::with_capacity(batch.len());
@@ -844,6 +888,19 @@ impl ModelExecutor {
                 }
                 let q_row = acts.q.row(0).to_vec();
                 let (sel, hint, fresh) = self.select_pages(state, pool, l, &q_row);
+                if tracer.is_enabled() {
+                    for (kv, &f) in fresh.iter().enumerate() {
+                        if f {
+                            tracer.instant(
+                                "rescore",
+                                "selector",
+                                lane::SELECTOR,
+                                i as u64,
+                                &[("layer", l as u64), ("head", kv as u64)],
+                            );
+                        }
+                    }
+                }
                 // Residency pass: demote selector-stale pages, promote any
                 // cold page the selection wants, before the kernels read.
                 match self.apply_residency(state, pool, l, &sel, &fresh) {
@@ -868,6 +925,17 @@ impl ModelExecutor {
                     self.issue_prefetches(state, pool, l);
                 }
             }
+            // The serial phase costs one clock tick per live batch token.
+            tracer.advance(qrows.iter().filter(|q| q.is_some()).count() as u64);
+            tracer.span(
+                "decode.serial",
+                "executor",
+                lane::EXECUTOR,
+                CONTROL_TID,
+                serial_start,
+                &[("layer", l as u64)],
+            );
+            let par_start = tracer.now();
             // Phase 2 (parallel): sharded attention into preallocated,
             // disjoint per-(sequence × KV-head) output slices.
             let mut outs: Vec<Vec<f32>> = qrows
@@ -916,6 +984,7 @@ impl ModelExecutor {
                     run_decode_shard(pool_ref, shard)
                 });
                 exec_stats.absorb(&balance);
+                trace_attention_phase(&tracer, par_start, l, &balance, &costs, &shard_seq);
                 shard_seq
                     .iter()
                     .zip(shards.iter())
@@ -966,6 +1035,56 @@ impl ModelExecutor {
 /// selector's cost hints for LPT balancing, and whether each head's selection
 /// was freshly scored this step (the demotion sweep runs only then).
 type LayerSelections = (Vec<Option<Vec<usize>>>, Vec<Option<u64>>, Vec<bool>);
+
+/// Emits one decode layer's parallel-phase trace: advances the work-token
+/// clock by the phase's modeled critical path, closes the `decode.attention`
+/// span, and lays per-shard spans on the worker lanes.
+///
+/// The worker lanes show the *modeled LPT schedule* — [`lpt_assign`] re-run
+/// over the same deterministic costs [`run_sharded`] balanced with — not the
+/// measured execution (work stealing may move a straggler shard at runtime).
+/// That is the right chart for imbalance analysis: it is bit-reproducible,
+/// and the per-shard `cost` args are exactly the sparsity-aware estimates the
+/// balancer acted on.
+fn trace_attention_phase(
+    tracer: &Tracer,
+    par_start: u64,
+    l: usize,
+    balance: &BalanceStats,
+    costs: &[u64],
+    shard_seq: &[usize],
+) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    tracer.advance(balance.cost_critical());
+    tracer.span(
+        "decode.attention",
+        "executor",
+        lane::EXECUTOR,
+        CONTROL_TID,
+        par_start,
+        &[("layer", l as u64), ("shards", balance.shards)],
+    );
+    if costs.is_empty() {
+        return;
+    }
+    for (w, queue) in lpt_assign(costs, balance.workers.max(1)).iter().enumerate() {
+        let mut cursor = par_start;
+        for &s in queue {
+            tracer.span_at(
+                "shard",
+                "attention",
+                lane::WORKERS,
+                w as u64,
+                cursor,
+                costs[s],
+                &[("seq", shard_seq[s] as u64), ("cost", costs[s])],
+            );
+            cursor += costs[s];
+        }
+    }
+}
 
 /// Sparsity-aware cost estimate of one *(sequence × KV-head)* decode shard, in
 /// visited KV tokens times query heads served (the work the kernel actually

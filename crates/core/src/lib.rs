@@ -39,6 +39,7 @@ pub mod config;
 pub mod engine;
 pub mod executor;
 pub mod heads;
+pub mod metrics;
 pub mod prefix;
 pub mod serving;
 pub mod stats;
@@ -49,6 +50,7 @@ pub use executor::{ModelExecutor, OutOfPagesError, SequenceState};
 pub use heads::{classify_heads, streaming_masks_from_gates};
 pub use lserve_kvcache::{migration_from_env, MigrationMode, MigrationStats};
 pub use lserve_prefixcache::PrefixCacheStats;
+pub use metrics::MetricsSnapshot;
 pub use prefix::CachedPrefix;
 pub use serving::{
     preemption_from_env, sequence_pages_estimate, tile_grid_boundary, AdmissionPolicy,

@@ -76,6 +76,7 @@ use std::sync::{Arc, Mutex};
 use lserve_kvcache::{migration_from_env, MigrationMode, PagePool};
 use lserve_model::{greedy_next_token, ModelConfig, ModelWeights};
 use lserve_prefixcache::{PrefixCache, PrefixCacheStats};
+use lserve_trace::{lane, Tracer};
 
 use crate::config::decode_threads_from_env;
 use crate::executor::{ModelExecutor, SequenceState};
@@ -536,7 +537,7 @@ pub enum AdmissionPolicy {
 }
 
 /// Scheduler policy knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SchedulerConfig {
     /// Physical pages in the shared pool (the device-memory budget).
     pub pool_pages: usize,
@@ -586,6 +587,12 @@ pub struct SchedulerConfig {
     /// the work clock has advanced past the difference — starvation-freedom
     /// within the class.
     pub no_deadline_slack: u64,
+    /// Shared trace handle threaded through the scheduler, the executor's
+    /// per-layer phases, the attention shard workers, the copy engine, and the
+    /// page selector. Defaults to [`Tracer::from_env`] (the `LSERVE_TRACE`
+    /// variable; disabled when unset). Tracing never changes outputs — the
+    /// trace clock is a parallel work-token ledger, not a scheduling input.
+    pub tracer: Tracer,
 }
 
 impl SchedulerConfig {
@@ -594,7 +601,8 @@ impl SchedulerConfig {
     /// class-aware scheduling on, decode threads read once from
     /// `LSERVE_DECODE_THREADS` (1 when unset), preemption policy read once
     /// from `LSERVE_PREEMPTION` (replay when unset), migration mode read
-    /// once from `LSERVE_MIGRATION` (sync when unset).
+    /// once from `LSERVE_MIGRATION` (sync when unset), tracing read once
+    /// from `LSERVE_TRACE` (disabled when unset).
     ///
     /// The environment is read here, at construction — never cached
     /// process-wide — so tests and benches can vary the variables between
@@ -611,6 +619,7 @@ impl SchedulerConfig {
             migration: migration_from_env(),
             class_aware: true,
             no_deadline_slack: 1 << 20,
+            tracer: Tracer::from_env(),
         }
     }
 
@@ -910,6 +919,11 @@ struct RequestProgress {
     /// Whether the request has ever entered the running batch — decides
     /// between the `Admitted` and `Resumed` events at (re-)admission.
     ever_admitted: bool,
+    /// Trace-clock tick at which the request's current lifecycle phase began
+    /// (queued at submit/preempt, running at admit/resume). Pure trace
+    /// bookkeeping: it closes the retrospective `queued`/`running` spans and
+    /// never feeds a scheduling decision.
+    trace_mark: u64,
 }
 
 /// The scheduling rank of a request: strict priority by class, earliest
@@ -1079,24 +1093,29 @@ impl Scheduler {
     /// Panics if `scfg` is inconsistent (see [`SchedulerConfig::validate`]).
     pub fn new(exec: Arc<ModelExecutor>, scfg: SchedulerConfig) -> Self {
         scfg.validate();
-        let pool = PagePool::new_with_migration(
+        let mut pool = PagePool::new_with_migration(
             exec.config().paging,
             scfg.pool_pages,
             exec.weights().config.head_dim,
             scfg.migration,
         );
+        // One shared handle: the pool emission sites (copy engine, prefetch)
+        // and the executor (which reaches the tracer through the pool) record
+        // into the same ring as the scheduler's lifecycle events.
+        pool.set_tracer(scfg.tracer.clone());
+        let report = ServingReport {
+            decode_threads: scfg.decode_threads,
+            preemption: scfg.preemption,
+            migration: scfg.migration,
+            ..ServingReport::default()
+        };
         Self {
             exec,
             scfg,
             pool,
             queue: VecDeque::new(),
             running: Vec::new(),
-            report: ServingReport {
-                decode_threads: scfg.decode_threads,
-                preemption: scfg.preemption,
-                migration: scfg.migration,
-                ..ServingReport::default()
-            },
+            report,
             next_arrival: 0,
             work_tokens: 0,
             swap_resume_work: 0,
@@ -1169,6 +1188,16 @@ impl Scheduler {
         };
         let key = self.slo_key(&spec, arrival);
         self.index.insert(spec.id, Phase::Queued);
+        self.scfg.tracer.instant(
+            "submit",
+            "scheduler",
+            lane::SCHEDULER,
+            spec.id,
+            &[
+                ("prompt", prompt.len() as u64),
+                ("class", u64::from(spec.class.rank())),
+            ],
+        );
         self.enqueue(QueuedSeq {
             core: SeqCore {
                 spec,
@@ -1188,6 +1217,7 @@ impl Scheduler {
                 preemptions: 0,
                 cached_tokens: 0,
                 ever_admitted: false,
+                trace_mark: self.scfg.tracer.now(),
             },
         });
         RequestHandle { shared: handle }
@@ -1270,12 +1300,43 @@ impl Scheduler {
     pub fn step(&mut self) {
         self.report.scheduler_steps += 1;
         let now = self.report.scheduler_steps;
+        let step_start = self.scfg.tracer.now();
         self.apply_cancellations();
         self.admit();
         self.report.peak_running = self.report.peak_running.max(self.running.len());
         self.report.running_seq_steps += self.running.len() as u64;
         self.prefill_phase(now);
         self.decode_phase(now);
+        if self.scfg.tracer.is_enabled() {
+            let tracer = self.scfg.tracer.clone();
+            tracer.span(
+                "step",
+                "scheduler",
+                lane::SCHEDULER,
+                lserve_trace::CONTROL_TID,
+                step_start,
+                &[("iter", now)],
+            );
+            // Counter tracks: pool residency and batch occupancy, sampled at
+            // every step boundary — Perfetto renders these as area charts
+            // above the lanes.
+            tracer.counter(
+                "pages",
+                lane::SCHEDULER,
+                &[
+                    ("hot", self.pool.in_use() as u64),
+                    ("cold", self.pool.cold_in_use() as u64),
+                ],
+            );
+            tracer.counter(
+                "sequences",
+                lane::SCHEDULER,
+                &[
+                    ("running", self.running.len() as u64),
+                    ("queued", self.queue.len() as u64),
+                ],
+            );
+        }
         self.report.peak_pages = self.report.peak_pages.max(self.pool.peak_in_use());
         self.report.peak_cold_pages = self.report.peak_cold_pages.max(self.pool.cold_in_use());
         // Tier-migration counters come straight from the pool's lifetime
@@ -1348,6 +1409,14 @@ impl Scheduler {
     fn cancel_running(&mut self, mut seq: SchedSeq) {
         self.donate_tokens(&seq.core.prompt, &seq.generated, &seq.state);
         seq.state.release(&mut self.pool);
+        self.scfg.tracer.span(
+            "running",
+            "scheduler",
+            lane::SCHEDULER,
+            seq.core.spec.id,
+            seq.progress.trace_mark,
+            &[],
+        );
         self.finish_cancelled(seq.core, seq.generated);
     }
 
@@ -1360,6 +1429,14 @@ impl Scheduler {
             self.donate_tokens(&q.core.prompt, &q.generated, &swap.state);
             swap.state.release(&mut self.pool);
         }
+        self.scfg.tracer.span(
+            "queued",
+            "scheduler",
+            lane::SCHEDULER,
+            q.core.spec.id,
+            q.progress.trace_mark,
+            &[],
+        );
         self.finish_cancelled(q.core, q.generated);
     }
 
@@ -1369,6 +1446,9 @@ impl Scheduler {
     /// this — they never owned a slot, so only the handle event and the
     /// reasons vector apply there.)
     fn finish_rejected(&mut self, core: SeqCore, reason: RejectReason) {
+        self.scfg
+            .tracer
+            .instant("reject", "scheduler", lane::SCHEDULER, core.spec.id, &[]);
         core.handle.push(ServingEvent::Rejected { reason });
         self.index.insert(core.spec.id, Phase::Rejected);
         self.report.rejected.push(core.spec.id);
@@ -1376,6 +1456,13 @@ impl Scheduler {
     }
 
     fn finish_cancelled(&mut self, core: SeqCore, output: Vec<u32>) {
+        self.scfg.tracer.instant(
+            "cancel",
+            "scheduler",
+            lane::SCHEDULER,
+            core.spec.id,
+            &[("tokens", output.len() as u64)],
+        );
         core.handle.push(ServingEvent::Cancelled {
             tokens: output.clone(),
         });
@@ -1448,9 +1535,29 @@ impl Scheduler {
                     let cost = lserve_kvcache::transfer_cost_tokens(units);
                     self.swap_resume_work += cost;
                     self.work_tokens += cost;
+                    // The stall is real work on the request's critical path,
+                    // so it advances the trace clock too — the resume instant
+                    // lands *after* the promotion it paid for.
+                    self.scfg.tracer.advance(cost);
                 }
+                let id = q.core.spec.id;
+                self.scfg.tracer.span(
+                    "queued",
+                    "scheduler",
+                    lane::SCHEDULER,
+                    id,
+                    q.progress.trace_mark,
+                    &[("swapped", 1)],
+                );
+                self.scfg.tracer.instant(
+                    "resume",
+                    "scheduler",
+                    lane::SCHEDULER,
+                    id,
+                    &[("units", units)],
+                );
                 q.core.handle.push(ServingEvent::Resumed);
-                self.index.insert(q.core.spec.id, Phase::Running);
+                self.index.insert(id, Phase::Running);
                 self.running.push(SchedSeq {
                     core: q.core,
                     state: swap.state,
@@ -1460,6 +1567,7 @@ impl Scheduler {
                     last_token: swap.last_token,
                     progress: RequestProgress {
                         ever_admitted: true,
+                        trace_mark: self.scfg.tracer.now(),
                         ..q.progress
                     },
                 });
@@ -1502,12 +1610,44 @@ impl Scheduler {
             }
             let q = self.queue.pop_front().expect("front checked");
             let (cached, state) = self.seeded_state(&q.core.prompt);
+            let id = q.core.spec.id;
+            if self.scfg.tracer.is_enabled() {
+                self.scfg.tracer.span(
+                    "queued",
+                    "scheduler",
+                    lane::SCHEDULER,
+                    id,
+                    q.progress.trace_mark,
+                    &[],
+                );
+                let name = if q.progress.ever_admitted {
+                    "resume"
+                } else {
+                    "admit"
+                };
+                self.scfg.tracer.instant(
+                    name,
+                    "scheduler",
+                    lane::SCHEDULER,
+                    id,
+                    &[("cached", cached as u64)],
+                );
+                if cached > 0 {
+                    self.scfg.tracer.instant(
+                        "prefix.hit",
+                        "prefix",
+                        lane::SCHEDULER,
+                        id,
+                        &[("tokens", cached as u64)],
+                    );
+                }
+            }
             q.core.handle.push(if q.progress.ever_admitted {
                 ServingEvent::Resumed
             } else {
                 ServingEvent::Admitted
             });
-            self.index.insert(q.core.spec.id, Phase::Running);
+            self.index.insert(id, Phase::Running);
             self.running.push(SchedSeq {
                 generated: q.generated.clone(),
                 resume_feed: q.generated,
@@ -1518,6 +1658,7 @@ impl Scheduler {
                 progress: RequestProgress {
                     cached_tokens: q.progress.cached_tokens.max(cached),
                     ever_admitted: true,
+                    trace_mark: self.scfg.tracer.now(),
                     ..q.progress
                 },
             });
@@ -1615,6 +1756,13 @@ impl Scheduler {
             return false;
         }
         self.report.prefix_evictions += 1;
+        self.scfg.tracer.instant(
+            "prefix.evict",
+            "prefix",
+            lane::SCHEDULER,
+            lserve_trace::CONTROL_TID,
+            &[],
+        );
         true
     }
 
@@ -1671,6 +1819,7 @@ impl Scheduler {
                 let tokens: Vec<u32> = (0..boundary)
                     .map(|t| self.running[i].feed_token(t))
                     .collect();
+                let chunk_start = self.scfg.tracer.now();
                 match exec.prefill_threads(
                     &mut self.running[i].state,
                     &mut self.pool,
@@ -1679,6 +1828,14 @@ impl Scheduler {
                     &mut self.report.parallel,
                 ) {
                     Ok(out) => {
+                        self.scfg.tracer.span(
+                            "prefill.chunk",
+                            "scheduler",
+                            lane::SCHEDULER,
+                            self.running[i].core.spec.id,
+                            chunk_start,
+                            &[("tokens", boundary as u64)],
+                        );
                         self.running[i].fed = boundary;
                         self.work_tokens += boundary as u64;
                         if self.scfg.prefix_cache {
@@ -1708,6 +1865,9 @@ impl Scheduler {
             }
             // Continuation: token-by-token through the decode path. Numerically
             // independent of how many tokens any iteration feeds.
+            let cont_start = self.scfg.tracer.now();
+            let cont_id = self.running[i].core.spec.id;
+            let mut cont_fed = 0u64;
             while budget > 0 && self.running[i].fed < self.running[i].feed_len() {
                 let need = self.running[i]
                     .state
@@ -1742,6 +1902,7 @@ impl Scheduler {
                     Ok(out) => {
                         self.running[i].fed += 1;
                         self.work_tokens += 1;
+                        cont_fed += 1;
                         if self.scfg.prefix_cache && fed_pos < self.running[i].core.prompt.len() {
                             self.report.prefix_recomputed_tokens += 1;
                         }
@@ -1761,6 +1922,19 @@ impl Scheduler {
                         break;
                     }
                 }
+            }
+            if cont_fed > 0 {
+                // One span per iteration's continuation feed (not per token):
+                // the decode-path re-feed is the same "prompt chunk" unit to
+                // the flame chart, however the scheduler sliced it.
+                self.scfg.tracer.span(
+                    "prefill.chunk",
+                    "scheduler",
+                    lane::SCHEDULER,
+                    cont_id,
+                    cont_start,
+                    &[("tokens", cont_fed)],
+                );
             }
         }
     }
@@ -1891,6 +2065,13 @@ impl Scheduler {
                     seq.progress.first_token_work = Some(work_now);
                 }
                 seq.progress.last_token_iter = now;
+                self.scfg.tracer.instant(
+                    if first { "first_token" } else { "token" },
+                    "scheduler",
+                    lane::SCHEDULER,
+                    seq.core.spec.id,
+                    &[],
+                );
                 seq.core.handle.push(if first {
                     ServingEvent::FirstToken { token }
                 } else {
@@ -1940,6 +2121,24 @@ impl Scheduler {
             }
             _ => seq.generated,
         };
+        if self.scfg.tracer.is_enabled() {
+            let id = seq.core.spec.id;
+            self.scfg.tracer.span(
+                "running",
+                "scheduler",
+                lane::SCHEDULER,
+                id,
+                seq.progress.trace_mark,
+                &[],
+            );
+            self.scfg.tracer.instant(
+                "finish",
+                "scheduler",
+                lane::SCHEDULER,
+                id,
+                &[("tokens", output.len() as u64)],
+            );
+        }
         let p = seq.progress;
         let ttft_work = p.first_token_work.map_or(0, |first| first - p.submit_work);
         let deadline = seq.core.spec.deadline_work_tokens;
@@ -2045,16 +2244,29 @@ impl Scheduler {
         let mut seq = self.running.remove(i);
         seq.state.release(&mut self.pool);
         self.report.preemptions += 1;
+        let id = seq.core.spec.id;
+        self.scfg.tracer.span(
+            "running",
+            "scheduler",
+            lane::SCHEDULER,
+            id,
+            seq.progress.trace_mark,
+            &[],
+        );
+        self.scfg
+            .tracer
+            .instant("preempt", "scheduler", lane::SCHEDULER, id, &[("swap", 0)]);
         seq.core.handle.push(ServingEvent::Preempted {
             policy: PreemptionPolicy::Replay,
         });
-        self.index.insert(seq.core.spec.id, Phase::Queued);
+        self.index.insert(id, Phase::Queued);
         self.enqueue(QueuedSeq {
             core: seq.core,
             generated: seq.generated,
             swap: None,
             progress: RequestProgress {
                 preemptions: seq.progress.preemptions + 1,
+                trace_mark: self.scfg.tracer.now(),
                 ..seq.progress
             },
         });
@@ -2068,10 +2280,22 @@ impl Scheduler {
         let seq = self.running.remove(i);
         seq.state.demote_resident(&mut self.pool);
         self.report.preemptions += 1;
+        let id = seq.core.spec.id;
+        self.scfg.tracer.span(
+            "running",
+            "scheduler",
+            lane::SCHEDULER,
+            id,
+            seq.progress.trace_mark,
+            &[],
+        );
+        self.scfg
+            .tracer
+            .instant("preempt", "scheduler", lane::SCHEDULER, id, &[("swap", 1)]);
         seq.core.handle.push(ServingEvent::Preempted {
             policy: PreemptionPolicy::Swap,
         });
-        self.index.insert(seq.core.spec.id, Phase::Queued);
+        self.index.insert(id, Phase::Queued);
         self.enqueue(QueuedSeq {
             core: seq.core,
             generated: seq.generated,
@@ -2083,6 +2307,7 @@ impl Scheduler {
             }),
             progress: RequestProgress {
                 preemptions: seq.progress.preemptions + 1,
+                trace_mark: self.scfg.tracer.now(),
                 ..seq.progress
             },
         });
@@ -2850,7 +3075,7 @@ mod tests {
     fn stop_token_truncates_output_and_is_never_streamed() {
         let mut scfg = SchedulerConfig::new(4096);
         scfg.chunk_tokens = 8;
-        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg.clone());
         sched.submit(request(1, 20, 8));
         let reference = sched.run_to_completion(10_000).completed[0].1.clone();
         assert_eq!(reference.len(), 8);
@@ -2886,7 +3111,7 @@ mod tests {
     fn stop_sequence_completes_inclusively() {
         let mut scfg = SchedulerConfig::new(4096);
         scfg.chunk_tokens = 8;
-        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg.clone());
         sched.submit(request(1, 20, 8));
         let reference = sched.run_to_completion(10_000).completed[0].1.clone();
         let stop_seq = reference[3..5].to_vec();
@@ -2909,7 +3134,7 @@ mod tests {
         let mut scfg = SchedulerConfig::new(4096);
         scfg.chunk_tokens = 8;
         scfg.max_batch = 1;
-        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg.clone());
         sched.submit(request(1, 24, 6));
         sched.submit(request(2, 24, 6));
         sched.submit(request(3, 8, 4).class(SloClass::Interactive));

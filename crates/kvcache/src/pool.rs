@@ -1,6 +1,7 @@
 //! Physical KV pages and the two-tier (hot device / cold host) page pool.
 
 use lserve_quant::{quantize_group, KvPrecision, QuantParams};
+use lserve_trace::{lane, Tracer};
 
 use crate::{
     config::PagingConfig,
@@ -274,6 +275,11 @@ pub struct PagePool {
     /// speculative, issued by the prefetcher. Cleared on the first demand
     /// touch (a hit) or when the page is demoted/freed first (wasted).
     prefetched: Vec<bool>,
+    /// Trace handle for copy-engine events; disabled (free) by default.
+    /// Riding on the pool puts transfer events in reach of everything that
+    /// moves pages — scheduler, executor, selector hooks — without new
+    /// plumbing through their signatures.
+    tracer: Tracer,
 }
 
 impl PagePool {
@@ -314,12 +320,42 @@ impl PagePool {
             engine: CopyEngine::default(),
             mig: MigrationStats::default(),
             prefetched: Vec::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
     /// The migration mode this pool was constructed with.
     pub fn migration_mode(&self) -> MigrationMode {
         self.mode
+    }
+
+    /// Attaches a trace handle; tier migrations emit copy-engine events on it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The pool's trace handle (disabled unless [`PagePool::set_tracer`] was
+    /// called). Kernel- and selector-level code reaches the shared tracer
+    /// through here.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Emits one copy-engine instant for page `id` on the direction's lane.
+    fn trace_copy(&self, name: &'static str, dir: MigrationDir, id: PageId, units: u64) {
+        if self.tracer.is_enabled() {
+            let tid = match dir {
+                MigrationDir::ToCold => 0,
+                MigrationDir::ToHot => 1,
+            };
+            self.tracer.instant(
+                name,
+                "copy",
+                lane::COPY,
+                tid,
+                &[("page", id.index() as u64), ("units", units)],
+            );
+        }
     }
 
     /// Lifetime copy-engine counters (prefetch outcomes, hidden vs unhidden
@@ -411,6 +447,7 @@ impl PagePool {
     fn land(&mut self, dir: MigrationDir, id: PageId) {
         let idx = id.index();
         debug_assert_eq!(self.residency[idx], Residency::Migrating(dir));
+        self.trace_copy("land", dir, id, 0);
         match dir {
             MigrationDir::ToCold => {
                 self.residency[idx] = Residency::Cold;
@@ -427,6 +464,7 @@ impl PagePool {
         let Some((page, remaining, _prefetch)) = self.engine.force_head(dir) else {
             return false;
         };
+        self.trace_copy("force", dir, page, remaining);
         self.mig.unhidden_token_units += remaining;
         self.mig.forced_completions += 1;
         self.land(dir, page);
@@ -513,6 +551,7 @@ impl PagePool {
                         .engine
                         .cancel(dir, id)
                         .expect("migrating page must be in flight");
+                    self.trace_copy("cancel", dir, id, remaining);
                     self.mig.cancelled_token_units += remaining;
                     self.hot_in_use -= 1;
                 }
@@ -573,11 +612,13 @@ impl PagePool {
                     .engine
                     .cancel(MigrationDir::ToHot, id)
                     .expect("migrating page must be in flight");
+                self.trace_copy("cancel", MigrationDir::ToHot, id, remaining);
                 self.mig.cancelled_token_units += remaining;
                 self.waste_prefetched(idx);
             }
             Residency::Hot => self.waste_prefetched(idx),
         }
+        self.trace_copy("demote.issue", MigrationDir::ToCold, id, units);
         match self.mode {
             MigrationMode::Sync => {
                 self.residency[idx] = Residency::Cold;
@@ -631,6 +672,7 @@ impl PagePool {
                     .engine
                     .cancel(MigrationDir::ToCold, id)
                     .expect("migrating page must be in flight");
+                self.trace_copy("cancel", MigrationDir::ToCold, id, remaining);
                 self.mig.cancelled_token_units += remaining;
                 self.residency[idx] = Residency::Hot;
                 return Some(0);
@@ -641,6 +683,7 @@ impl PagePool {
             return None;
         }
         let units = self.config.physical_page_size() as u64;
+        self.trace_copy("promote.issue", MigrationDir::ToHot, id, units);
         self.cold_in_use -= 1;
         self.hot_in_use += 1;
         self.peak_in_use = self.peak_in_use.max(self.hot_in_use);
@@ -691,6 +734,7 @@ impl PagePool {
                     .engine
                     .cancel(MigrationDir::ToCold, id)
                     .expect("migrating page must be in flight");
+                self.trace_copy("cancel", MigrationDir::ToCold, id, remaining);
                 self.mig.cancelled_token_units += remaining;
                 self.residency[idx] = Residency::Hot;
                 Some((0, 0))
@@ -700,6 +744,7 @@ impl PagePool {
                     .engine
                     .force_page(MigrationDir::ToHot, id)
                     .expect("migrating page must be in flight");
+                self.trace_copy("force", MigrationDir::ToHot, id, remaining);
                 self.mig.unhidden_token_units += remaining;
                 if remaining > 0 {
                     self.mig.forced_completions += 1;
@@ -714,6 +759,7 @@ impl PagePool {
                     .engine
                     .force_page(MigrationDir::ToHot, id)
                     .expect("promotion just issued");
+                self.trace_copy("force", MigrationDir::ToHot, id, remaining);
                 self.mig.unhidden_token_units += remaining;
                 self.mig.forced_completions += 1;
                 self.land(MigrationDir::ToHot, id);
@@ -740,6 +786,7 @@ impl PagePool {
             return false;
         }
         let units = self.config.physical_page_size() as u64;
+        self.trace_copy("prefetch.issue", MigrationDir::ToHot, id, units);
         self.cold_in_use -= 1;
         self.hot_in_use += 1;
         self.peak_in_use = self.peak_in_use.max(self.hot_in_use);
@@ -795,6 +842,7 @@ impl PagePool {
                     .engine
                     .cancel(MigrationDir::ToCold, id)
                     .expect("migrating page must be in flight");
+                self.trace_copy("cancel", MigrationDir::ToCold, id, remaining);
                 self.mig.cancelled_token_units += remaining;
                 self.residency[id.index()] = Residency::Hot;
             }
@@ -803,6 +851,7 @@ impl PagePool {
                     .engine
                     .force_page(MigrationDir::ToHot, id)
                     .expect("migrating page must be in flight");
+                self.trace_copy("force", MigrationDir::ToHot, id, remaining);
                 self.mig.unhidden_token_units += remaining;
                 self.mig.forced_completions += 1;
                 self.land(MigrationDir::ToHot, id);

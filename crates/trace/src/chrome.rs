@@ -1,0 +1,230 @@
+//! Chrome trace-event JSON export.
+//!
+//! Renders recorded [`TraceEvent`]s as the [Trace Event Format] consumed by
+//! Perfetto (`ui.perfetto.dev` → "Open trace file") and `chrome://tracing`:
+//! spans become `"X"` complete events, instants `"i"`, counters `"C"`, and
+//! each engine lane gets `process_name` / `thread_name` metadata so the UI
+//! labels tracks by layer, sequence and worker. Timestamps are the modeled
+//! work-token ticks — the `ts` axis reads as work, not wall time.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::io;
+use std::path::Path;
+
+use crate::json::Json;
+use crate::{lane, EventKind, TraceEvent};
+
+fn process_name(pid: u32) -> String {
+    match pid {
+        lane::SCHEDULER => "scheduler".to_string(),
+        lane::EXECUTOR => "executor".to_string(),
+        lane::WORKERS => "attention workers".to_string(),
+        lane::COPY => "copy engine".to_string(),
+        lane::SELECTOR => "selector".to_string(),
+        other => format!("lane {other}"),
+    }
+}
+
+fn thread_name(pid: u32, tid: u64) -> String {
+    match (pid, tid) {
+        (lane::SCHEDULER, 0) => "control".to_string(),
+        (lane::SCHEDULER, id) => format!("req {id}"),
+        (lane::EXECUTOR, _) => "phases".to_string(),
+        (lane::WORKERS, w) => format!("worker {w}"),
+        (lane::COPY, 0) => "to cold (D2H)".to_string(),
+        (lane::COPY, 1) => "to hot (H2D)".to_string(),
+        (lane::SELECTOR, s) => format!("slot {s}"),
+        (_, t) => format!("tid {t}"),
+    }
+}
+
+fn args_obj(args: &[(&'static str, u64)]) -> Json {
+    Json::Obj(
+        args.iter()
+            .map(|&(k, v)| (k.to_string(), Json::Int(v)))
+            .collect(),
+    )
+}
+
+fn meta_event(name: &str, pid: u32, tid: Option<u64>, label: String) -> Json {
+    let mut fields = vec![
+        ("name".to_string(), Json::from(name)),
+        ("ph".to_string(), Json::from("M")),
+        ("pid".to_string(), Json::Int(pid as u64)),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid".to_string(), Json::Int(tid)));
+    }
+    fields.push((
+        "args".to_string(),
+        Json::Obj(vec![("name".to_string(), Json::Str(label))]),
+    ));
+    Json::Obj(fields)
+}
+
+/// Renders events as a complete Chrome trace-event document.
+///
+/// Events are stably sorted by timestamp, so `ts` is non-decreasing on every
+/// thread track — same-instant events keep their recording order. `dropped`
+/// (the ring sink's eviction count) is carried in `otherData` so a truncated
+/// trace is visibly truncated.
+pub fn chrome_trace_json(events: &[TraceEvent], dropped: u64) -> Json {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.ts);
+
+    let mut lanes: Vec<(u32, Option<u64>)> = Vec::new();
+    for e in events {
+        if !lanes.contains(&(e.pid, None)) {
+            lanes.push((e.pid, None));
+        }
+        if e.kind != EventKind::Counter && !lanes.contains(&(e.pid, Some(e.tid))) {
+            lanes.push((e.pid, Some(e.tid)));
+        }
+    }
+    lanes.sort();
+
+    let mut trace_events: Vec<Json> = lanes
+        .iter()
+        .map(|&(pid, tid)| match tid {
+            None => meta_event("process_name", pid, None, process_name(pid)),
+            Some(tid) => meta_event("thread_name", pid, Some(tid), thread_name(pid, tid)),
+        })
+        .collect();
+
+    for e in sorted {
+        let mut fields = vec![
+            ("name".to_string(), Json::Str(e.name.clone().into_owned())),
+            ("cat".to_string(), Json::from(e.cat)),
+        ];
+        match e.kind {
+            EventKind::Span => {
+                fields.push(("ph".to_string(), Json::from("X")));
+                fields.push(("ts".to_string(), Json::Int(e.ts)));
+                fields.push(("dur".to_string(), Json::Int(e.dur)));
+            }
+            EventKind::Instant => {
+                fields.push(("ph".to_string(), Json::from("i")));
+                fields.push(("s".to_string(), Json::from("t")));
+                fields.push(("ts".to_string(), Json::Int(e.ts)));
+            }
+            EventKind::Counter => {
+                fields.push(("ph".to_string(), Json::from("C")));
+                fields.push(("ts".to_string(), Json::Int(e.ts)));
+            }
+        }
+        fields.push(("pid".to_string(), Json::Int(e.pid as u64)));
+        fields.push(("tid".to_string(), Json::Int(e.tid)));
+        fields.push(("args".to_string(), args_obj(&e.args)));
+        trace_events.push(Json::Obj(fields));
+    }
+
+    Json::obj([
+        ("traceEvents", Json::Arr(trace_events)),
+        ("displayTimeUnit", Json::from("ms")),
+        (
+            "otherData",
+            Json::obj([
+                ("clock", Json::from("work-token ticks")),
+                ("dropped_events", Json::Int(dropped)),
+            ]),
+        ),
+    ])
+}
+
+/// Renders and writes a Chrome trace to `path` (see [`chrome_trace_json`]).
+pub fn write_chrome_trace(
+    path: impl AsRef<Path>,
+    events: &[TraceEvent],
+    dropped: u64,
+) -> io::Result<()> {
+    let mut doc = chrome_trace_json(events, dropped).render();
+    doc.push('\n');
+    std::fs::write(path, doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{json::validate_json, Tracer, CONTROL_TID};
+
+    fn scene() -> (Vec<TraceEvent>, u64) {
+        let t = Tracer::ring(64);
+        t.instant("submit", "scheduler", lane::SCHEDULER, 7, &[("prompt", 40)]);
+        let s = t.now();
+        t.advance(8);
+        t.span(
+            "prefill.chunk",
+            "scheduler",
+            lane::SCHEDULER,
+            7,
+            s,
+            &[("tokens", 8)],
+        );
+        t.counter("pages", lane::SCHEDULER, &[("hot", 6), ("cold", 2)]);
+        t.span_at("shard", "attention", lane::WORKERS, 1, 8, 5, &[("cost", 5)]);
+        t.instant("promote.issue", "copy", lane::COPY, 1, &[("page", 3)]);
+        t.drain()
+    }
+
+    #[test]
+    fn export_is_valid_json_with_metadata_and_sorted_ts() {
+        let (events, dropped) = scene();
+        let doc = chrome_trace_json(&events, dropped);
+        let rendered = doc.render();
+        validate_json(&rendered).unwrap();
+        let Json::Obj(fields) = &doc else { panic!() };
+        let Json::Arr(items) = &fields[0].1 else {
+            panic!()
+        };
+        // Per-lane metadata precedes data events; data events sorted by ts.
+        let mut last_ts = 0u64;
+        let mut metas = 0;
+        let mut data = 0;
+        for item in items {
+            let Json::Obj(ev) = item else { panic!() };
+            let ph = ev.iter().find(|(k, _)| k == "ph").unwrap();
+            if ph.1 == Json::from("M") {
+                assert_eq!(data, 0, "metadata must lead the event list");
+                metas += 1;
+                continue;
+            }
+            data += 1;
+            let ts = ev.iter().find(|(k, _)| k == "ts").unwrap();
+            let Json::Int(ts) = ts.1 else { panic!() };
+            assert!(ts >= last_ts, "ts must be non-decreasing");
+            last_ts = ts;
+        }
+        assert_eq!(data, 5);
+        // scheduler process + req lane, workers process + lane, copy process
+        // + lane (counters add no thread lane).
+        assert_eq!(metas, 6);
+        assert!(rendered.contains("\"dropped_events\":0"));
+    }
+
+    #[test]
+    fn counters_render_as_counter_events_with_series_args() {
+        let t = Tracer::ring(8);
+        t.counter("pages", lane::SCHEDULER, &[("hot", 3), ("cold", 1)]);
+        let (events, _) = t.drain();
+        let rendered = chrome_trace_json(&events, 0).render();
+        assert!(rendered.contains(r#""name":"pages","cat":"counter","ph":"C""#));
+        assert!(rendered.contains(r#""args":{"hot":3,"cold":1}"#));
+        assert!(events[0].tid == CONTROL_TID);
+    }
+
+    #[test]
+    fn eviction_keeps_export_well_formed() {
+        let t = Tracer::ring(3);
+        for i in 0..100u64 {
+            t.advance(1);
+            t.instant("tick", "scheduler", lane::SCHEDULER, i % 5, &[("i", i)]);
+        }
+        let (events, dropped) = t.drain();
+        assert_eq!(events.len(), 3);
+        assert_eq!(dropped, 97);
+        let rendered = chrome_trace_json(&events, dropped).render();
+        validate_json(&rendered).unwrap();
+        assert!(rendered.contains("\"dropped_events\":97"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Golden-file pin of the Chrome trace exporter: a tiny fixed scene covering
+//! every lane and event kind must render byte-identically across runs and
+//! refactors. Regenerate with `LSERVE_UPDATE_GOLDEN=1 cargo test -p
+//! lserve-trace --test golden_chrome` and review the diff.
+
+use lserve_trace::{chrome_trace_json, lane, validate_json, Tracer, CONTROL_TID};
+
+fn tiny_scene() -> Tracer {
+    let t = Tracer::ring(64);
+    // Request 3 arrives, waits one tick, prefills a chunk, decodes a token.
+    t.instant("submit", "scheduler", lane::SCHEDULER, 3, &[("prompt", 12)]);
+    t.advance(1);
+    let queued_from = 0;
+    t.span("queued", "scheduler", lane::SCHEDULER, 3, queued_from, &[]);
+    t.instant("admit", "scheduler", lane::SCHEDULER, 3, &[]);
+    let chunk_start = t.now();
+    // The executor runs one layer: a serial phase then two attention shards
+    // on two workers, the critical path being the slower shard.
+    let serial_start = t.now();
+    t.advance(2);
+    t.span(
+        "decode.serial",
+        "executor",
+        lane::EXECUTOR,
+        CONTROL_TID,
+        serial_start,
+        &[("layer", 0)],
+    );
+    let par_start = t.now();
+    t.span_at(
+        "shard",
+        "attention",
+        lane::WORKERS,
+        0,
+        par_start,
+        5,
+        &[("seq", 0), ("cost", 5)],
+    );
+    t.span_at(
+        "shard",
+        "attention",
+        lane::WORKERS,
+        1,
+        par_start,
+        3,
+        &[("seq", 0), ("cost", 3)],
+    );
+    t.advance(5);
+    t.span(
+        "decode.attention",
+        "executor",
+        lane::EXECUTOR,
+        CONTROL_TID,
+        par_start,
+        &[("layer", 0), ("shards", 2)],
+    );
+    // Selector rescored one head and the pool moved one page while computing.
+    t.instant(
+        "rescore",
+        "selector",
+        lane::SELECTOR,
+        0,
+        &[("layer", 0), ("head", 1)],
+    );
+    t.instant(
+        "demote.issue",
+        "copy",
+        lane::COPY,
+        0,
+        &[("page", 9), ("units", 4)],
+    );
+    t.instant("land", "copy", lane::COPY, 0, &[("page", 9)]);
+    t.span(
+        "prefill.chunk",
+        "scheduler",
+        lane::SCHEDULER,
+        3,
+        chunk_start,
+        &[("tokens", 8)],
+    );
+    t.counter("pages", lane::SCHEDULER, &[("hot", 5), ("cold", 1)]);
+    t.counter(
+        "sequences",
+        lane::SCHEDULER,
+        &[("running", 1), ("queued", 0)],
+    );
+    t.instant("finish", "scheduler", lane::SCHEDULER, 3, &[("tokens", 1)]);
+    t
+}
+
+#[test]
+fn tiny_scene_matches_golden() {
+    let (events, dropped) = tiny_scene().drain();
+    assert_eq!(dropped, 0);
+    let mut rendered = chrome_trace_json(&events, dropped).render();
+    rendered.push('\n');
+    validate_json(rendered.trim_end()).unwrap();
+
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/tiny.trace.json");
+    if std::env::var("LSERVE_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(golden_path, &rendered).unwrap();
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing; run with LSERVE_UPDATE_GOLDEN=1 to create");
+    assert_eq!(
+        rendered, golden,
+        "exporter output drifted from the golden trace; if intentional, \
+         regenerate with LSERVE_UPDATE_GOLDEN=1 and review the diff"
+    );
+}

@@ -26,6 +26,14 @@ fn engine_cfg(mut cfg: EngineConfig) -> EngineConfig {
     cfg
 }
 
+fn indent(block: &str) -> String {
+    block
+        .lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 fn submit_all(sched: &mut Scheduler) {
     // One long prompt up front (the head-of-line risk), then short interactive
     // requests behind it.
@@ -298,19 +306,8 @@ fn run_oversubscription_demo() {
             sched.submit(RequestSpec::new(i as u64, s.prompt).max_new_tokens(s.max_new_tokens));
         }
         let report = sched.run_to_completion(1_000_000);
-        println!(
-            "{name:>26}: completed {}, sustained running {:.2} (peak {}), \
-             preemptions {}, demoted/promoted {}/{} pages, peak cold {}, \
-             swap-resume work {} tokens",
-            report.completed.len(),
-            report.mean_running(),
-            report.peak_running,
-            report.preemptions,
-            report.pages_demoted,
-            report.pages_promoted,
-            report.peak_cold_pages,
-            report.swap_resume_work_tokens,
-        );
+        println!("{name}:");
+        println!("{}\n", indent(&report.summary()));
         assert_eq!(
             report.completed.len() + report.rejected.len(),
             wl.total_requests()
@@ -382,10 +379,10 @@ fn run_slo_mix_demo() {
         } else {
             "class-blind FCFS"
         };
+        println!("{name}:");
+        println!("{}", indent(&report.summary()));
         println!(
-            "{name:>26}: completed {}, interactive TTFT p50/p95 {}/{} work tokens, \
-             batch p95 {}",
-            report.completed.len(),
+            "  classes:   interactive ttft p50 {} / p95 {} work-tokens; batch p95 {}\n",
             report.ttft_work_percentile_class(SloClass::Interactive, 0.5),
             report.ttft_work_percentile_class(SloClass::Interactive, 0.95),
             report.ttft_work_percentile_class(SloClass::Batch, 0.95),

@@ -23,10 +23,11 @@
 use std::sync::Arc;
 
 use lserve::core::{
-    sequence_pages_estimate, EngineConfig, ModelExecutor, RequestSpec, Scheduler, SchedulerConfig,
-    ServingEvent, ServingReport, SloClass,
+    sequence_pages_estimate, EngineConfig, MigrationMode, ModelExecutor, PreemptionPolicy,
+    RequestSpec, Scheduler, SchedulerConfig, ServingEvent, ServingReport, SloClass,
 };
 use lserve::model::{ModelConfig, ModelWeights};
+use lserve::trace::write_chrome_trace;
 use lserve::workloads::{slo_mix_workload, SloMixConfig};
 
 fn engine_cfg() -> EngineConfig {
@@ -64,7 +65,7 @@ fn streaming_lifecycle_demo() {
     println!("streaming lifecycle (two requests, one ended by a stop sequence):\n");
     let mut scfg = SchedulerConfig::new(4096);
     scfg.chunk_tokens = 16;
-    let mut sched = Scheduler::new(executor(11), scfg);
+    let mut sched = Scheduler::new(executor(11), scfg.clone());
     // Learn a stop sequence from a dry run so the demo visibly stops early.
     sched.submit(
         RequestSpec::new(99, (0..24).map(|i| (i % 90) as u32).collect()).max_new_tokens(12),
@@ -94,12 +95,20 @@ fn streaming_lifecycle_demo() {
     let report = sched.report_snapshot();
     let m1 = report.request_metrics.iter().find(|m| m.id == 1).unwrap();
     assert!(m1.tokens < 12, "stop sequence must end generation early");
-    let (met, with_deadline) = report.deadlines();
     println!(
-        "\n  stop sequence {stop_seq:?} ended req 1 after {} of 12 tokens; \
-         deadlines met {met}/{with_deadline}\n",
+        "\n  stop sequence {stop_seq:?} ended req 1 after {} of 12 tokens\n",
         m1.tokens
     );
+    println!("{}\n", indent(&report.summary()));
+}
+
+/// Indents a multi-line block for nesting under a scene header.
+fn indent(block: &str) -> String {
+    block
+        .lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 /// Scene 2: cancel a long request mid-flight; the survivor is untouched and
@@ -110,7 +119,7 @@ fn cancellation_demo() {
     scfg.chunk_tokens = 16;
     scfg.prefix_cache = true;
     let exec = executor(11);
-    let mut sched = Scheduler::new(Arc::clone(&exec), scfg);
+    let mut sched = Scheduler::new(Arc::clone(&exec), scfg.clone());
     let doomed = sched.submit(
         RequestSpec::new(1, (0..96).map(|i| ((i * 5) % 90) as u32).collect()).max_new_tokens(24),
     );
@@ -192,7 +201,7 @@ fn slo_mix_demo() {
         let mut scfg = SchedulerConfig::new(pool_pages);
         scfg.chunk_tokens = 16;
         scfg.class_aware = class_aware;
-        let mut sched = Scheduler::new(Arc::clone(&exec), scfg);
+        let mut sched = Scheduler::new(Arc::clone(&exec), scfg.clone());
         for (i, r) in requests.iter().enumerate() {
             let mut spec = RequestSpec::new(i as u64, r.spec.prompt.clone())
                 .max_new_tokens(r.spec.max_new_tokens);
@@ -211,12 +220,7 @@ fn slo_mix_demo() {
         };
         println!("  {}", per_class_line(name, &report, SloClass::Interactive));
         println!("  {}", per_class_line(name, &report, SloClass::Batch));
-        let (met, with_deadline) = report.deadlines();
-        println!(
-            "  {name:>24}: completed {}, preemptions {}, deadlines met {met}/{with_deadline}\n",
-            report.completed.len(),
-            report.preemptions,
-        );
+        println!("{}\n", indent(&report.summary()));
         reports.push(report);
     }
     let (blind, aware) = (&reports[0], &reports[1]);
@@ -238,10 +242,80 @@ fn slo_mix_demo() {
     );
 }
 
+/// Scene 4: an oversubscribed tiered-memory scene (swap preemption, async
+/// migration, selection-driven demotion) with the unified tracing layer on.
+/// With `LSERVE_TRACE=1` this exports `streaming_serving.trace.json`, a
+/// Chrome-trace-format file loadable in <https://ui.perfetto.dev>: lanes for
+/// the scheduler (one track per request), the executor's per-layer phases,
+/// the LPT-balanced attention shard workers, the copy engine, and the page
+/// selector, plus counter tracks for hot/cold pages and running sequences —
+/// all on the deterministic work-token clock, so two runs of the same
+/// workload produce byte-identical traces.
+fn traced_overcommit_demo() {
+    println!("work-token trace (oversubscribed pool, swap preemption, async migration):\n");
+    let mut cfg = engine_cfg();
+    // Tight selection budget with fast chunk turnover: rescoring, demotion,
+    // promotion, and prefetch all fire at toy scale (the proptest scene).
+    cfg.dynamic_budget = Some(24);
+    cfg.demote_after_chunks = Some(1);
+    cfg.reuse_interval = 2;
+    let weights = Arc::new(ModelWeights::random(&ModelConfig::tiny(), 11));
+    let exec = Arc::new(ModelExecutor::new(weights, cfg.clone()));
+    let requests: Vec<RequestSpec> = (0..3u64)
+        .map(|i| {
+            RequestSpec::new(
+                i,
+                (0..40 + 9 * i as usize)
+                    .map(|t| ((t * 3 + i as usize * 7) % 90) as u32)
+                    .collect(),
+            )
+            .max_new_tokens(16)
+        })
+        .collect();
+    let single_max = requests
+        .iter()
+        .map(|r| {
+            sequence_pages_estimate(
+                &cfg,
+                &exec.weights().config,
+                r.prompt.len() + r.max_new_tokens,
+            )
+        })
+        .max()
+        .unwrap();
+    // ~1.5 sequences of pool: admission overcommits, preemption resolves.
+    let mut scfg = SchedulerConfig::new(single_max + single_max / 2);
+    scfg.chunk_tokens = 8;
+    scfg.preemption = PreemptionPolicy::Swap;
+    scfg.migration = MigrationMode::Async;
+    let tracer = scfg.tracer.clone();
+    let mut sched = Scheduler::new(exec, scfg);
+    for r in &requests {
+        sched.submit(r.clone());
+    }
+    let report = sched.run_to_completion(200_000);
+    assert_eq!(report.completed.len(), requests.len());
+    println!("{}\n", indent(&report.summary()));
+    if tracer.is_enabled() {
+        let (events, dropped) = tracer.drain();
+        let path = "streaming_serving.trace.json";
+        write_chrome_trace(path, &events, dropped).expect("write trace file");
+        println!(
+            "  wrote {path} ({} events, {dropped} dropped) — open in https://ui.perfetto.dev\n",
+            events.len()
+        );
+    } else {
+        println!(
+            "  set LSERVE_TRACE=1 to export streaming_serving.trace.json (Perfetto-loadable)\n"
+        );
+    }
+}
+
 fn main() {
     streaming_lifecycle_demo();
     cancellation_demo();
     slo_mix_demo();
+    traced_overcommit_demo();
     println!(
         "Interactive requests jump the admission queue (class-first rank, EDF within a\n\
          class), batch sequences are the preferred preemption victims (cheapest first\n\

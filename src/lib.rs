@@ -27,6 +27,7 @@
 //! | [`costmodel`](lserve_costmodel) | A100/L40S analytical model calibrated to the paper |
 //! | [`workloads`](lserve_workloads) | NIAH, RULER/LongBench proxies, DuoAttention gates |
 //! | [`core`](lserve_core) | the engine: classification, pipelines, serving loop |
+//! | [`trace`](lserve_trace) | work-token-clocked tracing, Chrome/Perfetto export, JSON metrics |
 //!
 //! ## Quickstart
 //!
@@ -53,4 +54,5 @@ pub use lserve_prefixcache as prefixcache;
 pub use lserve_quant as quant;
 pub use lserve_selector as selector;
 pub use lserve_tensor as tensor;
+pub use lserve_trace as trace;
 pub use lserve_workloads as workloads;
