@@ -40,7 +40,9 @@ pub use fused::{
     fused_decode_layer, fused_prefill_layer, fused_prefill_layer_dynamic,
     fused_prefill_layer_threads, HeadKind, LayerAttnConfig,
 };
-pub use parallel::{lpt_assign, run_decode_shard, run_sharded, BalanceStats, DecodeShard};
+pub use parallel::{
+    lpt_assign, run_decode_shard, run_placed, run_sharded, BalanceStats, DecodeShard, PlacedBalance,
+};
 pub use pattern::{BlockDecision, BlockPattern, DensePattern, MaskPattern, StreamingPattern};
 pub use prefill::{prefill_attention, PrefillStats};
 pub use reference::{causal_attention_reference, masked_attention_reference};

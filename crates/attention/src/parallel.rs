@@ -192,6 +192,177 @@ pub fn run_sharded<T: Send, F: Fn(&mut T) + Sync>(
     }
 }
 
+/// Balance of one placed parallel phase: per-device modeled load on top of
+/// the flattened per-worker [`BalanceStats`].
+///
+/// Produced by [`run_placed`], which executes shards against an explicit
+/// shard → device map instead of one anonymous worker pool. Devices are
+/// simulated — they all run on the same host threads — so outputs are
+/// bit-identical to [`run_sharded`]; only the modeled accounting (which
+/// device a shard's cost lands on, which worker lane it traces into) changes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlacedBalance {
+    /// Simulated devices the phase was placed onto.
+    pub devices: usize,
+    /// Modeled shard cost landed on each device.
+    pub device_cost: Vec<u64>,
+    /// Worker threads used by each device (0 for devices with no shards).
+    pub device_workers: Vec<usize>,
+    /// Flattened worker-level stats, device-major: device 0's workers first.
+    pub stats: BalanceStats,
+}
+
+impl PlacedBalance {
+    /// Busiest device's modeled cost — the phase's device-level critical path
+    /// (devices run concurrently in the model).
+    pub fn device_cost_critical(&self) -> u64 {
+        self.device_cost.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total modeled cost across devices.
+    pub fn device_cost_total(&self) -> u64 {
+        self.device_cost.iter().sum()
+    }
+
+    /// Max-over-mean device load — 1.0 is perfect balance, `devices` is
+    /// everything on one device; 1.0 when there is no load.
+    pub fn device_imbalance(&self) -> f64 {
+        let total = self.device_cost_total();
+        if total == 0 || self.devices == 0 {
+            return 1.0;
+        }
+        self.device_cost_critical() as f64 * self.devices as f64 / total as f64
+    }
+}
+
+/// Runs `tasks` against an explicit placement: shard `i` executes on
+/// simulated device `device_of[i]`, each device draining its own LPT-balanced
+/// queues with up to `threads_per_device` scoped workers and stealing only
+/// within its device (a worker never executes another device's shard, so the
+/// modeled per-device load is exact).
+///
+/// Devices are a modeling construct: all workers are host threads, every task
+/// still runs exactly once into caller-owned disjoint state, and the result
+/// is bit-identical to [`run_sharded`] for every device count, placement, and
+/// steal schedule.
+///
+/// # Panics
+///
+/// Panics if `devices` is zero, if `costs`/`device_of`/`tasks` lengths
+/// disagree, or if any `device_of` entry is out of range.
+pub fn run_placed<T: Send, F: Fn(&mut T) + Sync>(
+    threads_per_device: usize,
+    devices: usize,
+    device_of: &[usize],
+    costs: &[u64],
+    tasks: &mut [T],
+    run: F,
+) -> PlacedBalance {
+    assert!(devices > 0, "need at least one device");
+    assert_eq!(costs.len(), tasks.len(), "one cost per shard");
+    assert_eq!(device_of.len(), tasks.len(), "one device per shard");
+    assert!(
+        device_of.iter().all(|&d| d < devices),
+        "shard placed on a device outside the topology"
+    );
+    let n = tasks.len();
+    if devices == 1 {
+        let stats = run_sharded(threads_per_device, costs, tasks, run);
+        return PlacedBalance {
+            devices: 1,
+            device_cost: vec![stats.cost_total()],
+            device_workers: vec![stats.workers],
+            stats,
+        };
+    }
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); devices];
+    for (i, &d) in device_of.iter().enumerate() {
+        groups[d].push(i);
+    }
+    let device_cost: Vec<u64> = groups
+        .iter()
+        .map(|g| g.iter().map(|&i| costs[i]).sum())
+        .collect();
+    // Per-device LPT queues over global shard indices, then one flat worker
+    // list (device-major) so a single scoped spawn covers the whole mesh.
+    let mut device_workers = vec![0usize; devices];
+    let mut worker_device: Vec<usize> = Vec::new();
+    let mut queues: Vec<Vec<usize>> = Vec::new();
+    let mut device_first_worker = vec![0usize; devices];
+    for (d, group) in groups.iter().enumerate() {
+        device_first_worker[d] = queues.len();
+        if group.is_empty() {
+            continue;
+        }
+        let workers = threads_per_device.max(1).min(group.len());
+        device_workers[d] = workers;
+        let local_costs: Vec<u64> = group.iter().map(|&i| costs[i]).collect();
+        for queue in lpt_assign(&local_costs, workers) {
+            queues.push(queue.into_iter().map(|local| group[local]).collect());
+            worker_device.push(d);
+        }
+    }
+    let total_workers = queues.len();
+    let assigned_cost: Vec<u64> = queues
+        .iter()
+        .map(|q| q.iter().map(|&i| costs[i]).sum())
+        .collect();
+    let slots: Vec<Mutex<Option<&mut T>>> = tasks.iter_mut().map(|t| Mutex::new(Some(t))).collect();
+    let stolen = AtomicU64::new(0);
+    let mut busy_ns = vec![0u64; total_workers];
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..total_workers)
+            .map(|w| {
+                let queues = &queues;
+                let slots = &slots;
+                let stolen = &stolen;
+                let run = &run;
+                let d = worker_device[w];
+                let dev_base = device_first_worker[d];
+                let dev_workers = device_workers[d];
+                s.spawn(move || {
+                    let t0 = Instant::now();
+                    for &i in &queues[w] {
+                        let task = slots[i].lock().expect("shard slot poisoned").take();
+                        if let Some(task) = task {
+                            run(task);
+                        }
+                    }
+                    // Steal within this device only: cross-device steals would
+                    // falsify the modeled per-device load.
+                    let local = w - dev_base;
+                    for offset in 1..dev_workers {
+                        let victim = dev_base + (local + offset) % dev_workers;
+                        for &i in queues[victim].iter().rev() {
+                            let task = slots[i].lock().expect("shard slot poisoned").take();
+                            if let Some(task) = task {
+                                stolen.fetch_add(1, Ordering::Relaxed);
+                                run(task);
+                            }
+                        }
+                    }
+                    t0.elapsed().as_nanos() as u64
+                })
+            })
+            .collect();
+        for (w, h) in handles.into_iter().enumerate() {
+            busy_ns[w] = h.join().expect("attention worker panicked");
+        }
+    });
+    PlacedBalance {
+        devices,
+        device_cost,
+        device_workers,
+        stats: BalanceStats {
+            workers: total_workers,
+            shards: n as u64,
+            stolen: stolen.into_inner(),
+            busy_ns,
+            assigned_cost,
+        },
+    }
+}
+
 /// One *(sequence × KV-head)* unit of decode attention: the KV head's query
 /// group against its cache, into a caller-owned disjoint output slice.
 ///
@@ -312,5 +483,65 @@ mod tests {
         let mut tasks: Vec<u8> = Vec::new();
         let stats = run_sharded(4, &[], &mut tasks, |_| {});
         assert_eq!(stats.shards, 0);
+    }
+
+    #[test]
+    fn run_placed_executes_every_task_once_on_its_device() {
+        for (devices, threads) in [(1, 1), (2, 1), (2, 3), (4, 2)] {
+            let n = 23;
+            let mut tasks: Vec<u32> = vec![0; n];
+            let costs: Vec<u64> = (0..n).map(|i| (i % 7 + 1) as u64).collect();
+            let device_of: Vec<usize> = (0..n).map(|i| (i * i) % devices).collect();
+            let executions = AtomicUsize::new(0);
+            let placed = run_placed(threads, devices, &device_of, &costs, &mut tasks, |t| {
+                *t += 1;
+                executions.fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(tasks.iter().all(|&t| t == 1), "devices {devices}");
+            assert_eq!(executions.into_inner(), n);
+            assert_eq!(placed.devices, devices);
+            assert_eq!(placed.stats.shards, n as u64);
+            assert_eq!(placed.device_cost_total(), costs.iter().sum::<u64>());
+            // Per-device load is exactly the sum of the shards placed there.
+            for d in 0..devices {
+                let want: u64 = (0..n)
+                    .filter(|&i| device_of[i] == d)
+                    .map(|i| costs[i])
+                    .sum();
+                assert_eq!(placed.device_cost[d], want);
+            }
+        }
+    }
+
+    #[test]
+    fn run_placed_matches_run_sharded_on_one_device() {
+        let mut a: Vec<u32> = vec![0; 11];
+        let mut b: Vec<u32> = vec![0; 11];
+        let costs: Vec<u64> = (0..11).map(|i| i as u64).collect();
+        let sharded = run_sharded(2, &costs, &mut a, |t| *t += 1);
+        let placed = run_placed(2, 1, &[0; 11], &costs, &mut b, |t| *t += 1);
+        assert_eq!(a, b);
+        assert_eq!(placed.stats.assigned_cost, sharded.assigned_cost);
+        assert_eq!(placed.device_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn run_placed_imbalance_reflects_skewed_placement() {
+        // Everything on device 0 of 2: imbalance is exactly 2.0.
+        let mut tasks = vec![0u8; 6];
+        let placed = run_placed(1, 2, &[0; 6], &[3; 6], &mut tasks, |t| *t = 1);
+        assert_eq!(placed.device_cost, vec![18, 0]);
+        assert_eq!(placed.device_workers, vec![1, 0]);
+        assert_eq!(placed.device_imbalance(), 2.0);
+        assert!(tasks.iter().all(|&t| t == 1));
+    }
+
+    #[test]
+    fn run_placed_empty_devices_and_empty_tasks_are_fine() {
+        let mut tasks: Vec<u8> = Vec::new();
+        let placed = run_placed(4, 3, &[], &[], &mut tasks, |_| {});
+        assert_eq!(placed.stats.shards, 0);
+        assert_eq!(placed.device_cost, vec![0, 0, 0]);
+        assert_eq!(placed.device_imbalance(), 1.0);
     }
 }

@@ -23,9 +23,10 @@ use std::fmt;
 use std::sync::Arc;
 
 use lserve_attention::{
-    fused_prefill_layer_threads, lpt_assign, run_decode_shard, run_sharded, BalanceStats,
-    DecodeShard, DecodeStats, HeadKind, LayerAttnConfig,
+    fused_prefill_layer_threads, lpt_assign, run_decode_shard, run_placed, run_sharded,
+    BalanceStats, DecodeShard, DecodeStats, HeadKind, LayerAttnConfig, PlacedBalance,
 };
+use lserve_costmodel::Topology;
 use lserve_kvcache::{HeadCache, LayerKvCache, MigrationMode, PagePool, HOST_TRANSFER_SPEEDUP};
 use lserve_model::forward::{ffn_block, logits, post_attention, pre_attention};
 use lserve_model::ModelWeights;
@@ -36,6 +37,7 @@ use lserve_trace::{lane, Tracer, CONTROL_TID};
 use lserve_workloads::duo_gates;
 
 use crate::config::decode_threads_from_env;
+use crate::sharding::ShardingPlan;
 use crate::stats::{MigrationDelta, ParallelExecStats};
 use crate::{streaming_masks_from_gates, EngineConfig, EngineStats, SelectorKind};
 
@@ -209,6 +211,17 @@ impl SequenceState {
             units += lu;
         }
         Some((pages, units))
+    }
+
+    /// Resident KV tokens one layer's KV head currently reads (a streaming
+    /// head's sink+local window, a dense head's full history) — the token
+    /// volume the rebalancer must move across the interconnect when it
+    /// migrates that head to another device.
+    pub fn kv_head_resident_tokens(&self, pool: &PagePool, layer: usize, kv: usize) -> u64 {
+        match self.layers[layer].head(kv) {
+            HeadCache::Streaming(c) => c.resident_tokens(pool) as u64,
+            HeadCache::Dense(c) => c.tokens() as u64,
+        }
     }
 
     /// Pages this sequence holds that currently sit in the cold tier.
@@ -850,6 +863,45 @@ impl ModelExecutor {
         threads: usize,
         exec_stats: &mut ParallelExecStats,
     ) -> Vec<Result<DecodeOutput, OutOfPagesError>> {
+        // Transient per-call plan seeded from `LSERVE_DEVICES` (read here, per
+        // call, like every other env knob). Callers that need placement to
+        // persist across steps — the scheduler, whose rebalancer tracks load
+        // history — hold their own plan and call `decode_batch_sharded`.
+        let model = &self.weights.config;
+        let mut plan = ShardingPlan::new(
+            Topology::from_env(),
+            lserve_costmodel::PlacementPolicy::SparsityAware,
+            model.num_layers,
+            model.num_kv_heads,
+        );
+        self.decode_batch_sharded(pool, batch, threads, &mut plan, exec_stats)
+    }
+
+    /// [`ModelExecutor::decode_batch_threads`] against an explicit, caller-owned
+    /// [`ShardingPlan`]: parallel attention executes placed — each shard runs on
+    /// its KV head's simulated device (per-device LPT worker queues,
+    /// device-local stealing), a sequence's shards on non-home devices charge
+    /// the topology's modeled interconnect gather cost into `exec_stats` and
+    /// the trace, and the plan accumulates the per-head cost signal its
+    /// rebalancer acts on.
+    ///
+    /// With a single-device plan this is exactly the anonymous-pool path.
+    /// Outputs are bit-identical for every topology, placement policy, and
+    /// thread count — devices are simulated, so placement moves modeled cost,
+    /// never arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sequence has no context yet (prefill first), or if the
+    /// plan's layer/head geometry disagrees with the model's.
+    pub fn decode_batch_sharded(
+        &self,
+        pool: &mut PagePool,
+        batch: &mut [(&mut SequenceState, u32)],
+        threads: usize,
+        plan: &mut ShardingPlan,
+        exec_stats: &mut ParallelExecStats,
+    ) -> Vec<Result<DecodeOutput, OutOfPagesError>> {
         for (state, _) in batch.iter() {
             assert!(state.tokens_processed > 0, "decode before prefill");
         }
@@ -953,6 +1005,7 @@ impl ModelExecutor {
                 let scale = self.attn_cfg.scale();
                 let mut shards: Vec<DecodeShard<'_>> = Vec::new();
                 let mut shard_seq: Vec<usize> = Vec::new();
+                let mut shard_kv: Vec<usize> = Vec::new();
                 let mut costs: Vec<u64> = Vec::new();
                 for (i, ((state, _), out)) in batch.iter().zip(outs.iter_mut()).enumerate() {
                     let Some(q) = qrows[i].as_ref() else { continue };
@@ -968,6 +1021,7 @@ impl ModelExecutor {
                             group,
                         ));
                         shard_seq.push(i);
+                        shard_kv.push(kv);
                         shards.push(DecodeShard {
                             head: cache.head(kv),
                             queries: &q[kv * group * d..(kv + 1) * group * d],
@@ -980,11 +1034,72 @@ impl ModelExecutor {
                         });
                     }
                 }
-                let balance = run_sharded(threads, &costs, &mut shards, |shard| {
-                    run_decode_shard(pool_ref, shard)
-                });
-                exec_stats.absorb(&balance);
-                trace_attention_phase(&tracer, par_start, l, &balance, &costs, &shard_seq);
+                let devices = plan.devices();
+                if devices <= 1 {
+                    let balance = run_sharded(threads, &costs, &mut shards, |shard| {
+                        run_decode_shard(pool_ref, shard)
+                    });
+                    exec_stats.absorb(&balance);
+                    trace_attention_phase(&tracer, par_start, l, &balance, &costs, &shard_seq);
+                } else {
+                    // Per-head cost signal for this phase: the placement (and
+                    // later the rebalancer) act on exactly what the worker-level
+                    // LPT balances.
+                    let mut head_costs = vec![0u64; model.num_kv_heads];
+                    for (s, &kv) in shard_kv.iter().enumerate() {
+                        head_costs[kv] += costs[s];
+                    }
+                    let assign = plan.layer_assignment(l, &head_costs).to_vec();
+                    // A sequence's home device is where the plurality of its
+                    // shard cost lives (ties to the lower device id): its other
+                    // shards' outputs must cross the mesh before the serial
+                    // output projection, and each such gather charges the
+                    // topology's modeled interconnect cost — onto the shard
+                    // (the gather delays it) and into the interconnect ledger.
+                    let mut seq_dev_cost = vec![vec![0u64; devices]; batch.len()];
+                    for s in 0..costs.len() {
+                        seq_dev_cost[shard_seq[s]][assign[shard_kv[s]]] += costs[s];
+                    }
+                    let home: Vec<usize> = seq_dev_cost
+                        .iter()
+                        .map(|loads| {
+                            (0..devices)
+                                .max_by_key(|&dev| (loads[dev], std::cmp::Reverse(dev)))
+                                .expect("devices > 0")
+                        })
+                        .collect();
+                    let gather = plan.topology().gather_cost_tokens();
+                    let mut device_of = vec![0usize; costs.len()];
+                    let mut placed_costs = costs.clone();
+                    let mut gather_tokens = 0u64;
+                    for s in 0..costs.len() {
+                        let dev = assign[shard_kv[s]];
+                        device_of[s] = dev;
+                        if dev != home[shard_seq[s]] {
+                            placed_costs[s] += gather;
+                            gather_tokens += gather;
+                        }
+                    }
+                    let placed = run_placed(
+                        threads,
+                        devices,
+                        &device_of,
+                        &placed_costs,
+                        &mut shards,
+                        |shard| run_decode_shard(pool_ref, shard),
+                    );
+                    exec_stats.absorb_placed(&placed, gather_tokens);
+                    trace_attention_phase_placed(
+                        &tracer,
+                        par_start,
+                        l,
+                        &placed,
+                        &placed_costs,
+                        &shard_seq,
+                        &device_of,
+                        exec_stats.interconnect_tokens,
+                    );
+                }
                 shard_seq
                     .iter()
                     .zip(shards.iter())
@@ -1084,6 +1199,70 @@ fn trace_attention_phase(
             cursor += costs[s];
         }
     }
+}
+
+/// [`trace_attention_phase`] for a placed phase: per-shard spans land on
+/// per-device worker lanes (`tid = device * DEVICE_TID_STRIDE + worker`, the
+/// same per-device LPT schedule [`run_placed`] executed), and the cumulative
+/// cross-device gather charge is emitted as an `interconnect` counter track.
+#[allow(clippy::too_many_arguments)]
+fn trace_attention_phase_placed(
+    tracer: &Tracer,
+    par_start: u64,
+    l: usize,
+    placed: &PlacedBalance,
+    costs: &[u64],
+    shard_seq: &[usize],
+    device_of: &[usize],
+    interconnect_total: u64,
+) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    tracer.advance(placed.stats.cost_critical());
+    tracer.span(
+        "decode.attention",
+        "executor",
+        lane::EXECUTOR,
+        CONTROL_TID,
+        par_start,
+        &[
+            ("layer", l as u64),
+            ("shards", placed.stats.shards),
+            ("devices", placed.devices as u64),
+        ],
+    );
+    for dev in 0..placed.devices {
+        let group: Vec<usize> = (0..costs.len()).filter(|&s| device_of[s] == dev).collect();
+        if group.is_empty() {
+            continue;
+        }
+        let local_costs: Vec<u64> = group.iter().map(|&s| costs[s]).collect();
+        let workers = placed.device_workers[dev].max(1);
+        for (w, queue) in lpt_assign(&local_costs, workers).iter().enumerate() {
+            let mut cursor = par_start;
+            for &local in queue {
+                let s = group[local];
+                tracer.span_at(
+                    "shard",
+                    "attention",
+                    lane::WORKERS,
+                    lane::device_worker_tid(dev, w),
+                    cursor,
+                    costs[s],
+                    &[("seq", shard_seq[s] as u64), ("cost", costs[s])],
+                );
+                cursor += costs[s];
+            }
+        }
+    }
+    // After the shard spans: the counter's tid-0 timestamp (the advanced
+    // clock) must not precede device 0's span closes within the lane.
+    tracer.counter(
+        "interconnect",
+        lane::WORKERS,
+        &[("tokens", interconnect_total)],
+    );
 }
 
 /// Sparsity-aware cost estimate of one *(sequence × KV-head)* decode shard, in

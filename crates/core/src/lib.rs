@@ -35,6 +35,7 @@
 //! * [`stats`] — work counters every stage reports (tiles, pages, selector calls),
 //!   the quantities the cost model turns into GPU time.
 
+pub mod cluster;
 pub mod config;
 pub mod engine;
 pub mod executor;
@@ -42,12 +43,15 @@ pub mod heads;
 pub mod metrics;
 pub mod prefix;
 pub mod serving;
+pub mod sharding;
 pub mod stats;
 
+pub use cluster::{Cluster, ClusterConfig, ClusterReport, RouterStats};
 pub use config::{decode_threads_from_env, EngineConfig, SelectorKind};
 pub use engine::{DecodeOutput, Engine, PrefillOutput};
 pub use executor::{ModelExecutor, OutOfPagesError, SequenceState};
 pub use heads::{classify_heads, streaming_masks_from_gates};
+pub use lserve_costmodel::{devices_from_env, Placement, PlacementPolicy, Topology};
 pub use lserve_kvcache::{migration_from_env, MigrationMode, MigrationStats};
 pub use lserve_prefixcache::PrefixCacheStats;
 pub use metrics::MetricsSnapshot;
@@ -58,4 +62,5 @@ pub use serving::{
     RequestSpec, RequestStatus, Scheduler, SchedulerConfig, ServingEngine, ServingEvent,
     ServingReport, SloClass,
 };
+pub use sharding::{RebalanceOutcome, ShardingPlan, ShardingStats};
 pub use stats::{EngineStats, MigrationDelta, ParallelExecStats};

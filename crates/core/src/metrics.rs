@@ -152,6 +152,27 @@ impl ServingReport {
             ("cost_total", Json::from(self.parallel.cost_total)),
             ("cost_critical", Json::from(self.parallel.cost_critical)),
         ]);
+        let topology = Json::obj([
+            ("devices", Json::from(self.devices)),
+            (
+                "device_utilization",
+                Json::from(self.parallel.device_utilization()),
+            ),
+            (
+                "device_imbalance",
+                Json::from(self.parallel.device_imbalance()),
+            ),
+            (
+                "interconnect_tokens",
+                Json::from(self.parallel.interconnect_tokens),
+            ),
+            ("rebalances", Json::from(self.rebalances)),
+            ("heads_migrated", Json::from(self.heads_migrated)),
+            (
+                "rebalance_migration_tokens",
+                Json::from(self.rebalance_migration_tokens),
+            ),
+        ]);
         let migration = Json::obj([
             (
                 "mode",
@@ -200,6 +221,7 @@ impl ServingReport {
             ("serving", serving),
             ("classes", Json::obj(classes)),
             ("parallel", parallel),
+            ("topology", topology),
             ("migration", migration),
             ("prefix", prefix),
         ])
@@ -267,6 +289,17 @@ impl ServingReport {
                 self.prefetch_wasted,
             ),
         ];
+        if self.devices > 1 {
+            lines.push(format!(
+                "topology:  {} devices, device imbalance {:.2}x, {} interconnect tokens; {} rebalances moved {} heads ({} tokens)",
+                self.devices,
+                self.parallel.device_imbalance(),
+                self.parallel.interconnect_tokens,
+                self.rebalances,
+                self.heads_migrated,
+                self.rebalance_migration_tokens,
+            ));
+        }
         if self.prefix_hit_tokens + self.prefix_recomputed_tokens + self.prefix_insertions > 0 {
             lines.push(format!(
                 "prefix:    hit rate {:.1}% ({} hit / {} recomputed tokens); {} insertions, {} evictions",

@@ -78,9 +78,12 @@ use lserve_model::{greedy_next_token, ModelConfig, ModelWeights};
 use lserve_prefixcache::{PrefixCache, PrefixCacheStats};
 use lserve_trace::{lane, Tracer};
 
+use lserve_costmodel::{devices_from_env, PlacementPolicy, Topology, DEFAULT_GATHER_COST_TOKENS};
+
 use crate::config::decode_threads_from_env;
 use crate::executor::{ModelExecutor, SequenceState};
 use crate::prefix::CachedPrefix;
+use crate::sharding::ShardingPlan;
 use crate::stats::ParallelExecStats;
 use crate::EngineConfig;
 
@@ -106,11 +109,33 @@ pub fn tile_grid_boundary(chunk_tokens: usize, prompt_len: usize) -> usize {
 /// window. This is the footprint estimate the scheduler's admission control
 /// uses; tests and benches that want to size a pool relative to "N sequences"
 /// should use it instead of re-deriving the formula.
+///
+/// The estimate is of the **hot** footprint. When selection-driven demotion is
+/// on (`demote_after_chunks` with a `dynamic_budget`), a dense head's
+/// steady-state hot set is not its full residency: once history outgrows the
+/// selection budget, the selector keeps roughly `budget` tokens hot and the
+/// demotion sweep pushes the rest cold. The bound has to cover the demotion
+/// *lag*, though — a page only demotes after going unselected for
+/// `demote_after_chunks` consecutive fresh scorings, so in the worst case
+/// (the top-k churning completely every rescore) up to `k` selections' worth
+/// of pages plus `k × reuse_interval` freshly appended tokens are hot at
+/// once, on top of the append page and the forced sink page. That caps the
+/// per-head hot set at `k × (budget + reuse_interval) + 2 pages` — constant
+/// in context length — instead of the whole history. Without demotion (or
+/// while the context still fits inside that cap) the full-residency formula
+/// stands.
 pub fn sequence_pages_estimate(cfg: &EngineConfig, model: &ModelConfig, tokens: usize) -> usize {
     let streaming_heads =
         (cfg.streaming_sparsity * (model.num_layers * model.num_kv_heads) as f64).round() as usize;
     let dense_heads = model.num_layers * model.num_kv_heads - streaming_heads;
-    dense_heads * (cfg.paging.pages_for(tokens) + 1)
+    let dense_hot_tokens = match (cfg.demote_after_chunks, cfg.dynamic_budget) {
+        (Some(k), Some(budget)) => {
+            let churn = k.max(1) * (budget + cfg.reuse_interval.max(1));
+            tokens.min(churn + 2 * cfg.paging.physical_page_size())
+        }
+        _ => tokens,
+    };
+    dense_heads * (cfg.paging.pages_for(dense_hot_tokens) + 1)
         + streaming_heads * (cfg.streaming_window.max_pages() + 2)
 }
 
@@ -561,6 +586,21 @@ pub struct SchedulerConfig {
     /// `LSERVE_DECODE_THREADS` environment variable (1 when unset). Outputs
     /// are bit-identical for every value — the knob trades wall-clock only.
     pub decode_threads: usize,
+    /// Simulated devices decode attention is placed onto
+    /// ([`ShardingPlan`]-driven head-parallel sharding). Defaults to the
+    /// `LSERVE_DEVICES` environment variable (1 when unset). Outputs are
+    /// bit-identical for every value — devices move modeled cost and trace
+    /// lanes only.
+    pub devices: usize,
+    /// How KV heads are assigned to those devices: sparsity-aware device-level
+    /// LPT (the default) or the round-robin baseline.
+    pub placement: PlacementPolicy,
+    /// Scheduler steps between the sharding plan's device-imbalance checks.
+    pub rebalance_interval: u64,
+    /// Max-over-mean device load ratio past which the plan recomputes
+    /// placement and migrates heads (charging their KV across the modeled
+    /// interconnect).
+    pub rebalance_threshold: f64,
     /// How pool pressure is relieved: recompute-based [`PreemptionPolicy::Replay`]
     /// or the tiered memory's [`PreemptionPolicy::Swap`]. Defaults to the
     /// `LSERVE_PREEMPTION` environment variable (replay when unset). Outputs
@@ -615,6 +655,10 @@ impl SchedulerConfig {
             admission: AdmissionPolicy::FirstChunk,
             prefix_cache: false,
             decode_threads: decode_threads_from_env(),
+            devices: devices_from_env(),
+            placement: PlacementPolicy::SparsityAware,
+            rebalance_interval: 16,
+            rebalance_threshold: 1.5,
             preemption: preemption_from_env(),
             migration: migration_from_env(),
             class_aware: true,
@@ -640,6 +684,15 @@ impl SchedulerConfig {
         assert!(self.chunk_tokens > 0, "chunk must be at least one token");
         assert!(self.max_batch > 0, "batch must admit at least one sequence");
         assert!(self.decode_threads > 0, "need at least one decode worker");
+        assert!(self.devices > 0, "need at least one device");
+        assert!(
+            self.rebalance_interval > 0,
+            "rebalance interval must be at least one step"
+        );
+        assert!(
+            self.rebalance_threshold >= 1.0,
+            "rebalance threshold is a max-over-mean ratio (>= 1.0)"
+        );
         assert!(
             self.no_deadline_slack > 0,
             "aging horizon must be positive for starvation-freedom"
@@ -777,6 +830,16 @@ pub struct ServingReport {
     /// Aggregate parallel-execution counters across every prefill/decode
     /// phase (see [`ParallelExecStats`]).
     pub parallel: ParallelExecStats,
+    /// Simulated devices the run's decode attention was placed onto.
+    pub devices: usize,
+    /// Rebalance passes that moved at least one head (see [`ShardingPlan`]).
+    pub rebalances: u64,
+    /// (layer, head) placements changed across those passes.
+    pub heads_migrated: u64,
+    /// Modeled interconnect tokens head migrations charged into the work
+    /// clock (priced per KV token-unit moved, like the copy engine's
+    /// host-link transfers but over the faster device mesh).
+    pub rebalance_migration_tokens: u64,
 }
 
 impl ServingReport {
@@ -1083,6 +1146,11 @@ pub struct Scheduler {
     /// session's last *completed* turn; in-flight turns are invisible here —
     /// the sequential-turns contract of [`RequestSpec::session`]).
     sessions: HashMap<u64, Vec<u32>>,
+    /// Multi-device placement state: per-layer head → device assignments plus
+    /// the load history the periodic rebalancer acts on. Persistent across
+    /// steps by design — placement must be sticky for head migration to mean
+    /// anything.
+    plan: ShardingPlan,
 }
 
 impl Scheduler {
@@ -1107,8 +1175,18 @@ impl Scheduler {
             decode_threads: scfg.decode_threads,
             preemption: scfg.preemption,
             migration: scfg.migration,
+            devices: scfg.devices,
             ..ServingReport::default()
         };
+        let model = &exec.weights().config;
+        let mut plan = ShardingPlan::new(
+            Topology::symmetric(scfg.devices, DEFAULT_GATHER_COST_TOKENS),
+            scfg.placement,
+            model.num_layers,
+            model.num_kv_heads,
+        );
+        plan.rebalance_interval = scfg.rebalance_interval;
+        plan.rebalance_threshold = scfg.rebalance_threshold;
         Self {
             exec,
             scfg,
@@ -1122,6 +1200,7 @@ impl Scheduler {
             prefix: PrefixCache::new(),
             index: HashMap::new(),
             sessions: HashMap::new(),
+            plan,
         }
     }
 
@@ -1307,6 +1386,7 @@ impl Scheduler {
         self.report.running_seq_steps += self.running.len() as u64;
         self.prefill_phase(now);
         self.decode_phase(now);
+        self.rebalance_phase();
         if self.scfg.tracer.is_enabled() {
             let tracer = self.scfg.tracer.clone();
             tracer.span(
@@ -1361,6 +1441,50 @@ impl Scheduler {
         let stats = self.prefix.stats();
         self.report.prefix_hit_tokens = stats.hit_tokens;
         self.report.prefix_insertions = stats.insertions;
+        self.report.rebalances = self.plan.stats.rebalances;
+        self.report.heads_migrated = self.plan.stats.heads_migrated;
+        self.report.rebalance_migration_tokens = self.plan.stats.migration_cost_tokens;
+    }
+
+    /// Checks the multi-device placement for staleness and, when the
+    /// rebalancer fires, charges the head migration's interconnect cost into
+    /// the work clock (the copy engine's token-unit price over the mesh
+    /// link) and traces it on the copy lane.
+    fn rebalance_phase(&mut self) {
+        if self.plan.devices() <= 1 {
+            // Still tick the step clock so enabling devices mid-experiment
+            // (fresh scheduler) and single-device runs stay comparable.
+            let _ = self.plan.maybe_rebalance(|_, _| 0);
+            return;
+        }
+        let running = &self.running;
+        let pool = &self.pool;
+        let outcome = self.plan.maybe_rebalance(|l, kv| {
+            running
+                .iter()
+                .map(|s| s.state.kv_head_resident_tokens(pool, l, kv))
+                .sum()
+        });
+        if let Some(o) = outcome {
+            self.work_tokens += o.cost_tokens;
+            if self.scfg.tracer.is_enabled() {
+                let tracer = self.scfg.tracer.clone();
+                let start = tracer.now();
+                tracer.advance(o.cost_tokens);
+                tracer.span(
+                    "rebalance.migrate",
+                    "copy",
+                    lane::COPY,
+                    1,
+                    start,
+                    &[
+                        ("heads", o.heads_migrated),
+                        ("token_units", o.token_units),
+                        ("cost", o.cost_tokens),
+                    ],
+                );
+            }
+        }
     }
 
     /// Runs until every request completes or `max_steps` scheduler iterations
@@ -1890,10 +2014,11 @@ impl Scheduler {
                 let t = self.running[i].feed_token(fed_pos);
                 let mut one = [(&mut self.running[i].state, t)];
                 let result = exec
-                    .decode_batch_threads(
+                    .decode_batch_sharded(
                         &mut self.pool,
                         &mut one,
                         self.scfg.decode_threads,
+                        &mut self.plan,
                         &mut self.report.parallel,
                     )
                     .pop()
@@ -2005,10 +2130,11 @@ impl Scheduler {
         if batch.is_empty() {
             return;
         }
-        let results = exec.decode_batch_threads(
+        let results = exec.decode_batch_sharded(
             &mut self.pool,
             &mut batch,
             self.scfg.decode_threads,
+            &mut self.plan,
             &mut self.report.parallel,
         );
         drop(batch);
@@ -2545,6 +2671,44 @@ mod tests {
         let r = srv.run_to_completion(10_000);
         assert_eq!(r.completed.len(), 2);
         assert!(r.peak_pages <= one_seq_pages + 4);
+    }
+
+    #[test]
+    fn pages_estimate_tracks_demotion_peak_not_full_residency() {
+        use lserve_kvcache::PagingConfig;
+        use lserve_quant::KvPrecision;
+        let w = weights();
+        let mut cfg = EngineConfig::lserve_fp16();
+        cfg.paging = PagingConfig::new(8, 4, KvPrecision::Fp16);
+        cfg.prefill_tile = 8;
+        cfg.dynamic_budget = Some(24);
+        cfg.demote_after_chunks = Some(1);
+        cfg.reuse_interval = 2;
+        let total = 264;
+        let est = sequence_pages_estimate(&cfg, &w.config, total);
+        let full = {
+            let mut full_cfg = cfg.clone();
+            full_cfg.demote_after_chunks = None;
+            sequence_pages_estimate(&full_cfg, &w.config, total)
+        };
+        assert!(
+            est * 2 < full,
+            "demotion-aware estimate {est} must undercut full residency {full}"
+        );
+        // The tightened estimate must still bound the measured peak: feed the
+        // whole context solo in a roomy pool and compare the pool high-water
+        // mark against what admission would have reserved.
+        let mut scfg = SchedulerConfig::new(full * 2);
+        scfg.chunk_tokens = 8;
+        let mut sched = scheduler(cfg, scfg);
+        sched.submit(request(1, total - 16, 16));
+        let report = sched.run_to_completion(100_000);
+        assert_eq!(report.completed.len(), 1);
+        assert!(
+            report.peak_pages <= est,
+            "estimate {est} must bound measured peak {}",
+            report.peak_pages
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Aggregate work counters reported by the engine.
 
-use lserve_attention::{BalanceStats, DecodeStats, PrefillStats};
+use lserve_attention::{BalanceStats, DecodeStats, PlacedBalance, PrefillStats};
 
 /// Cumulative work counters across an engine's lifetime.
 ///
@@ -155,6 +155,21 @@ pub struct ParallelExecStats {
     /// Sum over phases of the most-loaded worker's estimated cost — the
     /// modeled critical path of the LPT schedule.
     pub cost_critical: u64,
+    /// Largest simulated device count any phase was placed onto (1 when
+    /// attention ran against the anonymous single-device pool).
+    pub devices: usize,
+    /// Modeled interconnect tokens charged for cross-device gathers (a
+    /// sequence's shards produced on a non-home device).
+    pub interconnect_tokens: u64,
+    /// Sum over phases of total modeled cost landed across devices (gather
+    /// charges included).
+    pub device_cost_total: u64,
+    /// Sum over phases of the busiest device's modeled cost — the
+    /// device-level critical path (devices run concurrently in the model).
+    pub device_cost_critical: u64,
+    /// Sum over phases of `phase devices × busiest device's cost` — the
+    /// device-seconds the mesh was open, mirroring `busy_ns_capacity`.
+    pub device_cost_capacity: u64,
 }
 
 impl ParallelExecStats {
@@ -169,6 +184,31 @@ impl ParallelExecStats {
         self.busy_ns_capacity += b.workers as u64 * b.max_busy_ns();
         self.cost_total += b.cost_total();
         self.cost_critical += b.cost_critical();
+        // An anonymous-pool phase is a 1-device placement: fold it into the
+        // device ledger so device metrics stay meaningful on one device.
+        self.devices = self.devices.max(1);
+        self.device_cost_total += b.cost_total();
+        self.device_cost_critical += b.cost_total();
+        self.device_cost_capacity += b.cost_total();
+    }
+
+    /// Folds one *placed* parallel phase in: worker-level balance plus the
+    /// per-device ledger and the phase's cross-device gather charge.
+    pub fn absorb_placed(&mut self, p: &PlacedBalance, gather_tokens: u64) {
+        self.workers = self.workers.max(p.stats.workers);
+        self.phases += 1;
+        self.shards += p.stats.shards;
+        self.stolen += p.stats.stolen;
+        self.busy_ns_total += p.stats.total_busy_ns();
+        self.busy_ns_critical += p.stats.max_busy_ns();
+        self.busy_ns_capacity += p.stats.workers as u64 * p.stats.max_busy_ns();
+        self.cost_total += p.stats.cost_total();
+        self.cost_critical += p.stats.cost_critical();
+        self.devices = self.devices.max(p.devices);
+        self.interconnect_tokens += gather_tokens;
+        self.device_cost_total += p.device_cost_total();
+        self.device_cost_critical += p.device_cost_critical();
+        self.device_cost_capacity += p.devices as u64 * p.device_cost_critical();
     }
 
     /// Merges another accumulator (e.g. per-step stats into a run total).
@@ -182,6 +222,11 @@ impl ParallelExecStats {
         self.busy_ns_capacity += other.busy_ns_capacity;
         self.cost_total += other.cost_total;
         self.cost_critical += other.cost_critical;
+        self.devices = self.devices.max(other.devices);
+        self.interconnect_tokens += other.interconnect_tokens;
+        self.device_cost_total += other.device_cost_total;
+        self.device_cost_critical += other.device_cost_critical;
+        self.device_cost_capacity += other.device_cost_capacity;
     }
 
     /// Measured mean worker utilization in `(0, 1]`: busy time divided by the
@@ -211,6 +256,28 @@ impl ParallelExecStats {
             return 1.0;
         }
         self.cost_total as f64 / self.cost_critical as f64
+    }
+
+    /// Modeled mean device utilization in `(0, 1]`: cost landed across the
+    /// mesh divided by the device-seconds the mesh was open. Deterministic
+    /// (pure placement arithmetic, no wall clock). 1.0 when nothing ran.
+    pub fn device_utilization(&self) -> f64 {
+        if self.device_cost_capacity == 0 {
+            return 1.0;
+        }
+        self.device_cost_total as f64 / self.device_cost_capacity as f64
+    }
+
+    /// Modeled device imbalance `>= 1`: how much longer the busiest device
+    /// ran than a perfectly balanced placement would have (the reciprocal of
+    /// [`ParallelExecStats::device_utilization`]). This is the number the
+    /// sparsity-aware-vs-round-robin placement bench asserts on.
+    pub fn device_imbalance(&self) -> f64 {
+        let u = self.device_utilization();
+        if u == 0.0 {
+            return 1.0;
+        }
+        1.0 / u
     }
 }
 
@@ -286,6 +353,48 @@ mod tests {
         assert_eq!(q.phases, 2);
         assert_eq!(q.cost_total, 200);
         assert!(q.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn absorb_placed_tracks_device_ledger_and_interconnect() {
+        let mut p = ParallelExecStats::default();
+        assert_eq!(p.device_imbalance(), 1.0);
+        p.absorb_placed(
+            &PlacedBalance {
+                devices: 2,
+                device_cost: vec![30, 10],
+                device_workers: vec![1, 1],
+                stats: BalanceStats {
+                    workers: 2,
+                    shards: 4,
+                    stolen: 0,
+                    busy_ns: vec![10, 10],
+                    assigned_cost: vec![30, 10],
+                },
+            },
+            8,
+        );
+        assert_eq!(p.devices, 2);
+        assert_eq!(p.interconnect_tokens, 8);
+        assert_eq!(p.device_cost_total, 40);
+        assert_eq!(p.device_cost_critical, 30);
+        assert_eq!(p.device_cost_capacity, 60);
+        assert!((p.device_imbalance() - 1.5).abs() < 1e-12);
+        // A plain absorb folds in as a balanced 1-device phase.
+        p.absorb(&BalanceStats {
+            workers: 1,
+            shards: 1,
+            stolen: 0,
+            busy_ns: vec![5],
+            assigned_cost: vec![20],
+        });
+        assert_eq!(p.device_cost_total, 60);
+        assert_eq!(p.device_cost_critical, 50);
+        let mut q = ParallelExecStats::default();
+        q.merge(&p);
+        assert_eq!(q.devices, 2);
+        assert_eq!(q.interconnect_tokens, 8);
+        assert_eq!(q.device_cost_capacity, p.device_cost_capacity);
     }
 
     #[test]

@@ -31,7 +31,12 @@ fn thread_name(pid: u32, tid: u64) -> String {
         (lane::SCHEDULER, 0) => "control".to_string(),
         (lane::SCHEDULER, id) => format!("req {id}"),
         (lane::EXECUTOR, _) => "phases".to_string(),
-        (lane::WORKERS, w) => format!("worker {w}"),
+        (lane::WORKERS, t) if t < lane::DEVICE_TID_STRIDE => format!("worker {t}"),
+        (lane::WORKERS, t) => format!(
+            "dev{}/worker {}",
+            t / lane::DEVICE_TID_STRIDE,
+            t % lane::DEVICE_TID_STRIDE
+        ),
         (lane::COPY, 0) => "to cold (D2H)".to_string(),
         (lane::COPY, 1) => "to hot (H2D)".to_string(),
         (lane::SELECTOR, s) => format!("slot {s}"),

@@ -47,8 +47,20 @@ pub mod lane {
     /// Executor lane: per-layer serial/parallel phase spans.
     pub const EXECUTOR: u32 = 2;
     /// Attention-worker lane: per-shard spans laid out per worker
-    /// (tid = worker index) — the sparsity-imbalance flame chart.
+    /// (tid = worker index on a single device, or
+    /// `device * DEVICE_TID_STRIDE + worker` under a multi-device placement)
+    /// — the sparsity-imbalance flame chart.
     pub const WORKERS: u32 = 3;
+    /// Stride between devices in the worker lane's `tid` space: worker `w` of
+    /// device `d` renders on `tid = d * DEVICE_TID_STRIDE + w`. Device 0's
+    /// tids coincide with the single-device layout, so single-device traces
+    /// are unchanged by the encoding.
+    pub const DEVICE_TID_STRIDE: u64 = 100;
+
+    /// The worker-lane `tid` for worker `w` of simulated device `d`.
+    pub fn device_worker_tid(device: usize, worker: usize) -> u64 {
+        device as u64 * DEVICE_TID_STRIDE + worker as u64
+    }
     /// Copy-engine lane: transfer issue/land/force/cancel instants
     /// (tid 0 = device→host, tid 1 = host→device).
     pub const COPY: u32 = 4;

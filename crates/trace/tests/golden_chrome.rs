@@ -88,6 +88,68 @@ fn tiny_scene() -> Tracer {
     t
 }
 
+/// A 2-device decode phase: each device runs its local shards on its own
+/// worker lanes (`dev/worker` tids via [`lane::device_worker_tid`]), the
+/// devices overlap in modeled time, and the interconnect counter tracks the
+/// cumulative cross-device gather tokens.
+fn device_scene() -> Tracer {
+    let t = Tracer::ring(64);
+    let par_start = t.now();
+    // Device 0 holds the heavy dense head (cost 7) and one light shard its
+    // second worker picks up; device 1 holds two streaming shards.
+    t.span_at(
+        "shard",
+        "attention",
+        lane::WORKERS,
+        lane::device_worker_tid(0, 0),
+        par_start,
+        7,
+        &[("seq", 0), ("cost", 7)],
+    );
+    t.span_at(
+        "shard",
+        "attention",
+        lane::WORKERS,
+        lane::device_worker_tid(0, 1),
+        par_start,
+        2,
+        &[("seq", 1), ("cost", 2)],
+    );
+    t.span_at(
+        "shard",
+        "attention",
+        lane::WORKERS,
+        lane::device_worker_tid(1, 0),
+        par_start,
+        3,
+        &[("seq", 0), ("cost", 3)],
+    );
+    t.span_at(
+        "shard",
+        "attention",
+        lane::WORKERS,
+        lane::device_worker_tid(1, 1),
+        par_start,
+        2,
+        &[("seq", 1), ("cost", 2)],
+    );
+    // The phase's modeled wall time is the critical device (device 0, 7).
+    t.advance(7);
+    t.span(
+        "decode.attention",
+        "executor",
+        lane::EXECUTOR,
+        CONTROL_TID,
+        par_start,
+        &[("layer", 0), ("shards", 4), ("devices", 2)],
+    );
+    // Sequence 0's dense shard lives on device 0 but its streaming shard is
+    // on device 1: one modeled gather, tallied on the interconnect track.
+    t.counter("interconnect", lane::WORKERS, &[("tokens", 4)]);
+    t.counter("pages", lane::SCHEDULER, &[("hot", 6), ("cold", 0)]);
+    t
+}
+
 #[test]
 fn tiny_scene_matches_golden() {
     let (events, dropped) = tiny_scene().drain();
@@ -106,5 +168,32 @@ fn tiny_scene_matches_golden() {
         rendered, golden,
         "exporter output drifted from the golden trace; if intentional, \
          regenerate with LSERVE_UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn device_scene_matches_golden() {
+    let (events, dropped) = device_scene().drain();
+    assert_eq!(dropped, 0);
+    let mut rendered = chrome_trace_json(&events, dropped).render();
+    rendered.push('\n');
+    validate_json(rendered.trim_end()).unwrap();
+    // The per-device worker lanes must label themselves.
+    assert!(rendered.contains("dev1/worker 0"));
+    assert!(rendered.contains("\"name\":\"interconnect\""));
+
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/device_scene.trace.json"
+    );
+    if std::env::var("LSERVE_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(golden_path, &rendered).unwrap();
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing; run with LSERVE_UPDATE_GOLDEN=1 to create");
+    assert_eq!(
+        rendered, golden,
+        "exporter output drifted from the golden device trace; if \
+         intentional, regenerate with LSERVE_UPDATE_GOLDEN=1 and review the diff"
     );
 }

@@ -69,9 +69,33 @@ impl SharedPrefixConfig {
         }
     }
 
+    /// A front-door-sized preset for cluster routing experiments: a short
+    /// system prompt with 4 personas x 3 queries, small enough that a
+    /// multi-replica run stays fast while still giving a prefix-affinity
+    /// router real families to keep together.
+    pub fn cluster() -> Self {
+        Self {
+            system_tokens: 32,
+            personas: 4,
+            persona_tokens: 16,
+            queries_per_persona: 3,
+            query_tokens: 8,
+            max_new_tokens: 6,
+            vocab: 90,
+            seed: 0x5EED,
+        }
+    }
+
     /// Total requests the workload generates.
     pub fn total_requests(&self) -> usize {
         self.personas * self.queries_per_persona
+    }
+
+    /// Prompt tokens that identify a request's persona family — the depth a
+    /// prefix-affinity router should hash (`system + persona`; hashing less
+    /// collapses every persona into one family, hashing more splits queries).
+    pub fn affinity_prefix_len(&self) -> usize {
+        self.system_tokens + self.persona_tokens
     }
 
     /// Prompt length of every generated request (all requests are equal-length:
