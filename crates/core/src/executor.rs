@@ -120,11 +120,13 @@ impl SelectorBox {
     }
 
     /// Predicted-hot pages for the next fresh selection, most recently
-    /// selected first (residency-blind; the caller filters and caps).
-    fn prefetch_candidates(&self) -> Vec<usize> {
+    /// selected first, restricted to pages that dropped out of the selection
+    /// within the last `window` rescores (residency-blind; the caller filters
+    /// and caps).
+    fn prefetch_candidates(&self, window: u64) -> Vec<usize> {
         match self {
-            SelectorBox::Flat(s) => s.prefetch_candidates(),
-            SelectorBox::Hierarchical(s) => s.prefetch_candidates(),
+            SelectorBox::Flat(s) => s.prefetch_candidates(window),
+            SelectorBox::Hierarchical(s) => s.prefetch_candidates(window),
         }
     }
 }
@@ -247,6 +249,19 @@ impl SequenceState {
         self.layers
             .iter()
             .map(|l| l.sole_owned_hot_pages(pool))
+            .sum()
+    }
+
+    /// Modeled ledger-unit cost of returning this sequence's full resident
+    /// set to the hot tier: the bill a preemption victim pays at resume time.
+    /// Shared hot pages are free (they never left), sole-owned hot pages cost
+    /// one swap-out-plus-back round trip, cold pages one host hop, and nvme
+    /// pages the recall plus the host hop. Victim selection minimizes this —
+    /// the tier truth, not just a hot-page count.
+    pub fn promote_back_cost_units(&self, pool: &PagePool) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.promote_back_cost_units(pool))
             .sum()
     }
 
@@ -737,20 +752,46 @@ impl ModelExecutor {
         Ok(fetch_units)
     }
 
+    /// Transfers issued per head per step: only the single most recently
+    /// displaced page — the one whose re-pick odds the selector's recency
+    /// ranking rates highest — so every bad guess costs at most one transfer.
+    const PREFETCH_PER_HEAD: usize = 1;
+
+    /// Fresh rescores a page may have sat unselected and still qualify for
+    /// prefetch. Beyond this the query has drifted: the page's re-pick odds
+    /// no longer justify a speculative transfer, and issuing one is how the
+    /// copy channel fills with `prefetch_wasted` traffic.
+    const PREFETCH_RECENCY_WINDOW: u64 = 2;
+
+    /// Cap on speculative transfers a single sequence may have issued per
+    /// step across **all** layers and heads. The per-head cap alone lets a
+    /// deep model multiply guesses by layers × heads; the per-sequence
+    /// budget keeps one sequence's speculation from starving demand traffic.
+    const PREFETCH_PER_SEQ: usize = 4;
+
     /// Selector-driven prefetch (async mode only): for every dense head whose
     /// reusable selector will score afresh on the **next** decode step, start
     /// host→device transfers for the pages that selection is most likely to
-    /// re-pick — ranked by selection recency — so by the time the fresh
+    /// re-pick — ranked by selection recency, dropped entirely once they fall
+    /// outside [`Self::PREFETCH_RECENCY_WINDOW`] — so by the time the fresh
     /// selection demands them the copy has already ridden one step of
     /// overlapped bandwidth. Wrong guesses cost only spare link bandwidth and
     /// a genuinely free hot slot ([`PagePool::prefetch`] never evicts), and
     /// are tallied as `prefetch_wasted` in [`lserve_kvcache::MigrationStats`].
-    fn issue_prefetches(&self, state: &mut SequenceState, pool: &mut PagePool, l: usize) {
-        /// Transfers issued per head per step: enough to cover a typical
-        /// selection delta, small enough to keep bad guesses cheap.
-        const PREFETCH_PER_HEAD: usize = 4;
+    /// `budget` is the sequence's remaining step-wide allowance
+    /// ([`Self::PREFETCH_PER_SEQ`]), decremented across layers.
+    fn issue_prefetches(
+        &self,
+        state: &mut SequenceState,
+        pool: &mut PagePool,
+        l: usize,
+        budget: &mut usize,
+    ) {
         let next_step = state.decode_step_idx + 1;
         for kv in 0..state.selectors[l].len() {
+            if *budget == 0 {
+                return;
+            }
             let Some(selector) = state.selectors[l][kv].as_ref() else {
                 continue;
             };
@@ -762,8 +803,8 @@ impl ModelExecutor {
             };
             let table = cache.page_table();
             let mut issued = 0;
-            for p in selector.prefetch_candidates() {
-                if issued >= PREFETCH_PER_HEAD {
+            for p in selector.prefetch_candidates(Self::PREFETCH_RECENCY_WINDOW) {
+                if issued >= Self::PREFETCH_PER_HEAD || *budget == 0 {
                     break;
                 }
                 // Never the append target (the table's final page).
@@ -772,6 +813,7 @@ impl ModelExecutor {
                 }
                 if pool.prefetch(table[p]) {
                     issued += 1;
+                    *budget -= 1;
                 }
             }
         }
@@ -915,6 +957,9 @@ impl ModelExecutor {
             .map(|(_, token)| Some(self.weights.embed_tokens(&[*token])))
             .collect();
         let tracer = pool.tracer().clone();
+        // Step-wide speculative-transfer allowance per sequence, spent by
+        // issue_prefetches across all layers (async migration only).
+        let mut prefetch_budget: Vec<usize> = vec![Self::PREFETCH_PER_SEQ; batch.len()];
         for (l, lw) in self.weights.layers.iter().enumerate() {
             // Phase 1 (serial, batch order): QKV + RoPE, KV writeback, dynamic
             // page selection. A failed append kills only that sequence.
@@ -974,7 +1019,7 @@ impl ModelExecutor {
                 // Overlap window: promotions issued above ride the rest of
                 // this step's compute; prefetches below start a step early.
                 if pool.migration_mode() == MigrationMode::Async {
-                    self.issue_prefetches(state, pool, l);
+                    self.issue_prefetches(state, pool, l, &mut prefetch_budget[i]);
                 }
             }
             // The serial phase costs one clock tick per live batch token.

@@ -129,6 +129,7 @@ impl ServingReport {
             ("mean_running", Json::from(self.mean_running())),
             ("peak_hot_pages", Json::from(self.peak_pages)),
             ("peak_cold_pages", Json::from(self.peak_cold_pages)),
+            ("peak_nvme_pages", Json::from(self.peak_nvme_pages)),
             ("ttft_work_p50", Json::from(self.ttft_work_percentile(0.5))),
             ("ttft_work_p95", Json::from(self.ttft_work_percentile(0.95))),
             ("tbt_iters_p50", Json::from(self.tbt_percentile(0.5))),
@@ -188,8 +189,12 @@ impl ServingReport {
                     PreemptionPolicy::Swap => "swap",
                 }),
             ),
+            ("host_pages", Json::from(self.host_pages)),
+            ("nvme", Json::from(self.nvme as u64)),
             ("pages_demoted", Json::from(self.pages_demoted)),
             ("pages_promoted", Json::from(self.pages_promoted)),
+            ("pages_spilled", Json::from(self.pages_spilled)),
+            ("pages_recalled", Json::from(self.pages_recalled)),
             (
                 "swap_resume_work_tokens",
                 Json::from(self.swap_resume_work_tokens),
@@ -216,6 +221,7 @@ impl ServingReport {
             ("hit_rate", Json::from(self.prefix_hit_rate())),
             ("insertions", Json::from(self.prefix_insertions)),
             ("evictions", Json::from(self.prefix_evictions)),
+            ("spills", Json::from(self.prefix_spills)),
         ]);
         Json::obj([
             ("serving", serving),
@@ -250,11 +256,16 @@ impl ServingReport {
                 self.decode_steps,
             ),
             format!(
-                "batch:     peak {} running (mean {:.1}); peak pages {} hot / {} cold; {} preemptions ({policy})",
+                "batch:     peak {} running (mean {:.1}); peak pages {} hot / {} cold{}; {} preemptions ({policy})",
                 self.peak_running,
                 self.mean_running(),
                 self.peak_pages,
                 self.peak_cold_pages,
+                if self.nvme {
+                    format!(" / {} nvme", self.peak_nvme_pages)
+                } else {
+                    String::new()
+                },
                 self.preemptions,
             ),
             format!(
@@ -278,9 +289,14 @@ impl ServingReport {
                 self.parallel.stolen,
             ),
             format!(
-                "migration: {mode}; {} demoted / {} promoted pages; {} stall / {} hidden tokens ({:.1}% overlap); prefetch {} issued / {} hit / {} wasted",
+                "migration: {mode}; {} demoted / {} promoted pages{}; {} stall / {} hidden tokens ({:.1}% overlap); prefetch {} issued / {} hit / {} wasted",
                 self.pages_demoted,
                 self.pages_promoted,
+                if self.nvme {
+                    format!(" / {} spilled / {} recalled", self.pages_spilled, self.pages_recalled)
+                } else {
+                    String::new()
+                },
                 self.migration_stall_tokens,
                 self.hidden_transfer_tokens,
                 100.0 * self.migration_overlap_ratio(),
@@ -337,6 +353,16 @@ mod tests {
         validate_json(&rendered).unwrap();
         for family in ["\"serving\"", "\"parallel\"", "\"migration\"", "\"prefix\""] {
             assert!(rendered.contains(family), "missing {family} in {rendered}");
+        }
+        for key in [
+            "\"peak_nvme_pages\"",
+            "\"host_pages\"",
+            "\"nvme\"",
+            "\"pages_spilled\"",
+            "\"pages_recalled\"",
+            "\"spills\"",
+        ] {
+            assert!(rendered.contains(key), "missing tier key {key}");
         }
         assert!(rendered.contains("\"completed\":2"));
     }

@@ -80,6 +80,18 @@ impl PrefixPages for CachedPrefix {
     fn frees_pages(&self, pool: &PagePool) -> bool {
         self.state.holds_sole_reference(pool)
     }
+
+    fn spillable(&self, pool: &PagePool) -> bool {
+        self.state.sole_owned_hot_pages(pool) > 0
+    }
+
+    fn spill(&self, pool: &mut PagePool) -> u64 {
+        // The snapshot's demotion pass is exactly a spill: sole-owned hot
+        // pages move to the cold tiers, shared pages (co-owned by running
+        // sequences or nested entries) stay put, and the snapshot itself is
+        // untouched — a later hit seeds from it and promotes on first use.
+        self.state.demote_resident(pool).0
+    }
 }
 
 #[cfg(test)]

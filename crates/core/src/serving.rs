@@ -73,7 +73,9 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-use lserve_kvcache::{migration_from_env, MigrationMode, PagePool};
+use lserve_kvcache::{
+    migration_from_env, tier_config_from_env, MigrationMode, PagePool, TierConfig,
+};
 use lserve_model::{greedy_next_token, ModelConfig, ModelWeights};
 use lserve_prefixcache::{PrefixCache, PrefixCacheStats};
 use lserve_trace::{lane, Tracer};
@@ -614,6 +616,19 @@ pub struct SchedulerConfig {
     /// are bit-identical for both values — the knob trades modeled stall
     /// time only.
     pub migration: MigrationMode,
+    /// Host (cold-tier) page capacity: `0` models an unbounded host — the
+    /// historical behavior. A bounded host forces the pool to spill its
+    /// oldest cold page to nvme before each demotion (when `nvme` is on) or
+    /// to refuse the demotion entirely (drop-and-replay fallback). Defaults
+    /// to the `LSERVE_HOST_PAGES` environment variable (0 when unset).
+    /// Outputs are bit-identical for every value — tiers move modeled cost
+    /// only.
+    pub host_pages: usize,
+    /// Enables the modeled nvme tier below the host ([`lserve_kvcache::
+    /// NVME_TRANSFER_SPEEDUP`], an order of magnitude slower per hop than
+    /// the host link). Defaults to the `LSERVE_NVME` environment variable
+    /// (off when unset). Outputs are bit-identical either way.
+    pub nvme: bool,
     /// Enables SLO-class- and deadline-aware scheduling (the default). When
     /// `false`, admission and victim selection fall back to class-blind FCFS
     /// arrival order — the baseline the interactive-class win is measured
@@ -641,13 +656,16 @@ impl SchedulerConfig {
     /// class-aware scheduling on, decode threads read once from
     /// `LSERVE_DECODE_THREADS` (1 when unset), preemption policy read once
     /// from `LSERVE_PREEMPTION` (replay when unset), migration mode read
-    /// once from `LSERVE_MIGRATION` (sync when unset), tracing read once
-    /// from `LSERVE_TRACE` (disabled when unset).
+    /// once from `LSERVE_MIGRATION` (sync when unset), tier shape read once
+    /// from `LSERVE_HOST_PAGES` / `LSERVE_NVME` (unbounded host, no nvme
+    /// when unset), tracing read once from `LSERVE_TRACE` (disabled when
+    /// unset).
     ///
     /// The environment is read here, at construction — never cached
     /// process-wide — so tests and benches can vary the variables between
     /// scheduler constructions in one process.
     pub fn from_env(pool_pages: usize) -> Self {
+        let tiers = tier_config_from_env();
         Self {
             pool_pages,
             chunk_tokens: 128,
@@ -661,6 +679,8 @@ impl SchedulerConfig {
             rebalance_threshold: 1.5,
             preemption: preemption_from_env(),
             migration: migration_from_env(),
+            host_pages: tiers.host_pages,
+            nvme: tiers.nvme,
             class_aware: true,
             no_deadline_slack: 1 << 20,
             tracer: Tracer::from_env(),
@@ -801,6 +821,21 @@ pub struct ServingReport {
     pub swap_resume_work_tokens: u64,
     /// High-water mark of cold-tier (host) pages in use.
     pub peak_cold_pages: usize,
+    /// High-water mark of nvme-tier pages in use (0 without the nvme tier).
+    pub peak_nvme_pages: usize,
+    /// Pages spilled host → nvme over the run (bounded-host relief), from
+    /// the pool's lifetime tier ledger.
+    pub pages_spilled: u64,
+    /// Pages recalled nvme → host over the run (demand recalls plus
+    /// prefetch-chained recalls).
+    pub pages_recalled: u64,
+    /// Prefix-cache entries spilled down-tier under pool pressure (the
+    /// entry stays cached; contrast [`ServingReport::prefix_evictions`]).
+    pub prefix_spills: u64,
+    /// Host page capacity the run was configured with (0 = unbounded).
+    pub host_pages: usize,
+    /// Whether the modeled nvme tier was enabled.
+    pub nvme: bool,
     /// Migration mode the run was configured with.
     pub migration: MigrationMode,
     /// Selector-driven prefetches issued into the copy engine (async mode;
@@ -1161,11 +1196,15 @@ impl Scheduler {
     /// Panics if `scfg` is inconsistent (see [`SchedulerConfig::validate`]).
     pub fn new(exec: Arc<ModelExecutor>, scfg: SchedulerConfig) -> Self {
         scfg.validate();
-        let mut pool = PagePool::new_with_migration(
+        let mut pool = PagePool::new_with_tiers(
             exec.config().paging,
             scfg.pool_pages,
             exec.weights().config.head_dim,
             scfg.migration,
+            TierConfig {
+                host_pages: scfg.host_pages,
+                nvme: scfg.nvme,
+            },
         );
         // One shared handle: the pool emission sites (copy engine, prefetch)
         // and the executor (which reaches the tracer through the pool) record
@@ -1176,6 +1215,8 @@ impl Scheduler {
             preemption: scfg.preemption,
             migration: scfg.migration,
             devices: scfg.devices,
+            host_pages: scfg.host_pages,
+            nvme: scfg.nvme,
             ..ServingReport::default()
         };
         let model = &exec.weights().config;
@@ -1323,6 +1364,12 @@ impl Scheduler {
         self.pool.cold_in_use()
     }
 
+    /// Nvme-tier pages currently in use in the shared pool (always 0 without
+    /// the modeled nvme tier).
+    pub fn pool_nvme_in_use(&self) -> usize {
+        self.pool.nvme_in_use()
+    }
+
     /// The live (unsorted) report accumulated so far.
     pub fn report_snapshot(&self) -> &ServingReport {
         &self.report
@@ -1373,6 +1420,29 @@ impl Scheduler {
         sequence_pages_estimate(self.exec.config(), &self.exec.weights().config, tokens)
     }
 
+    /// Admission headroom in *total* pages across the bounded tiers. With a
+    /// bounded host and no nvme below it, every page an admission creates
+    /// must eventually fit somewhere in hot + host — once both are full,
+    /// demotion refuses and swap victims degrade to drop-and-replay, so
+    /// reserving against free hot slots alone over-admits into thrash.
+    /// An unbounded host or an nvme backstop lifts the constraint
+    /// (`usize::MAX`): the hierarchy always has a tier to absorb demotions.
+    fn tier_free_total(&self) -> usize {
+        let tiers = self.pool.tier_config();
+        if tiers.host_pages == 0 || tiers.nvme {
+            return usize::MAX;
+        }
+        (self.pool.capacity() + tiers.host_pages).saturating_sub(self.pool.total_in_use())
+    }
+
+    /// True when admitting `admit_tokens` of new feed would overdraw either
+    /// the free hot slots (the demotion-aware estimate) or the bounded
+    /// hierarchy's total headroom ([`Scheduler::tier_free_total`]).
+    fn admission_blocked(&self, admit_tokens: usize) -> bool {
+        let need = self.pages_estimate(admit_tokens);
+        need > self.pool.free_pages() || need > self.tier_free_total()
+    }
+
     /// One scheduler iteration: apply pending cancellations, admit, feed
     /// prompt chunks, reserve decode pages (preempting on pressure), then
     /// advance every ready sequence by one decode step (continuous batching).
@@ -1406,6 +1476,7 @@ impl Scheduler {
                 &[
                     ("hot", self.pool.in_use() as u64),
                     ("cold", self.pool.cold_in_use() as u64),
+                    ("nvme", self.pool.nvme_in_use() as u64),
                 ],
             );
             tracer.counter(
@@ -1419,12 +1490,15 @@ impl Scheduler {
         }
         self.report.peak_pages = self.report.peak_pages.max(self.pool.peak_in_use());
         self.report.peak_cold_pages = self.report.peak_cold_pages.max(self.pool.cold_in_use());
+        self.report.peak_nvme_pages = self.report.peak_nvme_pages.max(self.pool.nvme_in_use());
         // Tier-migration counters come straight from the pool's lifetime
         // ledger (selection-driven moves in the executor and swap moves here
         // both land in it); swap-resume work is scheduler-side only.
         let tier = self.pool.tier_stats();
         self.report.pages_demoted = tier.pages_demoted;
         self.report.pages_promoted = tier.pages_promoted;
+        self.report.pages_spilled = tier.pages_spilled;
+        self.report.pages_recalled = tier.pages_recalled;
         self.report.swap_resume_work_tokens = self.swap_resume_work;
         // Copy-engine ledger: prefetch outcomes and the hidden/unhidden split
         // of every transfer, straight from the pool so the report can never
@@ -1718,12 +1792,12 @@ impl Scheduler {
                 AdmissionPolicy::FullFootprint => full_tokens,
                 AdmissionPolicy::FirstChunk => self.scfg.chunk_tokens.min(feed_len - matched),
             };
-            while self.pages_estimate(admit_tokens) > self.pool.free_pages() {
+            while self.admission_blocked(admit_tokens) {
                 if !self.evict_prefix_one() {
                     break;
                 }
             }
-            if self.pages_estimate(admit_tokens) > self.pool.free_pages() {
+            if self.admission_blocked(admit_tokens) {
                 // Swap-parked states can pin shared prefix pages the eviction
                 // loop cannot free; with nothing running, spilling them back
                 // to replay is the only way admission can make progress.
@@ -1870,12 +1944,34 @@ impl Scheduler {
         self.prefix.insert(&mut self.pool, &key, value);
     }
 
-    /// One pressure-relief eviction: removes the LRU cache entry whose removal
-    /// actually frees physical pages, skipping (and keeping warm) entries whose
-    /// pages are all co-owned elsewhere — nested grid anchors covered by deeper
-    /// entries, or prefixes pinned by running sequences. Returns `false` when no
-    /// eviction can relieve the pool and the caller needs preemption instead.
+    /// One pressure-relief step against the prefix cache. With a memory
+    /// hierarchy configured (bounded host and/or nvme), the cache first
+    /// *spills*: the LRU entry's sole-owned hot pages demote into the cold
+    /// tiers while the entry stays cached — long-tail prefixes keep their
+    /// warm-capacity value, and a later hit pays an accounted promotion
+    /// instead of a prefill recompute. Only when nothing can spill (all
+    /// cold already, or the bounded tiers are full) does it fall back to
+    /// real eviction: removing the LRU entry whose removal actually frees
+    /// physical pages, skipping entries whose pages are all co-owned
+    /// elsewhere. Returns `false` when neither lever can relieve the pool
+    /// and the caller needs preemption instead.
+    ///
+    /// Under the default tier shape (unbounded host, no nvme) spilling is
+    /// skipped entirely: an unbounded modeled host would be free fake
+    /// capacity, and the historical evict-under-pressure behavior stands.
     fn evict_prefix_one(&mut self) -> bool {
+        let tiers = self.pool.tier_config();
+        if (tiers.host_pages > 0 || tiers.nvme) && self.prefix.spill_lru(&mut self.pool).is_some() {
+            self.report.prefix_spills += 1;
+            self.scfg.tracer.instant(
+                "prefix.spill",
+                "prefix",
+                lane::SCHEDULER,
+                lserve_trace::CONTROL_TID,
+                &[],
+            );
+            return true;
+        }
         if self.prefix.evict_lru_freeing(&mut self.pool).is_none() {
             return false;
         }
@@ -2305,12 +2401,15 @@ impl Scheduler {
     ///
     /// Selection is class-first (the worst class present loses), then
     /// cost-aware within that class: under [`PreemptionPolicy::Swap`] the
-    /// victim is the sequence with the fewest sole-owned hot pages — the
-    /// cheapest to move across the tiers now and to promote back later
-    /// (latest virtual deadline, then latest arrival, break ties) — while
-    /// under [`PreemptionPolicy::Replay`] it is the least entitled sequence
-    /// (latest virtual deadline, then latest arrival), whose replayed context
-    /// is the least urgent work to redo.
+    /// victim is the sequence with the smallest modeled promote-back cost
+    /// ([`SequenceState::promote_back_cost_units`] — shared hot pages free,
+    /// sole-owned hot pages one round trip, cold pages one host hop, nvme
+    /// pages recall plus hop), i.e. the cheapest to move across the tiers
+    /// now *and* to bring back later, priced by where its pages actually
+    /// sit (latest virtual deadline, then latest arrival, break ties) —
+    /// while under [`PreemptionPolicy::Replay`] it is the least entitled
+    /// sequence (latest virtual deadline, then latest arrival), whose
+    /// replayed context is the least urgent work to redo.
     fn pick_victim(&self, than: Option<SloKey>) -> Option<usize> {
         let candidates: Vec<usize> = (0..self.running.len())
             .filter(|&i| than.is_none_or(|k| self.running[i].core.key > k))
@@ -2329,7 +2428,7 @@ impl Scheduler {
             same_class.min_by_key(|&i| {
                 let s = &self.running[i];
                 (
-                    s.state.sole_owned_hot_pages(&self.pool),
+                    s.state.promote_back_cost_units(&self.pool),
                     std::cmp::Reverse(s.core.key.vdeadline),
                     std::cmp::Reverse(s.core.key.arrival),
                 )
@@ -2402,9 +2501,21 @@ impl Scheduler {
     /// the cold tier (pages co-owned with the prefix cache or other sequences
     /// stay hot for their readers) and parks the intact sequence state in the
     /// queue. Resume is an accounted promotion instead of a replay.
+    ///
+    /// Drop-and-replay is the final fallback: when a bounded host (with no
+    /// nvme below it) refuses the *entire* swap-out — nothing demoted while
+    /// the victim still holds sole-owned hot pages — parking the state would
+    /// relieve no hot pressure at all, so the preemption degrades to
+    /// [`Scheduler::preempt_index_replay`] and releases the pages instead.
+    /// A partially refused swap-out still parks: every page that did move is
+    /// a hot slot relieved, and the remainder stays hot for a cheap resume.
     fn preempt_index_swap(&mut self, i: usize) {
+        let (moved, _) = self.running[i].state.demote_resident(&mut self.pool);
+        if moved == 0 && self.running[i].state.sole_owned_hot_pages(&self.pool) > 0 {
+            self.preempt_index_replay(i);
+            return;
+        }
         let seq = self.running.remove(i);
-        seq.state.demote_resident(&mut self.pool);
         self.report.preemptions += 1;
         let id = seq.core.spec.id;
         self.scfg.tracer.span(
@@ -2439,19 +2550,45 @@ impl Scheduler {
         });
     }
 
-    /// Last-resort pressure relief under [`PreemptionPolicy::Swap`]: releases
-    /// every swap-parked state in the queue, degrading those requests to a
-    /// replay resume. This returns their cold pages and — crucially — drops
-    /// their references on shared prefix pages, so the eviction loop regains
-    /// everything the Replay policy would have freed at preemption time.
-    /// Returns `true` if any state was spilled.
+    /// Last-resort pressure relief under [`PreemptionPolicy::Swap`]: spills
+    /// every swap-parked state in the queue. With the prefix cache on, the
+    /// spill is *partial*: the parked state's completed prefix is donated
+    /// into the cache first, then the state is released — its sole-owned
+    /// cold/nvme pages drop, but the prefix seed (the pages a re-admission
+    /// can share) survives in the tree, so the request replays only the
+    /// suffix past its deepest cache hit instead of degrading all the way
+    /// to a full replay. Without the prefix cache it is the historical full
+    /// spill: everything released, resume by complete re-feed.
+    ///
+    /// Either way this drops the parked states' references on shared prefix
+    /// pages, so the eviction loop regains everything the Replay policy
+    /// would have freed at preemption time — a donated entry sole-owning
+    /// its pages is exactly what [`Scheduler::evict_prefix_one`] can spill
+    /// down-tier or evict under further pressure. Returns `true` if any
+    /// state was spilled.
     fn spill_swapped_queue(&mut self) -> bool {
         let mut any = false;
-        for q in self.queue.iter_mut() {
-            if let Some(mut swap) = q.swap.take() {
-                swap.state.release(&mut self.pool);
-                any = true;
-            }
+        for qi in 0..self.queue.len() {
+            let Some(mut swap) = self.queue[qi].swap.take() else {
+                continue;
+            };
+            // Donate before releasing. The borrow dance: donation needs
+            // `&mut self` (cache + pool), so lift the key material out of
+            // the queue entry and put it back after.
+            let prompt = std::mem::take(&mut self.queue[qi].core.prompt);
+            let generated = std::mem::take(&mut self.queue[qi].generated);
+            self.donate_tokens(&prompt, &generated, &swap.state);
+            swap.state.release(&mut self.pool);
+            self.queue[qi].core.prompt = prompt;
+            self.queue[qi].generated = generated;
+            self.scfg.tracer.instant(
+                "swap.spill",
+                "scheduler",
+                lane::SCHEDULER,
+                self.queue[qi].core.spec.id,
+                &[],
+            );
+            any = true;
         }
         any
     }
@@ -3057,6 +3194,93 @@ mod tests {
                 assert!(swap.migration_overlap_ratio() > 0.5);
             }
         }
+    }
+
+    #[test]
+    fn bounded_host_with_nvme_spills_and_matches_unbounded_outputs() {
+        // Same overcommitted swap workload under three tier shapes: the
+        // historical unbounded host, and a host too small to absorb a full
+        // victim backed by the modeled nvme tier. The bounded run must spill
+        // host pages down, recall them on resume, and still produce
+        // bit-identical outputs — tiers move modeled cost only.
+        let w = weights();
+        let cfg = EngineConfig::dense();
+        let m = &w.config;
+        let one_seq_pages = m.num_layers * m.num_kv_heads * (cfg.paging.pages_for(70) + 1);
+
+        let run = |host_pages: usize, nvme: bool| {
+            let mut scfg = SchedulerConfig::new(one_seq_pages + 2);
+            scfg.chunk_tokens = 16;
+            scfg.admission = AdmissionPolicy::FirstChunk;
+            scfg.preemption = PreemptionPolicy::Swap;
+            // Sync keeps every swap-out demotion (and therefore the host
+            // overflow this test is about) on the issuing step, whatever the
+            // ambient `LSERVE_MIGRATION`; async tier traffic is covered by
+            // the `proptest_hierarchy` suite.
+            scfg.migration = MigrationMode::Sync;
+            scfg.host_pages = host_pages;
+            scfg.nvme = nvme;
+            let mut sched = scheduler(cfg.clone(), scfg);
+            sched.submit(request(1, 60, 10));
+            sched.submit(request(2, 60, 10));
+            let r = sched.run_to_completion(100_000);
+            assert_eq!(sched.pool_in_use(), 0, "hot pages leaked");
+            assert_eq!(sched.pool_cold_in_use(), 0, "cold pages leaked");
+            assert_eq!(sched.pool_nvme_in_use(), 0, "nvme pages leaked");
+            r
+        };
+        let unbounded = run(0, false);
+        assert!(unbounded.preemptions > 0, "workload must overcommit");
+        // Host capacity well below one victim's page set forces spills.
+        let tight = run((one_seq_pages / 4).max(1), true);
+        assert_eq!(
+            tight.completed, unbounded.completed,
+            "tier shape changed outputs"
+        );
+        assert!(tight.pages_spilled > 0, "bounded host must spill to nvme");
+        assert!(tight.pages_recalled > 0, "resume must recall from nvme");
+        assert!(tight.peak_nvme_pages > 0);
+        assert_eq!(unbounded.pages_spilled, 0);
+        assert_eq!(unbounded.peak_nvme_pages, 0);
+    }
+
+    #[test]
+    fn bounded_host_without_nvme_degrades_to_replay_and_matches_outputs() {
+        // With a bounded host and no tier below it, a swap-out that finds the
+        // host full is refused page by page; the scheduler's drop-and-replay
+        // fallbacks keep the run progressing and the outputs bit-identical.
+        let w = weights();
+        let cfg = EngineConfig::dense();
+        let m = &w.config;
+        let one_seq_pages = m.num_layers * m.num_kv_heads * (cfg.paging.pages_for(70) + 1);
+
+        let run = |host_pages: usize| {
+            let mut scfg = SchedulerConfig::new(one_seq_pages + 2);
+            scfg.chunk_tokens = 16;
+            scfg.admission = AdmissionPolicy::FirstChunk;
+            scfg.preemption = PreemptionPolicy::Swap;
+            scfg.migration = MigrationMode::Sync; // see the nvme test above
+            scfg.host_pages = host_pages;
+            scfg.nvme = false; // the point: no tier below the bounded host
+            let mut sched = scheduler(cfg.clone(), scfg);
+            sched.submit(request(1, 60, 10));
+            sched.submit(request(2, 60, 10));
+            let r = sched.run_to_completion(100_000);
+            assert_eq!(sched.pool_in_use(), 0, "hot pages leaked");
+            assert_eq!(sched.pool_cold_in_use(), 0, "cold pages leaked");
+            r
+        };
+        let unbounded = run(0);
+        let tight = run((one_seq_pages / 4).max(1));
+        assert_eq!(
+            tight.completed, unbounded.completed,
+            "bounded host changed outputs"
+        );
+        assert_eq!(tight.pages_spilled, 0, "no nvme tier to spill into");
+        assert!(
+            tight.pages_demoted <= unbounded.pages_demoted,
+            "refused demotions cannot exceed the unbounded baseline"
+        );
     }
 
     #[test]

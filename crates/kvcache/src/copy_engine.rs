@@ -66,10 +66,29 @@ pub fn migration_from_env() -> MigrationMode {
 /// Direction of an in-flight transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MigrationDir {
-    /// Device → host (a demotion draining out of the hot tier).
+    /// Away from the hot tier (demotion on the host hop, spill on the nvme
+    /// hop).
     ToCold,
-    /// Host → device (a promotion filling a hot slot).
+    /// Toward the hot tier (promotion on the host hop, recall on the nvme
+    /// hop).
     ToHot,
+}
+
+/// Which link of the memory hierarchy a transfer crosses. Each hop has its own
+/// pair of FIFO channels (one per [`MigrationDir`]), modeling independent DMA
+/// links: device↔host traffic never queues behind host↔nvme traffic.
+///
+/// All four channels drain in common *ledger units* (host-equivalent
+/// token-units; NVMe hops are issued pre-scaled by
+/// [`nvme_ledger_units`](crate::nvme_ledger_units)), so the engine needs no
+/// per-hop rate — the NVMe hop's order-of-magnitude slowdown shows up as
+/// more ledger units per page, not a slower drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hop {
+    /// The device↔host link (demote / promote).
+    Host,
+    /// The host↔nvme link (spill / recall).
+    Nvme,
 }
 
 /// One queued transfer.
@@ -130,114 +149,206 @@ impl MigrationStats {
     }
 }
 
-/// Bounded-queue modeled copy engine: two FIFO directions (demote / promote),
-/// each draining [`HOST_TRANSFER_SPEEDUP`](crate::HOST_TRANSFER_SPEEDUP)
-/// token-units per overlapped compute token fed to [`CopyEngine::advance`].
+/// Bounded-queue modeled copy engine: four FIFO channels ([`Hop`] ×
+/// [`MigrationDir`]), each draining
+/// [`HOST_TRANSFER_SPEEDUP`](crate::HOST_TRANSFER_SPEEDUP) ledger units per
+/// overlapped compute token fed to [`CopyEngine::advance`].
 ///
 /// The engine tracks queue state only; the pool owns residency, slot counts,
 /// and [`MigrationStats`], reacting to the [`PageId`]s this engine reports as
-/// landed, forced, or cancelled.
+/// landed, forced, or cancelled. The [`MigrationDir`]-only methods are
+/// host-hop shorthands kept for the two-tier call sites; the `_hop` variants
+/// address all four channels.
 #[derive(Debug, Clone, Default)]
 pub struct CopyEngine {
     d2h: VecDeque<Transfer>,
     h2d: VecDeque<Transfer>,
+    h2n: VecDeque<Transfer>,
+    n2h: VecDeque<Transfer>,
 }
 
 impl CopyEngine {
-    fn queue(&self, dir: MigrationDir) -> &VecDeque<Transfer> {
-        match dir {
-            MigrationDir::ToCold => &self.d2h,
-            MigrationDir::ToHot => &self.h2d,
+    fn queue(&self, hop: Hop, dir: MigrationDir) -> &VecDeque<Transfer> {
+        match (hop, dir) {
+            (Hop::Host, MigrationDir::ToCold) => &self.d2h,
+            (Hop::Host, MigrationDir::ToHot) => &self.h2d,
+            (Hop::Nvme, MigrationDir::ToCold) => &self.h2n,
+            (Hop::Nvme, MigrationDir::ToHot) => &self.n2h,
         }
     }
 
-    fn queue_mut(&mut self, dir: MigrationDir) -> &mut VecDeque<Transfer> {
-        match dir {
-            MigrationDir::ToCold => &mut self.d2h,
-            MigrationDir::ToHot => &mut self.h2d,
+    fn queue_mut(&mut self, hop: Hop, dir: MigrationDir) -> &mut VecDeque<Transfer> {
+        match (hop, dir) {
+            (Hop::Host, MigrationDir::ToCold) => &mut self.d2h,
+            (Hop::Host, MigrationDir::ToHot) => &mut self.h2d,
+            (Hop::Nvme, MigrationDir::ToCold) => &mut self.h2n,
+            (Hop::Nvme, MigrationDir::ToHot) => &mut self.n2h,
         }
     }
 
-    /// Transfers currently in flight in `dir`.
+    /// Transfers currently in flight on the host hop in `dir`.
     pub fn in_flight(&self, dir: MigrationDir) -> usize {
-        self.queue(dir).len()
+        self.in_flight_hop(Hop::Host, dir)
     }
 
-    /// True when `dir`'s queue is at [`COPY_CHANNEL_DEPTH`].
+    /// Transfers currently in flight on `hop` in `dir`.
+    pub fn in_flight_hop(&self, hop: Hop, dir: MigrationDir) -> usize {
+        self.queue(hop, dir).len()
+    }
+
+    /// True when the host-hop queue in `dir` is at [`COPY_CHANNEL_DEPTH`].
     pub fn is_full(&self, dir: MigrationDir) -> bool {
-        self.in_flight(dir) >= COPY_CHANNEL_DEPTH
+        self.is_full_hop(Hop::Host, dir)
     }
 
-    /// Whether `page` is in flight in `dir`.
+    /// True when `hop`'s queue in `dir` is at [`COPY_CHANNEL_DEPTH`].
+    pub fn is_full_hop(&self, hop: Hop, dir: MigrationDir) -> bool {
+        self.in_flight_hop(hop, dir) >= COPY_CHANNEL_DEPTH
+    }
+
+    /// Whether `page` is in flight on the host hop in `dir`.
     pub fn contains(&self, dir: MigrationDir, page: PageId) -> bool {
-        self.queue(dir).iter().any(|t| t.page == page)
+        self.contains_hop(Hop::Host, dir, page)
     }
 
-    /// Queues a transfer. The caller must have drained a full queue first
-    /// (see [`CopyEngine::force_head`]).
+    /// Whether `page` is in flight on `hop` in `dir`.
+    pub fn contains_hop(&self, hop: Hop, dir: MigrationDir, page: PageId) -> bool {
+        self.queue(hop, dir).iter().any(|t| t.page == page)
+    }
+
+    /// Queues a host-hop transfer. The caller must have drained a full queue
+    /// first (see [`CopyEngine::force_head`]).
     ///
     /// # Panics
     ///
     /// Panics if the queue is full or the page is already in flight in `dir`.
     pub fn issue(&mut self, dir: MigrationDir, page: PageId, units: u64, prefetch: bool) {
-        assert!(!self.is_full(dir), "copy queue overfull");
-        assert!(!self.contains(dir, page), "page already in flight");
-        self.queue_mut(dir).push_back(Transfer {
+        self.issue_hop(Hop::Host, dir, page, units, prefetch);
+    }
+
+    /// Queues a transfer on `hop`. `units` are ledger units (pre-scaled for
+    /// the NVMe hop). The caller must have drained a full queue first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full or the page is already in flight on
+    /// `(hop, dir)`.
+    pub fn issue_hop(
+        &mut self,
+        hop: Hop,
+        dir: MigrationDir,
+        page: PageId,
+        units: u64,
+        prefetch: bool,
+    ) {
+        assert!(!self.is_full_hop(hop, dir), "copy queue overfull");
+        assert!(!self.contains_hop(hop, dir, page), "page already in flight");
+        self.queue_mut(hop, dir).push_back(Transfer {
             page,
             remaining: units,
             prefetch,
         });
     }
 
-    /// Drains up to `units` token-units from each direction independently
-    /// (the two directions model separate DMA links), oldest transfer first.
-    /// Returns `(landed pages per direction, total units drained)`; the pool
-    /// applies residency flips for landed demotions/promotions and credits
-    /// the drained units as hidden.
-    pub fn advance(&mut self, units: u64) -> (Vec<(MigrationDir, PageId)>, u64) {
+    /// Drains up to `units` ledger units from each of the four channels
+    /// independently (each hop × direction models a separate DMA link),
+    /// oldest transfer first. Returns `(landed pages per channel, total units
+    /// drained)`; the pool applies residency flips for landed transfers and
+    /// credits the drained units as hidden.
+    pub fn advance(&mut self, units: u64) -> (Vec<(Hop, MigrationDir, PageId)>, u64) {
         let mut landed = Vec::new();
         let mut drained = 0;
-        for dir in [MigrationDir::ToCold, MigrationDir::ToHot] {
-            let mut budget = units;
-            let q = self.queue_mut(dir);
-            while budget > 0 {
-                let Some(head) = q.front_mut() else { break };
-                let step = head.remaining.min(budget);
-                head.remaining -= step;
-                budget -= step;
-                drained += step;
-                if head.remaining == 0 {
-                    let t = q.pop_front().expect("head exists");
-                    landed.push((dir, t.page));
+        for hop in [Hop::Host, Hop::Nvme] {
+            for dir in [MigrationDir::ToCold, MigrationDir::ToHot] {
+                let mut budget = units;
+                let q = self.queue_mut(hop, dir);
+                while budget > 0 {
+                    let Some(head) = q.front_mut() else { break };
+                    let step = head.remaining.min(budget);
+                    head.remaining -= step;
+                    budget -= step;
+                    drained += step;
+                    if head.remaining == 0 {
+                        let t = q.pop_front().expect("head exists");
+                        landed.push((hop, dir, t.page));
+                    }
                 }
             }
         }
         (landed, drained)
     }
 
-    /// Force-completes the oldest transfer in `dir` (a consumer needs its slot
-    /// or queue entry *now*). Returns the landed page, its unhidden remainder,
-    /// and whether it was a prefetch.
+    /// Force-completes the oldest host-hop transfer in `dir` (a consumer
+    /// needs its slot or queue entry *now*). Returns the landed page, its
+    /// unhidden remainder, and whether it was a prefetch.
     pub fn force_head(&mut self, dir: MigrationDir) -> Option<(PageId, u64, bool)> {
-        self.queue_mut(dir)
+        self.force_head_hop(Hop::Host, dir)
+    }
+
+    /// Force-completes the oldest transfer on `hop` in `dir`.
+    pub fn force_head_hop(&mut self, hop: Hop, dir: MigrationDir) -> Option<(PageId, u64, bool)> {
+        self.queue_mut(hop, dir)
             .pop_front()
             .map(|t| (t.page, t.remaining, t.prefetch))
     }
 
-    /// Force-completes `page`'s in-flight transfer in `dir`. Returns the
-    /// unhidden remainder and whether it was a prefetch.
+    /// Force-completes the *cheapest* host-hop transfer in `dir` — fewest
+    /// remaining ledger units, front-most on a tie (the FIFO drain order
+    /// keeps the choice deterministic). Used by hot-slot reclaim to minimize
+    /// the forced-unhidden charge: the oldest transfer may have been issued
+    /// large while a younger one is nearly drained. Returns the landed page,
+    /// its unhidden remainder, and whether it was a prefetch.
+    pub fn force_cheapest(&mut self, dir: MigrationDir) -> Option<(PageId, u64, bool)> {
+        self.force_cheapest_hop(Hop::Host, dir)
+    }
+
+    /// Force-completes the cheapest transfer on `hop` in `dir` (fewest
+    /// remaining units, front-most on a tie).
+    pub fn force_cheapest_hop(
+        &mut self,
+        hop: Hop,
+        dir: MigrationDir,
+    ) -> Option<(PageId, u64, bool)> {
+        let q = self.queue_mut(hop, dir);
+        let pos = q
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, t)| (t.remaining, *i))?
+            .0;
+        let t = q.remove(pos).expect("position exists");
+        Some((t.page, t.remaining, t.prefetch))
+    }
+
+    /// Force-completes `page`'s in-flight host-hop transfer in `dir`. Returns
+    /// the unhidden remainder and whether it was a prefetch.
     pub fn force_page(&mut self, dir: MigrationDir, page: PageId) -> Option<(u64, bool)> {
-        let q = self.queue_mut(dir);
+        self.force_page_hop(Hop::Host, dir, page)
+    }
+
+    /// Force-completes `page`'s in-flight transfer on `hop` in `dir`.
+    pub fn force_page_hop(
+        &mut self,
+        hop: Hop,
+        dir: MigrationDir,
+        page: PageId,
+    ) -> Option<(u64, bool)> {
+        let q = self.queue_mut(hop, dir);
         let pos = q.iter().position(|t| t.page == page)?;
         let t = q.remove(pos).expect("position exists");
         Some((t.remaining, t.prefetch))
     }
 
-    /// Cancels `page`'s in-flight transfer in `dir` without landing it (the
-    /// page was freed, or the migration re-targeted). Returns the cancelled
-    /// remainder and whether it was a prefetch.
+    /// Cancels `page`'s in-flight host-hop transfer in `dir` without landing
+    /// it (the page was freed, or the migration re-targeted). Returns the
+    /// cancelled remainder and whether it was a prefetch.
     pub fn cancel(&mut self, dir: MigrationDir, page: PageId) -> Option<(u64, bool)> {
         self.force_page(dir, page)
+    }
+
+    /// Cancels `page`'s in-flight transfer on `hop` in `dir` without landing
+    /// it.
+    pub fn cancel_hop(&mut self, hop: Hop, dir: MigrationDir, page: PageId) -> Option<(u64, bool)> {
+        self.force_page_hop(hop, dir, page)
     }
 }
 
@@ -269,8 +380,8 @@ mod tests {
         assert_eq!(
             landed,
             vec![
-                (MigrationDir::ToCold, pid(0)),
-                (MigrationDir::ToCold, pid(1))
+                (Hop::Host, MigrationDir::ToCold, pid(0)),
+                (Hop::Host, MigrationDir::ToCold, pid(1))
             ]
         );
         assert_eq!(e.in_flight(MigrationDir::ToCold), 0);
@@ -284,6 +395,62 @@ mod tests {
         let (landed, drained) = e.advance(8);
         assert_eq!(drained, 16, "each direction gets its own budget");
         assert_eq!(landed.len(), 2);
+    }
+
+    #[test]
+    fn hops_drain_independently_and_land_host_first() {
+        let mut e = CopyEngine::default();
+        e.issue_hop(Hop::Nvme, MigrationDir::ToCold, pid(0), 8, false);
+        e.issue_hop(Hop::Host, MigrationDir::ToCold, pid(1), 8, false);
+        e.issue_hop(Hop::Nvme, MigrationDir::ToHot, pid(2), 8, false);
+        assert_eq!(e.in_flight(MigrationDir::ToCold), 1, "host hop only");
+        assert_eq!(e.in_flight_hop(Hop::Nvme, MigrationDir::ToCold), 1);
+        let (landed, drained) = e.advance(8);
+        assert_eq!(drained, 24, "each of the four channels has its own budget");
+        // Landing order is deterministic: host channels first, ToCold before
+        // ToHot within a hop.
+        assert_eq!(
+            landed,
+            vec![
+                (Hop::Host, MigrationDir::ToCold, pid(1)),
+                (Hop::Nvme, MigrationDir::ToCold, pid(0)),
+                (Hop::Nvme, MigrationDir::ToHot, pid(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn same_page_may_be_in_flight_on_distinct_hops_only() {
+        let mut e = CopyEngine::default();
+        e.issue_hop(Hop::Host, MigrationDir::ToCold, pid(5), 4, false);
+        assert!(e.contains_hop(Hop::Host, MigrationDir::ToCold, pid(5)));
+        assert!(!e.contains_hop(Hop::Nvme, MigrationDir::ToCold, pid(5)));
+        e.issue_hop(Hop::Nvme, MigrationDir::ToHot, pid(5), 32, false);
+        assert_eq!(
+            e.cancel_hop(Hop::Nvme, MigrationDir::ToHot, pid(5)),
+            Some((32, false))
+        );
+        assert_eq!(e.force_page(MigrationDir::ToCold, pid(5)), Some((4, false)));
+    }
+
+    #[test]
+    fn force_cheapest_prefers_fewest_remaining_units() {
+        let mut e = CopyEngine::default();
+        e.issue(MigrationDir::ToCold, pid(0), 12, false);
+        e.issue(MigrationDir::ToCold, pid(1), 3, false);
+        e.issue(MigrationDir::ToCold, pid(2), 7, false);
+        // Not the oldest (pid 0, 12 units left) but the cheapest (pid 1, 3).
+        let (page, rem, _) = e.force_cheapest(MigrationDir::ToCold).unwrap();
+        assert_eq!((page, rem), (pid(1), 3));
+        // After draining 5 units FIFO, pid 0 has 7 left — tied with pid 2;
+        // the front-most (oldest) wins the tie deterministically.
+        let (_, drained) = e.advance(5);
+        assert_eq!(drained, 5);
+        let (page, rem, _) = e.force_cheapest(MigrationDir::ToCold).unwrap();
+        assert_eq!((page, rem), (pid(0), 7));
+        let (page, _, _) = e.force_cheapest(MigrationDir::ToCold).unwrap();
+        assert_eq!(page, pid(2));
+        assert!(e.force_cheapest(MigrationDir::ToCold).is_none());
     }
 
     #[test]

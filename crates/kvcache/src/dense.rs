@@ -221,18 +221,22 @@ impl DenseHeadCache {
         self.pages.iter().filter(|&&id| !pool.is_hot(id)).count()
     }
 
-    /// Hot slots a swap-in of this head must newly claim: cold pages plus
-    /// pages whose outbound transfer is still in flight. The latter look hot
-    /// (their slot is occupied and the copy engine counts them reclaimable),
-    /// but forcing one frees its slot *and* mints a new cold page — net-zero
-    /// supply — so a resume reservation must carry them as demand.
+    /// Hot slots a swap-in of this head must newly claim: below-hot pages
+    /// (cold, nvme, or in flight on the nvme hop) plus pages whose outbound
+    /// transfer is still in flight. The latter look hot (their slot is
+    /// occupied and the copy engine counts them reclaimable), but forcing one
+    /// frees its slot *and* mints a new cold page — net-zero supply — so a
+    /// resume reservation must carry them as demand.
     pub fn swap_in_demand(&self, pool: &PagePool) -> usize {
         self.pages
             .iter()
             .filter(|&&id| {
                 matches!(
                     pool.residency(id),
-                    Residency::Cold | Residency::Migrating(MigrationDir::ToCold)
+                    Residency::Cold
+                        | Residency::Migrating(MigrationDir::ToCold)
+                        | Residency::Nvme
+                        | Residency::MigratingNvme(_)
                 )
             })
             .count()
@@ -246,6 +250,32 @@ impl DenseHeadCache {
             .iter()
             .filter(|&&id| pool.refcount(id) == 1 && pool.is_hot(id))
             .count()
+    }
+
+    /// Modeled ledger units a victim of preemption would pay to bring this
+    /// head fully hot again, by tier truth: shared hot pages are free (they
+    /// never demote), sole-owned hot pages pay one future host round-trip
+    /// half (`N_P` back up), host-resident pages pay the host hop, and
+    /// nvme-family pages pay recall plus host hop. Victim selection ranks by
+    /// this instead of raw page counts, so a sequence whose state sits deep
+    /// in the hierarchy is not preferred over one that is cheap to restore.
+    pub fn promote_back_cost_units(&self, pool: &PagePool) -> u64 {
+        let np = pool.config().physical_page_size() as u64;
+        let nvme_cost = crate::nvme_ledger_units(np) + np;
+        self.pages
+            .iter()
+            .map(|&id| match pool.residency(id) {
+                Residency::Hot | Residency::Migrating(_) => {
+                    if pool.is_shared(id) {
+                        0
+                    } else {
+                        np
+                    }
+                }
+                Residency::Cold => np,
+                Residency::Nvme | Residency::MigratingNvme(_) => nvme_cost,
+            })
+            .sum()
     }
 }
 

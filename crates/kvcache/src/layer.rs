@@ -134,6 +134,15 @@ impl HeadCache {
         }
     }
 
+    /// Modeled ledger units to bring every page this head retains hot again,
+    /// by tier (see [`DenseHeadCache::promote_back_cost_units`]).
+    pub fn promote_back_cost_units(&self, pool: &PagePool) -> u64 {
+        match self {
+            HeadCache::Dense(c) => c.promote_back_cost_units(pool),
+            HeadCache::Streaming(c) => c.promote_back_cost_units(pool),
+        }
+    }
+
     /// Borrow the dense cache.
     ///
     /// # Panics
@@ -350,6 +359,16 @@ impl LayerKvCache {
         self.heads
             .iter()
             .map(|h| h.sole_owned_hot_pages(pool))
+            .sum()
+    }
+
+    /// Modeled ledger units to bring every page of this layer hot again, by
+    /// tier, across all heads (see
+    /// [`DenseHeadCache::promote_back_cost_units`]).
+    pub fn promote_back_cost_units(&self, pool: &PagePool) -> u64 {
+        self.heads
+            .iter()
+            .map(|h| h.promote_back_cost_units(pool))
             .sum()
     }
 

@@ -3,12 +3,15 @@
 //! This crate is the serving-memory substrate of the LServe reproduction (paper §2.1
 //! "Paged Attention" and §3.2 "LServe System Overview"):
 //!
-//! * [`PagePool`] — a two-tier pool of physical KV pages with a free list and
-//!   reference counts: a capacity-bounded **hot tier** playing the role of GPU
-//!   device memory (the only tier attention kernels may read) and an unbounded
-//!   **cold tier** modeling host memory, with explicit [`PagePool::demote`] /
-//!   [`PagePool::promote`] migrations that carry a deterministic modeled
-//!   transfer cost ([`transfer_cost_tokens`]). Sequences hold *page tables*
+//! * [`PagePool`] — a hierarchical pool of physical KV pages with a free list
+//!   and reference counts: a capacity-bounded **hot tier** playing the role of
+//!   GPU device memory (the only tier attention kernels may read), a
+//!   **cold tier** modeling host memory (optionally bounded via
+//!   [`TierConfig`]), and below it an optional modeled **nvme tier** an order
+//!   of magnitude slower per hop ([`NVME_TRANSFER_SPEEDUP`]). Explicit
+//!   [`PagePool::demote`] / [`PagePool::promote`] / [`PagePool::spill`]
+//!   migrations carry a deterministic modeled transfer cost
+//!   ([`transfer_cost_tokens`]). Sequences hold *page tables*
 //!   (vectors of [`PageId`], stable across migrations) and kernels access pages
 //!   through the pool, mirroring PagedAttention's indirect addressing.
 //! * [`KvPage`] — one physical page of up to `N_P` tokens for a single KV head,
@@ -40,10 +43,14 @@ pub mod streaming;
 
 pub use config::PagingConfig;
 pub use copy_engine::{
-    migration_from_env, CopyEngine, MigrationDir, MigrationMode, MigrationStats, COPY_CHANNEL_DEPTH,
+    migration_from_env, CopyEngine, Hop, MigrationDir, MigrationMode, MigrationStats,
+    COPY_CHANNEL_DEPTH,
 };
 pub use dense::DenseHeadCache;
 pub use layer::{HeadCache, LayerKvCache};
-pub use pool::{KvPage, PageId, PagePool, Residency};
-pub use stats::{transfer_cost_tokens, LogicalPageStats, TierStats, HOST_TRANSFER_SPEEDUP};
+pub use pool::{tier_config_from_env, KvPage, PageId, PagePool, Residency, TierConfig};
+pub use stats::{
+    nvme_ledger_units, transfer_cost_tokens, LogicalPageStats, TierStats, HOST_TRANSFER_SPEEDUP,
+    NVME_TRANSFER_SPEEDUP,
+};
 pub use streaming::{StreamingHeadCache, StreamingWindow};

@@ -1,12 +1,13 @@
-//! Physical KV pages and the two-tier (hot device / cold host) page pool.
+//! Physical KV pages and the hierarchical (hot device / bounded host /
+//! modeled NVMe) page pool.
 
 use lserve_quant::{quantize_group, KvPrecision, QuantParams};
 use lserve_trace::{lane, Tracer};
 
 use crate::{
     config::PagingConfig,
-    copy_engine::{CopyEngine, MigrationDir, MigrationMode, MigrationStats},
-    stats::{LogicalPageStats, TierStats},
+    copy_engine::{CopyEngine, Hop, MigrationDir, MigrationMode, MigrationStats},
+    stats::{nvme_ledger_units, LogicalPageStats, TierStats},
 };
 
 /// Which memory tier a live page currently resides in.
@@ -14,17 +15,22 @@ use crate::{
 /// Only **hot** (device-resident) pages may be read by attention kernels; cold
 /// pages model KV data offloaded to host memory, where only the page's
 /// *metadata* (key statistics for selection, length, refcount) remains cheaply
-/// accessible. Migrations between the tiers are explicit
-/// ([`PagePool::demote`] / [`PagePool::promote`]) and carry a deterministic
-/// modeled transfer cost (see [`crate::stats::transfer_cost_tokens`]).
+/// accessible; **nvme** pages sit one modeled hop further down, behind a link
+/// an order of magnitude slower (see
+/// [`NVME_TRANSFER_SPEEDUP`](crate::NVME_TRANSFER_SPEEDUP)). Migrations
+/// between tiers are explicit ([`PagePool::demote`] / [`PagePool::promote`] /
+/// [`PagePool::spill`]) and carry a deterministic modeled transfer cost (see
+/// [`crate::stats::transfer_cost_tokens`]).
 ///
 /// Under [`MigrationMode::Async`] a page can additionally be **in flight** on
 /// the modeled copy engine: `Migrating(ToCold)` pages still occupy their hot
 /// slot (and stay kernel-readable — the device copy is the source of the
 /// outbound DMA) until the transfer lands, while `Migrating(ToHot)` pages hold
 /// a hot slot from issue but become readable only when the inbound transfer
-/// lands (or is demand-forced). [`MigrationMode::Sync`] never produces a
-/// `Migrating` state.
+/// lands (or is demand-forced). The NVMe hop mirrors this one tier down:
+/// `MigratingNvme(ToCold)` (a spill) occupies its host slot until landing,
+/// `MigratingNvme(ToHot)` (a recall) claims a host slot from issue.
+/// [`MigrationMode::Sync`] never produces an in-flight state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Residency {
     /// Device-resident: attention kernels may read the page.
@@ -32,8 +38,52 @@ pub enum Residency {
     /// Offloaded to modeled host memory: metadata readable, KV data must be
     /// promoted back before a kernel may touch it.
     Cold,
-    /// In flight on the copy engine in the given direction (async mode only).
+    /// In flight on the host hop of the copy engine (async mode only).
     Migrating(MigrationDir),
+    /// Spilled to the modeled NVMe tier below the host: promotion back to the
+    /// hot tier pays the recall *and* the host hop.
+    Nvme,
+    /// In flight on the nvme hop of the copy engine (async mode only):
+    /// `ToCold` is a spill draining out of the host, `ToHot` a recall filling
+    /// a host slot.
+    MigratingNvme(MigrationDir),
+}
+
+/// Capacities of the tiers below the hot device tier.
+///
+/// The default (`host_pages == 0`, `nvme == false`) reproduces the two-tier
+/// pool exactly: an unbounded host and no NVMe tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierConfig {
+    /// Host (cold) tier capacity in pages; `0` means unbounded.
+    pub host_pages: usize,
+    /// Whether the modeled NVMe tier below the host exists. Without it a full
+    /// bounded host refuses demotions, pushing the caller to its final
+    /// fallback (drop-and-replay).
+    pub nvme: bool,
+}
+
+/// Tier configuration from the `LSERVE_HOST_PAGES` (page count, `0`/unset =
+/// unbounded) and `LSERVE_NVME` (`1`/`true`/`on` to enable) environment
+/// variables.
+///
+/// Read on every call — deliberately *not* cached in a process-wide
+/// `OnceLock` — so tests and benches can vary the knobs in-process;
+/// constructors read it once and pin the result.
+pub fn tier_config_from_env() -> TierConfig {
+    let host_pages = std::env::var("LSERVE_HOST_PAGES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0);
+    let nvme = matches!(
+        std::env::var("LSERVE_NVME")
+            .unwrap_or_default()
+            .trim()
+            .to_ascii_lowercase()
+            .as_str(),
+        "1" | "true" | "on"
+    );
+    TierConfig { host_pages, nvme }
 }
 
 /// Opaque handle to a physical page in a [`PagePool`].
@@ -214,13 +264,16 @@ impl KvPage {
     }
 }
 
-/// Two-tier pool of physical pages with free list and reference counts.
+/// Hierarchical pool of physical pages with free list and reference counts.
 ///
 /// The **hot tier** plays the role of device KV memory: it is bounded by
 /// `capacity` pages, allocation fails ([`None`]) when it is exhausted, and
-/// freed pages are recycled. The **cold tier** models host memory: unbounded,
-/// holding pages explicitly [`PagePool::demote`]d out of the hot tier until a
-/// [`PagePool::promote`] brings them back. [`PageId`]s are stable across
+/// freed pages are recycled. The **cold tier** models host memory — optionally
+/// bounded by [`TierConfig::host_pages`] — holding pages explicitly
+/// [`PagePool::demote`]d out of the hot tier until a [`PagePool::promote`]
+/// brings them back. Below it, an optional **nvme tier** absorbs
+/// [`PagePool::spill`]s from a full host (oldest-resident first), an order of
+/// magnitude more expensive per hop. [`PageId`]s are stable across
 /// migrations, so page tables held by sequences, selectors and the prefix
 /// cache stay valid whichever tier a page sits in.
 ///
@@ -265,9 +318,15 @@ pub struct PagePool {
     hot_capacity: usize,
     hot_in_use: usize,
     cold_in_use: usize,
+    nvme_in_use: usize,
     peak_in_use: usize,
     forks: u64,
     tier: TierStats,
+    tiers: TierConfig,
+    /// FIFO spill order of the bounded host: per-slot stamp of when the page
+    /// last became host-resident, from the monotonic `host_clock`.
+    host_stamp: Vec<u64>,
+    host_clock: u64,
     mode: MigrationMode,
     engine: CopyEngine,
     mig: MigrationStats,
@@ -303,6 +362,20 @@ impl PagePool {
         head_dim: usize,
         mode: MigrationMode,
     ) -> Self {
+        Self::new_with_tiers(config, capacity, head_dim, mode, TierConfig::default())
+    }
+
+    /// Creates a pool with an explicit [`MigrationMode`] and [`TierConfig`].
+    /// A bounded host ([`TierConfig::host_pages`] above zero) spills its
+    /// oldest-resident pages to the NVMe tier under pressure when
+    /// [`TierConfig::nvme`] is on, and refuses demotions otherwise.
+    pub fn new_with_tiers(
+        config: PagingConfig,
+        capacity: usize,
+        head_dim: usize,
+        mode: MigrationMode,
+        tiers: TierConfig,
+    ) -> Self {
         Self {
             config,
             head_dim,
@@ -313,9 +386,13 @@ impl PagePool {
             hot_capacity: capacity,
             hot_in_use: 0,
             cold_in_use: 0,
+            nvme_in_use: 0,
             peak_in_use: 0,
             forks: 0,
             tier: TierStats::default(),
+            tiers,
+            host_stamp: Vec::new(),
+            host_clock: 0,
             mode,
             engine: CopyEngine::default(),
             mig: MigrationStats::default(),
@@ -341,12 +418,27 @@ impl PagePool {
         &self.tracer
     }
 
-    /// Emits one copy-engine instant for page `id` on the direction's lane.
+    /// Emits one copy-engine instant for page `id` on the host hop's lane.
     fn trace_copy(&self, name: &'static str, dir: MigrationDir, id: PageId, units: u64) {
+        self.trace_copy_hop(name, Hop::Host, dir, id, units);
+    }
+
+    /// Emits one copy-engine instant for page `id` on the channel's lane:
+    /// tid 0 = demote, 1 = promote, 2 = spill, 3 = recall.
+    fn trace_copy_hop(
+        &self,
+        name: &'static str,
+        hop: Hop,
+        dir: MigrationDir,
+        id: PageId,
+        units: u64,
+    ) {
         if self.tracer.is_enabled() {
-            let tid = match dir {
-                MigrationDir::ToCold => 0,
-                MigrationDir::ToHot => 1,
+            let tid = match (hop, dir) {
+                (Hop::Host, MigrationDir::ToCold) => 0,
+                (Hop::Host, MigrationDir::ToHot) => 1,
+                (Hop::Nvme, MigrationDir::ToCold) => 2,
+                (Hop::Nvme, MigrationDir::ToHot) => 3,
             };
             self.tracer.instant(
                 name,
@@ -366,9 +458,16 @@ impl PagePool {
         self.mig
     }
 
-    /// Transfers currently in flight on the copy engine (both directions).
+    /// Transfers currently in flight on the copy engine (all four channels).
     pub fn in_flight_transfers(&self) -> usize {
-        self.engine.in_flight(MigrationDir::ToCold) + self.engine.in_flight(MigrationDir::ToHot)
+        [Hop::Host, Hop::Nvme]
+            .into_iter()
+            .flat_map(|hop| {
+                [MigrationDir::ToCold, MigrationDir::ToHot]
+                    .into_iter()
+                    .map(move |dir| self.engine.in_flight_hop(hop, dir))
+            })
+            .sum()
     }
 
     /// Residency state of a live page.
@@ -399,14 +498,42 @@ impl PagePool {
         self.hot_in_use
     }
 
-    /// Cold (host-resident) pages currently allocated.
+    /// Cold (host-resident) pages currently allocated, including pages in
+    /// flight on the nvme hop (both directions claim a host slot; see
+    /// [`PagePool::host_used`] for the capacity view).
     pub fn cold_in_use(&self) -> usize {
         self.cold_in_use
     }
 
-    /// Live pages across both tiers.
+    /// NVMe-resident pages currently allocated.
+    pub fn nvme_in_use(&self) -> usize {
+        self.nvme_in_use
+    }
+
+    /// The tier configuration below the hot tier.
+    pub fn tier_config(&self) -> TierConfig {
+        self.tiers
+    }
+
+    /// Host-tier slots the capacity bound must count: cold-resident pages,
+    /// plus in-flight demotions (they land in the host), minus in-flight
+    /// spills (their host slot is committed to the nvme tier the moment the
+    /// spill is issued — this is what lets an async spill relieve host
+    /// pressure without being demand-forced).
+    pub fn host_used(&self) -> usize {
+        self.cold_in_use + self.engine.in_flight_hop(Hop::Host, MigrationDir::ToCold)
+            - self.engine.in_flight_hop(Hop::Nvme, MigrationDir::ToCold)
+    }
+
+    /// True when the bounded host can still take one more page (always true
+    /// for an unbounded host).
+    pub fn host_has_room(&self) -> bool {
+        self.tiers.host_pages == 0 || self.host_used() < self.tiers.host_pages
+    }
+
+    /// Live pages across all tiers.
     pub fn total_in_use(&self) -> usize {
-        self.hot_in_use + self.cold_in_use
+        self.hot_in_use + self.cold_in_use + self.nvme_in_use
     }
 
     /// Hot pages currently available for allocation. In-flight demotions
@@ -437,49 +564,142 @@ impl PagePool {
                 self.refcounts.push(0);
                 self.residency.push(Residency::Hot);
                 self.prefetched.push(false);
+                self.host_stamp.push(0);
                 id
             }
         }
     }
 
-    /// Applies the residency flip of a landed transfer. Slot accounting for
-    /// promotions happened at issue; demotions hand their hot slot over here.
+    /// Marks slot `idx` as freshly host-resident for the FIFO spill order.
+    fn stamp_host(&mut self, idx: usize) {
+        self.host_clock += 1;
+        self.host_stamp[idx] = self.host_clock;
+    }
+
+    /// Applies the residency flip of a landed host-hop transfer. Slot
+    /// accounting for promotions happened at issue; demotions hand their hot
+    /// slot over here.
     fn land(&mut self, dir: MigrationDir, id: PageId) {
+        self.land_hop(Hop::Host, dir, id);
+    }
+
+    /// Applies the residency flip of a landed transfer on either hop.
+    fn land_hop(&mut self, hop: Hop, dir: MigrationDir, id: PageId) {
         let idx = id.index();
-        debug_assert_eq!(self.residency[idx], Residency::Migrating(dir));
-        self.trace_copy("land", dir, id, 0);
-        match dir {
-            MigrationDir::ToCold => {
-                self.residency[idx] = Residency::Cold;
-                self.hot_in_use -= 1;
-                self.cold_in_use += 1;
+        self.trace_copy_hop("land", hop, dir, id, 0);
+        match hop {
+            Hop::Host => {
+                debug_assert_eq!(self.residency[idx], Residency::Migrating(dir));
+                match dir {
+                    MigrationDir::ToCold => {
+                        self.residency[idx] = Residency::Cold;
+                        self.hot_in_use -= 1;
+                        self.cold_in_use += 1;
+                        self.stamp_host(idx);
+                    }
+                    MigrationDir::ToHot => self.residency[idx] = Residency::Hot,
+                }
             }
-            MigrationDir::ToHot => self.residency[idx] = Residency::Hot,
+            Hop::Nvme => {
+                debug_assert_eq!(self.residency[idx], Residency::MigratingNvme(dir));
+                match dir {
+                    // A landed spill hands its host slot over to the nvme tier.
+                    MigrationDir::ToCold => {
+                        self.residency[idx] = Residency::Nvme;
+                        self.cold_in_use -= 1;
+                        self.nvme_in_use += 1;
+                    }
+                    // A landed recall becomes an ordinary host-resident page.
+                    MigrationDir::ToHot => {
+                        self.residency[idx] = Residency::Cold;
+                        self.stamp_host(idx);
+                    }
+                }
+            }
         }
     }
 
-    /// Force-completes the oldest in-flight transfer in `dir`, charging its
-    /// remainder as unhidden stall. Returns `false` when the queue is empty.
+    /// Force-completes the oldest in-flight host-hop transfer in `dir`,
+    /// charging its remainder as unhidden stall. Returns `false` when the
+    /// queue is empty.
     fn force_oldest(&mut self, dir: MigrationDir) -> bool {
-        let Some((page, remaining, _prefetch)) = self.engine.force_head(dir) else {
+        self.force_oldest_hop(Hop::Host, dir)
+    }
+
+    /// Force-completes the oldest in-flight transfer on `hop` in `dir`.
+    fn force_oldest_hop(&mut self, hop: Hop, dir: MigrationDir) -> bool {
+        let Some((page, remaining, _prefetch)) = self.engine.force_head_hop(hop, dir) else {
             return false;
         };
-        self.trace_copy("force", dir, page, remaining);
+        self.trace_copy_hop("force", hop, dir, page, remaining);
         self.mig.unhidden_token_units += remaining;
         self.mig.forced_completions += 1;
-        self.land(dir, page);
+        self.land_hop(hop, dir, page);
         true
     }
 
-    /// Frees one hot slot by force-completing outbound transfers. Returns
-    /// `false` when the hot tier is genuinely full (nothing reclaimable).
+    /// Force-completes the *cheapest* in-flight outbound transfer (fewest
+    /// remaining units — the minimal forced-unhidden charge for one hot
+    /// slot), charging its remainder as unhidden stall. Returns `false` when
+    /// the queue is empty.
+    fn force_cheapest_outbound(&mut self) -> bool {
+        let Some((page, remaining, _prefetch)) = self.engine.force_cheapest(MigrationDir::ToCold)
+        else {
+            return false;
+        };
+        self.trace_copy("force", MigrationDir::ToCold, page, remaining);
+        self.mig.unhidden_token_units += remaining;
+        self.mig.forced_completions += 1;
+        self.land(MigrationDir::ToCold, page);
+        true
+    }
+
+    /// Frees one hot slot by force-completing outbound transfers, cheapest
+    /// (fewest remaining units) first — the oldest transfer may have been
+    /// issued large while a younger one is nearly drained, and any landed
+    /// demotion frees the same one slot. Returns `false` when the hot tier is
+    /// genuinely full (nothing reclaimable).
     fn reclaim_hot_slot(&mut self) -> bool {
         while self.hot_in_use >= self.hot_capacity {
-            if !self.force_oldest(MigrationDir::ToCold) {
+            if !self.force_cheapest_outbound() {
                 return false;
             }
         }
         true
+    }
+
+    /// Frees one bounded-host slot by spilling the oldest host-resident page
+    /// to the nvme tier. Returns `false` when the host is full and no spill
+    /// can relieve it (no nvme tier, or nothing spillable) — the caller's
+    /// demotion must fail, leaving drop-and-replay as the fallback. Always
+    /// `true` for an unbounded host.
+    fn reclaim_host_slot(&mut self) -> bool {
+        if self.tiers.host_pages == 0 {
+            return true;
+        }
+        while !self.host_has_room() {
+            if !self.tiers.nvme || !self.spill_oldest_cold() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Spills the oldest (FIFO by host-residency stamp, page index on a tie)
+    /// cold page to the nvme tier. Returns `false` when no page is
+    /// `Residency::Cold`.
+    fn spill_oldest_cold(&mut self) -> bool {
+        let victim = self
+            .residency
+            .iter()
+            .enumerate()
+            .filter(|&(idx, r)| *r == Residency::Cold && self.pages[idx].is_some())
+            .min_by_key(|&(idx, _)| (self.host_stamp[idx], idx))
+            .map(|(idx, _)| PageId(idx as u32));
+        match victim {
+            Some(id) => self.spill(id).is_some(),
+            None => false,
+        }
     }
 
     /// Records a demand touch on a prefetched page (the prefetch paid off).
@@ -543,6 +763,7 @@ impl PagePool {
             match self.residency[idx] {
                 Residency::Hot => self.hot_in_use -= 1,
                 Residency::Cold => self.cold_in_use -= 1,
+                Residency::Nvme => self.nvme_in_use -= 1,
                 // An in-flight transfer of a dying page is cancelled, not
                 // landed: its slot accounting is still on the hot side in
                 // both directions (see `land`).
@@ -554,6 +775,17 @@ impl PagePool {
                     self.trace_copy("cancel", dir, id, remaining);
                     self.mig.cancelled_token_units += remaining;
                     self.hot_in_use -= 1;
+                }
+                // Nvme-hop in-flight pages count as host-resident in both
+                // directions (see `land_hop`).
+                Residency::MigratingNvme(dir) => {
+                    let (remaining, _) = self
+                        .engine
+                        .cancel_hop(Hop::Nvme, dir, id)
+                        .expect("migrating page must be in flight");
+                    self.trace_copy_hop("cancel", Hop::Nvme, dir, id, remaining);
+                    self.mig.cancelled_token_units += remaining;
+                    self.cold_in_use -= 1;
                 }
             }
             self.residency[idx] = Residency::Hot;
@@ -585,9 +817,11 @@ impl PagePool {
     /// token-units (see [`crate::stats::transfer_cost_tokens`]).
     ///
     /// Returns `None` — and leaves the page untouched — when the page is
-    /// already cold, or when it is **co-owned** (refcount above 1): a page
-    /// shared with the prefix cache or another sequence must stay hot for its
-    /// other readers, exactly as copy-on-write forbids appending into it.
+    /// already below the hot tier, when it is **co-owned** (refcount above 1):
+    /// a page shared with the prefix cache or another sequence must stay hot
+    /// for its other readers, exactly as copy-on-write forbids appending into
+    /// it — or when a **bounded host** is full and cannot spill (no nvme
+    /// tier): the caller's fallback is then drop-and-replay.
     ///
     /// # Panics
     ///
@@ -601,9 +835,20 @@ impl PagePool {
         if self.refcounts[idx] > 1 {
             return None;
         }
+        match self.residency[idx] {
+            Residency::Cold
+            | Residency::Migrating(MigrationDir::ToCold)
+            | Residency::Nvme
+            | Residency::MigratingNvme(_) => return None,
+            Residency::Hot | Residency::Migrating(MigrationDir::ToHot) => {}
+        }
+        // Make host room *before* touching the page, so a refused demotion
+        // (bounded host, nothing spillable) leaves it exactly as it was.
+        if !self.reclaim_host_slot() {
+            return None;
+        }
         let units = self.config.physical_page_size() as u64;
         match self.residency[idx] {
-            Residency::Cold | Residency::Migrating(MigrationDir::ToCold) => return None,
             Residency::Migrating(MigrationDir::ToHot) => {
                 // Abort the inbound transfer: the page is wanted cold again
                 // before it ever became readable. The spent bandwidth is
@@ -617,6 +862,7 @@ impl PagePool {
                 self.waste_prefetched(idx);
             }
             Residency::Hot => self.waste_prefetched(idx),
+            _ => unreachable!("filtered above"),
         }
         self.trace_copy("demote.issue", MigrationDir::ToCold, id, units);
         match self.mode {
@@ -624,6 +870,7 @@ impl PagePool {
                 self.residency[idx] = Residency::Cold;
                 self.hot_in_use -= 1;
                 self.cold_in_use += 1;
+                self.stamp_host(idx);
                 self.mig.unhidden_token_units += units;
             }
             MigrationMode::Async => {
@@ -642,10 +889,78 @@ impl PagePool {
         Some(units)
     }
 
-    /// Brings a cold page back to the hot tier so kernels may read it again.
-    /// Returns the modeled transfer cost in token-units — `Some(0)` when the
-    /// page was already hot (no transfer happened) — or `None` when the hot
-    /// tier is full (free or demote something first).
+    /// Spills a cold (host-resident) page down to the nvme tier, freeing one
+    /// bounded-host slot. Returns the modeled transfer cost in host-ledger
+    /// units ([`crate::nvme_ledger_units`] of the page size), or `None` when
+    /// the nvme tier is off or the page is not `Residency::Cold`.
+    ///
+    /// Unlike [`PagePool::demote`], spilling is legal on **co-owned** pages:
+    /// within the cold tiers data stays readable through the pool either way,
+    /// so a shared reader loses nothing — it just pays the recall on its next
+    /// promotion. The spill cost is charged to the pool's migration ledger
+    /// (unhidden under [`MigrationMode::Sync`]), not the caller's work clock,
+    /// matching the demotion convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not allocated.
+    pub fn spill(&mut self, id: PageId) -> Option<u64> {
+        let idx = id.index();
+        assert!(
+            self.pages[idx].is_some(),
+            "spill of unallocated page {id:?}"
+        );
+        if !self.tiers.nvme || self.residency[idx] != Residency::Cold {
+            return None;
+        }
+        let ledger = nvme_ledger_units(self.config.physical_page_size() as u64);
+        self.trace_copy_hop("spill.issue", Hop::Nvme, MigrationDir::ToCold, id, ledger);
+        match self.mode {
+            MigrationMode::Sync => {
+                self.residency[idx] = Residency::Nvme;
+                self.cold_in_use -= 1;
+                self.nvme_in_use += 1;
+                self.mig.unhidden_token_units += ledger;
+            }
+            MigrationMode::Async => {
+                if self.engine.is_full_hop(Hop::Nvme, MigrationDir::ToCold) {
+                    self.force_oldest_hop(Hop::Nvme, MigrationDir::ToCold);
+                }
+                self.residency[idx] = Residency::MigratingNvme(MigrationDir::ToCold);
+                self.engine
+                    .issue_hop(Hop::Nvme, MigrationDir::ToCold, id, ledger, false);
+            }
+        }
+        self.tier.pages_spilled += 1;
+        self.tier.spilled_token_units += ledger;
+        Some(ledger)
+    }
+
+    /// Demand-recalls an nvme page into the host tier, fully unhidden (a
+    /// demand fetch from the slow tier hides nothing in either mode).
+    /// Returns the recall's ledger units.
+    fn demand_recall(&mut self, id: PageId) -> u64 {
+        let idx = id.index();
+        debug_assert_eq!(self.residency[idx], Residency::Nvme);
+        let ledger = nvme_ledger_units(self.config.physical_page_size() as u64);
+        self.trace_copy_hop("recall.force", Hop::Nvme, MigrationDir::ToHot, id, ledger);
+        self.mig.unhidden_token_units += ledger;
+        self.mig.forced_completions += 1;
+        self.nvme_in_use -= 1;
+        self.cold_in_use += 1;
+        self.residency[idx] = Residency::Cold;
+        self.stamp_host(idx);
+        self.tier.pages_recalled += 1;
+        self.tier.recalled_token_units += ledger;
+        ledger
+    }
+
+    /// Brings a page back to the hot tier so kernels may read it again,
+    /// across however many hops its residency requires (`Nvme` pages pay the
+    /// recall *and* the host hop). Returns the modeled transfer cost in
+    /// ledger units this call issued — `Some(0)` when the page was already
+    /// hot (no transfer happened) — or `None` when the hot tier is full (free
+    /// or demote something first).
     ///
     /// Promotion is legal on shared pages (it moves data, never mutates it).
     ///
@@ -677,11 +992,51 @@ impl PagePool {
                 self.residency[idx] = Residency::Hot;
                 return Some(0);
             }
-            Residency::Cold => {}
+            Residency::Cold | Residency::Nvme | Residency::MigratingNvme(_) => {}
         }
         if !self.reclaim_hot_slot() {
             return None;
         }
+        // Multi-hop: bring the page into the host tier first, then the host
+        // hop below proceeds exactly as for an ordinary cold page.
+        let recalled = match self.residency[idx] {
+            Residency::Cold => 0,
+            // Demand-recall from the slow tier (fully unhidden in both modes).
+            Residency::Nvme => {
+                let ledger = self.demand_recall(id);
+                self.touch_prefetched(idx);
+                ledger
+            }
+            // Still spilling out: abort the spill and keep the host copy — a
+            // free recall (the data never left the host).
+            Residency::MigratingNvme(MigrationDir::ToCold) => {
+                let (remaining, _) = self
+                    .engine
+                    .cancel_hop(Hop::Nvme, MigrationDir::ToCold, id)
+                    .expect("migrating page must be in flight");
+                self.trace_copy_hop("cancel", Hop::Nvme, MigrationDir::ToCold, id, remaining);
+                self.mig.cancelled_token_units += remaining;
+                self.residency[idx] = Residency::Cold;
+                self.stamp_host(idx);
+                0
+            }
+            // Recall already inbound: force the remainder and land it.
+            Residency::MigratingNvme(MigrationDir::ToHot) => {
+                let (remaining, _) = self
+                    .engine
+                    .force_page_hop(Hop::Nvme, MigrationDir::ToHot, id)
+                    .expect("migrating page must be in flight");
+                self.trace_copy_hop("force", Hop::Nvme, MigrationDir::ToHot, id, remaining);
+                self.mig.unhidden_token_units += remaining;
+                if remaining > 0 {
+                    self.mig.forced_completions += 1;
+                }
+                self.land_hop(Hop::Nvme, MigrationDir::ToHot, id);
+                self.touch_prefetched(idx);
+                0
+            }
+            _ => unreachable!("filtered above"),
+        };
         let units = self.config.physical_page_size() as u64;
         self.trace_copy("promote.issue", MigrationDir::ToHot, id, units);
         self.cold_in_use -= 1;
@@ -702,7 +1057,7 @@ impl PagePool {
         }
         self.tier.pages_promoted += 1;
         self.tier.promoted_token_units += units;
-        Some(units)
+        Some(recalled + units)
     }
 
     /// Makes `id` kernel-readable *now*, forcing any in-flight inbound
@@ -765,49 +1120,95 @@ impl PagePool {
                 self.land(MigrationDir::ToHot, id);
                 Some((issued, remaining))
             }
+            // Below the host: multi-hop demand fetch. `promote` settles the
+            // nvme hop (demand recall / cancel / force); whatever host-hop
+            // promotion it issued is then forced like the `Cold` arm, and the
+            // unhidden delta captures both hops' stall.
+            Residency::Nvme | Residency::MigratingNvme(_) => {
+                let before = self.mig.unhidden_token_units;
+                let issued = self.promote(id)?;
+                if self.residency[idx] == Residency::Migrating(MigrationDir::ToHot) {
+                    let (remaining, _) = self
+                        .engine
+                        .force_page(MigrationDir::ToHot, id)
+                        .expect("promotion just issued");
+                    self.trace_copy("force", MigrationDir::ToHot, id, remaining);
+                    self.mig.unhidden_token_units += remaining;
+                    self.mig.forced_completions += 1;
+                    self.land(MigrationDir::ToHot, id);
+                }
+                Some((issued, self.mig.unhidden_token_units - before))
+            }
         }
     }
 
-    /// Speculatively promotes a cold page on the copy engine (async mode
-    /// only). Cheap and best-effort: declined — returning `false` — when the
-    /// page is not cold, the hot tier has no genuinely free slot (prefetch
-    /// never steals via reclaim), or the inbound queue is full.
+    /// Speculatively moves a below-hot page one hop up on the copy engine
+    /// (async mode only). A cold page promotes toward the hot tier; an nvme
+    /// page recalls into the host tier (a later prefetch round can then lift
+    /// it the rest of the way). Cheap and best-effort: declined — returning
+    /// `false` — when the page is already hot or in flight, the destination
+    /// tier has no genuinely free slot (prefetch never steals via reclaim),
+    /// or the hop's inbound queue is full.
     pub fn prefetch(&mut self, id: PageId) -> bool {
         let idx = id.index();
         assert!(
             self.pages[idx].is_some(),
             "prefetch of unallocated page {id:?}"
         );
-        if self.mode != MigrationMode::Async
-            || self.residency[idx] != Residency::Cold
-            || self.hot_in_use >= self.hot_capacity
-            || self.engine.is_full(MigrationDir::ToHot)
-        {
+        if self.mode != MigrationMode::Async {
             return false;
         }
-        let units = self.config.physical_page_size() as u64;
-        self.trace_copy("prefetch.issue", MigrationDir::ToHot, id, units);
-        self.cold_in_use -= 1;
-        self.hot_in_use += 1;
-        self.peak_in_use = self.peak_in_use.max(self.hot_in_use);
-        self.residency[idx] = Residency::Migrating(MigrationDir::ToHot);
-        self.engine.issue(MigrationDir::ToHot, id, units, true);
-        self.prefetched[idx] = true;
-        self.mig.prefetch_issued += 1;
-        self.tier.pages_promoted += 1;
-        self.tier.promoted_token_units += units;
-        true
+        match self.residency[idx] {
+            Residency::Cold => {
+                if self.hot_in_use >= self.hot_capacity || self.engine.is_full(MigrationDir::ToHot)
+                {
+                    return false;
+                }
+                let units = self.config.physical_page_size() as u64;
+                self.trace_copy("prefetch.issue", MigrationDir::ToHot, id, units);
+                self.cold_in_use -= 1;
+                self.hot_in_use += 1;
+                self.peak_in_use = self.peak_in_use.max(self.hot_in_use);
+                self.residency[idx] = Residency::Migrating(MigrationDir::ToHot);
+                self.engine.issue(MigrationDir::ToHot, id, units, true);
+                self.prefetched[idx] = true;
+                self.mig.prefetch_issued += 1;
+                self.tier.pages_promoted += 1;
+                self.tier.promoted_token_units += units;
+                true
+            }
+            Residency::Nvme => {
+                if !self.host_has_room() || self.engine.is_full_hop(Hop::Nvme, MigrationDir::ToHot)
+                {
+                    return false;
+                }
+                let ledger = nvme_ledger_units(self.config.physical_page_size() as u64);
+                self.trace_copy_hop("prefetch.issue", Hop::Nvme, MigrationDir::ToHot, id, ledger);
+                self.nvme_in_use -= 1;
+                self.cold_in_use += 1;
+                self.residency[idx] = Residency::MigratingNvme(MigrationDir::ToHot);
+                self.engine
+                    .issue_hop(Hop::Nvme, MigrationDir::ToHot, id, ledger, true);
+                self.prefetched[idx] = true;
+                self.mig.prefetch_issued += 1;
+                self.tier.pages_recalled += 1;
+                self.tier.recalled_token_units += ledger;
+                true
+            }
+            _ => false,
+        }
     }
 
-    /// Feeds `units` token-units of overlapped compute to the copy engine:
-    /// each direction drains up to `units` (independent modeled DMA links),
-    /// landing finished transfers and crediting the drained traffic as
-    /// hidden. A no-op in [`MigrationMode::Sync`].
+    /// Feeds `units` ledger units of overlapped compute to the copy engine:
+    /// each of the four hop×direction channels drains up to `units`
+    /// (independent modeled DMA links), landing finished transfers and
+    /// crediting the drained traffic as hidden. A no-op in
+    /// [`MigrationMode::Sync`].
     pub fn advance_transfer_units(&mut self, units: u64) {
         let (landed, drained) = self.engine.advance(units);
         self.mig.hidden_token_units += drained;
-        for (dir, page) in landed {
-            self.land(dir, page);
+        for (hop, dir, page) in landed {
+            self.land_hop(hop, dir, page);
         }
     }
 
@@ -855,6 +1256,26 @@ impl PagePool {
                 self.mig.unhidden_token_units += remaining;
                 self.mig.forced_completions += 1;
                 self.land(MigrationDir::ToHot, id);
+            }
+            Some(Residency::MigratingNvme(MigrationDir::ToCold)) => {
+                let (remaining, _) = self
+                    .engine
+                    .cancel_hop(Hop::Nvme, MigrationDir::ToCold, id)
+                    .expect("migrating page must be in flight");
+                self.trace_copy_hop("cancel", Hop::Nvme, MigrationDir::ToCold, id, remaining);
+                self.mig.cancelled_token_units += remaining;
+                self.residency[id.index()] = Residency::Cold;
+                self.stamp_host(id.index());
+            }
+            Some(Residency::MigratingNvme(MigrationDir::ToHot)) => {
+                let (remaining, _) = self
+                    .engine
+                    .force_page_hop(Hop::Nvme, MigrationDir::ToHot, id)
+                    .expect("migrating page must be in flight");
+                self.trace_copy_hop("force", Hop::Nvme, MigrationDir::ToHot, id, remaining);
+                self.mig.unhidden_token_units += remaining;
+                self.mig.forced_completions += 1;
+                self.land_hop(Hop::Nvme, MigrationDir::ToHot, id);
             }
             _ => {}
         }
@@ -1144,6 +1565,201 @@ mod tests {
         let _ = (0..8).map(|_| p.allocate().unwrap()).collect::<Vec<_>>();
         assert_eq!(p.peak_in_use(), 8);
         assert_eq!(p.total_in_use(), 14);
+    }
+
+    fn tiered_pool(host_pages: usize, nvme: bool, mode: MigrationMode) -> PagePool {
+        PagePool::new_with_tiers(
+            PagingConfig::new(4, 2, KvPrecision::Fp16),
+            4,
+            4,
+            mode,
+            TierConfig { host_pages, nvme },
+        )
+    }
+
+    #[test]
+    fn bounded_host_without_nvme_refuses_demote() {
+        let mut p = tiered_pool(1, false, MigrationMode::Sync);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        assert_eq!(p.demote(a), Some(4));
+        assert!(!p.host_has_room());
+        assert!(p.demote(b).is_none(), "host full, no nvme: refuse");
+        assert!(p.is_hot(b), "refused demotion leaves the page untouched");
+        // Freeing the cold page reopens the host.
+        p.free(a);
+        assert!(p.demote(b).is_some());
+        assert_eq!((p.in_use(), p.cold_in_use(), p.nvme_in_use()), (0, 1, 0));
+    }
+
+    #[test]
+    fn full_host_spills_oldest_resident_first_sync() {
+        let mut p = tiered_pool(2, true, MigrationMode::Sync);
+        let ids: Vec<_> = (0..4).map(|_| p.allocate().unwrap()).collect();
+        p.page_mut(ids[0]).append(&[1.0; 4], &[2.0; 4]);
+        // Host fills with ids[0], ids[1]; demoting ids[2] must spill ids[0]
+        // (oldest host-resident) down to nvme.
+        assert_eq!(p.demote(ids[0]), Some(4));
+        assert_eq!(p.demote(ids[1]), Some(4));
+        assert_eq!(p.demote(ids[2]), Some(4));
+        assert_eq!(p.residency(ids[0]), Residency::Nvme);
+        assert_eq!(p.residency(ids[1]), Residency::Cold);
+        assert_eq!(p.residency(ids[2]), Residency::Cold);
+        assert_eq!((p.in_use(), p.cold_in_use(), p.nvme_in_use()), (1, 2, 1));
+        // Contents survive the trip down.
+        assert_eq!(p.page(ids[0]).key_row(0), &[1.0; 4]);
+        let t = p.tier_stats();
+        assert_eq!(t.pages_spilled, 1);
+        assert_eq!(t.spilled_token_units, nvme_ledger_units(4));
+        // Promotion from nvme pays both hops: recall (8×4 ledger) + host hop.
+        let free_hot = p.allocate().unwrap();
+        p.free(free_hot);
+        assert_eq!(p.promote(ids[0]), Some(nvme_ledger_units(4) + 4));
+        assert!(p.is_hot(ids[0]));
+        assert_eq!(p.page(ids[0]).value_row(0), &[2.0; 4]);
+        assert_eq!(p.tier_stats().pages_recalled, 1);
+        // Zero leaks.
+        for id in ids {
+            p.free(id);
+        }
+        assert_eq!(p.total_in_use(), 0);
+    }
+
+    #[test]
+    fn multi_hop_landing_order_async() {
+        let mut p = tiered_pool(1, true, MigrationMode::Async);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        // Demote a: in flight on the host hop, still kernel-readable.
+        assert_eq!(p.demote(a), Some(4));
+        assert_eq!(p.residency(a), Residency::Migrating(MigrationDir::ToCold));
+        assert!(p.is_hot(a));
+        p.advance_transfer_units(4);
+        assert_eq!(p.residency(a), Residency::Cold);
+        // Demote b: host (capacity 1) is full, so the reclaim spills a —
+        // which goes in flight on the nvme hop, still host-accounted.
+        assert_eq!(p.demote(b), Some(4));
+        assert_eq!(
+            p.residency(a),
+            Residency::MigratingNvme(MigrationDir::ToCold)
+        );
+        assert_eq!(p.residency(b), Residency::Migrating(MigrationDir::ToCold));
+        assert_eq!(p.host_used(), 1, "spill-in-flight cedes its host slot");
+        // One advance lands the host hop fully and 4 of the 32 spill units.
+        p.advance_transfer_units(4);
+        assert_eq!(p.residency(b), Residency::Cold);
+        assert_eq!(
+            p.residency(a),
+            Residency::MigratingNvme(MigrationDir::ToCold)
+        );
+        p.advance_transfer_units(nvme_ledger_units(4) - 4);
+        assert_eq!(p.residency(a), Residency::Nvme);
+        assert_eq!((p.in_use(), p.cold_in_use(), p.nvme_in_use()), (0, 1, 1));
+        // Prefetch recalls a into the host... but the host is full: declined.
+        assert!(!p.prefetch(a));
+        p.free(b);
+        // Now the recall prefetch is accepted and lands host-resident.
+        assert!(p.prefetch(a));
+        assert_eq!(
+            p.residency(a),
+            Residency::MigratingNvme(MigrationDir::ToHot)
+        );
+        p.advance_transfer_units(nvme_ledger_units(4));
+        assert_eq!(p.residency(a), Residency::Cold);
+        // A second prefetch round lifts it the rest of the way to hot.
+        assert!(p.prefetch(a));
+        p.advance_transfer_units(4);
+        assert_eq!(p.residency(a), Residency::Hot);
+        let m = p.migration_stats();
+        assert_eq!(m.prefetch_issued, 2);
+        p.free(a);
+        assert_eq!(p.total_in_use(), 0, "zero leaks");
+    }
+
+    #[test]
+    fn spill_is_legal_on_shared_pages_and_frees_cleanly() {
+        let mut p = tiered_pool(0, true, MigrationMode::Sync);
+        let id = p.allocate().unwrap();
+        p.demote(id).unwrap();
+        p.retain(id); // co-owned while cold (e.g. a spilled prefix entry)
+        assert!(
+            p.spill(id).is_some(),
+            "spill moves data without mutating it — legal on shared pages"
+        );
+        assert_eq!(p.residency(id), Residency::Nvme);
+        p.free(id);
+        p.free(id);
+        assert_eq!(p.total_in_use(), 0);
+        assert_eq!(p.nvme_in_use(), 0);
+    }
+
+    #[test]
+    fn freeing_in_flight_nvme_pages_cancels_and_leaks_nothing() {
+        let mut p = tiered_pool(0, true, MigrationMode::Async);
+        let a = p.allocate().unwrap();
+        p.demote(a).unwrap();
+        p.advance_transfer_units(4);
+        p.spill(a).unwrap();
+        assert_eq!(
+            p.residency(a),
+            Residency::MigratingNvme(MigrationDir::ToCold)
+        );
+        p.free(a);
+        assert_eq!(p.total_in_use(), 0);
+        assert_eq!(p.in_flight_transfers(), 0, "cancelled, not landed");
+        let m = p.migration_stats();
+        assert_eq!(m.cancelled_token_units, nvme_ledger_units(4));
+    }
+
+    #[test]
+    fn ensure_hot_charges_both_hops_from_nvme() {
+        let mut p = tiered_pool(0, true, MigrationMode::Async);
+        let id = p.allocate().unwrap();
+        p.demote(id).unwrap();
+        p.advance_transfer_units(4);
+        p.spill(id).unwrap();
+        p.advance_transfer_units(nvme_ledger_units(4));
+        assert_eq!(p.residency(id), Residency::Nvme);
+        let (issued, unhidden) = p.ensure_hot(id).unwrap();
+        assert_eq!(issued, nvme_ledger_units(4) + 4);
+        assert_eq!(
+            unhidden,
+            nvme_ledger_units(4) + 4,
+            "a demand fetch from nvme hides nothing on either hop"
+        );
+        assert!(p.is_hot(id));
+        p.free(id);
+        assert_eq!(p.total_in_use(), 0);
+    }
+
+    #[test]
+    fn reclaim_forces_cheapest_outbound_remainder() {
+        // Two outbound transfers; one has partially drained (1 unit left)
+        // while the other still holds 4. Reclaim must pick the cheapest and
+        // charge only its remainder as forced-unhidden. (The cheapest-vs-
+        // oldest distinction with unequal transfer sizes is pinned at the
+        // engine level in `force_cheapest_prefers_fewest_remaining_units`.)
+        let mut p = PagePool::new_with_migration(
+            PagingConfig::new(4, 2, KvPrecision::Fp16),
+            2,
+            4,
+            MigrationMode::Async,
+        );
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.demote(a).unwrap();
+        p.advance_transfer_units(3); // a: 1 unit left
+        p.demote(b).unwrap(); // b: 4 units left
+        let before = p.migration_stats().unhidden_token_units;
+        let c = p.allocate().unwrap();
+        assert_eq!(p.residency(a), Residency::Cold, "cheapest transfer forced");
+        assert_eq!(p.residency(b), Residency::Migrating(MigrationDir::ToCold));
+        assert_eq!(
+            p.migration_stats().unhidden_token_units - before,
+            1,
+            "only the cheapest remainder is charged"
+        );
+        let _ = c;
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Per-logical-page key statistics (`K_stats` in Figure 5) and the tier
-//! migration accounting of the two-tier (hot device / cold host) pool.
+//! migration accounting of the hierarchical (hot device / bounded host /
+//! modeled NVMe) pool.
 
 /// Modeled host-link speed, relative to recompute: transferring one token's
 /// KV page slot across the host link costs `1 / HOST_TRANSFER_SPEEDUP` of the
@@ -13,31 +14,65 @@
 /// far cheaper than re-running attention + FFN over the token span it holds.)
 pub const HOST_TRANSFER_SPEEDUP: u64 = 64;
 
-/// Converts accumulated migration token-units (one unit per token slot of
-/// every migrated physical page, as returned by `PagePool::demote`/`promote`)
-/// into forward-pass token-equivalents under [`HOST_TRANSFER_SPEEDUP`].
-/// Rounds up so any nonzero transfer carries nonzero modeled cost.
+/// Modeled NVMe-link speed, relative to recompute — an order of magnitude
+/// below [`HOST_TRANSFER_SPEEDUP`], so a host↔nvme hop for one page costs
+/// `HOST_TRANSFER_SPEEDUP / NVME_TRANSFER_SPEEDUP` (= 8) times the host↔device
+/// hop of the same page.
+///
+/// The pool prices NVMe hops by issuing them in *host-equivalent ledger
+/// units* (`raw_units · HOST_TRANSFER_SPEEDUP / NVME_TRANSFER_SPEEDUP`, see
+/// [`nvme_ledger_units`]), so every queue of the copy engine drains at one
+/// common ledger rate and [`transfer_cost_tokens`] prices both hops without a
+/// per-hop rate in the engine. Spilling to NVMe is still far cheaper than
+/// recompute (`8 / 64` of a forward pass per token slot) — drop-and-replay
+/// remains the fallback of last resort, not the preferred degradation.
+pub const NVME_TRANSFER_SPEEDUP: u64 = 8;
+
+/// Converts raw token-units of an NVMe hop into host-equivalent ledger units,
+/// the currency of every copy-engine queue and migration counter.
+pub fn nvme_ledger_units(raw_units: u64) -> u64 {
+    raw_units * (HOST_TRANSFER_SPEEDUP / NVME_TRANSFER_SPEEDUP)
+}
+
+/// Converts accumulated migration ledger units (one unit per token slot of
+/// every host-hop page, [`nvme_ledger_units`]-scaled for NVMe hops, as
+/// returned by `PagePool::demote`/`promote`) into forward-pass
+/// token-equivalents under [`HOST_TRANSFER_SPEEDUP`]. Rounds up so any
+/// nonzero transfer carries nonzero modeled cost.
 pub fn transfer_cost_tokens(token_units: u64) -> u64 {
     token_units.div_ceil(HOST_TRANSFER_SPEEDUP)
 }
 
-/// Lifetime tier-migration counters of a two-tier page pool.
+/// Lifetime tier-migration counters of the hierarchical page pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TierStats {
-    /// Pages moved hot → cold.
+    /// Pages moved hot → host.
     pub pages_demoted: u64,
-    /// Pages moved cold → hot.
+    /// Pages moved host → hot.
     pub pages_promoted: u64,
-    /// Token-units carried hot → cold (`pages_demoted · N_P`).
+    /// Pages spilled host → nvme.
+    pub pages_spilled: u64,
+    /// Pages recalled nvme → host.
+    pub pages_recalled: u64,
+    /// Ledger units carried hot → host (`pages_demoted · N_P`).
     pub demoted_token_units: u64,
-    /// Token-units carried cold → hot (`pages_promoted · N_P`).
+    /// Ledger units carried host → hot (`pages_promoted · N_P`).
     pub promoted_token_units: u64,
+    /// Ledger units carried host → nvme
+    /// (`pages_spilled · nvme_ledger_units(N_P)`).
+    pub spilled_token_units: u64,
+    /// Ledger units carried nvme → host
+    /// (`pages_recalled · nvme_ledger_units(N_P)`).
+    pub recalled_token_units: u64,
 }
 
 impl TierStats {
-    /// Token-units moved across the host link in either direction.
+    /// Ledger units moved across either link in either direction.
     pub fn migrated_token_units(&self) -> u64 {
-        self.demoted_token_units + self.promoted_token_units
+        self.demoted_token_units
+            + self.promoted_token_units
+            + self.spilled_token_units
+            + self.recalled_token_units
     }
 
     /// Total modeled migration cost in forward-pass token-equivalents.
@@ -172,9 +207,30 @@ mod tests {
             demoted_token_units: 2 * 64,
             pages_promoted: 1,
             promoted_token_units: 64,
+            ..Default::default()
         };
         assert_eq!(t.migrated_token_units(), 3 * 64);
         assert_eq!(t.transfer_work_tokens(), 3);
+    }
+
+    #[test]
+    fn nvme_hop_costs_eight_host_hops() {
+        assert_eq!(HOST_TRANSFER_SPEEDUP % NVME_TRANSFER_SPEEDUP, 0);
+        assert_eq!(nvme_ledger_units(64), 8 * 64);
+        assert_eq!(
+            transfer_cost_tokens(nvme_ledger_units(64)),
+            8 * transfer_cost_tokens(64),
+            "one nvme page hop prices like eight host hops of the same page"
+        );
+        let t = TierStats {
+            pages_spilled: 1,
+            spilled_token_units: nvme_ledger_units(64),
+            pages_recalled: 1,
+            recalled_token_units: nvme_ledger_units(64),
+            ..Default::default()
+        };
+        assert_eq!(t.migrated_token_units(), 2 * 8 * 64);
+        assert_eq!(t.transfer_work_tokens(), 16);
     }
 
     #[test]

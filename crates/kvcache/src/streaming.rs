@@ -296,14 +296,17 @@ impl StreamingHeadCache {
     }
 
     /// Hot slots a swap-in of this head must newly claim (see
-    /// [`crate::DenseHeadCache::swap_in_demand`]): cold pages plus own
+    /// [`crate::DenseHeadCache::swap_in_demand`]): below-hot pages plus own
     /// outbound transfers still in flight.
     pub fn swap_in_demand(&self, pool: &PagePool) -> usize {
         self.retained_ids()
             .filter(|&id| {
                 matches!(
                     pool.residency(id),
-                    Residency::Cold | Residency::Migrating(MigrationDir::ToCold)
+                    Residency::Cold
+                        | Residency::Migrating(MigrationDir::ToCold)
+                        | Residency::Nvme
+                        | Residency::MigratingNvme(_)
                 )
             })
             .count()
@@ -315,6 +318,26 @@ impl StreamingHeadCache {
         self.retained_ids()
             .filter(|&id| pool.refcount(id) == 1 && pool.is_hot(id))
             .count()
+    }
+
+    /// Modeled ledger units to bring every retained page hot again, by tier
+    /// (see [`crate::DenseHeadCache::promote_back_cost_units`]).
+    pub fn promote_back_cost_units(&self, pool: &PagePool) -> u64 {
+        let np = pool.config().physical_page_size() as u64;
+        let nvme_cost = crate::nvme_ledger_units(np) + np;
+        self.retained_ids()
+            .map(|id| match pool.residency(id) {
+                Residency::Hot | Residency::Migrating(_) => {
+                    if pool.is_shared(id) {
+                        0
+                    } else {
+                        np
+                    }
+                }
+                Residency::Cold => np,
+                Residency::Nvme | Residency::MigratingNvme(_) => nvme_cost,
+            })
+            .sum()
     }
 }
 

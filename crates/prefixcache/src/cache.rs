@@ -1,6 +1,6 @@
 //! The managed prefix store: refcounted insertion, LRU eviction, counters.
 
-use lserve_kvcache::{PageId, PagePool};
+use lserve_kvcache::{PageId, PagePool, Residency};
 
 use crate::tree::RadixTree;
 
@@ -26,6 +26,17 @@ pub trait PrefixPages {
     /// eviction skips values for which this is false — removing them relieves
     /// nothing and only makes future lookups colder.
     fn frees_pages(&self, pool: &PagePool) -> bool;
+    /// True when [`PrefixPages::spill`] would move at least one page out of the
+    /// hot tier: some referenced page is sole-owned and hot. Shared pages are
+    /// not spillable through this value — a co-owner is actively reading them.
+    fn spillable(&self, pool: &PagePool) -> bool;
+    /// Demotes every sole-owned hot page this value references into the cold
+    /// tier, returning the number of pages moved. The value keeps all its
+    /// references and stays cached: a later hit pays an accounted promotion
+    /// instead of a prefill recompute, which is the whole point of spilling
+    /// over evicting. Pages the bounded host refuses stay hot (partial spill
+    /// is fine — each page moved is a hot slot relieved).
+    fn spill(&self, pool: &mut PagePool) -> u64;
 }
 
 /// The minimal concrete cached value: per-layer, page-aligned runs of page ids
@@ -64,6 +75,28 @@ impl PrefixPages for PageRunPrefix {
         self.runs
             .iter()
             .any(|run| run.iter().any(|&id| pool.refcount(id) == 1))
+    }
+
+    fn spillable(&self, pool: &PagePool) -> bool {
+        self.runs.iter().any(|run| {
+            run.iter()
+                .any(|&id| pool.refcount(id) == 1 && matches!(pool.residency(id), Residency::Hot))
+        })
+    }
+
+    fn spill(&self, pool: &mut PagePool) -> u64 {
+        let mut moved = 0;
+        for run in &self.runs {
+            for &id in run {
+                if pool.refcount(id) == 1
+                    && matches!(pool.residency(id), Residency::Hot)
+                    && pool.demote(id).is_some()
+                {
+                    moved += 1;
+                }
+            }
+        }
+        moved
     }
 }
 
@@ -231,6 +264,31 @@ impl<V: PrefixPages> PrefixCache<V> {
         Some(self.evict_key(pool, &key))
     }
 
+    /// Spills the least-recently-used prefix that still holds sole-owned hot
+    /// pages: its pages demote into the cold tiers but the entry **stays
+    /// cached**, so a long-tail prefix keeps its warm-capacity value (a later
+    /// hit pays promotion, not recompute). Returns the number of pages moved,
+    /// or `None` when no cached prefix can relieve the hot tier this way —
+    /// the caller falls back to real eviction ([`PrefixCache::evict_lru_freeing`]).
+    ///
+    /// Deliberately not an LRU touch: spilling is pressure acting *on* the
+    /// entry, not a use of it, and must not promote the victim's recency.
+    pub fn spill_lru(&mut self, pool: &mut PagePool) -> Option<u64> {
+        for key in self.tree.keys_by_lru() {
+            let Some(value) = self.tree.get_exact(&key) else {
+                continue;
+            };
+            if !value.spillable(pool) {
+                continue;
+            }
+            let moved = value.spill(pool);
+            if moved > 0 {
+                return Some(moved);
+            }
+        }
+        None
+    }
+
     fn evict_key(&mut self, pool: &mut PagePool, key: &[u32]) -> usize {
         let mut value = self.tree.remove(key).expect("key listed by the tree");
         let refs = value.page_refs();
@@ -364,6 +422,41 @@ mod tests {
         // Now A is the sole owner of the shared page: it qualifies.
         assert!(cache.evict_lru_freeing(&mut pool).is_some());
         assert!(cache.evict_lru_freeing(&mut pool).is_none(), "cache empty");
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn spill_lru_demotes_sole_owned_pages_but_keeps_the_entry() {
+        let mut pool = pool();
+        let mut cache: PrefixCache<PageRunPrefix> = PrefixCache::new();
+        // Entry A (older, LRU) shares its page with a "running sequence" (the
+        // allocation-time reference we keep): not spillable. Entry B is the
+        // sole owner of both its pages: the spill victim despite being fresher.
+        let shared = pool.allocate().unwrap();
+        let a = PageRunPrefix {
+            tokens: 4,
+            runs: vec![vec![shared]],
+        };
+        let b = run_of(&mut pool, 2);
+        let b_pages = b.runs[0].clone();
+        assert!(cache.insert(&mut pool, &[1, 2], a));
+        assert!(cache.insert(&mut pool, &[9, 9], b.clone()));
+        let mut owner = b;
+        owner.release(&mut pool);
+        assert_eq!(cache.spill_lru(&mut pool), Some(2), "both of B's pages");
+        for &id in &b_pages {
+            assert_eq!(pool.residency(id), Residency::Cold);
+        }
+        assert_eq!(pool.residency(shared), Residency::Hot, "shared page stays");
+        // B is still cached — a hit now pays promotion, not recompute.
+        assert!(cache.is_cached(&[9, 9]));
+        assert_eq!(cache.entries(), 2);
+        assert_eq!(cache.stats().evictions, 0, "spill is not eviction");
+        // Everything already cold or shared: nothing further to spill.
+        assert!(cache.spill_lru(&mut pool).is_none());
+        // Eviction of a spilled entry releases cold pages cleanly.
+        pool.free(shared);
+        cache.clear(&mut pool);
         assert_eq!(pool.in_use(), 0);
     }
 

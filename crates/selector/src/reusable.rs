@@ -142,14 +142,20 @@ impl<S: PageSelector> ReusableSelector<S> {
     /// a long-stale page the least. Ties break on page index, so the ranking
     /// is deterministic.
     ///
+    /// `window` bounds rescore proximity: only pages selected within the last
+    /// `window` fresh scorings qualify. A page that has sat unselected for
+    /// longer has lost its temporal locality — prefetching it is almost pure
+    /// waste, because by the time the next rescore runs the query has drifted
+    /// away from it.
+    ///
     /// The list is residency-blind: callers filter for cold pages, skip the
     /// append target, and cap how many transfers they issue.
-    pub fn prefetch_candidates(&self) -> Vec<usize> {
+    pub fn prefetch_candidates(&self, window: u64) -> Vec<usize> {
         let mut cands: Vec<(u64, usize)> = self
             .last_selected_chunk
             .iter()
             .enumerate()
-            .filter(|&(_, &last)| last < self.chunks_scored)
+            .filter(|&(_, &last)| last < self.chunks_scored && self.chunks_scored - last <= window)
             .map(|(p, &last)| (last, p))
             .collect();
         cands.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -389,13 +395,13 @@ mod tests {
         let q = [1.0f32, 0.0];
         let first = sel.select(&pool, &cache, &[&q], 8, 0);
         assert!(
-            sel.prefetch_candidates().is_empty(),
+            sel.prefetch_candidates(u64::MAX).is_empty(),
             "every page was seen (or selected) this chunk"
         );
         for step in 1..4 {
             let _ = sel.select(&pool, &cache, &[&q], 8, step);
         }
-        let cands = sel.prefetch_candidates();
+        let cands = sel.prefetch_candidates(u64::MAX);
         assert!(!cands.is_empty(), "unpicked pages are candidates");
         // Currently-selected pages never appear.
         for p in &first.pages {
@@ -404,13 +410,30 @@ mod tests {
         // Ranking is by last-selected chunk, descending; ties by page index.
         let rank: Vec<u64> = cands.iter().map(|&p| sel.last_selected_chunk[p]).collect();
         assert!(rank.windows(2).all(|w| w[0] >= w[1]), "not recency-ranked");
-        // Candidates are a superset of the stale set: staleness demotes,
-        // recency prefetches, both read the same clock.
+        // An unbounded window is a superset of the stale set: staleness
+        // demotes, recency prefetches, both read the same clock.
         for p in sel.stale_pages(3) {
             assert!(cands.contains(&p));
         }
+        // A tight window keeps only the freshest losers: everything it
+        // returns dropped out within the last `window` rescores, and the
+        // ranking is the same prefix the unbounded call produced.
+        let tight = sel.prefetch_candidates(1);
+        assert_eq!(tight.as_slice(), &cands[..tight.len()], "window reorders");
+        for &p in &tight {
+            assert!(
+                sel.chunks_scored - sel.last_selected_chunk[p] <= 1,
+                "page {p} is staler than the window"
+            );
+        }
+        for p in sel.stale_pages(2) {
+            assert!(
+                !tight.contains(&p),
+                "long-stale page {p} survived the recency window"
+            );
+        }
         sel.reset();
-        assert!(sel.prefetch_candidates().is_empty());
+        assert!(sel.prefetch_candidates(u64::MAX).is_empty());
     }
 
     #[test]

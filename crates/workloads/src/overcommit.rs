@@ -72,6 +72,20 @@ impl OvercommitConfig {
         }
     }
 
+    /// The hierarchy-bench scene: the `migration_bench` geometry with a third
+    /// burst, so swap-parked victims pile up faster than a bounded host tier
+    /// can absorb and the modeled nvme tier below it sees real traffic. Used
+    /// by the `tiered_offload` bench's memory-hierarchy comparison (bounded
+    /// host + nvme vs drop-to-replay), where the sustained-concurrency
+    /// acceptance gate is asserted and `BENCH_pr9.json` is written for CI.
+    pub fn hierarchy_bench() -> Self {
+        Self {
+            bursts: 3,
+            seed: 0x9E1A,
+            ..Self::migration_bench()
+        }
+    }
+
     /// Total requests the workload generates.
     pub fn total_requests(&self) -> usize {
         self.bursts * self.requests_per_burst
@@ -171,6 +185,19 @@ mod tests {
         assert_ne!(
             overcommit_workload(&bench)[0].prompt,
             overcommit_workload(&small)[0].prompt,
+            "distinct seed: the scenes must not alias"
+        );
+    }
+
+    #[test]
+    fn hierarchy_bench_adds_a_burst() {
+        let mig = OvercommitConfig::migration_bench();
+        let hier = OvercommitConfig::hierarchy_bench();
+        assert!(hier.bursts > mig.bursts, "more bursts: deeper backlog");
+        assert_eq!(hier.max_new_tokens, mig.max_new_tokens);
+        assert_ne!(
+            overcommit_workload(&hier)[0].prompt,
+            overcommit_workload(&mig)[0].prompt,
             "distinct seed: the scenes must not alias"
         );
     }

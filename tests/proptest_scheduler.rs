@@ -331,6 +331,13 @@ proptest! {
             scfg.admission = AdmissionPolicy::FirstChunk;
             scfg.prefix_cache = prefix_cache;
             scfg.preemption = policy;
+            // Pin the historical two-tier shape: this property contrasts the
+            // preemption policies, and its "replay must not touch tiers"
+            // invariant only holds with an unbounded host (a bounded one
+            // makes prefix eviction spill — by design). The memory-hierarchy
+            // knobs get their own equivalence suite in `proptest_hierarchy`.
+            scfg.host_pages = 0;
+            scfg.nvme = false;
             let mut sched = Scheduler::new(
                 Arc::new(ModelExecutor::new(Arc::clone(&w), engine_cfg.clone())),
                 scfg,
