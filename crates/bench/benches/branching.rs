@@ -1,0 +1,240 @@
+//! Speculative fork/join branching: what a best-of-N panel costs when the
+//! candidates CoW-share the conversation versus re-prefilling it, and what
+//! speculative tool-call branching pays for its losers.
+//!
+//! Two scenes come out of this bench:
+//!
+//! * **Best-of-4 panel** — a 4-candidate `BestScore` panel forked off a live
+//!   root request. Every candidate shares the root's pages, so the panel's
+//!   total work must stay **under 2x a single solo candidate run** (the
+//!   acceptance criterion) instead of the ~4x a re-prefill design would pay
+//!   — and the winning candidate's tokens must be bit-identical to a solo
+//!   run replaying its full history.
+//! * **Speculative tool calls** — a `FirstFinished` race over speculated
+//!   tool results: the first continuation to finish cancels the losers,
+//!   whose pages (CoW shares included) all return to the pool.
+//!
+//! Everything is registered on a [`MetricsSnapshot`] and written to
+//! `BENCH_pr10.json` at the repository root for CI to validate and archive.
+//!
+//! ```text
+//! cargo bench -p lserve-bench --bench branching
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use std::sync::Arc;
+
+use lserve_bench::Json;
+use lserve_core::{
+    BranchSpec, EngineConfig, JoinPolicy, MetricsSnapshot, ModelExecutor, RequestHandle,
+    RequestSpec, Scheduler, SchedulerConfig, ServingEvent,
+};
+use lserve_kvcache::PagingConfig;
+use lserve_model::{ModelConfig, ModelWeights};
+use lserve_quant::KvPrecision;
+use lserve_workloads::{best_of_n, tool_call_branches, AgentScene, AgenticConfig};
+
+/// A conversation long enough that re-prefilling it per candidate would
+/// dominate: 192 shared tokens against 8-token suffixes and 12-token
+/// generations.
+fn scene_cfg() -> AgenticConfig {
+    AgenticConfig {
+        root_tokens: 192,
+        branches: 4,
+        suffix_tokens: 8,
+        branch_new_tokens: 12,
+        vocab: 90,
+        seed: 0xA9E7,
+    }
+}
+
+fn engine_cfg() -> EngineConfig {
+    let mut cfg = EngineConfig::lserve_fp16();
+    cfg.paging = PagingConfig::new(8, 4, KvPrecision::Fp16);
+    cfg.prefill_tile = 8;
+    cfg
+}
+
+fn scheduler(weights: &Arc<ModelWeights>) -> Scheduler {
+    let mut scfg = SchedulerConfig::new(4096);
+    // Policy knobs pinned (not from env): the work-token comparison below
+    // must not depend on which CI matrix leg runs the bench.
+    scfg.chunk_tokens = 8;
+    Scheduler::new(
+        Arc::new(ModelExecutor::new(Arc::clone(weights), engine_cfg())),
+        scfg,
+    )
+}
+
+/// Steps until request `h` has generated `want` tokens, returning them.
+fn run_until_generated(sched: &mut Scheduler, h: &RequestHandle, want: usize) -> Vec<u32> {
+    let mut got = Vec::new();
+    while got.len() < want {
+        sched.step();
+        for e in h.drain_events() {
+            if let ServingEvent::FirstToken { token } | ServingEvent::Token { token } = e {
+                got.push(token);
+            }
+        }
+    }
+    got
+}
+
+fn to_branch_specs(scene: &AgentScene, first_id: u64) -> Vec<BranchSpec> {
+    scene
+        .branches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let mut spec = BranchSpec::new(first_id + i as u64, b.suffix.clone())
+                .max_new_tokens(b.max_new_tokens)
+                .score_bias(b.score_bias);
+            for &t in &b.stop_tokens {
+                spec = spec.stop_token(t);
+            }
+            spec
+        })
+        .collect()
+}
+
+/// The speculative best-of-4 run: fork the panel off a live root, race it
+/// under `BestScore`, and return (total work tokens, winner id, winner
+/// tokens, the root's full history at the fork point).
+fn run_speculative(weights: &Arc<ModelWeights>) -> (u64, u64, Vec<u32>, Vec<u32>) {
+    let cfg = scene_cfg();
+    let scene = best_of_n(&cfg);
+    let mut sched = scheduler(weights);
+    let root = sched.submit(RequestSpec::new(1, scene.root_prompt.clone()).max_new_tokens(4));
+    let gen_at_fork = run_until_generated(&mut sched, &root, 1);
+    let out = sched
+        .fork(1, JoinPolicy::BestScore, &to_branch_specs(&scene, 10))
+        .expect("fork");
+    let report = sched.run_to_completion(1_000_000);
+    assert_eq!(
+        report.completed.len(),
+        1 + cfg.branches,
+        "root and every candidate complete"
+    );
+    let winner = sched
+        .join_status(out.group)
+        .expect("known group")
+        .winner
+        .expect("panel resolved with a winner");
+    let winner_tokens = report
+        .completed
+        .iter()
+        .find(|(id, _)| *id == winner)
+        .expect("winner completed")
+        .1
+        .clone();
+    assert_eq!(sched.pool_in_use(), 0, "panel leaks no pages");
+    let mut history = scene.root_prompt.clone();
+    history.extend_from_slice(&gen_at_fork);
+    let suffix = &scene.branches[(winner - 10) as usize].suffix;
+    history.extend_from_slice(suffix);
+    (sched.work_tokens(), winner, winner_tokens, history)
+}
+
+/// One solo candidate run: the winner's full token history re-prefilled
+/// from scratch on a fresh scheduler. Returns (work tokens, output tokens).
+fn run_solo(weights: &Arc<ModelWeights>, history: Vec<u32>, max_new: usize) -> (u64, Vec<u32>) {
+    let mut sched = scheduler(weights);
+    sched.submit(RequestSpec::new(1, history).max_new_tokens(max_new));
+    let report = sched.run_to_completion(1_000_000);
+    assert_eq!(report.completed.len(), 1);
+    (sched.work_tokens(), report.completed[0].1.clone())
+}
+
+/// The tool-call race: staggered budgets under `FirstFinished`; returns the
+/// run's report for its DAG counters.
+fn run_tool_race(weights: &Arc<ModelWeights>) -> (u64, u64, u64) {
+    let scene = tool_call_branches(&scene_cfg());
+    let mut sched = scheduler(weights);
+    let root = sched.submit(RequestSpec::new(1, scene.root_prompt.clone()).max_new_tokens(4));
+    run_until_generated(&mut sched, &root, 1);
+    let out = sched
+        .fork(1, JoinPolicy::FirstFinished, &to_branch_specs(&scene, 10))
+        .expect("fork");
+    let report = sched.run_to_completion(1_000_000);
+    let js = sched.join_status(out.group).expect("known group");
+    assert!(js.resolved, "one continuation finished");
+    assert!(report.dag.branch_cancels >= 1, "the race has losers");
+    assert_eq!(sched.pool_in_use(), 0, "cancelled losers leak no pages");
+    (
+        js.winner.expect("a winner"),
+        report.dag.branch_cancels,
+        sched.work_tokens(),
+    )
+}
+
+fn bench_branching(c: &mut Criterion) {
+    let cfg = scene_cfg();
+    let weights = Arc::new(ModelWeights::random(&ModelConfig::tiny(), 42));
+
+    // Wall-clock smoke point: the whole speculative panel, fork included.
+    c.bench_function("branching/best_of_4_speculative", |b| {
+        b.iter(|| run_speculative(&weights))
+    });
+
+    // ---- Best-of-4: speculative fork-out vs a single solo candidate. ----
+    let (spec_work, winner, winner_tokens, winner_history) = run_speculative(&weights);
+    let (solo_work, solo_tokens) = run_solo(&weights, winner_history, cfg.branch_new_tokens);
+    let ratio = spec_work as f64 / solo_work as f64;
+    let bit_identical = u64::from(winner_tokens == solo_tokens);
+    println!(
+        "best-of-{}: speculative {} work tokens vs solo {} ({ratio:.2}x); \
+         winner {winner} bit-identical: {bit_identical}",
+        cfg.branches, spec_work, solo_work
+    );
+    assert!(
+        ratio < 2.0,
+        "a CoW-shared best-of-{} panel must cost < 2x one solo run \
+         (got {ratio:.2}x: {spec_work} vs {solo_work})",
+        cfg.branches
+    );
+    assert_eq!(
+        bit_identical, 1,
+        "the winning candidate must replay bit-identically solo"
+    );
+
+    // ---- Speculative tool calls: the losers' cost is bounded. ----
+    let (tool_winner, cancels, tool_work) = run_tool_race(&weights);
+    println!(
+        "tool race: branch {tool_winner} won, {cancels} losers cancelled, \
+         {tool_work} total work tokens"
+    );
+
+    // ---- BENCH_pr10.json for CI. ----
+    let mut snap = MetricsSnapshot::new();
+    snap.insert(
+        "bench",
+        Json::from("branching: speculative fork/join best-of-N and tool-call races"),
+    )
+    .insert(
+        "best_of_4",
+        Json::obj([
+            ("branches", Json::from(cfg.branches as u64)),
+            ("shared_tokens", Json::from(cfg.root_tokens as u64)),
+            ("speculative_work_tokens", Json::from(spec_work)),
+            ("solo_work_tokens", Json::from(solo_work)),
+            ("work_ratio_vs_solo", Json::from(ratio)),
+            ("winner", Json::from(winner)),
+            ("winner_bit_identical", Json::from(bit_identical)),
+        ]),
+    )
+    .insert(
+        "tool_calls",
+        Json::obj([
+            ("winner", Json::from(tool_winner)),
+            ("branch_cancels", Json::from(cancels)),
+            ("work_tokens", Json::from(tool_work)),
+        ]),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr10.json");
+    snap.write(path).expect("write BENCH_pr10.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_branching);
+criterion_main!(benches);

@@ -26,6 +26,7 @@ use std::sync::Arc;
 
 use lserve_trace::Json;
 
+use crate::dag::{BranchSpec, ForkError, ForkOutcome, JoinPolicy, JoinStatus};
 use crate::executor::ModelExecutor;
 use crate::metrics::MetricsSnapshot;
 use crate::serving::{RequestHandle, RequestSpec, Scheduler, SchedulerConfig, ServingReport};
@@ -84,6 +85,11 @@ pub struct RouterStats {
     /// Requests placed by least-loaded fallback (first of a prefix family,
     /// or affinity disabled).
     pub least_loaded: u64,
+    /// Branches pinned to their parent's replica by [`Cluster::fork`]. A
+    /// branch CoW-shares the parent's pages, so routing it anywhere else
+    /// (e.g. by its prompt hash) would turn the zero-copy fork into a full
+    /// re-prefill on a cold replica.
+    pub fork_affinity: u64,
 }
 
 /// Per-replica reports plus the router ledger, with exact-sum rollups.
@@ -143,6 +149,7 @@ impl ClusterReport {
                 ("routed", Json::from(self.router.routed)),
                 ("affinity_hits", Json::from(self.router.affinity_hits)),
                 ("least_loaded", Json::from(self.router.least_loaded)),
+                ("fork_affinity", Json::from(self.router.fork_affinity)),
                 ("completed", Json::from(self.completed() as u64)),
                 ("decode_steps", Json::from(self.decode_steps())),
                 ("prefix_hit_tokens", Json::from(self.prefix_hit_tokens())),
@@ -159,12 +166,27 @@ impl ClusterReport {
     }
 }
 
+/// A cluster-level fork result: which replica the DAG lives on, plus the
+/// per-replica [`ForkOutcome`] (group ids are scoped to their replica's
+/// scheduler — pass both back to [`Cluster::join_status`]).
+#[derive(Debug)]
+pub struct ClusterForkOutcome {
+    /// The replica every branch was pinned to (the parent's home).
+    pub replica: usize,
+    /// The underlying scheduler's fork result (group id + branch handles).
+    pub outcome: ForkOutcome,
+}
+
 /// N scheduler replicas behind a prefix-affinity router.
 pub struct Cluster {
     replicas: Vec<Scheduler>,
     ccfg: ClusterConfig,
     /// Prefix hash → replica that first served it.
     affinity: HashMap<u64, usize>,
+    /// Request id → the replica it was routed to. Fork affinity keys on
+    /// this, not the branch prompt hash: a branch must land where its
+    /// parent's pages live.
+    homes: HashMap<u64, usize>,
     router: RouterStats,
 }
 
@@ -185,6 +207,7 @@ impl Cluster {
             replicas,
             ccfg,
             affinity: HashMap::new(),
+            homes: HashMap::new(),
             router: RouterStats::default(),
         }
     }
@@ -257,7 +280,43 @@ impl Cluster {
                 self.affinity.insert(key, replica);
             }
         }
+        self.homes.insert(spec.id, replica);
         self.replicas[replica].submit(spec)
+    }
+
+    /// Forks `parent` into speculative branches on the replica the parent
+    /// was routed to — fork affinity, never the branch prompt hash: the
+    /// branches CoW-share the parent's pages, which exist only on its home
+    /// replica. Every branch is pinned there (counted in
+    /// [`RouterStats::fork_affinity`], not `routed`) and recorded as homed
+    /// there, so nested forks follow too.
+    ///
+    /// # Errors
+    ///
+    /// [`ForkError::ParentNotRunning`] when the parent was never submitted
+    /// here (no home replica); otherwise whatever the home replica's
+    /// [`Scheduler::fork`] returns.
+    pub fn fork(
+        &mut self,
+        parent: u64,
+        policy: JoinPolicy,
+        branches: &[BranchSpec],
+    ) -> Result<ClusterForkOutcome, ForkError> {
+        let Some(&replica) = self.homes.get(&parent) else {
+            return Err(ForkError::ParentNotRunning(parent));
+        };
+        let outcome = self.replicas[replica].fork(parent, policy, branches)?;
+        for b in branches {
+            self.homes.insert(b.id, replica);
+            self.router.fork_affinity += 1;
+        }
+        Ok(ClusterForkOutcome { replica, outcome })
+    }
+
+    /// Resolution state of fork group `outcome.group` on `replica` (group
+    /// ids are per-replica — take both from [`ClusterForkOutcome`]).
+    pub fn join_status(&self, replica: usize, group: u64) -> Option<JoinStatus> {
+        self.replicas[replica].join_status(group)
     }
 
     /// One scheduler iteration on every replica, in replica order.
@@ -392,6 +451,64 @@ mod tests {
         assert!(rendered.contains("\"cluster\""));
         assert!(rendered.contains("\"replica0\""));
         assert!(rendered.contains("\"replica1\""));
+    }
+
+    #[test]
+    fn fork_pins_branches_to_the_parents_replica() {
+        use crate::dag::{BranchSpec, ForkError, JoinPolicy};
+
+        let mut cluster = tiny_cluster(2, 16);
+        // Unknown parents have no home replica to fork on.
+        assert_eq!(
+            cluster
+                .fork(99, JoinPolicy::All, &[BranchSpec::new(100, vec![1])])
+                .unwrap_err(),
+            ForkError::ParentNotRunning(99)
+        );
+        // Parent lands on replica 0 (least-loaded, ties to lowest index)...
+        cluster.submit(RequestSpec::new(1, family(0, 1, 24).remove(0)).max_new_tokens(20));
+        // ...and a second family on replica 1.
+        cluster.submit(RequestSpec::new(2, family(500, 1, 24).remove(0)).max_new_tokens(4));
+        for _ in 0..8 {
+            cluster.step();
+        }
+        assert!(cluster.replica(0).running() > 0, "parent is mid-flight");
+
+        // Replica 1 is now idle (request 2 is short); a prompt-hash or
+        // least-loaded router would send new work there. Fork affinity must
+        // pin the branches to replica 0, where the parent's pages live.
+        let before = (cluster.replica(0).queued() + cluster.replica(0).running()) as i64;
+        let out = cluster
+            .fork(
+                1,
+                JoinPolicy::FirstFinished,
+                &[
+                    BranchSpec::new(10, vec![60]).max_new_tokens(2),
+                    BranchSpec::new(11, vec![61]).max_new_tokens(2),
+                ],
+            )
+            .unwrap();
+        assert_eq!(out.replica, 0);
+        assert_eq!(out.outcome.handles.len(), 2);
+        assert_eq!(
+            (cluster.replica(0).queued() + cluster.replica(0).running()) as i64,
+            before + 2,
+            "both branches enqueued on the parent's replica"
+        );
+        let stats = cluster.router_stats();
+        assert_eq!(stats.fork_affinity, 2);
+        assert_eq!(stats.routed, 2, "fork placements are not routing decisions");
+
+        let report = cluster.run_to_completion(10_000);
+        assert!(
+            cluster
+                .join_status(out.replica, out.outcome.group)
+                .unwrap()
+                .resolved
+        );
+        let rendered = report.rollup().render();
+        validate_json(&rendered).unwrap();
+        assert!(rendered.contains("\"fork_affinity\""));
     }
 
     #[test]

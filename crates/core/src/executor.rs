@@ -27,7 +27,9 @@ use lserve_attention::{
     BalanceStats, DecodeShard, DecodeStats, HeadKind, LayerAttnConfig, PlacedBalance,
 };
 use lserve_costmodel::Topology;
-use lserve_kvcache::{HeadCache, LayerKvCache, MigrationMode, PagePool, HOST_TRANSFER_SPEEDUP};
+use lserve_kvcache::{
+    HeadCache, LayerKvCache, MigrationMode, PagePool, StreamingWindow, HOST_TRANSFER_SPEEDUP,
+};
 use lserve_model::forward::{ffn_block, logits, post_attention, pre_attention};
 use lserve_model::ModelWeights;
 use lserve_selector::{FlatSelector, HierarchicalSelector, PageSelector, ReusableSelector};
@@ -37,6 +39,7 @@ use lserve_trace::{lane, Tracer, CONTROL_TID};
 use lserve_workloads::duo_gates;
 
 use crate::config::decode_threads_from_env;
+use crate::dag::SparsitySchedule;
 use crate::sharding::ShardingPlan;
 use crate::stats::{MigrationDelta, ParallelExecStats};
 use crate::{streaming_masks_from_gates, EngineConfig, EngineStats, SelectorKind};
@@ -143,6 +146,7 @@ pub struct SequenceState {
     selectors: Vec<Vec<Option<SelectorBox>>>,
     tokens_processed: usize,
     decode_step_idx: usize,
+    sparsity: SparsitySchedule,
     stats: EngineStats,
 }
 
@@ -155,6 +159,20 @@ impl SequenceState {
     /// Cumulative work counters for this sequence.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// The positional sparsity-override schedule governing this sequence's
+    /// selection budget (empty = engine defaults). Cloned by
+    /// [`SequenceState::clone_shared`], so a fork snapshot replays the exact
+    /// budget timeline the parent lived under.
+    pub fn sparsity_schedule(&self) -> &SparsitySchedule {
+        &self.sparsity
+    }
+
+    /// Installs the sparsity-override schedule (serving layer, at admission or
+    /// fork time).
+    pub fn set_sparsity_schedule(&mut self, schedule: SparsitySchedule) {
+        self.sparsity = schedule;
     }
 
     /// Exact number of fresh pool pages one more token will allocate across all
@@ -403,10 +421,20 @@ impl ModelExecutor {
     /// KV caches plus one reusable selector per dense head when dynamic sparsity is
     /// configured. Holds no pool pages until tokens are appended.
     pub fn new_sequence(&self) -> SequenceState {
+        self.new_sequence_with_window(None)
+    }
+
+    /// [`ModelExecutor::new_sequence`] with a per-request streaming-window
+    /// override (`None` inherits the engine config). The window shapes each
+    /// streaming head's sink/local ring, which is built here and never resized
+    /// — which is why window overrides are admission-time-only and rejected at
+    /// fork (children inherit the parent's ring).
+    pub fn new_sequence_with_window(&self, window: Option<StreamingWindow>) -> SequenceState {
+        let window = window.unwrap_or(self.cfg.streaming_window);
         let layers: Vec<LayerKvCache> = self
             .masks
             .iter()
-            .map(|mask| LayerKvCache::new(mask, self.cfg.streaming_window))
+            .map(|mask| LayerKvCache::new(mask, window))
             .collect();
         let selectors = self
             .masks
@@ -439,6 +467,7 @@ impl ModelExecutor {
             selectors,
             tokens_processed: 0,
             decode_step_idx: 0,
+            sparsity: SparsitySchedule::new(),
             stats: EngineStats::default(),
         }
     }
@@ -588,7 +617,12 @@ impl ModelExecutor {
         let mut selections: Vec<Option<Vec<usize>>> = vec![None; model.num_kv_heads];
         let mut hints: Vec<Option<u64>> = vec![None; model.num_kv_heads];
         let mut fresh = vec![false; model.num_kv_heads];
-        if let Some(budget) = self.cfg.dynamic_budget {
+        // The per-sequence schedule may tighten (or replace) the engine-wide
+        // budget from a given position onward — the per-branch sparsity dial.
+        let effective = state
+            .sparsity
+            .effective_budget(self.cfg.dynamic_budget, state.tokens_processed);
+        if let Some(budget) = effective {
             for kv in 0..model.num_kv_heads {
                 let Some(selector) = state.selectors[l][kv].as_mut() else {
                     continue;

@@ -37,6 +37,7 @@
 
 pub mod cluster;
 pub mod config;
+pub mod dag;
 pub mod engine;
 pub mod executor;
 pub mod heads;
@@ -46,8 +47,12 @@ pub mod serving;
 pub mod sharding;
 pub mod stats;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterReport, RouterStats};
+pub use cluster::{Cluster, ClusterConfig, ClusterForkOutcome, ClusterReport, RouterStats};
 pub use config::{decode_threads_from_env, EngineConfig, SelectorKind};
+pub use dag::{
+    BranchSpec, DagStats, DagStore, ForkError, ForkOutcome, JoinPolicy, JoinStatus,
+    SparsityOverride, SparsitySchedule,
+};
 pub use engine::{DecodeOutput, Engine, PrefillOutput};
 pub use executor::{ModelExecutor, OutOfPagesError, SequenceState};
 pub use heads::{classify_heads, streaming_masks_from_gates};

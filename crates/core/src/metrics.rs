@@ -223,6 +223,12 @@ impl ServingReport {
             ("evictions", Json::from(self.prefix_evictions)),
             ("spills", Json::from(self.prefix_spills)),
         ]);
+        let dag = Json::obj([
+            ("forks", Json::from(self.dag.forks)),
+            ("branches_spawned", Json::from(self.dag.branches_spawned)),
+            ("joins", Json::from(self.dag.joins)),
+            ("branch_cancels", Json::from(self.dag.branch_cancels)),
+        ]);
         Json::obj([
             ("serving", serving),
             ("classes", Json::obj(classes)),
@@ -230,6 +236,7 @@ impl ServingReport {
             ("topology", topology),
             ("migration", migration),
             ("prefix", prefix),
+            ("dag", dag),
         ])
     }
 
@@ -326,6 +333,12 @@ impl ServingReport {
                 self.prefix_evictions,
             ));
         }
+        if self.dag.forks > 0 {
+            lines.push(format!(
+                "dag:       {} forks spawned {} branches; {} joins, {} branch cancels",
+                self.dag.forks, self.dag.branches_spawned, self.dag.joins, self.dag.branch_cancels,
+            ));
+        }
         lines.join("\n")
     }
 }
@@ -351,7 +364,13 @@ mod tests {
     fn report_json_validates_and_covers_families() {
         let rendered = tiny_report().to_json().render();
         validate_json(&rendered).unwrap();
-        for family in ["\"serving\"", "\"parallel\"", "\"migration\"", "\"prefix\""] {
+        for family in [
+            "\"serving\"",
+            "\"parallel\"",
+            "\"migration\"",
+            "\"prefix\"",
+            "\"dag\"",
+        ] {
             assert!(rendered.contains(family), "missing {family} in {rendered}");
         }
         for key in [
@@ -396,5 +415,11 @@ mod tests {
         let mut r = tiny_report();
         r.prefix_insertions = 3;
         assert!(r.summary().contains("prefix:"));
+        // DAG line only appears when a fork happened.
+        assert!(!s.contains("dag:"));
+        let mut r = tiny_report();
+        r.dag.forks = 1;
+        r.dag.branches_spawned = 4;
+        assert!(r.summary().contains("dag:"));
     }
 }

@@ -83,6 +83,10 @@ use lserve_trace::{lane, Tracer};
 use lserve_costmodel::{devices_from_env, PlacementPolicy, Topology, DEFAULT_GATHER_COST_TOKENS};
 
 use crate::config::decode_threads_from_env;
+use crate::dag::{
+    BranchSpec, DagStats, DagStore, ForkError, ForkOutcome, JoinPolicy, JoinStatus,
+    SparsityOverride, SparsitySchedule,
+};
 use crate::executor::{ModelExecutor, SequenceState};
 use crate::prefix::CachedPrefix;
 use crate::sharding::ShardingPlan;
@@ -139,6 +143,35 @@ pub fn sequence_pages_estimate(cfg: &EngineConfig, model: &ModelConfig, tokens: 
     };
     dense_heads * (cfg.paging.pages_for(dense_hot_tokens) + 1)
         + streaming_heads * (cfg.streaming_window.max_pages() + 2)
+}
+
+/// [`sequence_pages_estimate`] under a per-request [`SparsitySchedule`]: the
+/// effective selection budget at position `tokens` replaces the engine-wide
+/// budget in the demotion-churn cap, and a position-0 window override replaces
+/// the streaming-head window. With an empty schedule this is exactly the base
+/// estimate.
+pub fn sequence_pages_estimate_sparsity(
+    cfg: &EngineConfig,
+    model: &ModelConfig,
+    tokens: usize,
+    sparsity: &SparsitySchedule,
+) -> usize {
+    let window = sparsity.window_override().unwrap_or(cfg.streaming_window);
+    let streaming_heads =
+        (cfg.streaming_sparsity * (model.num_layers * model.num_kv_heads) as f64).round() as usize;
+    let dense_heads = model.num_layers * model.num_kv_heads - streaming_heads;
+    let dense_hot_tokens = match (
+        cfg.demote_after_chunks,
+        sparsity.effective_budget(cfg.dynamic_budget, tokens),
+    ) {
+        (Some(k), Some(budget)) => {
+            let churn = k.max(1) * (budget + cfg.reuse_interval.max(1));
+            tokens.min(churn + 2 * cfg.paging.physical_page_size())
+        }
+        _ => tokens,
+    };
+    dense_heads * (cfg.paging.pages_for(dense_hot_tokens) + 1)
+        + streaming_heads * (window.max_pages() + 2)
 }
 
 /// A flat generation request — the pre-handle API, kept as a compatibility
@@ -203,8 +236,11 @@ pub enum FinishReason {
 /// Why a request was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {
-    /// The prompt was empty — a generation needs at least one prompt token.
-    EmptyPrompt,
+    /// The spec is degenerate: an empty (resolved) prompt, a zero
+    /// `max_new_tokens` budget, or a streaming-window override scheduled past
+    /// position 0 (the ring is built at sequence creation). Rejected at
+    /// `submit` so a degenerate sequence never reaches admission.
+    Invalid,
     /// The estimated full footprint can never fit the pool.
     TooLarge,
     /// A request with this id is already known to the scheduler (live or
@@ -267,6 +303,13 @@ pub struct RequestSpec {
     /// was last *recorded* (it does not wait), and concurrent turns of one
     /// session record last-completion-wins.
     pub session: Option<u64>,
+    /// Positional sparsity-override schedule: each phase applies its knobs
+    /// (selection budget, retention ratio, streaming window) from an absolute
+    /// token position onward. Empty = engine defaults. Requests carrying
+    /// overrides are excluded from prefix-cache sharing in both directions:
+    /// their selector history is budget-dependent, so their pages are only
+    /// reusable by a consumer replaying the identical schedule.
+    pub sparsity: SparsitySchedule,
 }
 
 impl RequestSpec {
@@ -282,6 +325,7 @@ impl RequestSpec {
             stop_tokens: Vec::new(),
             stop_sequences: Vec::new(),
             session: None,
+            sparsity: SparsitySchedule::new(),
         }
     }
 
@@ -321,6 +365,19 @@ impl RequestSpec {
     /// turn's terminal event (see [`RequestSpec::session`]).
     pub fn session(mut self, session: u64) -> Self {
         self.session = Some(session);
+        self
+    }
+
+    /// Applies a sparsity override from position 0 (the whole request).
+    pub fn sparsity(self, over: SparsityOverride) -> Self {
+        self.sparsity_from(0, over)
+    }
+
+    /// Applies a sparsity override from absolute token position `from`
+    /// onward — the knob a solo run uses to replay a branch's exact budget
+    /// timeline (override active only past the fork point).
+    pub fn sparsity_from(mut self, from: usize, over: SparsityOverride) -> Self {
+        self.sparsity.push(from, over);
         self
     }
 }
@@ -875,6 +932,10 @@ pub struct ServingReport {
     /// clock (priced per KV token-unit moved, like the copy engine's
     /// host-link transfers but over the faster device mesh).
     pub rebalance_migration_tokens: u64,
+    /// Request-DAG counters (speculative fork/join branching): successful
+    /// `fork()` calls, branches spawned, groups whose join policy resolved,
+    /// and branch cancellations requested by join policies or cascade-cancel.
+    pub dag: DagStats,
 }
 
 impl ServingReport {
@@ -1051,6 +1112,12 @@ struct SeqCore {
     key: SloKey,
     /// The caller's event stream.
     handle: Arc<HandleShared>,
+    /// For a fork branch: tokens already absorbed into the CoW-shared
+    /// snapshot at fork time (0 for ordinary requests). Admission charges the
+    /// branch's page demand *incrementally* — the shared prefix is already
+    /// paid for by the parent — but only while the snapshot is parked; once a
+    /// spill drops it to a replay, the demand is genuinely the full estimate.
+    fork_base_tokens: usize,
 }
 
 /// A swapped-out sequence parked in the queue: its full executor state (page
@@ -1186,6 +1253,9 @@ pub struct Scheduler {
     /// steps by design — placement must be sticky for head migration to mean
     /// anything.
     plan: ShardingPlan,
+    /// The request-DAG branch graph: fork groups, join policies, and
+    /// parent→child edges for cascade-cancel.
+    dag: DagStore,
 }
 
 impl Scheduler {
@@ -1242,6 +1312,7 @@ impl Scheduler {
             index: HashMap::new(),
             sessions: HashMap::new(),
             plan,
+            dag: DagStore::new(),
         }
     }
 
@@ -1296,8 +1367,6 @@ impl Scheduler {
                 .push((spec.id, RejectReason::DuplicateId));
             return RequestHandle { shared: handle };
         }
-        let arrival = self.next_arrival;
-        self.next_arrival += 1;
         let prompt = match spec.session.and_then(|sid| self.sessions.get(&sid)) {
             Some(history) => {
                 let mut p = history.clone();
@@ -1306,6 +1375,25 @@ impl Scheduler {
             }
             None => spec.prompt.clone(),
         };
+        // Degenerate specs are rejected here, before they consume an arrival
+        // slot — an empty (resolved) prompt has nothing to prefill, a zero
+        // decode budget has nothing to generate, and a streaming-window
+        // override past position 0 can never be honoured (the ring is built
+        // at sequence creation).
+        if prompt.is_empty() || spec.max_new_tokens == 0 || spec.sparsity.has_late_window_override()
+        {
+            handle.push(ServingEvent::Rejected {
+                reason: RejectReason::Invalid,
+            });
+            self.index.insert(spec.id, Phase::Rejected);
+            self.report.rejected.push(spec.id);
+            self.report
+                .rejections
+                .push((spec.id, RejectReason::Invalid));
+            return RequestHandle { shared: handle };
+        }
+        let arrival = self.next_arrival;
+        self.next_arrival += 1;
         let key = self.slo_key(&spec, arrival);
         self.index.insert(spec.id, Phase::Queued);
         self.scfg.tracer.instant(
@@ -1325,6 +1413,7 @@ impl Scheduler {
                 arrival,
                 key,
                 handle: Arc::clone(&handle),
+                fork_base_tokens: 0,
             },
             generated: Vec::new(),
             swap: None,
@@ -1341,6 +1430,161 @@ impl Scheduler {
             },
         });
         RequestHandle { shared: handle }
+    }
+
+    /// Forks a *running* sequence into speculative branches that CoW-share
+    /// every page up to the fork point.
+    ///
+    /// Each branch gets a [`SequenceState::clone_shared`] snapshot of the
+    /// parent — page tables, streaming rings, selector history, position
+    /// counters — with one extra reference taken on every page and **zero
+    /// pages copied** (copy-on-write happens lazily when either side appends
+    /// into a shared page). The branch's effective prompt is the parent's
+    /// full token history at the fork point (`prompt ++ generated`) followed
+    /// by the branch suffix; the snapshot enters the queue parked like a
+    /// swap victim, so admission promotes it at its *incremental* cost (zero
+    /// for a fully-hot snapshot) and its first event is `Admitted`.
+    ///
+    /// Branches race under [`SloClass::BestEffort`]. When the group's
+    /// [`JoinPolicy`] resolves, losers are cancelled with prefix donation so
+    /// the winner's shared pages stay warm; track resolution with
+    /// [`Scheduler::join_status`]. A branch's [`BranchSpec::sparsity`]
+    /// override applies from the fork point onward, so a surviving branch is
+    /// bit-identical to a solo run of its full history with the same
+    /// override scheduled at the same position
+    /// ([`RequestSpec::sparsity_from`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ForkError::ParentNotRunning`] unless `parent` is currently in the
+    /// running batch (fork is a live-sequence operation; queued or terminal
+    /// parents have no snapshot to share), [`ForkError::NoBranches`] for an
+    /// empty branch list, [`ForkError::DuplicateId`] for a branch id the
+    /// scheduler already knows (or repeated within the call), and
+    /// [`ForkError::InvalidBranch`] for a zero decode budget or a
+    /// streaming-window override (children inherit the parent's rings —
+    /// windows are admission-time-only).
+    pub fn fork(
+        &mut self,
+        parent: u64,
+        policy: JoinPolicy,
+        branches: &[BranchSpec],
+    ) -> Result<ForkOutcome, ForkError> {
+        if branches.is_empty() {
+            return Err(ForkError::NoBranches);
+        }
+        let Some(pi) = self.running.iter().position(|s| s.core.spec.id == parent) else {
+            return Err(ForkError::ParentNotRunning(parent));
+        };
+        for (bi, b) in branches.iter().enumerate() {
+            if self.index.contains_key(&b.id) || branches[..bi].iter().any(|o| o.id == b.id) {
+                return Err(ForkError::DuplicateId(b.id));
+            }
+            if b.max_new_tokens == 0 || b.sparsity.streaming_window.is_some() {
+                return Err(ForkError::InvalidBranch(b.id));
+            }
+        }
+        let (full, absorbed, parent_schedule) = {
+            let p = &self.running[pi];
+            let mut full = p.core.prompt.clone();
+            full.extend_from_slice(&p.generated);
+            (
+                full,
+                p.state.context_len(),
+                p.state.sparsity_schedule().clone(),
+            )
+        };
+        debug_assert!(absorbed <= full.len(), "snapshot never ahead of history");
+        self.scfg.tracer.instant(
+            "fork",
+            "dag",
+            lane::DAG,
+            parent,
+            &[("branches", branches.len() as u64), ("at", absorbed as u64)],
+        );
+        let members: Vec<(u64, i64)> = branches.iter().map(|b| (b.id, b.score_bias)).collect();
+        let group = self.dag.fork(parent, policy, &members);
+        let mut handles = Vec::with_capacity(branches.len());
+        for b in branches {
+            // The CoW snapshot: clone the parent's tables/rings/selectors and
+            // take one extra reference per page — refcounts rise, `in_use`
+            // does not (pinned by the pool-accounting test).
+            let mut snapshot = self.running[pi].state.clone_shared();
+            snapshot.retain_pages(&mut self.pool);
+            // The branch replays the parent's budget timeline and adds its
+            // own override from the fork point (= the parent's full history
+            // length, so the parent's still-pending token is fed under the
+            // budget the parent itself would have used).
+            let mut schedule = parent_schedule.clone();
+            schedule.push(full.len(), b.sparsity);
+            snapshot.set_sparsity_schedule(schedule.clone());
+            let mut prompt = full.clone();
+            prompt.extend_from_slice(&b.suffix);
+            let mut spec = RequestSpec::new(b.id, prompt.clone())
+                .max_new_tokens(b.max_new_tokens)
+                .class(SloClass::BestEffort);
+            for &t in &b.stop_tokens {
+                spec = spec.stop_token(t);
+            }
+            spec.sparsity = schedule;
+            let handle = HandleShared::new(b.id);
+            let arrival = self.next_arrival;
+            self.next_arrival += 1;
+            let key = self.slo_key(&spec, arrival);
+            self.index.insert(b.id, Phase::Queued);
+            self.scfg.tracer.instant(
+                "branch.spawn",
+                "dag",
+                lane::DAG,
+                b.id,
+                &[("suffix", b.suffix.len() as u64)],
+            );
+            self.enqueue(QueuedSeq {
+                core: SeqCore {
+                    spec,
+                    prompt,
+                    arrival,
+                    key,
+                    handle: Arc::clone(&handle),
+                    fork_base_tokens: absorbed,
+                },
+                generated: Vec::new(),
+                swap: Some(SwappedSeq {
+                    state: snapshot,
+                    fed: absorbed,
+                    resume_feed: Vec::new(),
+                    last_token: None,
+                }),
+                progress: RequestProgress {
+                    submit_iter: self.report.scheduler_steps,
+                    submit_work: self.work_tokens,
+                    first_token_iter: None,
+                    first_token_work: None,
+                    last_token_iter: 0,
+                    preemptions: 0,
+                    cached_tokens: 0,
+                    ever_admitted: false,
+                    trace_mark: self.scfg.tracer.now(),
+                },
+            });
+            handles.push(RequestHandle { shared: handle });
+        }
+        Ok(ForkOutcome { group, handles })
+    }
+
+    /// Resolution state of fork group `group` (the id in [`ForkOutcome`]):
+    /// whether the join policy has fired, and the winning branch id if any
+    /// branch finished.
+    pub fn join_status(&self, group: u64) -> Option<JoinStatus> {
+        self.dag.join_status(group)
+    }
+
+    /// The monotone work clock: tokens pushed through the forward pass across
+    /// all sequences plus modeled swap-resume transfer work — the denominator
+    /// of every work-normalized metric, exposed for cost comparisons (e.g.
+    /// speculative fork-out vs. solo runs).
+    pub fn work_tokens(&self) -> u64 {
+        self.work_tokens
     }
 
     /// Requests waiting for admission (fresh or preempted).
@@ -1414,10 +1658,16 @@ impl Scheduler {
         })
     }
 
-    /// Pages needed to hold `tokens` tokens of context for one sequence under the
-    /// current policy (see [`sequence_pages_estimate`]).
-    fn pages_estimate(&self, tokens: usize) -> usize {
-        sequence_pages_estimate(self.exec.config(), &self.exec.weights().config, tokens)
+    /// Pages needed to hold `tokens` tokens under a request's own sparsity schedule
+    /// (see [`sequence_pages_estimate_sparsity`]); identical to the base
+    /// estimate for requests without overrides.
+    fn pages_estimate_spec(&self, spec: &RequestSpec, tokens: usize) -> usize {
+        sequence_pages_estimate_sparsity(
+            self.exec.config(),
+            &self.exec.weights().config,
+            tokens,
+            &spec.sparsity,
+        )
     }
 
     /// Admission headroom in *total* pages across the bounded tiers. With a
@@ -1435,11 +1685,12 @@ impl Scheduler {
         (self.pool.capacity() + tiers.host_pages).saturating_sub(self.pool.total_in_use())
     }
 
-    /// True when admitting `admit_tokens` of new feed would overdraw either
+    /// True when admitting `need` pages of new demand would overdraw either
     /// the free hot slots (the demotion-aware estimate) or the bounded
-    /// hierarchy's total headroom ([`Scheduler::tier_free_total`]).
-    fn admission_blocked(&self, admit_tokens: usize) -> bool {
-        let need = self.pages_estimate(admit_tokens);
+    /// hierarchy's total headroom ([`Scheduler::tier_free_total`]). Callers
+    /// size `need` with the per-spec estimate so sparsity overrides are
+    /// charged at their own footprint.
+    fn admission_blocked(&self, need: usize) -> bool {
         need > self.pool.free_pages() || need > self.tier_free_total()
     }
 
@@ -1518,6 +1769,8 @@ impl Scheduler {
         self.report.rebalances = self.plan.stats.rebalances;
         self.report.heads_migrated = self.plan.stats.heads_migrated;
         self.report.rebalance_migration_tokens = self.plan.stats.migration_cost_tokens;
+        // DAG ledger: fork/join/cancel counters live in the branch graph.
+        self.report.dag = self.dag.stats();
     }
 
     /// Checks the multi-device placement for staleness and, when the
@@ -1605,7 +1858,13 @@ impl Scheduler {
     }
 
     fn cancel_running(&mut self, mut seq: SchedSeq) {
-        self.donate_tokens(&seq.core.prompt, &seq.generated, &seq.state);
+        // Loser branches land here when a join policy cancels them: the
+        // donation keeps the fork prefix (and the shared pages under it) warm
+        // for the winner and for future forks. Overridden sequences never
+        // donate — their selector history is budget-dependent.
+        if seq.core.spec.sparsity.is_empty() {
+            self.donate_tokens(&seq.core.prompt, &seq.generated, &seq.state);
+        }
         seq.state.release(&mut self.pool);
         self.scfg.tracer.span(
             "running",
@@ -1624,7 +1883,9 @@ impl Scheduler {
             // like any other; its pages may sit in the cold tier, which the
             // prefix contract supports (a later consumer's residency pass
             // promotes on first use).
-            self.donate_tokens(&q.core.prompt, &q.generated, &swap.state);
+            if q.core.spec.sparsity.is_empty() {
+                self.donate_tokens(&q.core.prompt, &q.generated, &swap.state);
+            }
             swap.state.release(&mut self.pool);
         }
         self.scfg.tracer.span(
@@ -1667,6 +1928,36 @@ impl Scheduler {
         self.index
             .insert(core.spec.id, Phase::Cancelled(self.report.cancelled.len()));
         self.report.cancelled.push((core.spec.id, output));
+        // Cascade-cancel: cancelling a request takes its whole speculative
+        // subtree with it (the descendants' results can never be consumed).
+        let cascade = self.dag.on_cancelled(core.spec.id);
+        for id in cascade {
+            self.flag_branch_cancel(id);
+        }
+    }
+
+    /// Sets the cooperative cancel flag on a live request on behalf of the
+    /// DAG (join-policy losers and cascade-cancel victims); the cancellation
+    /// lands at the next `apply_cancellations` boundary, with prefix donation
+    /// like any user cancellation. No-op for ids that are already terminal.
+    fn flag_branch_cancel(&mut self, id: u64) {
+        let handle = self
+            .running
+            .iter()
+            .find(|s| s.core.spec.id == id)
+            .map(|s| &s.core.handle)
+            .or_else(|| {
+                self.queue
+                    .iter()
+                    .find(|q| q.core.spec.id == id)
+                    .map(|q| &q.core.handle)
+            });
+        if let Some(h) = handle {
+            h.cancel.store(true, Ordering::Release);
+            self.scfg
+                .tracer
+                .instant("branch.cancel", "dag", lane::DAG, id, &[]);
+        }
     }
 
     /// Rank-ordered admission from the queue head, seeding from the prefix
@@ -1681,18 +1972,21 @@ impl Scheduler {
                 break;
             };
             let full_tokens = front.core.prompt.len() + front.core.spec.max_new_tokens;
-            // A generation needs at least one prompt token (the first logits come
-            // from prefill); an empty prompt can never become decode-ready.
-            let reject = if front.core.prompt.is_empty() {
-                Some(RejectReason::EmptyPrompt)
-            } else if self.pages_estimate(full_tokens) > self.pool.capacity() {
-                Some(RejectReason::TooLarge)
+            // Capacity check, per-spec (a sparsity override changes the
+            // footprint) and *incremental* for a fork branch whose CoW
+            // snapshot is still parked: the pages up to the fork point are
+            // already paid for by the parent, so only the branch's growth
+            // beyond them is new demand. A spilled branch lost its snapshot
+            // and replays from scratch — full demand again.
+            let full_est = self.pages_estimate_spec(&front.core.spec, full_tokens);
+            let base_est = if front.swap.is_some() && front.core.fork_base_tokens > 0 {
+                self.pages_estimate_spec(&front.core.spec, front.core.fork_base_tokens)
             } else {
-                None
+                0
             };
-            if let Some(reason) = reject {
+            if full_est.saturating_sub(base_est) > self.pool.capacity() {
                 let q = self.queue.pop_front().expect("front checked");
-                self.finish_rejected(q.core, reason);
+                self.finish_rejected(q.core, RejectReason::TooLarge);
                 continue;
             }
             // A swapped-out victim resumes by promotion, not by re-feeding:
@@ -1747,14 +2041,26 @@ impl Scheduler {
                     q.progress.trace_mark,
                     &[("swapped", 1)],
                 );
+                // A fork branch enters through this same promote path (its
+                // CoW snapshot is parked like a swap victim's, with zero cold
+                // pages), but it was never admitted before — its first event
+                // is `Admitted`, not `Resumed`.
                 self.scfg.tracer.instant(
-                    "resume",
+                    if q.progress.ever_admitted {
+                        "resume"
+                    } else {
+                        "admit"
+                    },
                     "scheduler",
                     lane::SCHEDULER,
                     id,
                     &[("units", units)],
                 );
-                q.core.handle.push(ServingEvent::Resumed);
+                q.core.handle.push(if q.progress.ever_admitted {
+                    ServingEvent::Resumed
+                } else {
+                    ServingEvent::Admitted
+                });
                 self.index.insert(id, Phase::Running);
                 self.running.push(SchedSeq {
                     core: q.core,
@@ -1772,10 +2078,15 @@ impl Scheduler {
                 continue;
             }
             let feed_len = front.core.prompt.len() + front.generated.len();
+            // Sparsity-overridden requests are excluded from prefix sharing in
+            // both directions: the selector history inside a cached snapshot
+            // is budget-dependent, so pages cached under the base budget would
+            // poison an overridden consumer's replay (and vice versa).
+            let has_overrides = !front.core.spec.sparsity.is_empty();
             // A cached match makes the request cheaper to admit and must survive
             // the eviction loop below, so LRU-protect it before evicting and size
             // the first-chunk estimate by the uncached remainder.
-            let matched = if self.scfg.prefix_cache {
+            let matched = if self.scfg.prefix_cache && !has_overrides {
                 let min_match = self.scfg.chunk_tokens;
                 let max_match = front.core.prompt.len().saturating_sub(1);
                 if max_match >= min_match {
@@ -1792,12 +2103,13 @@ impl Scheduler {
                 AdmissionPolicy::FullFootprint => full_tokens,
                 AdmissionPolicy::FirstChunk => self.scfg.chunk_tokens.min(feed_len - matched),
             };
-            while self.admission_blocked(admit_tokens) {
+            let need = self.pages_estimate_spec(&front.core.spec, admit_tokens);
+            while self.admission_blocked(need) {
                 if !self.evict_prefix_one() {
                     break;
                 }
             }
-            if self.admission_blocked(admit_tokens) {
+            if self.admission_blocked(need) {
                 // Swap-parked states can pin shared prefix pages the eviction
                 // loop cannot free; with nothing running, spilling them back
                 // to replay is the only way admission can make progress.
@@ -1807,7 +2119,8 @@ impl Scheduler {
                 break; // wait for running sequences to finish or be preempted
             }
             let q = self.queue.pop_front().expect("front checked");
-            let (cached, state) = self.seeded_state(&q.core.prompt);
+            let (cached, mut state) = self.seeded_state(&q.core.prompt, &q.core.spec.sparsity);
+            state.set_sparsity_schedule(q.core.spec.sparsity.clone());
             let id = q.core.spec.id;
             if self.scfg.tracer.is_enabled() {
                 self.scfg.tracer.span(
@@ -1872,7 +2185,21 @@ impl Scheduler {
     /// bounded below by the prefill tile grid (the suffix must run entirely on
     /// the position-stable decode path) and above by `prompt_len - 1` (at least
     /// one token must be computed to produce first-token logits).
-    fn seeded_state(&mut self, prompt: &[u32]) -> (usize, SequenceState) {
+    fn seeded_state(
+        &mut self,
+        prompt: &[u32],
+        sparsity: &SparsitySchedule,
+    ) -> (usize, SequenceState) {
+        if !sparsity.is_empty() {
+            // Overridden requests never consume the cache (budget-dependent
+            // selector history, see `admit`); a position-0 window override is
+            // honoured here, where the streaming rings are built.
+            return (
+                0,
+                self.exec
+                    .new_sequence_with_window(sparsity.window_override()),
+            );
+        }
         if self.scfg.prefix_cache {
             let min_match = self.scfg.chunk_tokens;
             let max_match = prompt.len().saturating_sub(1);
@@ -1894,6 +2221,11 @@ impl Scheduler {
             return;
         }
         let seq = &self.running[i];
+        // Budget-dependent selector history: overridden sequences never seed
+        // the cache (see `admit`).
+        if !seq.core.spec.sparsity.is_empty() {
+            return;
+        }
         let fed = seq.fed;
         let plen = seq.core.prompt.len();
         let chunk = self.scfg.chunk_tokens;
@@ -2020,7 +2352,8 @@ impl Scheduler {
                 let boundary =
                     tile_grid_boundary(self.scfg.chunk_tokens, self.running[i].core.prompt.len());
                 loop {
-                    if self.pages_estimate(boundary) <= self.pool.free_pages() {
+                    let need = self.pages_estimate_spec(&self.running[i].core.spec, boundary);
+                    if need <= self.pool.free_pages() {
                         break;
                     }
                     if self.evict_prefix_one() {
@@ -2333,7 +2666,9 @@ impl Scheduler {
     /// report entries, terminal event, and (for session requests) the session's
     /// updated conversation.
     fn complete(&mut self, mut seq: SchedSeq, reason: FinishReason) {
-        self.donate_tokens(&seq.core.prompt, &seq.generated, &seq.state);
+        if seq.core.spec.sparsity.is_empty() {
+            self.donate_tokens(&seq.core.prompt, &seq.generated, &seq.state);
+        }
         seq.state.release(&mut self.pool);
         let output = match reason {
             FinishReason::StopToken => {
@@ -2393,6 +2728,23 @@ impl Scheduler {
             seq.core.spec.id,
             Phase::Finished(self.report.completed.len()),
         );
+        // Join bookkeeping: a finishing branch may resolve its fork group,
+        // in which case the policy's losers get their cancel flags now and
+        // are cancelled (with prefix donation) at the next step boundary.
+        let joins_before = self.dag.stats().joins;
+        let losers = self.dag.on_finished(seq.core.spec.id, output.len());
+        if self.dag.stats().joins > joins_before {
+            self.scfg.tracer.instant(
+                "join",
+                "dag",
+                lane::DAG,
+                seq.core.spec.id,
+                &[("losers", losers.len() as u64)],
+            );
+        }
+        for id in losers {
+            self.flag_branch_cancel(id);
+        }
         self.report.completed.push((seq.core.spec.id, output));
     }
 
@@ -2577,7 +2929,9 @@ impl Scheduler {
             // the queue entry and put it back after.
             let prompt = std::mem::take(&mut self.queue[qi].core.prompt);
             let generated = std::mem::take(&mut self.queue[qi].generated);
-            self.donate_tokens(&prompt, &generated, &swap.state);
+            if self.queue[qi].core.spec.sparsity.is_empty() {
+                self.donate_tokens(&prompt, &generated, &swap.state);
+            }
             swap.state.release(&mut self.pool);
             self.queue[qi].core.prompt = prompt;
             self.queue[qi].generated = generated;
@@ -2692,6 +3046,7 @@ impl ServingEngine {
 mod tests {
     use super::*;
     use crate::Engine;
+    use lserve_kvcache::StreamingWindow;
     use lserve_model::ModelConfig;
 
     fn weights() -> Arc<ModelWeights> {
@@ -2782,13 +3137,32 @@ mod tests {
     }
 
     #[test]
-    fn empty_prompt_rejected_not_stuck() {
+    fn degenerate_specs_rejected_at_submit_not_stuck() {
         let mut srv = ServingEngine::new(weights(), EngineConfig::lserve_fp16(), 2048);
-        srv.submit(request(1, 0, 3));
+        let h_empty = srv.submit(request(1, 0, 3)); // empty prompt
         srv.submit(request(2, 4, 3));
+        let h_zero = srv.submit(request(3, 4, 0)); // nothing to generate
+                                                   // Degenerate specs are rejected synchronously at submit...
+        assert_eq!(
+            h_empty.drain_events(),
+            vec![ServingEvent::Rejected {
+                reason: RejectReason::Invalid
+            }]
+        );
+        assert_eq!(
+            h_zero.drain_events(),
+            vec![ServingEvent::Rejected {
+                reason: RejectReason::Invalid
+            }]
+        );
+        // ...and their ids are burned like any other known id.
+        assert!(matches!(srv.status(1), Some(RequestStatus::Rejected)));
         let r = srv.run_to_completion(1000);
-        assert_eq!(r.rejected, vec![1]);
-        assert_eq!(r.rejections, vec![(1, RejectReason::EmptyPrompt)]);
+        assert_eq!(r.rejected, vec![1, 3]);
+        assert_eq!(
+            r.rejections,
+            vec![(1, RejectReason::Invalid), (3, RejectReason::Invalid)]
+        );
         assert_eq!(r.completed.len(), 1);
         assert!(r.scheduler_steps < 100, "must not spin to the step cap");
     }
@@ -3834,5 +4208,309 @@ mod tests {
                 "the batch sequence must lose under {policy:?}"
             );
         }
+    }
+
+    // ---------------------------------------------------------------- DAGs
+
+    /// Output tokens drained so far from a handle's event stream.
+    fn drained_tokens(events: &[ServingEvent]) -> Vec<u32> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                ServingEvent::FirstToken { token } | ServingEvent::Token { token } => Some(*token),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Steps `sched` until request `parent` has generated at least `want`
+    /// tokens, returning the tokens seen so far (the fork-time history).
+    fn run_until_generated(sched: &mut Scheduler, h: &RequestHandle, want: usize) -> Vec<u32> {
+        let mut got = Vec::new();
+        for _ in 0..1000 {
+            if got.len() >= want {
+                return got;
+            }
+            sched.step();
+            got.extend(drained_tokens(&h.drain_events()));
+        }
+        panic!("parent never generated {want} tokens (got {})", got.len());
+    }
+
+    #[test]
+    fn fork_is_zero_copy_and_branches_admit_free() {
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 8;
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        let hp = sched.submit(request(1, 16, 12));
+        run_until_generated(&mut sched, &hp, 3);
+
+        let in_use_before = sched.pool_in_use();
+        assert!(in_use_before > 0, "parent holds pages");
+        let out = sched
+            .fork(
+                1,
+                JoinPolicy::All,
+                &[
+                    BranchSpec::new(2, vec![50, 51]).max_new_tokens(4),
+                    BranchSpec::new(3, vec![52, 53]).max_new_tokens(4),
+                ],
+            )
+            .unwrap();
+        // Acceptance: zero page copies at fork time. Every branch CoW-shares
+        // the parent's pages, so refcounts rise but `in_use` does not.
+        assert_eq!(
+            sched.pool_in_use(),
+            in_use_before,
+            "fork must not allocate or copy pages"
+        );
+        assert_eq!(out.handles.len(), 2);
+
+        // A branch's snapshot is fully hot, so admission is free: its first
+        // event is `Admitted` (never `Resumed` — it was never preempted).
+        sched.step();
+        let first = out.handles[0].drain_events();
+        assert_eq!(first.first(), Some(&ServingEvent::Admitted));
+
+        let r = sched.run_to_completion(100_000);
+        assert_eq!(r.dag.forks, 1);
+        assert_eq!(r.dag.branches_spawned, 2);
+        assert_eq!(r.dag.joins, 1, "All policy resolves once");
+        assert_eq!(r.completed.len(), 3);
+        assert_eq!(sched.pool_in_use(), 0, "all pages returned");
+        let js = sched.join_status(out.group).unwrap();
+        assert!(js.resolved);
+        assert!(js.winner.is_some());
+    }
+
+    #[test]
+    fn surviving_branch_matches_solo_replay() {
+        // A branch forked mid-decode — with or without a per-branch sparsity
+        // override — must emit exactly the tokens of a solo run over its full
+        // token history with the same positional schedule.
+        let cfg = EngineConfig::lserve_with_budget(16);
+        let mk = || {
+            let mut scfg = SchedulerConfig::new(4096);
+            scfg.chunk_tokens = 8;
+            scfg
+        };
+        let mut sched = scheduler(cfg.clone(), mk());
+        let hp = sched.submit(request(1, 16, 24));
+        let gen_at_fork = run_until_generated(&mut sched, &hp, 3);
+        let boundary = 16 + gen_at_fork.len();
+        let over = SparsityOverride::none().with_budget(8);
+        sched
+            .fork(
+                1,
+                JoinPolicy::All,
+                &[
+                    BranchSpec::new(2, vec![60, 61, 62])
+                        .max_new_tokens(6)
+                        .sparsity(over),
+                    BranchSpec::new(3, vec![63, 64, 65]).max_new_tokens(6),
+                ],
+            )
+            .unwrap();
+        let r = sched.run_to_completion(100_000);
+        let branch_out = |id: u64| {
+            r.completed
+                .iter()
+                .find(|(i, _)| *i == id)
+                .unwrap_or_else(|| panic!("branch {id} completed"))
+                .1
+                .clone()
+        };
+
+        // Solo reference: same full history, same positional schedule.
+        let mut history = request(1, 16, 0).prompt;
+        history.extend_from_slice(&gen_at_fork);
+        for (id, suffix, over) in [
+            (2u64, vec![60, 61, 62], Some(over)),
+            (3u64, vec![63, 64, 65], None),
+        ] {
+            let mut solo = scheduler(cfg.clone(), mk());
+            let mut prompt = history.clone();
+            prompt.extend_from_slice(&suffix);
+            let mut spec = RequestSpec::new(id, prompt).max_new_tokens(6);
+            if let Some(over) = over {
+                spec = spec.sparsity_from(boundary, over);
+            }
+            solo.submit(spec);
+            let solo_r = solo.run_to_completion(100_000);
+            assert_eq!(
+                branch_out(id),
+                solo_r.completed[0].1,
+                "branch {id} must be bit-identical to its solo replay"
+            );
+        }
+    }
+
+    #[test]
+    fn first_finished_join_cancels_losers_with_donation() {
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 8;
+        scfg.prefix_cache = true;
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        let hp = sched.submit(request(1, 16, 8));
+        run_until_generated(&mut sched, &hp, 2);
+        let out = sched
+            .fork(
+                1,
+                JoinPolicy::FirstFinished,
+                &[
+                    BranchSpec::new(2, vec![40]).max_new_tokens(2),
+                    BranchSpec::new(3, vec![41]).max_new_tokens(40),
+                ],
+            )
+            .unwrap();
+        let h3 = out.handles[1].clone();
+        let r = sched.run_to_completion(100_000);
+        let js = sched.join_status(out.group).unwrap();
+        assert!(js.resolved);
+        assert_eq!(js.winner, Some(2), "the short branch finishes first");
+        assert_eq!(sched.status(2), Some(RequestStatus::Finished(branch2(&r))));
+        assert!(matches!(sched.status(3), Some(RequestStatus::Cancelled(_))));
+        assert!(h3
+            .drain_events()
+            .iter()
+            .any(|e| matches!(e, ServingEvent::Cancelled { .. })));
+        assert_eq!(r.dag.joins, 1);
+        assert!(r.dag.branch_cancels >= 1, "the loser was cascade-cancelled");
+        // Losers without sparsity overrides donate their prefix on the way out.
+        assert!(sched.prefix_cache_entries() > 0);
+        sched.flush_prefix_cache();
+        assert_eq!(sched.pool_in_use(), 0, "only cache-held pages remained");
+    }
+
+    fn branch2(r: &ServingReport) -> Vec<u32> {
+        r.completed
+            .iter()
+            .find(|(id, _)| *id == 2)
+            .expect("branch 2 completed")
+            .1
+            .clone()
+    }
+
+    #[test]
+    fn cancelling_parent_cascades_to_live_branches() {
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 8;
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        let hp = sched.submit(request(1, 16, 200));
+        run_until_generated(&mut sched, &hp, 2);
+        let out = sched
+            .fork(
+                1,
+                JoinPolicy::All,
+                &[
+                    BranchSpec::new(2, vec![40]).max_new_tokens(100),
+                    BranchSpec::new(3, vec![41]).max_new_tokens(100),
+                ],
+            )
+            .unwrap();
+        hp.cancel();
+        let r = sched.run_to_completion(100_000);
+        assert!(matches!(sched.status(1), Some(RequestStatus::Cancelled(_))));
+        assert!(matches!(sched.status(2), Some(RequestStatus::Cancelled(_))));
+        assert!(matches!(sched.status(3), Some(RequestStatus::Cancelled(_))));
+        assert_eq!(r.dag.branch_cancels, 2);
+        let js = sched.join_status(out.group).unwrap();
+        assert!(js.resolved, "a fully-cancelled group still resolves");
+        assert_eq!(js.winner, None);
+        assert_eq!(sched.pool_in_use(), 0);
+    }
+
+    #[test]
+    fn best_score_join_picks_biased_winner() {
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 8;
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        let hp = sched.submit(request(1, 16, 8));
+        run_until_generated(&mut sched, &hp, 2);
+        let out = sched
+            .fork(
+                1,
+                JoinPolicy::BestScore,
+                &[
+                    BranchSpec::new(2, vec![40]).max_new_tokens(3),
+                    BranchSpec::new(3, vec![41])
+                        .max_new_tokens(3)
+                        .score_bias(100),
+                    BranchSpec::new(4, vec![42]).max_new_tokens(3),
+                ],
+            )
+            .unwrap();
+        let r = sched.run_to_completion(100_000);
+        let js = sched.join_status(out.group).unwrap();
+        assert!(js.resolved);
+        assert_eq!(js.winner, Some(3), "bias dominates equal token counts");
+        // BestScore waits for the whole panel: nobody is cancelled.
+        assert_eq!(r.dag.branch_cancels, 0);
+        assert_eq!(r.completed.len(), 4);
+    }
+
+    #[test]
+    fn fork_rejects_invalid_requests() {
+        let mut scfg = SchedulerConfig::new(4096);
+        scfg.chunk_tokens = 8;
+        let mut sched = scheduler(EngineConfig::lserve_fp16(), scfg);
+        assert_eq!(
+            sched
+                .fork(9, JoinPolicy::All, &[BranchSpec::new(2, vec![1])])
+                .unwrap_err(),
+            ForkError::ParentNotRunning(9)
+        );
+        let hp = sched.submit(request(1, 16, 8));
+        run_until_generated(&mut sched, &hp, 1);
+        assert_eq!(
+            sched.fork(1, JoinPolicy::All, &[]).unwrap_err(),
+            ForkError::NoBranches
+        );
+        assert_eq!(
+            sched
+                .fork(1, JoinPolicy::All, &[BranchSpec::new(1, vec![1])])
+                .unwrap_err(),
+            ForkError::DuplicateId(1),
+            "an id the scheduler already knows is rejected"
+        );
+        assert_eq!(
+            sched
+                .fork(
+                    1,
+                    JoinPolicy::All,
+                    &[BranchSpec::new(2, vec![1]), BranchSpec::new(2, vec![2])]
+                )
+                .unwrap_err(),
+            ForkError::DuplicateId(2),
+            "intra-batch duplicates are rejected"
+        );
+        assert_eq!(
+            sched
+                .fork(
+                    1,
+                    JoinPolicy::All,
+                    &[BranchSpec::new(2, vec![1]).max_new_tokens(0)]
+                )
+                .unwrap_err(),
+            ForkError::InvalidBranch(2)
+        );
+        assert_eq!(
+            sched
+                .fork(
+                    1,
+                    JoinPolicy::All,
+                    &[BranchSpec::new(2, vec![1]).sparsity(
+                        SparsityOverride::none().with_window(StreamingWindow::new(1, 2))
+                    )]
+                )
+                .unwrap_err(),
+            ForkError::InvalidBranch(2),
+            "window overrides are admission-time-only"
+        );
+        // A failed fork leaves no trace: the scheduler still drains cleanly.
+        let r = sched.run_to_completion(100_000);
+        assert_eq!(r.dag.forks, 0);
+        assert_eq!(r.completed.len(), 1);
+        assert_eq!(sched.pool_in_use(), 0);
     }
 }

@@ -66,6 +66,9 @@ pub mod lane {
     pub const COPY: u32 = 4;
     /// Selector lane: rescore and prefetch instants (tid = batch slot).
     pub const SELECTOR: u32 = 5;
+    /// Request-DAG lane: fork/join/branch-cancel instants and branch spawns,
+    /// one track per branch (tid = branch request id).
+    pub const DAG: u32 = 6;
 }
 
 /// The `tid` used for lane-global (non-per-sequence) tracks.

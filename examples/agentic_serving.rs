@@ -1,0 +1,196 @@
+//! Agentic request DAGs end to end: speculative fork/join branching with
+//! per-branch programmable sparsity.
+//!
+//! Three scenes from `lserve::workloads::agentic`, each forked off a live
+//! root request with the scheduler's CoW `fork()`:
+//!
+//! 1. **Map/reduce fan-out** (`All` join) — a planner forks one sub-query
+//!    per shard; every branch CoW-shares the root's pages (the example
+//!    asserts *zero* new pages at fork time), one shard runs under a tighter
+//!    per-branch selection budget, and the branch outputs feed a final
+//!    reduce request.
+//! 2. **Speculative tool calls** (`FirstFinished` join) — continuations for
+//!    several speculated tool results race; the first finisher wins and the
+//!    losers are cascade-cancelled, donating their prefix on the way out.
+//! 3. **Best-of-N panel** (`BestScore` join) — N candidates with ranker
+//!    score biases; the join waits for the whole panel and picks the
+//!    highest-scored candidate.
+//!
+//! ```text
+//! cargo run --release --example agentic_serving
+//! ```
+
+use std::sync::Arc;
+
+use lserve::core::{
+    BranchSpec, EngineConfig, JoinPolicy, ModelExecutor, RequestHandle, RequestSpec, RequestStatus,
+    Scheduler, SchedulerConfig, ServingEvent, SparsityOverride,
+};
+use lserve::model::{ModelConfig, ModelWeights};
+use lserve::workloads::{
+    best_of_n, map_reduce_fanout, tool_call_branches, AgentScene, AgenticConfig,
+};
+
+/// A fresh scheduler with dynamic page selection on (so per-branch budget
+/// overrides bite), chunked prefill, and the prefix cache for loser donation.
+fn scheduler() -> Scheduler {
+    let weights = Arc::new(ModelWeights::random(&ModelConfig::tiny(), 42));
+    let exec = Arc::new(ModelExecutor::new(
+        weights,
+        EngineConfig::lserve_with_budget(64),
+    ));
+    let mut scfg = SchedulerConfig::new(4096);
+    scfg.chunk_tokens = 8;
+    scfg.prefix_cache = true;
+    Scheduler::new(exec, scfg)
+}
+
+/// Steps until the root request has generated at least `want` tokens
+/// (so it is mid-decode — a fork-able live sequence), returning them.
+fn run_until_generated(sched: &mut Scheduler, h: &RequestHandle, want: usize) -> Vec<u32> {
+    let mut got = Vec::new();
+    while got.len() < want {
+        sched.step();
+        for e in h.drain_events() {
+            if let ServingEvent::FirstToken { token } | ServingEvent::Token { token } = e {
+                got.push(token);
+            }
+        }
+    }
+    got
+}
+
+/// Maps the workload's plain branch structs onto scheduler branch specs,
+/// ids `first_id..`.
+fn to_branch_specs(scene: &AgentScene, first_id: u64) -> Vec<BranchSpec> {
+    scene
+        .branches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let mut spec = BranchSpec::new(first_id + i as u64, b.suffix.clone())
+                .max_new_tokens(b.max_new_tokens)
+                .score_bias(b.score_bias);
+            for &t in &b.stop_tokens {
+                spec = spec.stop_token(t);
+            }
+            spec
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = AgenticConfig::small();
+
+    // -------------------------------------------------- 1. map/reduce fan-out
+    let scene = map_reduce_fanout(&cfg);
+    let mut sched = scheduler();
+    let root = sched.submit(RequestSpec::new(1, scene.root_prompt.clone()).max_new_tokens(12));
+    run_until_generated(&mut sched, &root, 2);
+
+    let mut branches = to_branch_specs(&scene, 10);
+    // Shard 0 maps a low-signal document: run it under a tighter per-branch
+    // selection budget than the engine default.
+    branches[0] = branches[0]
+        .clone()
+        .sparsity(SparsityOverride::none().with_budget(16));
+    let pages_before = sched.pool_in_use();
+    let out = sched.fork(1, JoinPolicy::All, &branches).expect("fork");
+    assert_eq!(
+        sched.pool_in_use(),
+        pages_before,
+        "fork is zero-copy: branches CoW-share every page up to the fork point"
+    );
+    let report = sched.run_to_completion(100_000);
+    let map_outputs: Vec<Vec<u32>> = (10..10 + cfg.branches as u64)
+        .map(|id| match sched.status(id) {
+            Some(RequestStatus::Finished(tokens)) => tokens,
+            other => panic!("map shard {id} did not finish: {other:?}"),
+        })
+        .collect();
+    assert!(
+        sched.join_status(out.group).expect("known group").resolved,
+        "All join resolves once every shard finishes"
+    );
+    // The reduce step: one request over the root plus every shard's output.
+    let mut reduce_prompt = scene.root_prompt.clone();
+    for o in &map_outputs {
+        reduce_prompt.extend_from_slice(o);
+    }
+    sched.submit(RequestSpec::new(99, reduce_prompt).max_new_tokens(8));
+    let reduce_report = sched.run_to_completion(100_000);
+    assert!(
+        reduce_report.completed.iter().any(|(id, _)| *id == 99),
+        "reduce completed"
+    );
+    println!(
+        "map/reduce:  {} shards forked at {} pages ({} stayed), all joined, reduce done; \
+         dag: {} forks / {} branches / {} joins",
+        cfg.branches,
+        pages_before,
+        pages_before,
+        report.dag.forks,
+        report.dag.branches_spawned,
+        report.dag.joins
+    );
+
+    // -------------------------------------------------- 2. speculative tool calls
+    let scene = tool_call_branches(&cfg);
+    let mut sched = scheduler();
+    let root = sched.submit(RequestSpec::new(1, scene.root_prompt.clone()).max_new_tokens(12));
+    run_until_generated(&mut sched, &root, 2);
+    let out = sched
+        .fork(1, JoinPolicy::FirstFinished, &to_branch_specs(&scene, 10))
+        .expect("fork");
+    let report = sched.run_to_completion(100_000);
+    let js = sched.join_status(out.group).expect("known group");
+    assert!(js.resolved, "one continuation finished");
+    let winner = js.winner.expect("FirstFinished always has a winner");
+    let cancelled = (10..10 + cfg.branches as u64)
+        .filter(|&id| matches!(sched.status(id), Some(RequestStatus::Cancelled(_))))
+        .count();
+    assert!(cancelled >= 1, "losers are cascade-cancelled");
+    assert!(
+        report.dag.branch_cancels as usize >= cancelled,
+        "cancels are counted"
+    );
+    assert!(
+        sched.prefix_cache_entries() > 0,
+        "cancelled losers donate their prefix"
+    );
+    println!(
+        "tool calls:  branch {winner} finished first, {cancelled} speculative losers cancelled, \
+         {} prefix-cache entries donated",
+        sched.prefix_cache_entries()
+    );
+
+    // -------------------------------------------------- 3. best-of-N panel
+    let scene = best_of_n(&cfg);
+    let mut sched = scheduler();
+    let root = sched.submit(RequestSpec::new(1, scene.root_prompt.clone()).max_new_tokens(12));
+    run_until_generated(&mut sched, &root, 2);
+    let out = sched
+        .fork(1, JoinPolicy::BestScore, &to_branch_specs(&scene, 10))
+        .expect("fork");
+    let report = sched.run_to_completion(100_000);
+    let js = sched.join_status(out.group).expect("known group");
+    assert!(js.resolved, "BestScore waits for the whole panel");
+    // Equal budgets, distinct ranker biases: the winner is the top bias.
+    let expect = 10
+        + (0..cfg.branches)
+            .max_by_key(|&i| (scene.branches[i].score_bias, std::cmp::Reverse(i)))
+            .unwrap() as u64;
+    assert_eq!(js.winner, Some(expect), "the ranker's top candidate wins");
+    assert_eq!(
+        report.dag.branch_cancels, 0,
+        "a scored panel runs to completion — nobody is cancelled"
+    );
+    println!(
+        "best-of-{}:  candidate {} wins on ranker score; panel work = {} tokens",
+        cfg.branches,
+        expect,
+        sched.work_tokens()
+    );
+
+    println!("\n{}", report.summary());
+}
